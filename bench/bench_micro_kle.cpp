@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the method's building blocks:
+//  - Galerkin assembly cost vs mesh size n,
+//  - eigensolve cost: dense QL vs Lanczos top-r (the paper's MATLAB eigs
+//    took 11.2 s for 200 pairs at n = 1546),
+//  - per-sample generation throughput: Algorithm 1 (O(N_g^2)) vs
+//    Algorithm 2 (O(N_g r)) — the source of Table 1's speedup,
+//  - STA evaluation cost per sample.
+#include <benchmark/benchmark.h>
+
+#include "circuit/synthetic.h"
+#include "common/rng.h"
+#include "core/kle_solver.h"
+#include "field/cholesky_sampler.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/structured_mesher.h"
+#include "placer/recursive_placer.h"
+#include "ssta/mc_ssta.h"
+#include "timing/sta.h"
+
+namespace {
+
+using namespace sckl;
+
+const kernels::GaussianKernel& paper_kernel() {
+  static const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  return kernel;
+}
+
+mesh::TriMesh mesh_of(std::size_t n) {
+  return mesh::structured_mesh_for_count(geometry::BoundingBox::unit_die(),
+                                         n, mesh::StructuredPattern::kCross);
+}
+
+void BM_GalerkinAssembly(benchmark::State& state) {
+  const mesh::TriMesh mesh = mesh_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::assemble_galerkin_matrix(mesh, paper_kernel()));
+  }
+  state.SetComplexityN(static_cast<long>(mesh.num_triangles()));
+}
+BENCHMARK(BM_GalerkinAssembly)->Arg(256)->Arg(576)->Arg(1024)->Arg(1600)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+
+void BM_EigensolveDense(benchmark::State& state) {
+  const mesh::TriMesh mesh = mesh_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::KleOptions options;
+    options.num_eigenpairs = 25;
+    options.backend = core::KleBackend::kDense;
+    benchmark::DoNotOptimize(core::solve_kle(mesh, paper_kernel(), options));
+  }
+}
+BENCHMARK(BM_EigensolveDense)->Arg(256)->Arg(576)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EigensolveLanczos(benchmark::State& state) {
+  const mesh::TriMesh mesh = mesh_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::KleOptions options;
+    options.num_eigenpairs = 25;
+    options.backend = core::KleBackend::kLanczos;
+    benchmark::DoNotOptimize(core::solve_kle(mesh, paper_kernel(), options));
+  }
+}
+BENCHMARK(BM_EigensolveLanczos)->Arg(256)->Arg(576)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+struct SamplerFixture {
+  SamplerFixture(std::size_t gates, std::size_t r)
+      : netlist(circuit::synthetic_circuit(
+            {.name = "bench", .num_gates = gates, .seed = 3})),
+        placement(placer::place(netlist)),
+        locations(placement.physical_locations(netlist)),
+        mesh(mesh_of(900)),
+        kle([this] {
+          core::KleOptions options;
+          options.num_eigenpairs = 50;
+          return core::solve_kle(mesh, paper_kernel(), options);
+        }()),
+        cholesky(paper_kernel(), locations),
+        reduced(kle, r, locations) {}
+
+  circuit::Netlist netlist;
+  placer::Placement placement;
+  std::vector<geometry::Point2> locations;
+  mesh::TriMesh mesh;
+  core::KleResult kle;
+  field::CholeskyFieldSampler cholesky;
+  field::KleFieldSampler reduced;
+};
+
+SamplerFixture& fixture_for(std::size_t gates) {
+  static std::map<std::size_t, std::unique_ptr<SamplerFixture>> cache;
+  auto& slot = cache[gates];
+  if (!slot) slot = std::make_unique<SamplerFixture>(gates, 25);
+  return *slot;
+}
+
+void BM_SampleBlockCholesky(benchmark::State& state) {
+  SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  linalg::Matrix block;
+  for (auto _ : state) {
+    fx.cholesky.sample_block(64, rng, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SampleBlockCholesky)->Arg(383)->Arg(880)->Arg(1669)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SampleBlockKle(benchmark::State& state) {
+  SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  linalg::Matrix block;
+  for (auto _ : state) {
+    fx.reduced.sample_block(64, rng, block);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SampleBlockKle)->Arg(383)->Arg(880)->Arg(1669)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StaEvaluation(benchmark::State& state) {
+  SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
+  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
+  const timing::StaEngine engine(fx.netlist, fx.placement, library);
+  Rng rng(6);
+  linalg::Matrix block;
+  fx.reduced.sample_block(1, rng, block);
+  const timing::ParameterView view{block.row_ptr(0), block.row_ptr(0),
+                                   block.row_ptr(0), block.row_ptr(0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(view));
+  }
+}
+BENCHMARK(BM_StaEvaluation)->Arg(383)->Arg(880)->Arg(1669)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

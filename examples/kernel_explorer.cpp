@@ -1,0 +1,96 @@
+// Kernel explorer: compare the covariance-kernel families the paper
+// discusses — decay profiles, physical validity (the eq. 2 PSD criterion),
+// and how fast their KLE spectra decay (which determines how few random
+// variables r a field needs).
+//
+// Usage: ./examples/kernel_explorer [--n=400] [--modes=30]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/kle_solver.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "kernels/psd_check.h"
+#include "mesh/structured_mesher.h"
+
+int main(int argc, char** argv) {
+  using namespace sckl;
+  const CliFlags flags(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.get_int("n", 400));
+  const auto modes = static_cast<std::size_t>(flags.get_int("modes", 30));
+
+  const double c = kernels::paper_gaussian_c();
+  std::vector<std::unique_ptr<kernels::CovarianceKernel>> zoo;
+  zoo.push_back(std::make_unique<kernels::GaussianKernel>(c));
+  zoo.push_back(std::make_unique<kernels::ExponentialKernel>(1.5));
+  zoo.push_back(std::make_unique<kernels::SeparableL1Kernel>(1.0));
+  zoo.push_back(std::make_unique<kernels::MaternKernel>(3.0, 2.5));
+  zoo.push_back(std::make_unique<kernels::SphericalKernel>(1.2));
+  zoo.push_back(std::make_unique<kernels::LinearConeKernel>(1.0));
+  zoo.push_back(std::make_unique<kernels::RadialMagnitudeKernel>(1.5));
+
+  // 1. Validity: sampled Gram-matrix PSD check (eq. 2).
+  std::printf("# Physical validity (sampled PSD check, 120 points/trial)\n");
+  TextTable validity;
+  validity.set_header({"kernel", "min rel eigenvalue", "valid"});
+  for (const auto& k : zoo) {
+    const auto result = kernels::check_positive_semidefinite(
+        *k, geometry::BoundingBox::unit_die(), 6, 120);
+    validity.add_row({k->name(),
+                      format_scientific(result.min_relative_eigenvalue),
+                      result.passed ? "yes" : "NO"});
+  }
+  std::fputs(validity.to_string().c_str(), stdout);
+  std::printf("# note: the isotropic linear cone fails in 2-D, exactly as "
+              "[1] warns\n\n");
+
+  // 2. Decay profiles.
+  std::printf("# Correlation vs separation\n");
+  TextTable profile;
+  std::vector<std::string> header = {"v"};
+  for (const auto& k : zoo) header.push_back(k->name());
+  profile.set_header(header);
+  for (double v = 0.0; v <= 2.0 + 1e-9; v += 0.25) {
+    std::vector<double> row = {v};
+    for (const auto& k : zoo) row.push_back((*k)({0, 0}, {v, 0}));
+    profile.add_numeric_row(row, 3);
+  }
+  std::fputs(profile.to_string().c_str(), stdout);
+
+  // 3. KLE spectrum decay for the valid kernels: how many RVs a field
+  //    needs to capture 95% of the variance (trace = die area = 4).
+  std::printf("\n# KLE spectrum decay (n = %zu basis triangles)\n", n);
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      geometry::BoundingBox::unit_die(), n, mesh::StructuredPattern::kCross);
+  TextTable spectra;
+  spectra.set_header(
+      {"kernel", "lambda_1", "lambda_10", "r for 95% variance"});
+  for (const auto& k : zoo) {
+    const auto psd = kernels::check_positive_semidefinite(*k);
+    if (!psd.passed) continue;  // skip invalid kernels
+    core::KleOptions options;
+    options.num_eigenpairs = std::min(modes * 4, mesh.num_triangles());
+    const core::KleResult kle = core::solve_kle(mesh, *k, options);
+    double sum = 0.0;
+    std::size_t r95 = options.num_eigenpairs;
+    for (std::size_t j = 0; j < options.num_eigenpairs; ++j) {
+      sum += kle.eigenvalue(j);
+      if (sum >= 0.95 * 4.0) {
+        r95 = j + 1;
+        break;
+      }
+    }
+    spectra.add_row({k->name(), format_double(kle.eigenvalue(0), 3),
+                     format_double(kle.eigenvalue(9), 4),
+                     r95 == options.num_eigenpairs
+                         ? ">" + std::to_string(r95)
+                         : std::to_string(r95)});
+  }
+  std::fputs(spectra.to_string().c_str(), stdout);
+  std::printf("# smoother kernels -> faster eigen-decay -> fewer RVs; this "
+              "is why the Gaussian kernel truncates at r ~ 25\n");
+  return 0;
+}

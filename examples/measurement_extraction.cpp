@@ -1,0 +1,98 @@
+// Measurement-driven kernel extraction — the upstream half of the paper's
+// flow, simulated end to end:
+//
+//   1. "Measure": sample a known ground-truth field (Gaussian kernel) at
+//      scattered test sites across many synthetic dies, with measurement
+//      noise.
+//   2. Extract the empirical correlogram (Liu [16]).
+//   3. Fit valid kernel families to it and select the best (Xiong [1]).
+//   4. Feed the extracted kernel into the KLE machinery and verify the
+//      downstream truncation (r) matches what the true kernel gives.
+//
+// Usage: ./examples/measurement_extraction [--dies=3000] [--sites=80]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/kle_solver.h"
+#include "core/truncation.h"
+#include "field/cholesky_sampler.h"
+#include "kernels/extraction.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/refine.h"
+
+int main(int argc, char** argv) {
+  using namespace sckl;
+  const CliFlags flags(argc, argv);
+  const auto dies = static_cast<std::size_t>(flags.get_int("dies", 3000));
+  const auto num_sites = static_cast<std::size_t>(flags.get_int("sites", 80));
+  const double noise = flags.get_double("noise", 0.1);
+
+  // 1. Ground truth and synthetic measurement campaign.
+  const double c_true = kernels::paper_gaussian_c();
+  const kernels::GaussianKernel truth(c_true);
+  Rng rng(2026);
+  std::vector<geometry::Point2> sites(num_sites);
+  for (auto& s : sites) {
+    s.x = rng.uniform(-1.0, 1.0);
+    s.y = rng.uniform(-1.0, 1.0);
+  }
+  const field::CholeskyFieldSampler fab(truth, sites);
+  linalg::Matrix measurements;
+  fab.sample_block(dies, rng, measurements);
+  for (std::size_t d = 0; d < dies; ++d)  // metrology noise
+    for (std::size_t s = 0; s < num_sites; ++s)
+      measurements(d, s) += noise * rng.normal();
+  std::printf("ground truth: %s; %zu dies x %zu sites, %.0f%% noise\n",
+              truth.name().c_str(), dies, num_sites, 100.0 * noise);
+
+  // 2. Correlogram.
+  const auto bins =
+      kernels::empirical_correlogram(measurements, sites, 14, 2.2);
+  TextTable correlogram;
+  correlogram.set_header({"distance", "empirical corr", "true corr",
+                          "pairs"});
+  for (const auto& bin : bins)
+    correlogram.add_row({format_double(bin.distance, 3),
+                         format_double(bin.correlation, 4),
+                         format_double(truth.radial(bin.distance), 4),
+                         std::to_string(bin.num_pairs)});
+  std::printf("\n%s", correlogram.to_string().c_str());
+  std::printf("# note the nugget: measurement noise deflates all "
+              "correlations by ~1/(1+noise^2)\n");
+
+  // 3. Family fits.
+  const auto gaussian_family = [](double cc) {
+    return [cc](double v) { return std::exp(-cc * v * v); };
+  };
+  const auto exponential_family = [](double cc) {
+    return [cc](double v) { return std::exp(-cc * v); };
+  };
+  const auto g = kernels::fit_correlogram(bins, gaussian_family, 0.2, 30.0);
+  const auto e =
+      kernels::fit_correlogram(bins, exponential_family, 0.2, 30.0);
+  std::printf("\nfits: gaussian c=%.3f (rmse %.4f) | exponential c=%.3f "
+              "(rmse %.4f)\n",
+              g.parameter, g.rmse, e.parameter, e.rmse);
+  std::printf("selected: %s family (true c = %.3f)\n",
+              g.rmse < e.rmse ? "gaussian" : "exponential", c_true);
+
+  // 4. Downstream check: the extracted kernel gives the same truncation.
+  const kernels::GaussianKernel extracted(g.parameter);
+  const mesh::TriMesh mesh = mesh::paper_mesh();
+  core::KleOptions options;
+  options.num_eigenpairs = 200;
+  const core::KleResult kle_true = core::solve_kle(mesh, truth, options);
+  const core::KleResult kle_fit = core::solve_kle(mesh, extracted, options);
+  const std::size_t r_true = core::select_truncation(
+      kle_true.eigenvalues(), mesh.num_triangles(), 0.01);
+  const std::size_t r_fit = core::select_truncation(
+      kle_fit.eigenvalues(), mesh.num_triangles(), 0.01);
+  std::printf("\ntruncation with the true kernel: r = %zu; with the "
+              "extracted kernel: r = %zu\n",
+              r_true, r_fit);
+  return 0;
+}

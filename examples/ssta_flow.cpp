@@ -1,0 +1,95 @@
+// Full SSTA flow on a benchmark circuit — the paper's Sec. 5 pipeline as a
+// user would run it:
+//   netlist -> recursive min-cut placement -> STA engine
+//   kernel -> mesh -> KLE -> reduced sampler
+//   Monte Carlo SSTA with Algorithm 1 (reference) and Algorithm 2 (KLE),
+//   then a side-by-side report.
+//
+// Usage: ./examples/ssta_flow [--circuit=c880] [--samples=500] [--r=25]
+#include <cstdio>
+
+#include "circuit/synthetic.h"
+#include "common/cli.h"
+#include "core/kle_solver.h"
+#include "field/cholesky_sampler.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/refine.h"
+#include "placer/recursive_placer.h"
+#include "placer/wireload.h"
+#include "ssta/mc_ssta.h"
+#include "timing/critical_path.h"
+#include "timing/sta.h"
+
+int main(int argc, char** argv) {
+  using namespace sckl;
+  const CliFlags flags(argc, argv);
+  const std::string name = flags.get_string("circuit", "c880");
+  // Sigma-vs-sigma comparisons have a ~1/sqrt(N) noise floor; 1000 samples
+  // put it at ~3%.
+  const auto samples =
+      static_cast<std::size_t>(flags.get_int("samples", 1000));
+  const auto r = static_cast<std::size_t>(flags.get_int("r", 25));
+
+  // Netlist + placement + timer.
+  const circuit::Netlist netlist = circuit::make_paper_circuit(name);
+  const placer::Placement placement = placer::place(netlist);
+  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
+  const timing::StaEngine engine(netlist, placement, library);
+  std::printf("circuit %s: %zu gates, depth %zu, %zu endpoints, HPWL %.1f\n",
+              name.c_str(), netlist.num_physical_gates(), engine.depth(),
+              engine.num_endpoints(), placer::total_hpwl(netlist, placement));
+  timing::StaTrace trace;
+  const timing::StaResult nominal = engine.run_nominal(&trace);
+  std::printf("nominal worst delay: %.1f ps\n", nominal.worst_delay);
+  const timing::CriticalPath critical =
+      timing::extract_critical_path(engine, nominal, trace);
+  std::printf("nominal critical path: %zu stages from '%s'\n\n",
+              critical.steps.size(),
+              netlist.gate(critical.steps.front().gate).name.c_str());
+
+  // Spatial correlation model + the two samplers.
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const auto locations = placement.physical_locations(netlist);
+  const field::CholeskyFieldSampler dense(kernel, locations);
+
+  const mesh::TriMesh mesh = mesh::paper_mesh();
+  core::KleOptions kle_options;
+  kle_options.num_eigenpairs = std::max<std::size_t>(2 * r, 50);
+  const core::KleResult kle = core::solve_kle(mesh, kernel, kle_options);
+  const field::KleFieldSampler reduced(kle, r, locations);
+  std::printf("samplers: Algorithm 1 latent dim %zu | Algorithm 2 latent "
+              "dim %zu (n = %zu triangles)\n\n",
+              dense.latent_dimension(), reduced.latent_dimension(),
+              mesh.num_triangles());
+
+  // Monte Carlo SSTA, both ways, same timer.
+  ssta::McSstaOptions options;
+  options.num_samples = samples;
+  const ssta::McSstaResult mc = run_monte_carlo_ssta(
+      engine, {&dense, &dense, &dense, &dense}, options);
+  const ssta::McSstaResult kl = run_monte_carlo_ssta(
+      engine, {&reduced, &reduced, &reduced, &reduced}, options);
+
+  std::printf("%-28s %14s %14s\n", "", "Algorithm 1", "Algorithm 2 (KLE)");
+  std::printf("%-28s %14.2f %14.2f\n", "worst delay mean (ps)",
+              mc.worst_delay.mean(), kl.worst_delay.mean());
+  std::printf("%-28s %14.3f %14.3f\n", "worst delay sigma (ps)",
+              mc.worst_delay.stddev(), kl.worst_delay.stddev());
+  std::printf("%-28s %14.3f %14.3f\n", "sampling time (s)",
+              mc.sampling_seconds, kl.sampling_seconds);
+  std::printf("%-28s %14.3f %14.3f\n", "STA time (s)", mc.sta_seconds,
+              kl.sta_seconds);
+  const double e_mu = 100.0 *
+                      std::abs(kl.worst_delay.mean() - mc.worst_delay.mean()) /
+                      mc.worst_delay.mean();
+  const double e_sigma =
+      100.0 *
+      std::abs(kl.worst_delay.stddev() - mc.worst_delay.stddev()) /
+      mc.worst_delay.stddev();
+  std::printf("\ne_mu = %.3f%%   e_sigma = %.3f%%   sampling speedup = %.2fx\n",
+              e_mu, e_sigma,
+              mc.sampling_seconds / std::max(kl.sampling_seconds, 1e-9));
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "circuit/bench_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sckl::circuit {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+CellFunction function_from_token(const std::string& token, int line) {
+  const std::string t = upper(token);
+  if (t == "BUF" || t == "BUFF") return CellFunction::kBuf;
+  if (t == "NOT" || t == "INV") return CellFunction::kInv;
+  if (t == "AND") return CellFunction::kAnd;
+  if (t == "NAND") return CellFunction::kNand;
+  if (t == "OR") return CellFunction::kOr;
+  if (t == "NOR") return CellFunction::kNor;
+  if (t == "XOR") return CellFunction::kXor;
+  if (t == "XNOR") return CellFunction::kXnor;
+  if (t == "DFF") return CellFunction::kDff;
+  require(false, "parse_bench: unknown cell '" + token + "' at line " +
+                     std::to_string(line));
+  return CellFunction::kBuf;  // unreachable
+}
+
+std::vector<std::string> split_args(const std::string& body, int line) {
+  std::vector<std::string> args;
+  std::string current;
+  for (char c : body) {
+    if (c == ',') {
+      args.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string last = trim(current);
+  if (!last.empty()) args.push_back(last);
+  for (const auto& a : args)
+    require(!a.empty(), "parse_bench: empty operand at line " +
+                            std::to_string(line));
+  return args;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& name) {
+  Netlist netlist(name);
+  std::vector<std::string> output_nets;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+
+    const auto open = text.find('(');
+    const auto close = text.rfind(')');
+    const auto equals = text.find('=');
+    if (equals == std::string::npos) {
+      // INPUT(net) or OUTPUT(net)
+      require(open != std::string::npos && close != std::string::npos &&
+                  close > open,
+              "parse_bench: malformed line " + std::to_string(line));
+      const std::string keyword = upper(trim(text.substr(0, open)));
+      const std::string net = trim(text.substr(open + 1, close - open - 1));
+      require(!net.empty(),
+              "parse_bench: empty net name at line " + std::to_string(line));
+      if (keyword == "INPUT") {
+        netlist.add_gate(net, CellFunction::kInput, {});
+      } else if (keyword == "OUTPUT") {
+        output_nets.push_back(net);  // materialized after all gates exist
+      } else {
+        require(false, "parse_bench: unknown directive '" + keyword +
+                           "' at line " + std::to_string(line));
+      }
+      continue;
+    }
+
+    // name = FUNC(arg, arg, ...)
+    require(open != std::string::npos && close != std::string::npos &&
+                open > equals && close > open,
+            "parse_bench: malformed assignment at line " +
+                std::to_string(line));
+    const std::string target = trim(text.substr(0, equals));
+    const std::string func_token =
+        trim(text.substr(equals + 1, open - equals - 1));
+    const std::vector<std::string> args =
+        split_args(text.substr(open + 1, close - open - 1), line);
+    netlist.add_gate(target, function_from_token(func_token, line), args);
+  }
+
+  for (const std::string& net : output_nets)
+    netlist.add_gate(net + "_po", CellFunction::kOutput, {net});
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return parse_bench(in, name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "parse_bench_file: cannot open '" + path + "'");
+  auto slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return parse_bench(in, base);
+}
+
+std::string write_bench(const Netlist& netlist) {
+  require(netlist.finalized(), "write_bench: netlist not finalized");
+  std::ostringstream out;
+  out << "# " << netlist.name() << "\n";
+  for (std::size_t i : netlist.primary_inputs())
+    out << "INPUT(" << netlist.gate(i).name << ")\n";
+  for (std::size_t i : netlist.primary_outputs())
+    out << "OUTPUT(" << netlist.gate(netlist.gate(i).fanin[0]).name << ")\n";
+  for (const Gate& gate : netlist.gates()) {
+    if (gate.function == CellFunction::kInput ||
+        gate.function == CellFunction::kOutput)
+      continue;
+    out << gate.name << " = " << cell_function_name(gate.function) << '(';
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      if (k > 0) out << ", ";
+      out << netlist.gate(gate.fanin[k]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+const char* c17_bench_text() {
+  return R"(# c17 (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+}  // namespace sckl::circuit

@@ -1,0 +1,39 @@
+// ISCAS .bench netlist format reader/writer.
+//
+// The format of the ISCAS85/89 benchmark suites the paper evaluates on:
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G23 = DFF(G10)
+// Primary outputs name an internal net; the parser materializes a pseudo
+// OUTPUT gate "<net>_po" driven by that net. The tiny public c17 netlist is
+// embedded for tests and the quickstart; larger paper circuits are produced
+// by the synthetic generator (see DESIGN.md substitutions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace sckl::circuit {
+
+/// Parses .bench text. Throws sckl::Error with a line number on malformed
+/// input. The returned netlist is finalized.
+Netlist parse_bench(std::istream& in, const std::string& name = "bench");
+
+/// Parses .bench from a string.
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& name = "bench");
+
+/// Parses .bench from a file path.
+Netlist parse_bench_file(const std::string& path);
+
+/// Serializes a finalized netlist back to .bench text (round-trippable).
+std::string write_bench(const Netlist& netlist);
+
+/// The ISCAS85 c17 circuit (6 NAND gates), embedded verbatim.
+const char* c17_bench_text();
+
+}  // namespace sckl::circuit

@@ -1,0 +1,55 @@
+#include "circuit/levelize.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sckl::circuit {
+
+Levelization levelize(const Netlist& netlist) {
+  require(netlist.finalized(), "levelize: netlist not finalized");
+  const std::size_t n = netlist.num_gates_total();
+
+  // Combinational in-degree: DFHs and INPUTs depend on nothing this cycle.
+  auto is_startpoint = [&](std::size_t i) {
+    const CellFunction f = netlist.gate(i).function;
+    return f == CellFunction::kInput || f == CellFunction::kDff;
+  };
+
+  Levelization out;
+  out.level.assign(n, 0);
+  std::vector<std::size_t> in_degree(n, 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_startpoint(i)) {
+      ready.push_back(i);
+    } else {
+      in_degree[i] = netlist.gate(i).fanin.size();
+      if (in_degree[i] == 0)
+        ready.push_back(i);  // floating gate; still schedulable
+    }
+  }
+
+  out.topological_order.reserve(n);
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const std::size_t u = ready[head++];
+    out.topological_order.push_back(u);
+    for (std::size_t v : netlist.gate(u).fanout) {
+      if (is_startpoint(v)) continue;  // edge into a DFF D pin: cut
+      out.level[v] = std::max(out.level[v], out.level[u] + 1);
+      ensure(in_degree[v] > 0, "levelize: in-degree underflow");
+      if (--in_degree[v] == 0) ready.push_back(v);
+    }
+  }
+  require(out.topological_order.size() == n,
+          "levelize: combinational cycle detected in '" + netlist.name() +
+              "'");
+
+  for (std::size_t level : out.level) out.depth = std::max(out.depth, level);
+  out.endpoints = netlist.primary_outputs();
+  for (std::size_t ff : netlist.flip_flops()) out.endpoints.push_back(ff);
+  return out;
+}
+
+}  // namespace sckl::circuit

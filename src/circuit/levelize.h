@@ -1,0 +1,37 @@
+// Topological levelization of a netlist for block-based STA.
+//
+// Sequential handling follows standard STA semantics: primary inputs and
+// DFF outputs (Q pins) are path startpoints at level 0; primary outputs and
+// DFF data inputs (D pins) are endpoints. A DFF therefore does not depend
+// combinationally on its fanin, which is what makes levelization of
+// sequential (s-series) circuits acyclic. Combinational cycles are a
+// structural error and throw.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace sckl::circuit {
+
+/// Result of levelizing a finalized netlist.
+struct Levelization {
+  /// Gate indices in a valid combinational evaluation order (startpoints
+  /// first). Every gate appears exactly once.
+  std::vector<std::size_t> topological_order;
+
+  /// Level (longest combinational distance from a startpoint) per gate.
+  std::vector<std::size_t> level;
+
+  /// Largest level (the logic depth of the circuit).
+  std::size_t depth = 0;
+
+  /// Timing endpoints: primary outputs plus DFF indices (their D pins).
+  std::vector<std::size_t> endpoints;
+};
+
+/// Levelizes `netlist`; throws sckl::Error on combinational cycles.
+Levelization levelize(const Netlist& netlist);
+
+}  // namespace sckl::circuit

@@ -1,0 +1,125 @@
+#include "circuit/netlist.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace sckl::circuit {
+
+const char* cell_function_name(CellFunction f) {
+  switch (f) {
+    case CellFunction::kInput:
+      return "INPUT";
+    case CellFunction::kOutput:
+      return "OUTPUT";
+    case CellFunction::kBuf:
+      return "BUF";
+    case CellFunction::kInv:
+      return "NOT";
+    case CellFunction::kAnd:
+      return "AND";
+    case CellFunction::kNand:
+      return "NAND";
+    case CellFunction::kOr:
+      return "OR";
+    case CellFunction::kNor:
+      return "NOR";
+    case CellFunction::kXor:
+      return "XOR";
+    case CellFunction::kXnor:
+      return "XNOR";
+    case CellFunction::kDff:
+      return "DFF";
+  }
+  return "?";
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+std::size_t Netlist::add_gate(const std::string& name, CellFunction function,
+                              std::vector<std::string> fanin_names) {
+  require(!finalized_, "Netlist::add_gate: netlist already finalized");
+  require(!name.empty(), "Netlist::add_gate: empty gate name");
+  const auto [it, inserted] = index_.try_emplace(name, gates_.size());
+  require(inserted, "Netlist::add_gate: duplicate gate name '" + name + "'");
+  Gate gate;
+  gate.name = name;
+  gate.function = function;
+  gates_.push_back(std::move(gate));
+  pending_fanin_.push_back(std::move(fanin_names));
+  return gates_.size() - 1;
+}
+
+void Netlist::finalize() {
+  require(!finalized_, "Netlist::finalize: already finalized");
+  require(!gates_.empty(), "Netlist::finalize: empty netlist");
+
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    Gate& gate = gates_[i];
+    for (const std::string& fanin_name : pending_fanin_[i]) {
+      const auto it = index_.find(fanin_name);
+      require(it != index_.end(), "Netlist::finalize: gate '" + gate.name +
+                                      "' references unknown net '" +
+                                      fanin_name + "'");
+      gate.fanin.push_back(it->second);
+    }
+
+    const std::size_t arity = gate.fanin.size();
+    switch (gate.function) {
+      case CellFunction::kInput:
+        require(arity == 0, "Netlist: INPUT '" + gate.name + "' has fanin");
+        break;
+      case CellFunction::kOutput:
+      case CellFunction::kBuf:
+      case CellFunction::kInv:
+      case CellFunction::kDff:
+        require(arity == 1, "Netlist: gate '" + gate.name +
+                                "' must have exactly one fanin");
+        break;
+      default:
+        require(arity >= 2, "Netlist: gate '" + gate.name +
+                                "' needs at least two fanins");
+    }
+  }
+  pending_fanin_.clear();
+
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    for (std::size_t f : gates_[i].fanin) gates_[f].fanout.push_back(i);
+    switch (gates_[i].function) {
+      case CellFunction::kInput:
+        inputs_.push_back(i);
+        break;
+      case CellFunction::kOutput:
+        outputs_.push_back(i);
+        break;
+      case CellFunction::kDff:
+        dffs_.push_back(i);
+        physical_.push_back(i);
+        break;
+      default:
+        physical_.push_back(i);
+    }
+  }
+  require(!inputs_.empty(), "Netlist::finalize: no primary inputs");
+  require(!outputs_.empty(), "Netlist::finalize: no primary outputs");
+  finalized_ = true;
+}
+
+std::size_t Netlist::num_physical_gates() const { return physical_.size(); }
+
+const Gate& Netlist::gate(std::size_t i) const {
+  require(i < gates_.size(), "Netlist::gate: index out of range");
+  return gates_[i];
+}
+
+std::size_t Netlist::index_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  require(it != index_.end(), "Netlist::index_of: unknown gate '" + name + "'");
+  return it->second;
+}
+
+bool Netlist::contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+}  // namespace sckl::circuit

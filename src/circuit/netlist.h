@@ -1,0 +1,99 @@
+// Gate-level netlist representation.
+//
+// The paper's experiments run on ISCAS85 (combinational c-series) and
+// ISCAS89 (sequential s-series) benchmarks. A Netlist is a DAG of gates
+// over named nets: primary inputs and outputs are pseudo-gates, DFFs are
+// sequential elements that cut timing paths (their D pin is an endpoint,
+// their Q output a startpoint). N_g — the paper's per-parameter random
+// variable count — is the number of *physical* gates (everything except the
+// INPUT/OUTPUT pseudo-gates).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sckl::circuit {
+
+/// Logic function of a gate. Fanin count is stored per gate, so e.g. a
+/// 3-input NAND is (kNand, 3 fanins).
+enum class CellFunction {
+  kInput,   // primary input pseudo-gate (no fanin)
+  kOutput,  // primary output pseudo-gate (single fanin, no delay)
+  kBuf,
+  kInv,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,  // sequential element; fanin[0] is the D pin
+};
+
+/// Human-readable name of a cell function ("NAND", "DFF", ...).
+const char* cell_function_name(CellFunction f);
+
+/// One gate instance.
+struct Gate {
+  std::string name;
+  CellFunction function = CellFunction::kBuf;
+  std::vector<std::size_t> fanin;   // driving gate indices, pin order
+  std::vector<std::size_t> fanout;  // derived by finalize()
+};
+
+/// A netlist under construction and its finalized, queryable form.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  /// Adds a gate with unresolved fanin names; returns its index. Names must
+  /// be unique. Fanins are resolved by finalize(), so gates may reference
+  /// names defined later (required for sequential feedback through DFFs).
+  std::size_t add_gate(const std::string& name, CellFunction function,
+                       std::vector<std::string> fanin_names);
+
+  /// Resolves fanin names, derives fanouts, and validates arities:
+  /// INPUT has 0 fanins, OUTPUT/BUF/INV/DFF exactly 1, others >= 2.
+  /// Throws on dangling names or arity violations.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const std::string& name() const { return name_; }
+  std::size_t num_gates_total() const { return gates_.size(); }
+
+  /// The paper's N_g: physical gates (excludes INPUT/OUTPUT pseudo-gates).
+  std::size_t num_physical_gates() const;
+
+  const Gate& gate(std::size_t i) const;
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Index lookup by gate name; throws when missing.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  const std::vector<std::size_t>& primary_inputs() const { return inputs_; }
+  const std::vector<std::size_t>& primary_outputs() const { return outputs_; }
+
+  /// All DFF gate indices (empty for combinational circuits).
+  const std::vector<std::size_t>& flip_flops() const { return dffs_; }
+
+  /// Physical gate indices in ascending order (the sampler's location list
+  /// indexes into this).
+  const std::vector<std::size_t>& physical_gates() const { return physical_; }
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<std::vector<std::string>> pending_fanin_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::size_t> inputs_;
+  std::vector<std::size_t> outputs_;
+  std::vector<std::size_t> dffs_;
+  std::vector<std::size_t> physical_;
+  bool finalized_ = false;
+};
+
+}  // namespace sckl::circuit

@@ -1,0 +1,181 @@
+#include "circuit/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sckl::circuit {
+namespace {
+
+std::size_t auto_io_count(std::size_t num_gates) {
+  const auto estimate = static_cast<std::size_t>(
+      std::llround(2.0 * std::sqrt(static_cast<double>(num_gates))));
+  return std::clamp<std::size_t>(estimate, 4, 400);
+}
+
+CellFunction random_function(Rng& rng, std::size_t arity) {
+  if (arity == 1)
+    return rng.uniform() < 0.7 ? CellFunction::kInv : CellFunction::kBuf;
+  // ISCAS-like mix: NAND/NOR heavy, occasional XOR.
+  const double u = rng.uniform();
+  if (u < 0.35) return CellFunction::kNand;
+  if (u < 0.55) return CellFunction::kNor;
+  if (u < 0.75) return CellFunction::kAnd;
+  if (u < 0.90) return CellFunction::kOr;
+  if (u < 0.96) return CellFunction::kXor;
+  return CellFunction::kXnor;
+}
+
+std::size_t random_arity(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.15) return 1;
+  if (u < 0.80) return 2;
+  if (u < 0.95) return 3;
+  return 4;
+}
+
+}  // namespace
+
+Netlist synthetic_circuit(const SyntheticSpec& spec) {
+  require(spec.num_gates >= 2, "synthetic_circuit: need at least two gates");
+  require(spec.dff_fraction >= 0.0 && spec.dff_fraction < 0.9,
+          "synthetic_circuit: dff_fraction out of range");
+  Rng rng(spec.seed);
+
+  const std::size_t num_inputs =
+      spec.num_inputs != 0 ? spec.num_inputs : auto_io_count(spec.num_gates);
+  const std::size_t num_outputs =
+      spec.num_outputs != 0 ? spec.num_outputs : auto_io_count(spec.num_gates);
+  auto num_dffs = static_cast<std::size_t>(
+      std::llround(spec.dff_fraction * static_cast<double>(spec.num_gates)));
+  num_dffs = std::min(num_dffs, spec.num_gates - 1);
+  const std::size_t num_comb = spec.num_gates - num_dffs;
+
+  Netlist netlist(spec.name);
+
+  // Primary inputs.
+  std::vector<std::string> drivers;  // nets usable as combinational sources
+  drivers.reserve(num_inputs + spec.num_gates);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const std::string name = "pi" + std::to_string(i);
+    netlist.add_gate(name, CellFunction::kInput, {});
+    drivers.push_back(name);
+  }
+  // DFF outputs are startpoints, so they are declared up front and usable
+  // as sources immediately; their D fanin (named later) is legal because
+  // fanin resolution happens at finalize().
+  std::vector<std::string> dff_names;
+  for (std::size_t i = 0; i < num_dffs; ++i) {
+    dff_names.push_back("ff" + std::to_string(i));
+    drivers.push_back(dff_names.back());
+  }
+
+  // Combinational gates with a recency-biased source pick: mostly recent
+  // drivers (creates logic depth), occasionally any driver (creates
+  // reconvergence and wide fanout).
+  auto pick_driver = [&](std::size_t upto) -> const std::string& {
+    const std::size_t window = std::max<std::size_t>(16, upto / 8);
+    if (rng.uniform() < 0.8 && upto > window) {
+      const std::size_t offset = rng.uniform_index(window);
+      return drivers[upto - 1 - offset];
+    }
+    return drivers[rng.uniform_index(upto)];
+  };
+
+  std::vector<std::string> comb_names;
+  comb_names.reserve(num_comb);
+  for (std::size_t i = 0; i < num_comb; ++i) {
+    const std::size_t arity = std::min(random_arity(rng), drivers.size());
+    std::vector<std::string> fanin;
+    const std::size_t usable = drivers.size();
+    while (fanin.size() < std::max<std::size_t>(arity, 1)) {
+      const std::string& candidate = pick_driver(usable);
+      if (std::find(fanin.begin(), fanin.end(), candidate) == fanin.end())
+        fanin.push_back(candidate);
+      else if (usable <= fanin.size())
+        break;  // tiny driver pool; accept lower arity
+    }
+    const CellFunction function =
+        fanin.size() == 1 ? random_function(rng, 1)
+                          : random_function(rng, fanin.size());
+    const std::string name = "g" + std::to_string(i);
+    netlist.add_gate(name, function, std::move(fanin));
+    drivers.push_back(name);
+    comb_names.push_back(name);
+  }
+
+  // DFF D pins: driven by late combinational gates (register the deep
+  // logic, like a pipeline stage boundary) or occasionally a PI.
+  for (const std::string& ff : dff_names) {
+    std::string source;
+    if (!comb_names.empty() && rng.uniform() < 0.95) {
+      // Bias toward the last quarter of the combinational gates.
+      const std::size_t quarter = std::max<std::size_t>(1, comb_names.size() / 4);
+      source = rng.uniform() < 0.7
+                   ? comb_names[comb_names.size() - 1 -
+                                rng.uniform_index(quarter)]
+                   : comb_names[rng.uniform_index(comb_names.size())];
+    } else {
+      source = "pi" + std::to_string(rng.uniform_index(num_inputs));
+    }
+    netlist.add_gate(ff, CellFunction::kDff, {source});
+  }
+
+  // Primary outputs: the deepest combinational gates first (so the longest
+  // logic is observed at an endpoint), then random nets until the output
+  // budget is used. Duplicates are skipped.
+  std::vector<std::string> po_sources;
+  for (std::size_t i = 0; i < num_outputs; ++i) {
+    const std::string* source = nullptr;
+    if (i < std::min<std::size_t>(num_outputs / 2 + 1, comb_names.size())) {
+      source = &comb_names[comb_names.size() - 1 - i];  // deepest gates
+    } else if (!comb_names.empty()) {
+      source = &comb_names[rng.uniform_index(comb_names.size())];
+    } else {
+      source = &dff_names[rng.uniform_index(dff_names.size())];
+    }
+    if (std::find(po_sources.begin(), po_sources.end(), *source) !=
+        po_sources.end())
+      continue;
+    po_sources.push_back(*source);
+    netlist.add_gate(*source + "_po", CellFunction::kOutput, {*source});
+  }
+  require(!po_sources.empty(), "synthetic_circuit: no outputs generated");
+
+  netlist.finalize();
+  ensure(netlist.num_physical_gates() == spec.num_gates,
+         "synthetic_circuit: gate count mismatch");
+  return netlist;
+}
+
+const std::vector<PaperCircuitInfo>& paper_circuit_table() {
+  static const std::vector<PaperCircuitInfo> table = {
+      {"c880", 383, false},    {"c1355", 546, false},
+      {"c1908", 880, false},   {"c3540", 1669, false},
+      {"c5315", 2307, false},  {"c6288", 2416, false},
+      {"s5378", 2779, true},   {"c7552", 3512, false},
+      {"s9234", 5597, true},   {"s13207", 7951, true},
+      {"s15850", 9772, true},  {"s35932", 16065, true},
+      {"s38584", 19253, true}, {"s38417", 22179, true},
+  };
+  return table;
+}
+
+Netlist make_paper_circuit(const std::string& name, std::uint64_t seed) {
+  for (const auto& info : paper_circuit_table()) {
+    if (name == info.name) {
+      SyntheticSpec spec;
+      spec.name = info.name;
+      spec.num_gates = info.num_gates;
+      spec.dff_fraction = info.sequential ? 0.15 : 0.0;
+      spec.seed = seed ^ std::hash<std::string>{}(name);
+      return synthetic_circuit(spec);
+    }
+  }
+  require(false, "make_paper_circuit: unknown circuit '" + name + "'");
+  return Netlist{};  // unreachable
+}
+
+}  // namespace sckl::circuit

@@ -1,0 +1,66 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sckl {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long CliFlags::get_int(const std::string& name, long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "CliFlags: malformed integer for --" + name);
+  return value;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !it->second.empty(),
+          "CliFlags: malformed double for --" + name);
+  return value;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  require(false, "CliFlags: malformed boolean for --" + name);
+  return fallback;
+}
+
+}  // namespace sckl

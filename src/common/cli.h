@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for bench binaries and examples.
+//
+// Flags use the form --name=value (or bare --name for booleans); anything
+// else is a positional argument. Space-separated values are deliberately
+// not supported — "--flag positional" would be ambiguous. Unknown flags are
+// tolerated (benches accept google-benchmark's own flags alongside ours).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sckl {
+
+/// Parses --key=value style flags with typed accessors and defaults.
+class CliFlags {
+ public:
+  CliFlags(int argc, const char* const* argv);
+
+  /// True when the flag was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String flag value, or `fallback` when absent.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+
+  /// Integer flag value; throws on malformed input.
+  long get_int(const std::string& name, long fallback) const;
+
+  /// Double flag value; throws on malformed input.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value, or =true/=false/=1/=0.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sckl

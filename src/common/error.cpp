@@ -1,0 +1,12 @@
+#include "common/error.h"
+
+namespace sckl::detail {
+
+void raise(std::string_view kind, std::string_view message) {
+  std::string what;
+  what.reserve(kind.size() + 2 + message.size());
+  what.append(kind).append(": ").append(message);
+  throw Error(what);
+}
+
+}  // namespace sckl::detail

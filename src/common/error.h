@@ -1,0 +1,36 @@
+// Error handling for the sckl library.
+//
+// All precondition/invariant failures throw sckl::Error (derived from
+// std::runtime_error). Library code uses require() for argument checking on
+// public entry points and ensure() for internal invariants; both carry a
+// formatted message with the failing context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sckl {
+
+/// Exception type thrown by every sckl component on contract violation or
+/// unrecoverable numerical failure (e.g. Cholesky on a non-PSD matrix).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise(std::string_view kind, std::string_view message);
+}  // namespace detail
+
+/// Validates a caller-supplied precondition; throws sckl::Error when violated.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) detail::raise("precondition violated", message);
+}
+
+/// Validates an internal invariant; throws sckl::Error when violated.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) detail::raise("invariant violated", message);
+}
+
+}  // namespace sckl

@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  require(n > 0, "uniform_index: n must be positive");
+  // Rejection sampling over the largest multiple of n to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t value = (*this)();
+  while (value >= limit) value = (*this)();
+  return value % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * scale;
+  has_cached_normal_ = true;
+  return u * scale;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+void Rng::normal_fill(std::vector<double>& out) {
+  for (auto& value : out) value = normal();
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n) {
+  std::vector<double> out(n);
+  normal_fill(out);
+  return out;
+}
+
+Rng Rng::split() {
+  // xoshiro256++ long-jump polynomial: advances this stream by 2^192 calls;
+  // the pre-jump state seeds the child so parent and child never overlap.
+  static constexpr std::uint64_t kJump[] = {
+      0x76E15D3EFEFDCBBFull, 0xC5004E441C522FB3ull, 0x77710069854EE241ull,
+      0x39109BB02ACBE635ull};
+  Rng child(0);
+  for (int i = 0; i < 4; ++i) child.state_[i] = state_[i];
+
+  std::uint64_t s0 = 0;
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  std::uint64_t s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (std::uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  return child;
+}
+
+}  // namespace sckl

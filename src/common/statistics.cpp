@@ -1,0 +1,95 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace sckl {
+
+RunningStats::RunningStats()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void CovarianceAccumulator::add(double x, double y) {
+  ++count_;
+  const double n = static_cast<double>(count_);
+  const double dx = x - mean_x_;
+  mean_x_ += dx / n;
+  m2_x_ += dx * (x - mean_x_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / n;
+  m2_y_ += dy * (y - mean_y_);
+  cxy_ += dx * (y - mean_y_);
+}
+
+double CovarianceAccumulator::covariance() const {
+  if (count_ < 2) return 0.0;
+  return cxy_ / static_cast<double>(count_ - 1);
+}
+
+double CovarianceAccumulator::correlation() const {
+  if (count_ < 2 || m2_x_ == 0.0 || m2_y_ == 0.0) return 0.0;
+  return cxy_ / std::sqrt(m2_x_ * m2_y_);
+}
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  require(!values.empty(), "mean_of: empty input");
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  require(values.size() >= 2, "stddev_of: need at least two values");
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+}  // namespace sckl

@@ -1,0 +1,86 @@
+// Streaming statistics accumulators.
+//
+// RunningStats implements Welford's numerically stable online algorithm for
+// mean/variance, extended with min/max. CovarianceAccumulator tracks the
+// joint second moment of two streams. Both are used by the Monte Carlo SSTA
+// harness (per-endpoint delay statistics) and by the field-sampler
+// validation tests (empirical vs. analytic covariance).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sckl {
+
+/// Online mean/variance/min/max over a stream of doubles (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  RunningStats();
+};
+
+/// Online covariance between two paired streams.
+class CovarianceAccumulator {
+ public:
+  /// Adds one paired observation (x, y).
+  void add(double x, double y);
+
+  std::size_t count() const { return count_; }
+
+  /// Unbiased sample covariance (n-1 denominator); 0 when count < 2.
+  double covariance() const;
+
+  /// Pearson correlation coefficient; 0 when either variance is 0.
+  double correlation() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double cxy_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
+/// between order statistics. The input is copied and partially sorted.
+double quantile(std::vector<double> values, double q);
+
+/// Mean of a vector; throws on empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Unbiased standard deviation of a vector; throws when size < 2.
+double stddev_of(const std::vector<double>& values);
+
+}  // namespace sckl

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used for the speedup measurements in Table 1 and the
+// bench harness. Monotonic (steady_clock) so results are immune to NTP jumps.
+#pragma once
+
+#include <chrono>
+
+namespace sckl {
+
+/// Simple monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sckl

@@ -1,0 +1,45 @@
+// Console table formatting for the bench harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// TextTable renders them with aligned columns so the output is directly
+// comparable with the paper and trivially machine-parsable (also exposed as
+// CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sckl {
+
+/// Accumulates string cells and renders an aligned text table or CSV.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; its width may differ from the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` significant decimals.
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with space-padded, right-aligned columns.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (header first when present).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (used by bench output).
+std::string format_double(double value, int precision = 4);
+
+/// Formats a double in scientific notation.
+std::string format_scientific(double value, int precision = 3);
+
+}  // namespace sckl

@@ -1,0 +1,101 @@
+#include "core/analytic_kle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::core {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Bisection for a strictly increasing function on (lo, hi) with
+// f(lo) < 0 < f(hi).
+template <typename Fn>
+double bisect(Fn&& f, double lo, double hi) {
+  double flo = f(lo);
+  sckl::ensure(flo < 0.0, "analytic_kle: bracket lower end not negative");
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid < 0.0) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double Analytic1dMode::value(double x) const {
+  return even ? std::cos(omega * x) / norm : std::sin(omega * x) / norm;
+}
+
+std::vector<Analytic1dMode> analytic_exponential_kle_1d(double c,
+                                                        double half_length,
+                                                        std::size_t count) {
+  require(c > 0.0, "analytic_exponential_kle_1d: c must be positive");
+  require(half_length > 0.0, "analytic_exponential_kle_1d: bad domain");
+  require(count > 0, "analytic_exponential_kle_1d: count must be positive");
+  const double a = half_length;
+
+  std::vector<Analytic1dMode> modes;
+  modes.reserve(2 * count);
+  const double eps = 1e-12;
+  // Roots alternate: even mode in (k pi, k pi + pi/2)/a, odd mode in
+  // (k pi + pi/2, (k+1) pi)/a. Generating `count` of each guarantees at
+  // least `count` after the merge sort.
+  for (std::size_t k = 0; k < count; ++k) {
+    const double base = static_cast<double>(k) * kPi / a;
+    {
+      // even: g(w) = w tan(w a) - c, increasing from -c to +inf.
+      const double lo = base + eps / a;
+      const double hi = base + (kPi / 2.0 - eps) / a;
+      const double omega =
+          bisect([&](double w) { return w * std::tan(w * a) - c; }, lo, hi);
+      const double lambda = 2.0 * c / (omega * omega + c * c);
+      const double norm =
+          std::sqrt(a + std::sin(2.0 * omega * a) / (2.0 * omega));
+      modes.push_back({lambda, omega, true, norm, a});
+    }
+    {
+      // odd: g(w) = tan(w a) + w / c, increasing from -inf to w/c > 0.
+      const double lo = base + (kPi / 2.0 + eps) / a;
+      const double hi = base + (kPi - eps) / a;
+      const double omega =
+          bisect([&](double w) { return std::tan(w * a) + w / c; }, lo, hi);
+      const double lambda = 2.0 * c / (omega * omega + c * c);
+      const double norm =
+          std::sqrt(a - std::sin(2.0 * omega * a) / (2.0 * omega));
+      modes.push_back({lambda, omega, false, norm, a});
+    }
+  }
+  std::sort(modes.begin(), modes.end(),
+            [](const auto& x, const auto& y) { return x.lambda > y.lambda; });
+  modes.resize(count);
+  return modes;
+}
+
+std::vector<Analytic2dMode> analytic_separable_kle_2d(double c,
+                                                      double half_length,
+                                                      std::size_t count) {
+  require(count > 0, "analytic_separable_kle_2d: count must be positive");
+  // `count` 1-D modes per axis always cover the top `count` products.
+  const auto base = analytic_exponential_kle_1d(c, half_length, count);
+  std::vector<Analytic2dMode> modes;
+  modes.reserve(base.size() * base.size());
+  for (const auto& mx : base)
+    for (const auto& my : base)
+      modes.push_back({mx.lambda * my.lambda, mx, my});
+  std::sort(modes.begin(), modes.end(),
+            [](const auto& x, const auto& y) { return x.lambda > y.lambda; });
+  modes.resize(count);
+  return modes;
+}
+
+}  // namespace sckl::core

@@ -1,0 +1,65 @@
+#include "core/galerkin.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sckl::core {
+
+double element_pair_integral(const geometry::Triangle& ti,
+                             const geometry::Triangle& tk,
+                             const kernels::CovarianceKernel& kernel,
+                             QuadratureRule rule) {
+  const auto qi = quadrature_points(ti, rule);
+  const auto qk = quadrature_points(tk, rule);
+  double sum = 0.0;
+  for (const auto& a : qi)
+    for (const auto& b : qk)
+      sum += a.weight * b.weight * kernel(a.location, b.location);
+  return sum;
+}
+
+linalg::Matrix assemble_galerkin_matrix(const mesh::TriMesh& mesh,
+                                        const kernels::CovarianceKernel& kernel,
+                                        QuadratureRule rule) {
+  const std::size_t n = mesh.num_triangles();
+  linalg::Matrix b(n, n);
+
+  std::vector<double> sqrt_area(n);
+  for (std::size_t i = 0; i < n; ++i) sqrt_area[i] = std::sqrt(mesh.area(i));
+
+  if (rule == QuadratureRule::kCentroid1) {
+    // B_ik = K(c_i, c_k) a_i a_k / sqrt(a_i a_k) = K(c_i, c_k) sqrt(a_i a_k).
+    const auto& centroids = mesh.centroids();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = i; k < n; ++k) {
+        const double value =
+            kernel(centroids[i], centroids[k]) * sqrt_area[i] * sqrt_area[k];
+        b(i, k) = value;
+        b(k, i) = value;
+      }
+    }
+    return b;
+  }
+
+  // General rule: precompute per-element quadrature points once.
+  std::vector<std::vector<QuadraturePoint>> points(n);
+  for (std::size_t i = 0; i < n; ++i)
+    points[i] = quadrature_points(mesh.triangle(i), rule);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = i; k < n; ++k) {
+      double sum = 0.0;
+      for (const auto& a : points[i])
+        for (const auto& c : points[k])
+          sum += a.weight * c.weight * kernel(a.location, c.location);
+      const double value = sum / (sqrt_area[i] * sqrt_area[k]);
+      b(i, k) = value;
+      b(k, i) = value;
+    }
+  }
+  return b;
+}
+
+}  // namespace sckl::core

@@ -1,0 +1,43 @@
+#include "core/kle_field.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "linalg/blas.h"
+
+namespace sckl::core {
+
+KleField::KleField(const KleResult& kle, std::size_t r,
+                   const std::vector<geometry::Point2>& locations)
+    : r_(r), d_lambda_(kle.reconstruction_operator(r)) {
+  require(!locations.empty(), "KleField: no locations");
+  triangle_index_.reserve(locations.size());
+  gate_rows_ = linalg::Matrix(locations.size(), r_);
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    const std::size_t tri = kle.triangle_of(locations[i]);
+    triangle_index_.push_back(tri);
+    std::copy(d_lambda_.row_ptr(tri), d_lambda_.row_ptr(tri) + r_,
+              gate_rows_.row_ptr(i));
+  }
+}
+
+std::size_t KleField::triangle_of_location(std::size_t i) const {
+  require(i < triangle_index_.size(),
+          "KleField::triangle_of_location: out of range");
+  return triangle_index_[i];
+}
+
+void KleField::reconstruct(const linalg::Vector& xi,
+                           linalg::Vector& values) const {
+  require(xi.size() == r_, "KleField::reconstruct: xi has wrong dimension");
+  values = linalg::gemv(gate_rows_, xi);
+}
+
+linalg::Matrix KleField::reconstruct_block(
+    const linalg::Matrix& xi_block) const {
+  require(xi_block.cols() == r_,
+          "KleField::reconstruct_block: xi has wrong dimension");
+  return linalg::gemm_bt(xi_block, gate_rows_);
+}
+
+}  // namespace sckl::core

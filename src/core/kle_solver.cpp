@@ -1,0 +1,121 @@
+#include "core/kle_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/blas.h"
+#include "linalg/lanczos.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace sckl::core {
+
+KleResult::KleResult(const mesh::TriMesh& mesh, linalg::Vector eigenvalues,
+                     linalg::Matrix coefficients)
+    : mesh_(mesh),
+      eigenvalues_(std::move(eigenvalues)),
+      coefficients_(std::move(coefficients)),
+      locator_(mesh.to_triangles(), mesh.bounds()) {
+  require(coefficients_.rows() == mesh.num_triangles(),
+          "KleResult: coefficient rows must match mesh size");
+  require(coefficients_.cols() == eigenvalues_.size(),
+          "KleResult: coefficient columns must match eigenvalue count");
+  // Quadrature noise can push trailing eigenvalues of a PSD kernel slightly
+  // negative; clamp so sqrt(lambda) in eq. 28 stays real.
+  for (auto& value : eigenvalues_) value = std::max(value, 0.0);
+}
+
+double KleResult::eigenvalue(std::size_t j) const {
+  require(j < eigenvalues_.size(), "KleResult::eigenvalue: out of range");
+  return eigenvalues_[j];
+}
+
+double KleResult::coefficient(std::size_t i, std::size_t j) const {
+  require(i < coefficients_.rows() && j < coefficients_.cols(),
+          "KleResult::coefficient: out of range");
+  return coefficients_(i, j);
+}
+
+std::size_t KleResult::triangle_of(geometry::Point2 x) const {
+  return locator_.find_containing_or_nearest(x);
+}
+
+double KleResult::eigenfunction_value(std::size_t j,
+                                      geometry::Point2 x) const {
+  return coefficient(triangle_of(x), j);
+}
+
+double KleResult::reconstruct_kernel(geometry::Point2 x, geometry::Point2 y,
+                                     std::size_t r) const {
+  require(r <= eigenvalues_.size(),
+          "KleResult::reconstruct_kernel: r exceeds computed pairs");
+  const std::size_t ti = triangle_of(x);
+  const std::size_t tk = triangle_of(y);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < r; ++j)
+    sum += eigenvalues_[j] * coefficients_(ti, j) * coefficients_(tk, j);
+  return sum;
+}
+
+linalg::Matrix KleResult::reconstruction_operator(std::size_t r) const {
+  require(r > 0 && r <= eigenvalues_.size(),
+          "KleResult::reconstruction_operator: bad r");
+  linalg::Matrix d_lambda(coefficients_.rows(), r);
+  for (std::size_t j = 0; j < r; ++j) {
+    const double root = std::sqrt(eigenvalues_[j]);
+    for (std::size_t i = 0; i < coefficients_.rows(); ++i)
+      d_lambda(i, j) = coefficients_(i, j) * root;
+  }
+  return d_lambda;
+}
+
+double KleResult::captured_variance_fraction(std::size_t r,
+                                             double total) const {
+  require(r <= eigenvalues_.size(),
+          "KleResult::captured_variance_fraction: bad r");
+  require(total > 0.0, "KleResult::captured_variance_fraction: bad total");
+  double sum = 0.0;
+  for (std::size_t j = 0; j < r; ++j) sum += eigenvalues_[j];
+  return sum / total;
+}
+
+KleResult solve_kle(const mesh::TriMesh& mesh,
+                    const kernels::CovarianceKernel& kernel,
+                    const KleOptions& options) {
+  const std::size_t n = mesh.num_triangles();
+  const std::size_t m = std::min(options.num_eigenpairs, n);
+  require(m > 0, "solve_kle: need at least one eigenpair");
+
+  const linalg::Matrix b =
+      assemble_galerkin_matrix(mesh, kernel, options.quadrature);
+
+  KleBackend backend = options.backend;
+  if (backend == KleBackend::kAuto)
+    backend = (m * 3 < n) ? KleBackend::kLanczos : KleBackend::kDense;
+
+  linalg::SymmetricEigenResult eigen;
+  if (backend == KleBackend::kLanczos) {
+    linalg::LanczosOptions lanczos;
+    lanczos.num_eigenpairs = m;
+    lanczos.seed = options.lanczos_seed;
+    // Clustered trailing eigenvalues of smooth kernels converge slowly;
+    // give the subspace generous room.
+    lanczos.max_subspace = std::min(n, 2 * m + 160);
+    lanczos.tolerance = 1e-9;
+    eigen = linalg::lanczos_largest(b, lanczos);
+  } else {
+    eigen = linalg::symmetric_eigen(b);
+  }
+
+  // Un-scale: d = Phi^{-1/2} u, i.e. d_i = u_i / sqrt(a_i).
+  linalg::Matrix coefficients(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double inv_root = 1.0 / std::sqrt(mesh.area(i));
+    for (std::size_t j = 0; j < m; ++j)
+      coefficients(i, j) = eigen.vectors(i, j) * inv_root;
+  }
+  linalg::Vector values(eigen.values.begin(), eigen.values.begin() + m);
+  return KleResult(mesh, std::move(values), std::move(coefficients));
+}
+
+}  // namespace sckl::core

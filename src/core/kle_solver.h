@@ -1,0 +1,99 @@
+// Karhunen-Loeve Expansion solver — the paper's core algorithm.
+//
+// Pipeline (Sec. 3.2/4): assemble the scaled Galerkin matrix B from the mesh
+// and kernel, solve the symmetric eigenproblem for the m largest pairs,
+// un-scale the eigenvectors (d = Phi^{-1/2} u) into piecewise-constant
+// eigenfunction coefficients, and expose:
+//   - eigenvalues lambda_j (descending; tiny negatives from quadrature noise
+//     are clamped to zero and reported),
+//   - eigenfunction evaluation f_j(x) (constant per triangle, located via a
+//     spatial grid),
+//   - truncated kernel reconstruction K_hat(x,y) = sum lambda_j f_j(x) f_j(y)
+//     (Fig. 3b),
+//   - the reconstruction operator D_lambda = D_r sqrt(Lambda_r) of eq. 28.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/galerkin.h"
+#include "geometry/spatial_grid.h"
+
+namespace sckl::core {
+
+/// Eigensolver backend selection.
+enum class KleBackend {
+  kAuto,    // Lanczos when m << n, dense otherwise
+  kDense,   // Householder + QL on the full matrix
+  kLanczos, // iterative, top-m only
+};
+
+/// Options for solve_kle().
+struct KleOptions {
+  std::size_t num_eigenpairs = 200;  // m: how many pairs to compute
+  QuadratureRule quadrature = QuadratureRule::kCentroid1;
+  KleBackend backend = KleBackend::kAuto;
+  std::uint64_t lanczos_seed = 42;
+};
+
+/// Result of the numerical KLE of one kernel on one mesh.
+class KleResult {
+ public:
+  KleResult(const mesh::TriMesh& mesh, linalg::Vector eigenvalues,
+            linalg::Matrix coefficients);
+
+  /// Number of computed eigenpairs m.
+  std::size_t num_eigenpairs() const { return eigenvalues_.size(); }
+
+  /// Number of basis functions n (mesh triangles).
+  std::size_t basis_size() const { return coefficients_.rows(); }
+
+  /// j-th largest eigenvalue (clamped at 0).
+  double eigenvalue(std::size_t j) const;
+  const linalg::Vector& eigenvalues() const { return eigenvalues_; }
+
+  /// Coefficient d_{i,j} of eigenfunction j on triangle i. Eigenfunctions
+  /// are Phi-orthonormal: sum_i d_{i,j}^2 a_i = 1.
+  double coefficient(std::size_t i, std::size_t j) const;
+  const linalg::Matrix& coefficients() const { return coefficients_; }
+
+  /// Eigenfunction value f_j(x); x is located in the mesh via the index.
+  double eigenfunction_value(std::size_t j, geometry::Point2 x) const;
+
+  /// Eigenfunction value on a known triangle (no lookup).
+  double eigenfunction_on_triangle(std::size_t j, std::size_t tri) const {
+    return coefficient(tri, j);
+  }
+
+  /// Triangle containing x (nearest for boundary/degenerate points).
+  std::size_t triangle_of(geometry::Point2 x) const;
+
+  /// Truncated reconstruction K_hat(x, y) from the first r eigenpairs.
+  double reconstruct_kernel(geometry::Point2 x, geometry::Point2 y,
+                            std::size_t r) const;
+
+  /// D_lambda = D_r * sqrt(Lambda_r): the n x r linear map of eq. 28 taking
+  /// a reduced sample xi to per-triangle parameter values.
+  linalg::Matrix reconstruction_operator(std::size_t r) const;
+
+  /// Fraction of total basis variance captured by the first r eigenvalues.
+  /// Total variance of the projected process equals the matrix trace, which
+  /// for the centroid rule is sum_i K(c_i,c_i) a_i = area(D) for a
+  /// normalized kernel.
+  double captured_variance_fraction(std::size_t r, double total) const;
+
+  const mesh::TriMesh& mesh() const { return mesh_; }
+
+ private:
+  const mesh::TriMesh& mesh_;  // owned by the caller; must outlive the result
+  linalg::Vector eigenvalues_;
+  linalg::Matrix coefficients_;  // n x m, column j = d_j
+  geometry::SpatialGrid locator_;
+};
+
+/// Computes the KLE of `kernel` on `mesh`. The mesh must outlive the result.
+KleResult solve_kle(const mesh::TriMesh& mesh,
+                    const kernels::CovarianceKernel& kernel,
+                    const KleOptions& options = {});
+
+}  // namespace sckl::core

@@ -1,0 +1,69 @@
+#include "core/quadrature.h"
+
+#include "common/error.h"
+
+namespace sckl::core {
+namespace {
+
+geometry::Point2 from_barycentric(const geometry::Triangle& t, double l0,
+                                  double l1, double l2) {
+  return {l0 * t.p[0].x + l1 * t.p[1].x + l2 * t.p[2].x,
+          l0 * t.p[0].y + l1 * t.p[1].y + l2 * t.p[2].y};
+}
+
+}  // namespace
+
+int quadrature_point_count(QuadratureRule rule) {
+  switch (rule) {
+    case QuadratureRule::kCentroid1:
+      return 1;
+    case QuadratureRule::kSymmetric3:
+      return 3;
+    case QuadratureRule::kSymmetric7:
+      return 7;
+  }
+  require(false, "quadrature_point_count: unknown rule");
+  return 0;
+}
+
+std::vector<QuadraturePoint> quadrature_points(const geometry::Triangle& t,
+                                               QuadratureRule rule) {
+  const double area = geometry::triangle_area(t);
+  std::vector<QuadraturePoint> points;
+  switch (rule) {
+    case QuadratureRule::kCentroid1: {
+      const double third = 1.0 / 3.0;
+      points.push_back({from_barycentric(t, third, third, third), area});
+      break;
+    }
+    case QuadratureRule::kSymmetric3: {
+      // Midpoints of the sides; degree-2 exactness with equal weights.
+      points.push_back({from_barycentric(t, 0.5, 0.5, 0.0), area / 3.0});
+      points.push_back({from_barycentric(t, 0.0, 0.5, 0.5), area / 3.0});
+      points.push_back({from_barycentric(t, 0.5, 0.0, 0.5), area / 3.0});
+      break;
+    }
+    case QuadratureRule::kSymmetric7: {
+      // Classic degree-5 rule (Strang-Fix / Hammer-Stroud).
+      const double third = 1.0 / 3.0;
+      constexpr double w0 = 9.0 / 40.0;
+      constexpr double a1 = 0.059715871789770;
+      constexpr double b1 = 0.470142064105115;
+      constexpr double w1 = 0.132394152788506;
+      constexpr double a2 = 0.797426985353087;
+      constexpr double b2 = 0.101286507323456;
+      constexpr double w2 = 0.125939180544827;
+      points.push_back({from_barycentric(t, third, third, third), w0 * area});
+      points.push_back({from_barycentric(t, a1, b1, b1), w1 * area});
+      points.push_back({from_barycentric(t, b1, a1, b1), w1 * area});
+      points.push_back({from_barycentric(t, b1, b1, a1), w1 * area});
+      points.push_back({from_barycentric(t, a2, b2, b2), w2 * area});
+      points.push_back({from_barycentric(t, b2, a2, b2), w2 * area});
+      points.push_back({from_barycentric(t, b2, b2, a2), w2 * area});
+      break;
+    }
+  }
+  return points;
+}
+
+}  // namespace sckl::core

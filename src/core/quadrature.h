@@ -1,0 +1,47 @@
+// Numerical integration rules on triangles.
+//
+// The paper integrates K over triangle pairs with the one-point centroid
+// rule (eq. 21) and proves linear h-convergence (Theorem 2). Sec. 4.2 notes
+// that "higher order piecewise polynomials ... along with high order
+// numerical integration" may be used freely; we provide the standard
+// symmetric 3-point (degree 2) and 7-point (degree 5) rules so the
+// quadrature-order ablation bench can quantify what the extra accuracy buys.
+#pragma once
+
+#include <vector>
+
+#include "geometry/triangle.h"
+
+namespace sckl::core {
+
+/// Available triangle quadrature rules.
+enum class QuadratureRule {
+  kCentroid1,  // 1 point, exact for linears (the paper's rule)
+  kSymmetric3, // 3 points, exact for quadratics
+  kSymmetric7, // 7 points, exact for quintics
+};
+
+/// One quadrature node: a location inside the triangle and a weight that
+/// already includes the triangle area (sum of weights == area).
+struct QuadraturePoint {
+  geometry::Point2 location;
+  double weight;
+};
+
+/// Nodes and weights of `rule` instantiated on triangle `t`.
+std::vector<QuadraturePoint> quadrature_points(const geometry::Triangle& t,
+                                               QuadratureRule rule);
+
+/// Number of nodes of a rule (1, 3, or 7).
+int quadrature_point_count(QuadratureRule rule);
+
+/// Integrates a callable g(Point2) over the triangle with the given rule.
+template <typename Fn>
+double integrate_on_triangle(const geometry::Triangle& t, QuadratureRule rule,
+                             Fn&& g) {
+  double sum = 0.0;
+  for (const auto& q : quadrature_points(t, rule)) sum += q.weight * g(q.location);
+  return sum;
+}
+
+}  // namespace sckl::core

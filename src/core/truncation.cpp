@@ -1,0 +1,35 @@
+#include "core/truncation.h"
+
+#include "common/error.h"
+
+namespace sckl::core {
+
+double discarded_variance_bound(const linalg::Vector& eigenvalues,
+                                std::size_t basis_size, std::size_t r) {
+  const std::size_t m = eigenvalues.size();
+  require(m > 0 && r <= m, "discarded_variance_bound: bad r");
+  require(basis_size >= m, "discarded_variance_bound: m exceeds basis size");
+  double tail = eigenvalues[m - 1] * static_cast<double>(basis_size - m);
+  for (std::size_t i = r; i < m; ++i) tail += eigenvalues[i];
+  return tail;
+}
+
+std::size_t select_truncation(const linalg::Vector& eigenvalues,
+                              std::size_t basis_size, double epsilon) {
+  const std::size_t m = eigenvalues.size();
+  require(m > 0, "select_truncation: no eigenvalues");
+  require(epsilon > 0.0, "select_truncation: epsilon must be positive");
+
+  double retained = 0.0;
+  for (std::size_t r = 1; r <= m; ++r) {
+    retained += eigenvalues[r - 1];
+    if (discarded_variance_bound(eigenvalues, basis_size, r) <=
+        epsilon * retained)
+      return r;
+  }
+  require(false,
+          "select_truncation: criterion unmet; compute more eigenpairs");
+  return m;  // unreachable
+}
+
+}  // namespace sckl::core

@@ -1,0 +1,28 @@
+// Truncation selection — the paper's rule for choosing r (Sec. 5.2).
+//
+// Having computed only the first m (= 200) of n eigenvalues, the tail
+// sum_{i=m+1}^{n} lambda_i is unknown but bounded above by lambda_m (n - m)
+// since eigenvalues descend. The paper picks the smallest r with
+//   lambda_m (n - m) + sum_{i=r+1}^{m} lambda_i <= epsilon sum_{i=1}^{r} lambda_i
+// with epsilon = 1%, which guarantees the discarded variance is at most
+// epsilon of the retained variance. On the paper's setup this yields r = 25.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace sckl::core {
+
+/// Returns the smallest r satisfying the paper's criterion for the computed
+/// eigenvalues (descending, size m) of an n-dimensional Galerkin problem.
+/// Throws if even r = m fails the criterion (m too small for this kernel).
+std::size_t select_truncation(const linalg::Vector& eigenvalues,
+                              std::size_t basis_size, double epsilon = 0.01);
+
+/// The left-hand side of the criterion for a given r: the upper bound on the
+/// total discarded variance. Exposed for the Fig. 5 bench.
+double discarded_variance_bound(const linalg::Vector& eigenvalues,
+                                std::size_t basis_size, std::size_t r);
+
+}  // namespace sckl::core

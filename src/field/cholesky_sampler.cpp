@@ -1,0 +1,39 @@
+#include "field/cholesky_sampler.h"
+
+#include "common/error.h"
+#include "linalg/blas.h"
+
+namespace sckl::field {
+
+CholeskyFieldSampler::CholeskyFieldSampler(
+    const kernels::CovarianceKernel& kernel,
+    const std::vector<geometry::Point2>& locations)
+    : n_(locations.size()), factor_{}, jitter_(0.0) {
+  require(n_ > 0, "CholeskyFieldSampler: no locations");
+  linalg::Matrix gram(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) {
+      const double value = kernel(locations[i], locations[j]);
+      gram(i, j) = value;
+      gram(j, i) = value;
+    }
+  }
+  auto result = linalg::cholesky_with_jitter(std::move(gram));
+  factor_ = std::move(result.factor);
+  jitter_ = result.jitter;
+}
+
+void CholeskyFieldSampler::sample_block(std::size_t n, Rng& rng,
+                                        linalg::Matrix& out) const {
+  require(n > 0, "CholeskyFieldSampler::sample_block: n must be positive");
+  linalg::Matrix z(n, n_);
+  for (std::size_t r = 0; r < n; ++r) {
+    double* row = z.row_ptr(r);
+    for (std::size_t c = 0; c < n_; ++c) row[c] = rng.normal();
+  }
+  // P = Z L^T: row p of P is L applied to the standard-normal row, giving
+  // covariance L L^T = K.
+  out = linalg::gemm_bt(z, factor_.lower);
+}
+
+}  // namespace sckl::field

@@ -1,0 +1,63 @@
+#include "field/covariance_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::field {
+
+linalg::Matrix empirical_covariance(const FieldSampler& sampler,
+                                    std::size_t num_samples, Rng& rng) {
+  require(num_samples >= 2, "empirical_covariance: need at least two samples");
+  const std::size_t g = sampler.num_locations();
+  linalg::Matrix block;
+  sampler.sample_block(num_samples, rng, block);
+
+  linalg::Vector mean(g, 0.0);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const double* row = block.row_ptr(s);
+    for (std::size_t i = 0; i < g; ++i) mean[i] += row[i];
+  }
+  for (auto& m : mean) m /= static_cast<double>(num_samples);
+
+  linalg::Matrix cov(g, g);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const double* row = block.row_ptr(s);
+    for (std::size_t i = 0; i < g; ++i) {
+      const double di = row[i] - mean[i];
+      double* crow = cov.row_ptr(i);
+      for (std::size_t j = i; j < g; ++j) crow[j] += di * (row[j] - mean[j]);
+    }
+  }
+  const double denom = static_cast<double>(num_samples - 1);
+  for (std::size_t i = 0; i < g; ++i)
+    for (std::size_t j = i; j < g; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+CovarianceErrorSummary compare_covariance(
+    const linalg::Matrix& empirical, const kernels::CovarianceKernel& kernel,
+    const std::vector<geometry::Point2>& locations) {
+  const std::size_t g = locations.size();
+  require(empirical.rows() == g && empirical.cols() == g,
+          "compare_covariance: shape mismatch");
+  CovarianceErrorSummary s{0.0, 0.0, 0.0};
+  double total = 0.0;
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const double expected = kernel(locations[i], locations[j]);
+      const double err = std::abs(empirical(i, j) - expected);
+      s.max_abs_error = std::max(s.max_abs_error, err);
+      total += err;
+      if (i == j) s.max_diag_error = std::max(s.max_diag_error, err);
+    }
+  }
+  s.mean_abs_error = total / static_cast<double>(g * g);
+  return s;
+}
+
+}  // namespace sckl::field

@@ -1,0 +1,37 @@
+// Empirical covariance estimation from sampled field blocks.
+//
+// Validation utility: draw many samples from a FieldSampler and compare the
+// empirical location-pair covariance against the kernel's analytic value.
+// Used by the statistical test suite (both samplers must reproduce the
+// kernel, the KLE one up to truncation error) and by the Fig. 1b style
+// demonstrations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/field_sampler.h"
+#include "geometry/point2.h"
+#include "kernels/covariance_kernel.h"
+
+namespace sckl::field {
+
+/// Empirical covariance matrix (num_locations x num_locations) from
+/// `num_samples` draws of the sampler.
+linalg::Matrix empirical_covariance(const FieldSampler& sampler,
+                                    std::size_t num_samples, Rng& rng);
+
+/// Summary of an empirical-vs-analytic covariance comparison.
+struct CovarianceErrorSummary {
+  double max_abs_error;   // worst entry-wise deviation
+  double mean_abs_error;  // average deviation
+  double max_diag_error;  // worst variance deviation (diagonal)
+};
+
+/// Compares an empirical covariance against kernel values at the locations.
+CovarianceErrorSummary compare_covariance(
+    const linalg::Matrix& empirical,
+    const kernels::CovarianceKernel& kernel,
+    const std::vector<geometry::Point2>& locations);
+
+}  // namespace sckl::field

@@ -1,0 +1,37 @@
+// Random-field sampler interface.
+//
+// Both Monte Carlo STA variants of the paper need, for each statistical
+// parameter, an N x N_g matrix of correlated samples at the gate locations:
+// Algorithm 1 builds it from the dense Cholesky factor of the gate-location
+// covariance matrix; Algorithm 2 from the truncated KLE reconstruction.
+// This interface abstracts the two so the SSTA harness is sampler-agnostic,
+// which is precisely the experimental control the paper wants (identical
+// timer, different sample generators).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace sckl::field {
+
+/// Generates blocks of correlated field samples at fixed locations.
+class FieldSampler {
+ public:
+  virtual ~FieldSampler() = default;
+
+  /// Number of sample locations (columns of a sample block).
+  virtual std::size_t num_locations() const = 0;
+
+  /// Dimensionality of the underlying independent-normal draw per sample
+  /// (N_g for Cholesky, r for KLE) — the paper's headline reduction.
+  virtual std::size_t latent_dimension() const = 0;
+
+  /// Fills `out` (N x num_locations; resized if needed) with N samples of
+  /// the normalized field at the locations. Rows are independent samples.
+  virtual void sample_block(std::size_t n, Rng& rng,
+                            linalg::Matrix& out) const = 0;
+};
+
+}  // namespace sckl::field

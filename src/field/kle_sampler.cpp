@@ -1,0 +1,26 @@
+#include "field/kle_sampler.h"
+
+#include "common/error.h"
+
+namespace sckl::field {
+
+KleFieldSampler::KleFieldSampler(const core::KleResult& kle, std::size_t r,
+                                 const std::vector<geometry::Point2>& locations)
+    : r_(r), field_(kle, r, locations) {}
+
+std::size_t KleFieldSampler::num_locations() const {
+  return field_.num_locations();
+}
+
+void KleFieldSampler::sample_block(std::size_t n, Rng& rng,
+                                   linalg::Matrix& out) const {
+  require(n > 0, "KleFieldSampler::sample_block: n must be positive");
+  linalg::Matrix xi(n, r_);
+  for (std::size_t row = 0; row < n; ++row) {
+    double* values = xi.row_ptr(row);
+    for (std::size_t c = 0; c < r_; ++c) values[c] = rng.normal();
+  }
+  out = field_.reconstruct_block(xi);
+}
+
+}  // namespace sckl::field

@@ -1,0 +1,38 @@
+// Algorithm 2 of the paper: reduced-dimension KLE field sampling.
+//
+//   Xi_j    <- RandNormal(N, r)                (r ~ 25 instead of N_g)
+//   P_jDelta <- D_lambda Xi_j                  (eq. 28)
+//   Row(i, P_j) <- Row(IndexOfContainingTriangle(g_i), P_jDelta)
+//
+// The triangle lookup is folded into construction (KleField gathers the
+// relevant rows of D_lambda once), so a sample block costs O(N N_g r).
+#pragma once
+
+#include <vector>
+
+#include "core/kle_field.h"
+#include "field/field_sampler.h"
+
+namespace sckl::field {
+
+/// Reduced-dimension sampler backed by a truncated KLE.
+class KleFieldSampler final : public FieldSampler {
+ public:
+  /// Freezes `kle` at truncation r for the given locations. The KleResult
+  /// may be destroyed afterwards; all needed state is copied.
+  KleFieldSampler(const core::KleResult& kle, std::size_t r,
+                  const std::vector<geometry::Point2>& locations);
+
+  std::size_t num_locations() const override;
+  std::size_t latent_dimension() const override { return r_; }
+  void sample_block(std::size_t n, Rng& rng,
+                    linalg::Matrix& out) const override;
+
+  const core::KleField& field() const { return field_; }
+
+ private:
+  std::size_t r_;
+  core::KleField field_;
+};
+
+}  // namespace sckl::field

@@ -1,0 +1,26 @@
+// Latin hypercube sampling of standard normals — variance reduction for
+// the Monte Carlo SSTA.
+//
+// The paper's framework samples xi ~ N(0, I_r) independently; because r is
+// small (25), stratified sampling pays off: each of the r dimensions is
+// divided into N equal-probability strata, one sample drawn per stratum,
+// and strata matched across dimensions by independent random permutations.
+// Means and variances of smooth functionals converge visibly faster than
+// plain MC at identical cost — quantified in the sampling-scheme bench.
+#pragma once
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace sckl::field {
+
+/// Inverse standard normal CDF (Acklam), exposed for tests.
+double inverse_normal_cdf(double p);
+
+/// Fills `out` (n x dims) with a Latin hypercube sample of N(0, I_dims):
+/// every column is a stratified standard normal sample, rows are the joint
+/// draws.
+void latin_hypercube_normal(std::size_t n, std::size_t dims, Rng& rng,
+                            linalg::Matrix& out);
+
+}  // namespace sckl::field

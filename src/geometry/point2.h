@@ -1,0 +1,55 @@
+// 2-D point/vector type used for die coordinates. The paper works on the
+// normalized chip area D = [-1, 1] x [-1, 1]; everything spatial in this
+// library (mesh vertices, gate placements, kernel arguments) is a Point2.
+#pragma once
+
+#include <cmath>
+
+namespace sckl::geometry {
+
+/// Plain 2-D point with value semantics.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point2 operator*(double s, Point2 p) { return {s * p.x, s * p.y}; }
+  friend Point2 operator*(Point2 p, double s) { return s * p; }
+  friend bool operator==(Point2 a, Point2 b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Euclidean (L2) distance — the metric of every isotropic kernel here.
+inline double distance(Point2 a, Point2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for the Gaussian kernel).
+inline double distance_squared(Point2 a, Point2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Manhattan (L1) distance — used by the separable exponential kernel (eq. 5).
+inline double manhattan_distance(Point2 a, Point2 b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point2 min{0.0, 0.0};
+  Point2 max{0.0, 0.0};
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  double area() const { return width() * height(); }
+  bool contains(Point2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// The paper's normalized die: [-1, 1] x [-1, 1].
+  static BoundingBox unit_die() { return {{-1.0, -1.0}, {1.0, 1.0}}; }
+};
+
+}  // namespace sckl::geometry

@@ -1,0 +1,84 @@
+#include "geometry/triangle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::geometry {
+
+double orientation(Point2 a, Point2 b, Point2 c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+double triangle_area(const Triangle& t) {
+  return 0.5 * std::abs(orientation(t.p[0], t.p[1], t.p[2]));
+}
+
+double longest_side(const Triangle& t) {
+  return std::max({distance(t.p[0], t.p[1]), distance(t.p[1], t.p[2]),
+                   distance(t.p[2], t.p[0])});
+}
+
+double min_angle_degrees(const Triangle& t) {
+  const double a = distance(t.p[1], t.p[2]);
+  const double b = distance(t.p[2], t.p[0]);
+  const double c = distance(t.p[0], t.p[1]);
+  auto angle = [](double opposite, double s1, double s2) {
+    const double cosine =
+        std::clamp((s1 * s1 + s2 * s2 - opposite * opposite) /
+                       (2.0 * s1 * s2),
+                   -1.0, 1.0);
+    return std::acos(cosine) * 180.0 / 3.14159265358979323846;
+  };
+  return std::min({angle(a, b, c), angle(b, c, a), angle(c, a, b)});
+}
+
+bool point_in_triangle(const Triangle& t, Point2 q, double eps) {
+  const double d1 = orientation(t.p[0], t.p[1], q);
+  const double d2 = orientation(t.p[1], t.p[2], q);
+  const double d3 = orientation(t.p[2], t.p[0], q);
+  const bool has_neg = (d1 < -eps) || (d2 < -eps) || (d3 < -eps);
+  const bool has_pos = (d1 > eps) || (d2 > eps) || (d3 > eps);
+  return !(has_neg && has_pos);
+}
+
+bool in_circumcircle(Point2 a, Point2 b, Point2 c, Point2 q) {
+  // 3x3 determinant of the lifted points; positive when q is inside the
+  // circumcircle of the counter-clockwise triangle (a, b, c).
+  const double ax = a.x - q.x;
+  const double ay = a.y - q.y;
+  const double bx = b.x - q.x;
+  const double by = b.y - q.y;
+  const double cx = c.x - q.x;
+  const double cy = c.y - q.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - cx * by) -
+      (bx * bx + by * by) * (ax * cy - cx * ay) +
+      (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 0.0;
+}
+
+Point2 circumcenter(const Triangle& t) {
+  const Point2 a = t.p[0];
+  const Point2 b = t.p[1];
+  const Point2 c = t.p[2];
+  const double d =
+      2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  require(std::abs(d) > 1e-14, "circumcenter: degenerate triangle");
+  const double a2 = a.x * a.x + a.y * a.y;
+  const double b2 = b.x * b.x + b.y * b.y;
+  const double c2 = c.x * c.x + c.y * c.y;
+  return {(a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+          (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+}
+
+std::array<double, 3> barycentric(const Triangle& t, Point2 q) {
+  const double total = orientation(t.p[0], t.p[1], t.p[2]);
+  require(std::abs(total) > 1e-300, "barycentric: degenerate triangle");
+  const double w0 = orientation(t.p[1], t.p[2], q) / total;
+  const double w1 = orientation(t.p[2], t.p[0], q) / total;
+  return {w0, w1, 1.0 - w0 - w1};
+}
+
+}  // namespace sckl::geometry

@@ -1,0 +1,52 @@
+// Triangle primitives and exact-enough geometric predicates.
+//
+// The Galerkin basis of the paper is piecewise-constant over a triangulation
+// (eq. 17); all the per-element quantities it needs live here: signed area,
+// centroid, point containment (for IndexOfContainingTriangle in Algorithm 2),
+// circumcircle membership (for Bowyer-Watson Delaunay), and angle/side
+// quality metrics (the paper constrains the mesh to min angle 28 degrees).
+#pragma once
+
+#include <array>
+
+#include "geometry/point2.h"
+
+namespace sckl::geometry {
+
+/// Triangle described by its three corner points.
+struct Triangle {
+  std::array<Point2, 3> p;
+
+  Point2 centroid() const {
+    return {(p[0].x + p[1].x + p[2].x) / 3.0,
+            (p[0].y + p[1].y + p[2].y) / 3.0};
+  }
+};
+
+/// Twice the signed area of (a, b, c); positive when counter-clockwise.
+double orientation(Point2 a, Point2 b, Point2 c);
+
+/// Unsigned triangle area.
+double triangle_area(const Triangle& t);
+
+/// Length of the longest side — the `h` of Theorem 2's convergence bound.
+double longest_side(const Triangle& t);
+
+/// Smallest interior angle in degrees (mesh quality metric).
+double min_angle_degrees(const Triangle& t);
+
+/// True when `q` lies inside or on the boundary of `t` (tolerant of the
+/// degenerate orientation of either winding).
+bool point_in_triangle(const Triangle& t, Point2 q, double eps = 1e-12);
+
+/// True when `q` is strictly inside the circumcircle of (a, b, c), which must
+/// be counter-clockwise. Core predicate of Bowyer-Watson.
+bool in_circumcircle(Point2 a, Point2 b, Point2 c, Point2 q);
+
+/// Circumcenter of the triangle; throws for (near-)degenerate triangles.
+Point2 circumcenter(const Triangle& t);
+
+/// Barycentric coordinates of q with respect to t (sums to 1).
+std::array<double, 3> barycentric(const Triangle& t, Point2 q);
+
+}  // namespace sckl::geometry

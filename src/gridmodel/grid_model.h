@@ -1,0 +1,85 @@
+// Grid-based spatial correlation model with PCA reduction — the baseline
+// the paper argues against (Sec. 2.1).
+//
+// The die is divided into an N_c x N_c grid; each cell carries one random
+// variable; the cell-to-cell correlation matrix is built by evaluating the
+// kernel at cell centers (in practice it would come from silicon
+// measurements, which is exactly the cost the paper criticizes). PCA
+// (eigendecomposition of the correlation matrix, eq. 1) then extracts
+// r << N_c^2 uncorrelated components.
+//
+// Exposed through the same FieldSampler interface as the KLE sampler so the
+// SSTA harness can compare the two models head-to-head (the grid+PCA
+// ablation bench): the KLE needs no grid-resolution choice and converges
+// with the mesh, while the grid model's accuracy is capped by its cell size
+// (all gates in one cell are perfectly correlated).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "field/field_sampler.h"
+#include "geometry/point2.h"
+#include "kernels/covariance_kernel.h"
+
+namespace sckl::gridmodel {
+
+/// The grid correlation model: cells, their centers, and the PCA of the
+/// cell correlation matrix.
+class GridCorrelationModel {
+ public:
+  /// Builds the model from a kernel on `cells_per_side`^2 grid cells over
+  /// `die`. The full PCA is computed eagerly (the correlation matrix is
+  /// cells^2 x cells^2 — the measurement/storage blow-up the paper notes).
+  GridCorrelationModel(const kernels::CovarianceKernel& kernel,
+                       geometry::BoundingBox die,
+                       std::size_t cells_per_side);
+
+  std::size_t num_cells() const { return centers_.size(); }
+  std::size_t cells_per_side() const { return cells_; }
+
+  /// Center location of cell c.
+  geometry::Point2 cell_center(std::size_t c) const { return centers_[c]; }
+
+  /// Index of the cell containing a die location (clamped to the die).
+  std::size_t cell_of(geometry::Point2 p) const;
+
+  /// PCA eigenvalues (descending).
+  const linalg::Vector& eigenvalues() const { return eigenvalues_; }
+
+  /// Number of principal components needed to capture `fraction` of the
+  /// total variance (trace = num_cells for a normalized kernel).
+  std::size_t components_for_variance(double fraction) const;
+
+  /// The reduction operator sqrt(Lambda_r) V_r^T mapped per cell:
+  /// returns the (num_cells x r) matrix D with row c such that the cell
+  /// value is D(c, :) * xi for xi ~ N(0, I_r).
+  linalg::Matrix reduction_operator(std::size_t r) const;
+
+ private:
+  geometry::BoundingBox die_;
+  std::size_t cells_;
+  std::vector<geometry::Point2> centers_;
+  linalg::Vector eigenvalues_;
+  linalg::Matrix eigenvectors_;  // num_cells x num_cells, columns descending
+};
+
+/// FieldSampler over the grid+PCA model: each location maps to its cell and
+/// samples are reconstructed from r principal components (the grid-model
+/// analogue of Algorithm 2).
+class GridPcaSampler final : public field::FieldSampler {
+ public:
+  GridPcaSampler(const GridCorrelationModel& model, std::size_t r,
+                 const std::vector<geometry::Point2>& locations);
+
+  std::size_t num_locations() const override { return rows_.rows(); }
+  std::size_t latent_dimension() const override { return r_; }
+  void sample_block(std::size_t n, Rng& rng,
+                    linalg::Matrix& out) const override;
+
+ private:
+  std::size_t r_;
+  linalg::Matrix rows_;  // num_locations x r (gathered cell rows)
+};
+
+}  // namespace sckl::gridmodel

@@ -1,0 +1,5 @@
+// covariance_kernel.h is interface-only; the translation unit exists so the
+// vtable of CovarianceKernel/IsotropicKernel is emitted exactly once.
+#include "kernels/covariance_kernel.h"
+
+namespace sckl::kernels {}

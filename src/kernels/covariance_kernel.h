@@ -1,0 +1,45 @@
+// Covariance kernel interface for the grid-less random-field model.
+//
+// A kernel K(x, y) returns the correlation of a normalized statistical
+// parameter (L, W, Vt, tox) between two die locations (Sec. 2.2 of the
+// paper). Parameters are normalized to unit variance, so covariance and
+// correlation coincide and K(x, x) = 1. A physically valid kernel must be
+// non-negative definite (eq. 2) and symmetric; psd_check.h provides an
+// empirical validator.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geometry/point2.h"
+
+namespace sckl::kernels {
+
+/// Abstract correlation kernel over the die domain D x D.
+class CovarianceKernel {
+ public:
+  virtual ~CovarianceKernel() = default;
+
+  /// Correlation between locations x and y.
+  virtual double operator()(geometry::Point2 x, geometry::Point2 y) const = 0;
+
+  /// Human-readable name with parameter values, e.g. "gaussian(c=2.33)".
+  virtual std::string name() const = 0;
+
+  /// Deep copy preserving the dynamic type.
+  virtual std::unique_ptr<CovarianceKernel> clone() const = 0;
+};
+
+/// Base for isotropic kernels: K(x, y) = k(||x - y||_2). Most physically
+/// extracted kernels ([1], [12], [16]) are of this form.
+class IsotropicKernel : public CovarianceKernel {
+ public:
+  double operator()(geometry::Point2 x, geometry::Point2 y) const final {
+    return radial(geometry::distance(x, y));
+  }
+
+  /// Correlation as a function of Euclidean separation v >= 0.
+  virtual double radial(double v) const = 0;
+};
+
+}  // namespace sckl::kernels

@@ -1,0 +1,115 @@
+#include "kernels/extraction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/statistics.h"
+
+namespace sckl::kernels {
+
+std::vector<CorrelogramBin> empirical_correlogram(
+    const linalg::Matrix& samples,
+    const std::vector<geometry::Point2>& sites, std::size_t num_bins,
+    double max_distance) {
+  const std::size_t num_dies = samples.rows();
+  const std::size_t num_sites = samples.cols();
+  require(num_sites == sites.size(),
+          "empirical_correlogram: samples/sites mismatch");
+  require(num_dies >= 3, "empirical_correlogram: need at least 3 dies");
+  require(num_bins > 0 && max_distance > 0.0,
+          "empirical_correlogram: bad binning");
+
+  // Normalize each site across dies (the paper's unit-variance convention).
+  linalg::Matrix normalized(num_dies, num_sites);
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    RunningStats stats;
+    for (std::size_t d = 0; d < num_dies; ++d) stats.add(samples(d, s));
+    const double sigma = std::max(stats.stddev(), 1e-300);
+    for (std::size_t d = 0; d < num_dies; ++d)
+      normalized(d, s) = (samples(d, s) - stats.mean()) / sigma;
+  }
+
+  struct Accumulator {
+    double sum = 0.0;
+    std::size_t count = 0;
+  };
+  std::vector<Accumulator> bins(num_bins);
+  const double scale = static_cast<double>(num_bins) / max_distance;
+  const double denom = static_cast<double>(num_dies - 1);
+  for (std::size_t a = 0; a < num_sites; ++a) {
+    for (std::size_t b = a + 1; b < num_sites; ++b) {
+      const double v = geometry::distance(sites[a], sites[b]);
+      if (v >= max_distance) continue;
+      const auto bin = static_cast<std::size_t>(v * scale);
+      double corr = 0.0;
+      for (std::size_t d = 0; d < num_dies; ++d)
+        corr += normalized(d, a) * normalized(d, b);
+      bins[bin].sum += corr / denom;
+      bins[bin].count += 1;
+    }
+  }
+
+  std::vector<CorrelogramBin> result;
+  result.reserve(num_bins);
+  for (std::size_t i = 0; i < num_bins; ++i) {
+    if (bins[i].count == 0) continue;
+    CorrelogramBin out;
+    out.distance = (static_cast<double>(i) + 0.5) / scale;
+    out.correlation = bins[i].sum / static_cast<double>(bins[i].count);
+    out.num_pairs = bins[i].count;
+    result.push_back(out);
+  }
+  require(!result.empty(), "empirical_correlogram: no occupied bins");
+  return result;
+}
+
+CorrelogramFit fit_correlogram(
+    const std::vector<CorrelogramBin>& correlogram,
+    const std::function<std::function<double(double)>(double)>& family,
+    double c_lo, double c_hi) {
+  require(!correlogram.empty(), "fit_correlogram: empty correlogram");
+  require(c_lo > 0.0 && c_hi > c_lo, "fit_correlogram: bad bracket");
+
+  auto objective = [&](double c) {
+    const auto profile = family(c);
+    double sse = 0.0;
+    double weight_total = 0.0;
+    for (const auto& bin : correlogram) {
+      const double w = static_cast<double>(bin.num_pairs);
+      const double diff = profile(bin.distance) - bin.correlation;
+      sse += w * diff * diff;
+      weight_total += w;
+    }
+    return sse / weight_total;
+  };
+
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = c_lo;
+  double b = c_hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = objective(x1);
+  double f2 = objective(x2);
+  for (int iter = 0; iter < 200 && (b - a) > 1e-10 * (c_hi - c_lo); ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = objective(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = objective(x2);
+    }
+  }
+  CorrelogramFit fit;
+  fit.parameter = 0.5 * (a + b);
+  fit.rmse = std::sqrt(objective(fit.parameter));
+  return fit;
+}
+
+}  // namespace sckl::kernels

@@ -1,0 +1,80 @@
+#include "kernels/kernel_fit.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "kernels/kernel_library.h"
+
+namespace sckl::kernels {
+namespace {
+
+double weight_of(FitWeight mode, double v) {
+  return mode == FitWeight::kRadial ? v : 1.0;
+}
+
+}  // namespace
+
+double radial_sse(const RadialProfile& a, const RadialProfile& b,
+                  double v_max, FitWeight weight, int samples) {
+  require(v_max > 0.0, "radial_sse: v_max must be positive");
+  require(samples >= 2, "radial_sse: need at least two samples");
+  // Composite trapezoid on a uniform grid; the integrands are smooth.
+  const double dv = v_max / static_cast<double>(samples);
+  double sum = 0.0;
+  for (int i = 0; i <= samples; ++i) {
+    const double v = dv * static_cast<double>(i);
+    const double diff = a(v) - b(v);
+    const double term = diff * diff * weight_of(weight, v);
+    sum += (i == 0 || i == samples) ? 0.5 * term : term;
+  }
+  return sum * dv;
+}
+
+RadialFitResult fit_radial_parameter(
+    const std::function<RadialProfile(double)>& family,
+    const RadialProfile& target, double v_max, double c_lo, double c_hi,
+    FitWeight weight, int samples) {
+  require(c_lo > 0.0 && c_hi > c_lo, "fit_radial_parameter: bad bracket");
+  auto objective = [&](double c) {
+    return radial_sse(family(c), target, v_max, weight, samples);
+  };
+  // Golden-section search; the SSE is unimodal in the decay parameter for
+  // monotone kernel families fit to a monotone target.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = c_lo;
+  double b = c_hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = objective(x1);
+  double f2 = objective(x2);
+  for (int iter = 0; iter < 200 && (b - a) > 1e-10 * (c_hi - c_lo); ++iter) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = objective(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = objective(x2);
+    }
+  }
+  const double best = 0.5 * (a + b);
+  return RadialFitResult{best, objective(best)};
+}
+
+double paper_gaussian_c(double rho, double v_max) {
+  const LinearConeKernel cone(rho);
+  const RadialProfile target = [&cone](double v) { return cone.radial(v); };
+  const auto family = [](double c) -> RadialProfile {
+    return [c](double v) { return std::exp(-c * v * v); };
+  };
+  return fit_radial_parameter(family, target, v_max, 0.05, 50.0,
+                              FitWeight::kRadial)
+      .parameter;
+}
+
+}  // namespace sckl::kernels

@@ -1,0 +1,48 @@
+// Least-squares kernel fitting (Fig. 3a of the paper).
+//
+// The paper picks the Gaussian kernel's decay rate c by best-fitting the
+// measurement-supported linear (cone) kernel of Friedberg [12]:
+//  - a 1-D fit minimizes  int_0^R (k_c(v) - target(v))^2 dv   (Fig. 3a), and
+//  - a 2-D fit weights separations by how often they occur on a disc,
+//    minimizing int_0^R (k_c(v) - target(v))^2 v dv, which is the fit the
+//    paper uses to choose c ("best fit an isotropic linear kernel in 2-D").
+// Minimization is golden-section search on the scalar decay parameter; the
+// SSE in c is unimodal for every monotone kernel family here.
+#pragma once
+
+#include <functional>
+
+namespace sckl::kernels {
+
+/// Scalar correlation profile k(v) for separation v >= 0.
+using RadialProfile = std::function<double(double)>;
+
+/// Result of a 1-parameter radial least-squares fit.
+struct RadialFitResult {
+  double parameter;  // fitted decay parameter (c, or rho)
+  double sse;        // integrated squared error at the optimum
+};
+
+/// Weight modes for the radial integral.
+enum class FitWeight {
+  kUniform,  // 1-D fit: weight 1 (Fig. 3a curves)
+  kRadial,   // 2-D fit: weight v (area element of an isotropic field)
+};
+
+/// Fits `family(c)` to `target` over v in [0, v_max] by minimizing the
+/// weighted integrated squared error over c in [c_lo, c_hi].
+RadialFitResult fit_radial_parameter(
+    const std::function<RadialProfile(double)>& family,
+    const RadialProfile& target, double v_max, double c_lo, double c_hi,
+    FitWeight weight = FitWeight::kUniform, int samples = 2000);
+
+/// Integrated squared error between two profiles (diagnostic / plotting).
+double radial_sse(const RadialProfile& a, const RadialProfile& b,
+                  double v_max, FitWeight weight = FitWeight::kUniform,
+                  int samples = 2000);
+
+/// Convenience: the paper's choice of Gaussian c — 2-D (radially weighted)
+/// best fit to the linear cone of radius rho over separations [0, v_max].
+double paper_gaussian_c(double rho = 1.0, double v_max = 2.0 * 1.41421356237);
+
+}  // namespace sckl::kernels

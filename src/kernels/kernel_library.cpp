@@ -1,0 +1,126 @@
+#include "kernels/kernel_library.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sckl::kernels {
+namespace {
+
+std::string format_params(const char* name, double a, const char* an,
+                          double b = 0.0, const char* bn = nullptr) {
+  std::ostringstream out;
+  out << name << '(' << an << '=' << a;
+  if (bn != nullptr) out << ',' << bn << '=' << b;
+  out << ')';
+  return out.str();
+}
+
+}  // namespace
+
+GaussianKernel::GaussianKernel(double c) : c_(c) {
+  require(c > 0.0, "GaussianKernel: c must be positive");
+}
+double GaussianKernel::radial(double v) const { return std::exp(-c_ * v * v); }
+std::string GaussianKernel::name() const {
+  return format_params("gaussian", c_, "c");
+}
+std::unique_ptr<CovarianceKernel> GaussianKernel::clone() const {
+  return std::make_unique<GaussianKernel>(*this);
+}
+
+ExponentialKernel::ExponentialKernel(double c) : c_(c) {
+  require(c > 0.0, "ExponentialKernel: c must be positive");
+}
+double ExponentialKernel::radial(double v) const { return std::exp(-c_ * v); }
+std::string ExponentialKernel::name() const {
+  return format_params("exponential", c_, "c");
+}
+std::unique_ptr<CovarianceKernel> ExponentialKernel::clone() const {
+  return std::make_unique<ExponentialKernel>(*this);
+}
+
+SeparableL1Kernel::SeparableL1Kernel(double c) : c_(c) {
+  require(c > 0.0, "SeparableL1Kernel: c must be positive");
+}
+double SeparableL1Kernel::operator()(geometry::Point2 x,
+                                     geometry::Point2 y) const {
+  return std::exp(-c_ * geometry::manhattan_distance(x, y));
+}
+std::string SeparableL1Kernel::name() const {
+  return format_params("separable_l1", c_, "c");
+}
+std::unique_ptr<CovarianceKernel> SeparableL1Kernel::clone() const {
+  return std::make_unique<SeparableL1Kernel>(*this);
+}
+
+RadialMagnitudeKernel::RadialMagnitudeKernel(double c) : c_(c) {
+  require(c > 0.0, "RadialMagnitudeKernel: c must be positive");
+}
+double RadialMagnitudeKernel::operator()(geometry::Point2 x,
+                                         geometry::Point2 y) const {
+  const double rx = std::hypot(x.x, x.y);
+  const double ry = std::hypot(y.x, y.y);
+  return std::exp(-c_ * std::abs(rx - ry));
+}
+std::string RadialMagnitudeKernel::name() const {
+  return format_params("radial_magnitude", c_, "c");
+}
+std::unique_ptr<CovarianceKernel> RadialMagnitudeKernel::clone() const {
+  return std::make_unique<RadialMagnitudeKernel>(*this);
+}
+
+MaternKernel::MaternKernel(double b, double s)
+    : b_(b), s_(s), log_gamma_(std::lgamma(s - 1.0)) {
+  require(b > 0.0, "MaternKernel: b must be positive");
+  require(s > 1.0, "MaternKernel: s must exceed 1");
+}
+double MaternKernel::radial(double v) const {
+  if (v <= 0.0) return 1.0;
+  const double nu = s_ - 1.0;
+  const double z = b_ * v;
+  // K(v) = 2 (z/2)^nu B_nu(z) / Gamma(nu), evaluated in log space to stay
+  // stable for small z where B_nu blows up and the power underflows.
+  const double bessel = std::cyl_bessel_k(nu, z);
+  if (bessel <= 0.0 || !std::isfinite(bessel)) return v < 1e-8 ? 1.0 : 0.0;
+  const double log_value = std::log(2.0) + nu * std::log(z / 2.0) +
+                           std::log(bessel) - log_gamma_;
+  return std::exp(log_value);
+}
+std::string MaternKernel::name() const {
+  return format_params("matern", b_, "b", s_, "s");
+}
+std::unique_ptr<CovarianceKernel> MaternKernel::clone() const {
+  return std::make_unique<MaternKernel>(*this);
+}
+
+LinearConeKernel::LinearConeKernel(double rho) : rho_(rho) {
+  require(rho > 0.0, "LinearConeKernel: rho must be positive");
+}
+double LinearConeKernel::radial(double v) const {
+  return v >= rho_ ? 0.0 : 1.0 - v / rho_;
+}
+std::string LinearConeKernel::name() const {
+  return format_params("linear_cone", rho_, "rho");
+}
+std::unique_ptr<CovarianceKernel> LinearConeKernel::clone() const {
+  return std::make_unique<LinearConeKernel>(*this);
+}
+
+SphericalKernel::SphericalKernel(double rho) : rho_(rho) {
+  require(rho > 0.0, "SphericalKernel: rho must be positive");
+}
+double SphericalKernel::radial(double v) const {
+  if (v >= rho_) return 0.0;
+  const double u = v / rho_;
+  return 1.0 - 1.5 * u + 0.5 * u * u * u;
+}
+std::string SphericalKernel::name() const {
+  return format_params("spherical", rho_, "rho");
+}
+std::unique_ptr<CovarianceKernel> SphericalKernel::clone() const {
+  return std::make_unique<SphericalKernel>(*this);
+}
+
+}  // namespace sckl::kernels

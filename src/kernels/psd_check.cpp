@@ -1,0 +1,42 @@
+#include "kernels/psd_check.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace sckl::kernels {
+
+PsdCheckResult check_positive_semidefinite(const CovarianceKernel& kernel,
+                                           geometry::BoundingBox domain,
+                                           int trials, int points_per_trial,
+                                           double tolerance,
+                                           std::uint64_t seed) {
+  require(trials > 0 && points_per_trial > 1, "psd_check: bad configuration");
+  Rng rng(seed);
+  double worst = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<geometry::Point2> points(
+        static_cast<std::size_t>(points_per_trial));
+    for (auto& p : points) {
+      p.x = rng.uniform(domain.min.x, domain.max.x);
+      p.y = rng.uniform(domain.min.y, domain.max.y);
+    }
+    linalg::Matrix gram(points.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+      for (std::size_t j = i; j < points.size(); ++j) {
+        const double value = kernel(points[i], points[j]);
+        gram(i, j) = value;
+        gram(j, i) = value;
+      }
+    const linalg::Vector values = linalg::symmetric_eigenvalues(gram);
+    const double largest = std::max(values.front(), 1e-30);
+    const double relative = values.back() / largest;
+    worst = std::min(worst, relative);
+  }
+  return PsdCheckResult{worst, worst >= -tolerance};
+}
+
+}  // namespace sckl::kernels

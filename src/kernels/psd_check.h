@@ -1,0 +1,32 @@
+// Empirical non-negative-definiteness check (eq. 2 of the paper).
+//
+// A valid covariance kernel must produce a positive semi-definite Gram
+// matrix for every finite point set on the die. This checker samples random
+// point sets, builds the Gram matrix, and reports the most negative
+// eigenvalue found (relative to the largest). It is how the test suite
+// demonstrates that the Gaussian/Matern/spherical kernels are valid while
+// the isotropic linear cone can fail in 2-D, as [1] observes.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point2.h"
+#include "kernels/covariance_kernel.h"
+
+namespace sckl::kernels {
+
+/// Outcome of the sampled PSD check.
+struct PsdCheckResult {
+  double min_relative_eigenvalue;  // most negative lambda_min / lambda_max
+  bool passed;                     // min_relative_eigenvalue >= -tolerance
+};
+
+/// Runs `trials` random Gram-matrix tests with `points_per_trial` uniformly
+/// random die locations each. Eigenvalues below -tolerance (relative) fail.
+PsdCheckResult check_positive_semidefinite(
+    const CovarianceKernel& kernel,
+    geometry::BoundingBox domain = geometry::BoundingBox::unit_die(),
+    int trials = 8, int points_per_trial = 40, double tolerance = 1e-8,
+    std::uint64_t seed = 7);
+
+}  // namespace sckl::kernels

@@ -1,0 +1,93 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::linalg {
+namespace {
+
+// In-place lower Cholesky; returns false on a non-positive pivot.
+bool factor_in_place(Matrix& a) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* jrow = a.row_ptr(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= jrow[k] * jrow[k];
+    if (!(diag > 0.0)) return false;  // also rejects NaN
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* irow = a.row_ptr(i);
+      for (std::size_t k = 0; k < j; ++k) sum -= irow[k] * jrow[k];
+      a(i, j) = sum * inv;
+    }
+  }
+  // Zero the strict upper triangle so `lower` is exactly L.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
+  return true;
+}
+
+}  // namespace
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  const std::size_t n = lower.rows();
+  require(b.size() == n, "CholeskyFactor::solve: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = lower.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= lower(k, ii) * x[k];
+    x[ii] = sum / lower(ii, ii);
+  }
+  return x;
+}
+
+double CholeskyFactor::log_determinant() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < lower.rows(); ++i)
+    sum += std::log(lower(i, i));
+  return 2.0 * sum;
+}
+
+CholeskyFactor cholesky(const Matrix& k) {
+  auto result = try_cholesky(k);
+  require(result.has_value(), "cholesky: matrix is not positive definite");
+  return std::move(*result);
+}
+
+std::optional<CholeskyFactor> try_cholesky(const Matrix& k) {
+  require(k.rows() == k.cols(), "cholesky: matrix must be square");
+  Matrix a = k;
+  if (!factor_in_place(a)) return std::nullopt;
+  return CholeskyFactor{std::move(a)};
+}
+
+JitteredCholesky cholesky_with_jitter(Matrix k, double initial_jitter,
+                                      int max_attempts) {
+  require(k.rows() == k.cols(), "cholesky_with_jitter: matrix must be square");
+  const std::size_t n = k.rows();
+  double jitter = 0.0;
+  double next = initial_jitter;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix a = k;
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += jitter;
+    if (factor_in_place(a))
+      return JitteredCholesky{CholeskyFactor{std::move(a)}, jitter};
+    jitter = next;
+    next *= 10.0;
+  }
+  require(false, "cholesky_with_jitter: failed even with maximal jitter");
+  return {};  // unreachable
+}
+
+}  // namespace sckl::linalg

@@ -1,0 +1,46 @@
+// Cholesky factorization.
+//
+// Algorithm 1 of the paper factors the N_g x N_g gate-location covariance
+// matrix once and multiplies every Monte Carlo sample block by the upper
+// factor U (K = U^T U). We store the lower factor L (K = L L^T); U = L^T, so
+// sampling uses gemm_bt with L directly.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace sckl::linalg {
+
+/// Result of a Cholesky factorization: lower-triangular L with K = L L^T.
+struct CholeskyFactor {
+  Matrix lower;
+
+  /// Solves K x = b via forward/back substitution.
+  Vector solve(const Vector& b) const;
+
+  /// log(det(K)) = 2 * sum(log(L_ii)); useful for Gaussian likelihoods.
+  double log_determinant() const;
+};
+
+/// Factors a symmetric positive-definite matrix. Throws sckl::Error when the
+/// matrix is not positive definite (non-positive pivot).
+CholeskyFactor cholesky(const Matrix& k);
+
+/// Like cholesky() but returns nullopt instead of throwing; used by the PSD
+/// validity checker where "not PSD" is an expected answer.
+std::optional<CholeskyFactor> try_cholesky(const Matrix& k);
+
+/// Factors K + jitter*I, growing jitter geometrically from `initial_jitter`
+/// until the factorization succeeds (at most `max_attempts` tries). Returns
+/// the factor and the jitter used. Covariance matrices built from very smooth
+/// kernels (the Gaussian kernel of Fig. 1a) are numerically semi-definite;
+/// the paper's Algorithm 1 needs exactly this regularization in practice.
+struct JitteredCholesky {
+  CholeskyFactor factor;
+  double jitter;
+};
+JitteredCholesky cholesky_with_jitter(Matrix k, double initial_jitter = 1e-10,
+                                      int max_attempts = 12);
+
+}  // namespace sckl::linalg

@@ -1,0 +1,71 @@
+#include "linalg/generalized_eigen.h"
+
+#include "common/error.h"
+
+namespace sckl::linalg {
+
+void solve_lower_triangular_inplace(const Matrix& lower, Matrix& b) {
+  const std::size_t n = lower.rows();
+  require(lower.cols() == n && b.rows() == n,
+          "solve_lower_triangular_inplace: shape mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* lrow = lower.row_ptr(i);
+    double* brow = b.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = lrow[k];
+      if (lik == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) brow[j] -= lik * bk[j];
+    }
+    const double inv = 1.0 / lrow[i];
+    for (std::size_t j = 0; j < b.cols(); ++j) brow[j] *= inv;
+  }
+}
+
+void solve_lower_transposed_inplace(const Matrix& lower, Matrix& b) {
+  const std::size_t n = lower.rows();
+  require(lower.cols() == n && b.rows() == n,
+          "solve_lower_transposed_inplace: shape mismatch");
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* brow = b.row_ptr(ii);
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double lki = lower(k, ii);
+      if (lki == 0.0) continue;
+      const double* bk = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) brow[j] -= lki * bk[j];
+    }
+    const double inv = 1.0 / lower(ii, ii);
+    for (std::size_t j = 0; j < b.cols(); ++j) brow[j] *= inv;
+  }
+}
+
+SymmetricEigenResult generalized_symmetric_eigen(const Matrix& a,
+                                                 const Matrix& m) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "generalized_symmetric_eigen: A must be square");
+  require(m.rows() == n && m.cols() == n,
+          "generalized_symmetric_eigen: M shape mismatch");
+  const CholeskyFactor factor = cholesky(m);
+
+  // C = L^{-1} A L^{-T}: first Y = L^{-1} A (rows), then C = Y L^{-T},
+  // computed as C^T = L^{-1} Y^T — but Y L^{-T} = (L^{-1} Y^T)^T and C is
+  // symmetric, so one transpose suffices.
+  Matrix c = a;
+  solve_lower_triangular_inplace(factor.lower, c);  // c = L^{-1} A
+  c = c.transposed();                                // c = A^T L^{-T} = A L^{-T} ... transposed
+  solve_lower_triangular_inplace(factor.lower, c);   // c = L^{-1} A L^{-T}
+  // Symmetrize against round-off.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = v;
+      c(j, i) = v;
+    }
+
+  SymmetricEigenResult reduced = symmetric_eigen(c);
+  // Back-transform all eigenvectors at once: D = L^{-T} U.
+  solve_lower_transposed_inplace(factor.lower, reduced.vectors);
+  return reduced;
+}
+
+}  // namespace sckl::linalg

@@ -1,0 +1,32 @@
+// Generalized symmetric eigenproblem  A d = lambda M d  with M SPD.
+//
+// The paper's Galerkin system (eq. 13) is exactly this form: with the
+// piecewise-constant basis, Phi is diagonal and the reduction is trivial
+// (eq. 15/16), but the higher-order bases the paper mentions in Sec. 4.2
+// produce a non-diagonal mass matrix M. Standard reduction: factor
+// M = L L^T, solve the ordinary symmetric problem
+//   C u = lambda u,  C = L^{-1} A L^{-T},
+// and back-transform d = L^{-T} u. The d vectors come out M-orthonormal
+// (d_i^T M d_j = delta_ij), which is the Galerkin analogue of orthonormal
+// eigenfunctions.
+#pragma once
+
+#include "linalg/cholesky.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace sckl::linalg {
+
+/// Solves A d = lambda M d for symmetric A and SPD M. Eigenvalues descend;
+/// column j of `vectors` is d_j with d_j^T M d_j = 1. Throws when M is not
+/// positive definite.
+SymmetricEigenResult generalized_symmetric_eigen(const Matrix& a,
+                                                 const Matrix& m);
+
+/// In-place forward substitution: solves L X = B for X (L lower-triangular,
+/// from a Cholesky factor), overwriting B. B is n x k.
+void solve_lower_triangular_inplace(const Matrix& lower, Matrix& b);
+
+/// In-place back substitution: solves L^T X = B for X, overwriting B.
+void solve_lower_transposed_inplace(const Matrix& lower, Matrix& b);
+
+}  // namespace sckl::linalg

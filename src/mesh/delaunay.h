@@ -1,0 +1,58 @@
+// Incremental Delaunay triangulation (Bowyer-Watson).
+//
+// The paper meshes the die with Shewchuk's Triangle [24]; this is our
+// self-contained substitute. Points are inserted one at a time: the "cavity"
+// of triangles whose circumcircle contains the new point is removed and
+// re-fanned from the point. The triangulator object stays alive across
+// insertions so the refinement loop (refine.h) can add Steiner points
+// incrementally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/tri_mesh.h"
+
+namespace sckl::mesh {
+
+/// Incremental Bowyer-Watson triangulator over a fixed bounding box.
+class DelaunayTriangulator {
+ public:
+  /// Prepares a 4-corner bounding frame enclosing `bounds` with moderate
+  /// margin (keeps in-circle determinants well conditioned).
+  explicit DelaunayTriangulator(geometry::BoundingBox bounds);
+
+  /// Inserts a point. Points closer than `duplicate_tolerance` to an
+  /// existing vertex are ignored (returns false). Points outside the
+  /// original bounds are clamped onto it.
+  bool insert(geometry::Point2 p);
+
+  /// Number of real (non-frame) vertices inserted so far.
+  std::size_t num_points() const { return vertices_.size() - kFrameVertices; }
+
+  /// Extracts the triangulation of the inserted points, dropping every
+  /// triangle incident to the bounding frame. Requires >= 3 points.
+  TriMesh finalize() const;
+
+  /// Minimum distance below which two points are considered duplicates.
+  static constexpr double duplicate_tolerance = 1e-9;
+
+ private:
+  static constexpr std::size_t kFrameVertices = 4;
+
+  struct Tri {
+    std::size_t v[3];
+  };
+
+  geometry::Triangle corners(const Tri& t) const;
+
+  geometry::BoundingBox bounds_;
+  std::vector<geometry::Point2> vertices_;  // [0..3] are frame vertices
+  std::vector<Tri> triangles_;
+};
+
+/// One-shot Delaunay triangulation of a point set over `bounds`.
+TriMesh delaunay_mesh(geometry::BoundingBox bounds,
+                      const std::vector<geometry::Point2>& points);
+
+}  // namespace sckl::mesh

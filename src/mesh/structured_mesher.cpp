@@ -1,0 +1,95 @@
+#include "mesh/structured_mesher.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::mesh {
+
+TriMesh structured_mesh(geometry::BoundingBox bounds, std::size_t nx,
+                        std::size_t ny, StructuredPattern pattern) {
+  require(nx > 0 && ny > 0, "structured_mesh: grid must be non-empty");
+  require(bounds.width() > 0.0 && bounds.height() > 0.0,
+          "structured_mesh: degenerate bounds");
+  const double dx = bounds.width() / static_cast<double>(nx);
+  const double dy = bounds.height() / static_cast<double>(ny);
+
+  std::vector<geometry::Point2> vertices;
+  vertices.reserve((nx + 1) * (ny + 1));
+  for (std::size_t j = 0; j <= ny; ++j)
+    for (std::size_t i = 0; i <= nx; ++i)
+      vertices.push_back({bounds.min.x + dx * static_cast<double>(i),
+                          bounds.min.y + dy * static_cast<double>(j)});
+  auto corner = [nx](std::size_t i, std::size_t j) {
+    return j * (nx + 1) + i;
+  };
+
+  std::vector<TriMesh::TriangleIndices> triangles;
+  if (pattern == StructuredPattern::kDiagonal) {
+    triangles.reserve(2 * nx * ny);
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t a = corner(i, j);
+        const std::size_t b = corner(i + 1, j);
+        const std::size_t c = corner(i + 1, j + 1);
+        const std::size_t d = corner(i, j + 1);
+        // Alternate the diagonal per cell parity to avoid mesh anisotropy.
+        if ((i + j) % 2 == 0) {
+          triangles.push_back({a, b, c});
+          triangles.push_back({a, c, d});
+        } else {
+          triangles.push_back({a, b, d});
+          triangles.push_back({b, c, d});
+        }
+      }
+  } else {
+    triangles.reserve(4 * nx * ny);
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t a = corner(i, j);
+        const std::size_t b = corner(i + 1, j);
+        const std::size_t c = corner(i + 1, j + 1);
+        const std::size_t d = corner(i, j + 1);
+        vertices.push_back({bounds.min.x + dx * (static_cast<double>(i) + 0.5),
+                            bounds.min.y +
+                                dy * (static_cast<double>(j) + 0.5)});
+        const std::size_t center = vertices.size() - 1;
+        triangles.push_back({a, b, center});
+        triangles.push_back({b, c, center});
+        triangles.push_back({c, d, center});
+        triangles.push_back({d, a, center});
+      }
+  }
+  return TriMesh(std::move(vertices), std::move(triangles));
+}
+
+TriMesh structured_mesh_for_count(geometry::BoundingBox bounds,
+                                  std::size_t target_triangles,
+                                  StructuredPattern pattern) {
+  require(target_triangles > 0, "structured_mesh_for_count: zero target");
+  const double per_cell =
+      pattern == StructuredPattern::kDiagonal ? 2.0 : 4.0;
+  const double cells = static_cast<double>(target_triangles) / per_cell;
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(cells)));
+  return structured_mesh(bounds, std::max<std::size_t>(side, 1),
+                         std::max<std::size_t>(side, 1), pattern);
+}
+
+TriMesh structured_mesh_for_max_area(geometry::BoundingBox bounds,
+                                     double max_area,
+                                     StructuredPattern pattern) {
+  require(max_area > 0.0, "structured_mesh_for_max_area: non-positive area");
+  const double per_cell =
+      pattern == StructuredPattern::kDiagonal ? 2.0 : 4.0;
+  // Square cells of side s produce triangles of area s^2 / per_cell.
+  const double cell_area = max_area * per_cell;
+  const double side_length = std::sqrt(cell_area);
+  const auto nx = static_cast<std::size_t>(
+      std::ceil(bounds.width() / side_length));
+  const auto ny = static_cast<std::size_t>(
+      std::ceil(bounds.height() / side_length));
+  return structured_mesh(bounds, std::max<std::size_t>(nx, 1),
+                         std::max<std::size_t>(ny, 1), pattern);
+}
+
+}  // namespace sckl::mesh

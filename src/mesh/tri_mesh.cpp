@@ -1,0 +1,81 @@
+#include "mesh/tri_mesh.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace sckl::mesh {
+
+TriMesh::TriMesh(std::vector<geometry::Point2> vertices,
+                 std::vector<TriangleIndices> triangles)
+    : vertices_(std::move(vertices)), triangles_(std::move(triangles)) {
+  require(!vertices_.empty(), "TriMesh: no vertices");
+  require(!triangles_.empty(), "TriMesh: no triangles");
+  areas_.reserve(triangles_.size());
+  centroids_.reserve(triangles_.size());
+  for (auto& tri : triangles_) {
+    for (std::size_t v : tri)
+      require(v < vertices_.size(), "TriMesh: vertex index out of range");
+    const double twice_signed =
+        geometry::orientation(vertices_[tri[0]], vertices_[tri[1]],
+                              vertices_[tri[2]]);
+    require(std::abs(twice_signed) > 1e-300, "TriMesh: degenerate triangle");
+    if (twice_signed < 0.0) std::swap(tri[1], tri[2]);
+    areas_.push_back(0.5 * std::abs(twice_signed));
+    centroids_.push_back(
+        {(vertices_[tri[0]].x + vertices_[tri[1]].x + vertices_[tri[2]].x) /
+             3.0,
+         (vertices_[tri[0]].y + vertices_[tri[1]].y + vertices_[tri[2]].y) /
+             3.0});
+  }
+}
+
+geometry::Triangle TriMesh::triangle(std::size_t t) const {
+  require(t < triangles_.size(), "TriMesh::triangle: index out of range");
+  const auto& idx = triangles_[t];
+  return geometry::Triangle{
+      {vertices_[idx[0]], vertices_[idx[1]], vertices_[idx[2]]}};
+}
+
+std::vector<geometry::Triangle> TriMesh::to_triangles() const {
+  std::vector<geometry::Triangle> out;
+  out.reserve(triangles_.size());
+  for (std::size_t t = 0; t < triangles_.size(); ++t)
+    out.push_back(triangle(t));
+  return out;
+}
+
+geometry::BoundingBox TriMesh::bounds() const {
+  geometry::BoundingBox box{
+      {std::numeric_limits<double>::infinity(),
+       std::numeric_limits<double>::infinity()},
+      {-std::numeric_limits<double>::infinity(),
+       -std::numeric_limits<double>::infinity()}};
+  for (const auto& v : vertices_) {
+    box.min.x = std::min(box.min.x, v.x);
+    box.min.y = std::min(box.min.y, v.y);
+    box.max.x = std::max(box.max.x, v.x);
+    box.max.y = std::max(box.max.y, v.y);
+  }
+  return box;
+}
+
+MeshQuality TriMesh::quality() const {
+  MeshQuality q;
+  q.min_angle_degrees = 180.0;
+  q.min_area = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < triangles_.size(); ++t) {
+    const geometry::Triangle tri = triangle(t);
+    q.min_angle_degrees =
+        std::min(q.min_angle_degrees, geometry::min_angle_degrees(tri));
+    q.max_side = std::max(q.max_side, geometry::longest_side(tri));
+    q.min_area = std::min(q.min_area, areas_[t]);
+    q.max_area = std::max(q.max_area, areas_[t]);
+    q.total_area += areas_[t];
+  }
+  return q;
+}
+
+}  // namespace sckl::mesh

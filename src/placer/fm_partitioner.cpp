@@ -1,0 +1,233 @@
+#include "placer/fm_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sckl::placer {
+namespace {
+
+// Gain-bucket structure: doubly-linked lists per gain value with a moving
+// max-gain pointer — the classic FM O(pins)-per-pass machinery.
+class GainBuckets {
+ public:
+  GainBuckets(std::size_t num_cells, long max_gain)
+      : max_gain_(max_gain),
+        head_(2 * max_gain + 1, kNone),
+        next_(num_cells, kNone),
+        prev_(num_cells, kNone),
+        gain_(num_cells, 0),
+        in_(num_cells, false),
+        best_(-1) {}
+
+  void insert(std::size_t cell, long gain) {
+    gain_[cell] = gain;
+    const std::size_t b = bucket(gain);
+    next_[cell] = head_[b];
+    prev_[cell] = kNone;
+    if (head_[b] != kNone) prev_[head_[b]] = cell;
+    head_[b] = cell;
+    in_[cell] = true;
+    best_ = std::max(best_, static_cast<long>(b));
+  }
+
+  void remove(std::size_t cell) {
+    if (!in_[cell]) return;
+    const std::size_t b = bucket(gain_[cell]);
+    if (prev_[cell] != kNone)
+      next_[prev_[cell]] = next_[cell];
+    else
+      head_[b] = next_[cell];
+    if (next_[cell] != kNone) prev_[next_[cell]] = prev_[cell];
+    in_[cell] = false;
+  }
+
+  void update_gain(std::size_t cell, long delta) {
+    if (!in_[cell]) return;
+    const long g = gain_[cell] + delta;
+    remove(cell);
+    insert(cell, g);
+  }
+
+  bool contains(std::size_t cell) const { return in_[cell]; }
+  long gain_of(std::size_t cell) const { return gain_[cell]; }
+
+  /// Highest-gain unlocked cell satisfying `feasible`, or kNone.
+  template <typename Fn>
+  std::size_t pop_best(Fn&& feasible) {
+    for (long b = best_; b >= 0; --b) {
+      std::size_t cell = head_[static_cast<std::size_t>(b)];
+      while (cell != kNone) {
+        if (feasible(cell)) {
+          remove(cell);
+          best_ = b;
+          return cell;
+        }
+        cell = next_[cell];
+      }
+    }
+    return kNone;
+  }
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t bucket(long gain) const {
+    return static_cast<std::size_t>(gain + max_gain_);
+  }
+
+  long max_gain_;
+  std::vector<std::size_t> head_;
+  std::vector<std::size_t> next_;
+  std::vector<std::size_t> prev_;
+  std::vector<long> gain_;
+  std::vector<bool> in_;
+  long best_;
+};
+
+}  // namespace
+
+std::size_t cut_size(const Hypergraph& graph, const std::vector<int>& side) {
+  require(side.size() == graph.num_cells, "cut_size: side size mismatch");
+  std::size_t cut = 0;
+  for (const auto& net : graph.nets) {
+    const int first = side[net.front()];
+    for (std::size_t cell : net) {
+      if (side[cell] != first) {
+        ++cut;
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+FmResult fm_bisect(const Hypergraph& graph, const FmOptions& options) {
+  const std::size_t n = graph.num_cells;
+  require(n >= 2, "fm_bisect: need at least two cells");
+  Rng rng(options.seed);
+
+  // Random balanced initial partition.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  std::vector<int> side(n, 0);
+  for (std::size_t i = n / 2; i < n; ++i) side[order[i]] = 1;
+
+  const auto min_side = static_cast<std::size_t>(
+      std::max(1.0, (0.5 - options.balance_tolerance) *
+                        static_cast<double>(n)));
+  const long max_gain =
+      std::max<long>(1, static_cast<long>(graph.max_cell_degree()));
+
+  std::vector<std::size_t> count0(graph.nets.size(), 0);
+  auto recount = [&] {
+    for (std::size_t e = 0; e < graph.nets.size(); ++e) {
+      std::size_t c0 = 0;
+      for (std::size_t cell : graph.nets[e]) c0 += (side[cell] == 0) ? 1 : 0;
+      count0[e] = c0;
+    }
+  };
+
+  auto cell_gain = [&](std::size_t cell) {
+    long gain = 0;
+    for (std::size_t e : graph.cell_nets[cell]) {
+      const std::size_t total = graph.nets[e].size();
+      const std::size_t on_my_side =
+          side[cell] == 0 ? count0[e] : total - count0[e];
+      const std::size_t on_other = total - on_my_side;
+      if (on_my_side == 1) ++gain;   // move uncuts the net
+      if (on_other == 0) --gain;     // move cuts a currently-uncut net
+    }
+    return gain;
+  };
+
+  std::size_t size0 = static_cast<std::size_t>(
+      std::count(side.begin(), side.end(), 0));
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    recount();
+    GainBuckets buckets(n, max_gain);
+    for (std::size_t cell = 0; cell < n; ++cell)
+      buckets.insert(cell, cell_gain(cell));
+
+    std::vector<std::size_t> moved;
+    moved.reserve(n);
+    long cumulative = 0;
+    long best_cumulative = 0;
+    std::size_t best_prefix = 0;
+
+    while (true) {
+      const std::size_t cell = buckets.pop_best([&](std::size_t c) {
+        // Balance feasibility of moving c off its side.
+        const std::size_t from = side[c] == 0 ? size0 : n - size0;
+        return from > min_side;
+      });
+      if (cell == GainBuckets::kNone) break;
+
+      cumulative += buckets.gain_of(cell);
+      const int from = side[cell];
+      // Update net counts and neighbor gains incrementally (standard FM
+      // delta rules derived from the before/after pin distribution).
+      for (std::size_t e : graph.cell_nets[cell]) {
+        const std::size_t total = graph.nets[e].size();
+        const std::size_t before_from =
+            from == 0 ? count0[e] : total - count0[e];
+        const std::size_t before_to = total - before_from;
+        if (before_to == 0) {
+          // Net was uncut on `from`; now cut: every other free cell gains.
+          for (std::size_t other : graph.nets[e])
+            if (other != cell) buckets.update_gain(other, +1);
+        } else if (before_to == 1) {
+          // The lone cell on `to` no longer uncuts the net by moving.
+          for (std::size_t other : graph.nets[e])
+            if (other != cell && side[other] != from)
+              buckets.update_gain(other, -1);
+        }
+        // Apply the move to this net's count.
+        count0[e] += (from == 0) ? -1 : +1;
+        const std::size_t after_from = before_from - 1;
+        if (after_from == 0) {
+          // Net now uncut on `to`: moving any member would cut it again.
+          for (std::size_t other : graph.nets[e])
+            if (other != cell) buckets.update_gain(other, -1);
+        } else if (after_from == 1) {
+          // The lone remaining cell on `from` would uncut the net.
+          for (std::size_t other : graph.nets[e])
+            if (other != cell && side[other] == from)
+              buckets.update_gain(other, +1);
+        }
+      }
+      side[cell] = 1 - from;
+      size0 += (from == 0) ? -1 : +1;
+      moved.push_back(cell);
+
+      if (cumulative > best_cumulative ||
+          (cumulative == best_cumulative && best_prefix == 0)) {
+        best_cumulative = cumulative;
+        best_prefix = moved.size();
+      }
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t i = moved.size(); i > best_prefix; --i) {
+      const std::size_t cell = moved[i - 1];
+      const int from = side[cell];
+      side[cell] = 1 - from;
+      size0 += (from == 0) ? -1 : +1;
+    }
+    if (best_cumulative <= 0) break;  // no improvement: converged
+  }
+
+  FmResult result;
+  result.side = std::move(side);
+  result.cut = cut_size(graph, result.side);
+  result.size0 = static_cast<std::size_t>(
+      std::count(result.side.begin(), result.side.end(), 0));
+  return result;
+}
+
+}  // namespace sckl::placer

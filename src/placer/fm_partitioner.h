@@ -1,0 +1,37 @@
+// Fiduccia-Mattheyses min-cut bisection.
+//
+// The engine of our Capo-substitute placer (the paper placed its benchmarks
+// with Capo, a recursive min-cut bisection placer [23]). Standard FM: gain
+// buckets over [-max_degree, +max_degree], single-cell moves with a balance
+// constraint, locking, and rollback to the best prefix of each pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placer/hypergraph.h"
+
+namespace sckl::placer {
+
+/// Options controlling the FM run.
+struct FmOptions {
+  double balance_tolerance = 0.1;  // allowed deviation from perfect halves
+  int max_passes = 8;              // FM passes (each O(pins))
+  std::uint64_t seed = 1;          // initial random partition
+};
+
+/// Bisection result.
+struct FmResult {
+  std::vector<int> side;  // 0 or 1 per cell
+  std::size_t cut = 0;    // hyperedges spanning both sides
+  std::size_t size0 = 0;  // cells on side 0
+};
+
+/// Computes the cut of a given assignment (validation utility).
+std::size_t cut_size(const Hypergraph& graph, const std::vector<int>& side);
+
+/// Runs FM bisection on `graph`. Guarantees a balanced partition within
+/// tolerance; deterministic in the seed.
+FmResult fm_bisect(const Hypergraph& graph, const FmOptions& options = {});
+
+}  // namespace sckl::placer

@@ -1,0 +1,78 @@
+#include "placer/hypergraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace sckl::placer {
+
+std::size_t Hypergraph::max_cell_degree() const {
+  std::size_t degree = 0;
+  for (const auto& incident : cell_nets)
+    degree = std::max(degree, incident.size());
+  return degree;
+}
+
+Hypergraph build_hypergraph(const circuit::Netlist& netlist) {
+  require(netlist.finalized(), "build_hypergraph: netlist not finalized");
+  const auto& physical = netlist.physical_gates();
+  std::unordered_map<std::size_t, std::size_t> cell_of_gate;
+  cell_of_gate.reserve(physical.size());
+  for (std::size_t c = 0; c < physical.size(); ++c)
+    cell_of_gate.emplace(physical[c], c);
+
+  Hypergraph graph;
+  graph.num_cells = physical.size();
+  graph.cell_nets.assign(graph.num_cells, {});
+
+  for (std::size_t c = 0; c < physical.size(); ++c) {
+    const circuit::Gate& driver = netlist.gate(physical[c]);
+    std::vector<std::size_t> members{c};
+    for (std::size_t sink : driver.fanout) {
+      const auto it = cell_of_gate.find(sink);
+      if (it == cell_of_gate.end()) continue;  // pad sink
+      if (std::find(members.begin(), members.end(), it->second) ==
+          members.end())
+        members.push_back(it->second);
+    }
+    if (members.size() < 2) continue;
+    const std::size_t e = graph.nets.size();
+    for (std::size_t cell : members) graph.cell_nets[cell].push_back(e);
+    graph.nets.push_back(std::move(members));
+  }
+  return graph;
+}
+
+Hypergraph induced_subgraph(const Hypergraph& parent,
+                            const std::vector<std::size_t>& cells) {
+  std::unordered_map<std::size_t, std::size_t> local_of;
+  local_of.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    local_of.emplace(cells[i], i);
+
+  Hypergraph sub;
+  sub.num_cells = cells.size();
+  sub.cell_nets.assign(sub.num_cells, {});
+
+  // Visit each parent net at most once via incident lists of the subset.
+  std::vector<bool> net_seen(parent.nets.size(), false);
+  for (std::size_t cell : cells) {
+    for (std::size_t e : parent.cell_nets[cell]) {
+      if (net_seen[e]) continue;
+      net_seen[e] = true;
+      std::vector<std::size_t> members;
+      for (std::size_t parent_cell : parent.nets[e]) {
+        const auto it = local_of.find(parent_cell);
+        if (it != local_of.end()) members.push_back(it->second);
+      }
+      if (members.size() < 2) continue;
+      const std::size_t local_edge = sub.nets.size();
+      for (std::size_t m : members) sub.cell_nets[m].push_back(local_edge);
+      sub.nets.push_back(std::move(members));
+    }
+  }
+  return sub;
+}
+
+}  // namespace sckl::placer

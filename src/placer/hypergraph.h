@@ -1,0 +1,37 @@
+// Netlist hypergraph for partitioning-driven placement.
+//
+// Cells are the physical gates of a netlist (paper's N_g objects); each
+// driver gate induces one hyperedge containing the driver and all physical
+// fanout gates. INPUT/OUTPUT pseudo-gates are pads: they are fixed on the
+// die boundary by the placer and excluded from partitioning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace sckl::placer {
+
+/// Hypergraph over cells 0..num_cells-1.
+struct Hypergraph {
+  std::size_t num_cells = 0;
+  /// nets[e] = cell indices on hyperedge e (each has >= 2 distinct cells).
+  std::vector<std::vector<std::size_t>> nets;
+  /// cell_nets[c] = hyperedges incident to cell c.
+  std::vector<std::vector<std::size_t>> cell_nets;
+
+  /// Maximum number of nets on any single cell (bounds FM gain range).
+  std::size_t max_cell_degree() const;
+};
+
+/// Builds the hypergraph of `netlist`'s physical gates. Cell i corresponds
+/// to netlist.physical_gates()[i].
+Hypergraph build_hypergraph(const circuit::Netlist& netlist);
+
+/// Extracts the sub-hypergraph induced by `cells` (indices into the parent).
+/// Hyperedges with fewer than 2 endpoints inside the subset are dropped.
+Hypergraph induced_subgraph(const Hypergraph& parent,
+                            const std::vector<std::size_t>& cells);
+
+}  // namespace sckl::placer

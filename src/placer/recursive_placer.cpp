@@ -1,0 +1,140 @@
+#include "placer/recursive_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "placer/fm_partitioner.h"
+
+namespace sckl::placer {
+namespace {
+
+// Scatters `cells` on a near-square sub-grid of `region`, jittered slightly
+// so no two leaf cells coincide exactly (coincident gates would be perfectly
+// correlated, which is fine physically but hides lookup bugs in tests).
+void place_leaf(const std::vector<std::size_t>& cells,
+                geometry::BoundingBox region, Rng& rng,
+                std::vector<geometry::Point2>& out) {
+  const std::size_t k = cells.size();
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(k))));
+  const std::size_t rows = (k + cols - 1) / cols;
+  const double dx = region.width() / static_cast<double>(cols);
+  const double dy = region.height() / static_cast<double>(rows);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t cx = i % cols;
+    const std::size_t cy = i / cols;
+    const double jx = rng.uniform(-0.2, 0.2) * dx;
+    const double jy = rng.uniform(-0.2, 0.2) * dy;
+    out[cells[i]] = {
+        region.min.x + dx * (static_cast<double>(cx) + 0.5) + jx,
+        region.min.y + dy * (static_cast<double>(cy) + 0.5) + jy};
+  }
+}
+
+void place_region(const Hypergraph& graph,
+                  const std::vector<std::size_t>& cells,
+                  geometry::BoundingBox region, const PlacerOptions& options,
+                  Rng& rng, std::vector<geometry::Point2>& out) {
+  if (cells.size() <= options.leaf_size) {
+    place_leaf(cells, region, rng, out);
+    return;
+  }
+
+  const Hypergraph sub = induced_subgraph(graph, cells);
+  FmOptions fm;
+  fm.balance_tolerance = options.balance_tolerance;
+  fm.max_passes = options.fm_passes;
+  fm.seed = rng();
+  const FmResult split = fm_bisect(sub, fm);
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    (split.side[i] == 0 ? left : right).push_back(cells[i]);
+  ensure(!left.empty() && !right.empty(),
+         "place_region: degenerate FM split");
+
+  // Cut the longer axis proportionally to the partition sizes so cell
+  // density stays uniform.
+  const double fraction = static_cast<double>(left.size()) /
+                          static_cast<double>(cells.size());
+  geometry::BoundingBox region_left = region;
+  geometry::BoundingBox region_right = region;
+  if (region.width() >= region.height()) {
+    const double cut_x = region.min.x + fraction * region.width();
+    region_left.max.x = cut_x;
+    region_right.min.x = cut_x;
+  } else {
+    const double cut_y = region.min.y + fraction * region.height();
+    region_left.max.y = cut_y;
+    region_right.min.y = cut_y;
+  }
+  place_region(graph, left, region_left, options, rng, out);
+  place_region(graph, right, region_right, options, rng, out);
+}
+
+}  // namespace
+
+std::vector<geometry::Point2> Placement::physical_locations(
+    const circuit::Netlist& netlist) const {
+  std::vector<geometry::Point2> result;
+  result.reserve(netlist.physical_gates().size());
+  for (std::size_t gate : netlist.physical_gates())
+    result.push_back(location[gate]);
+  return result;
+}
+
+Placement place(const circuit::Netlist& netlist, geometry::BoundingBox die,
+                const PlacerOptions& options) {
+  require(netlist.finalized(), "place: netlist not finalized");
+  require(die.width() > 0.0 && die.height() > 0.0, "place: degenerate die");
+  Rng rng(options.seed);
+
+  Placement placement;
+  placement.die = die;
+  placement.location.assign(netlist.num_gates_total(), {0.0, 0.0});
+
+  // Pad ring: PIs spread along the left edge, POs along the right.
+  const auto& pis = netlist.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pis.size());
+    placement.location[pis[i]] = {die.min.x, die.min.y + t * die.height()};
+  }
+  const auto& pos = netlist.primary_outputs();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(pos.size());
+    placement.location[pos[i]] = {die.max.x, die.min.y + t * die.height()};
+  }
+
+  // Core area with a small pad margin.
+  geometry::BoundingBox core = die;
+  const double margin_x = 0.02 * die.width();
+  const double margin_y = 0.02 * die.height();
+  core.min.x += margin_x;
+  core.max.x -= margin_x;
+  core.min.y += margin_y;
+  core.max.y -= margin_y;
+
+  const Hypergraph graph = build_hypergraph(netlist);
+  std::vector<std::size_t> all_cells(graph.num_cells);
+  std::iota(all_cells.begin(), all_cells.end(), 0);
+
+  std::vector<geometry::Point2> cell_location(graph.num_cells, {0.0, 0.0});
+  if (graph.num_cells <= options.leaf_size) {
+    place_leaf(all_cells, core, rng, cell_location);
+  } else {
+    place_region(graph, all_cells, core, options, rng, cell_location);
+  }
+
+  const auto& physical = netlist.physical_gates();
+  for (std::size_t c = 0; c < physical.size(); ++c)
+    placement.location[physical[c]] = cell_location[c];
+  return placement;
+}
+
+}  // namespace sckl::placer

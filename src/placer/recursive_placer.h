@@ -1,0 +1,45 @@
+// Recursive min-cut bisection placement (Capo substitute, [23]).
+//
+// The die is split recursively: each region's cells are FM-bisected and the
+// region is cut along its longer axis proportionally to the partition
+// sizes; leaf regions scatter their few cells on a regular sub-grid.
+// Primary input/output pads are fixed on the die boundary (left/right
+// edges respectively), matching the pad rings of placed ASIC benchmarks.
+// The result assigns a die coordinate to *every* netlist gate, which is
+// exactly what the paper's samplers need (the gate locations g_i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "geometry/point2.h"
+
+namespace sckl::placer {
+
+/// A completed placement of a netlist.
+struct Placement {
+  geometry::BoundingBox die;
+  /// Die coordinates indexed by netlist gate index (pads included).
+  std::vector<geometry::Point2> location;
+
+  /// Locations of the physical gates only, in physical_gates() order —
+  /// the g_i vector handed to the field samplers.
+  std::vector<geometry::Point2> physical_locations(
+      const circuit::Netlist& netlist) const;
+};
+
+/// Options for the recursive placer.
+struct PlacerOptions {
+  std::size_t leaf_size = 8;  // stop bisecting below this many cells
+  std::uint64_t seed = 1;
+  double balance_tolerance = 0.1;
+  int fm_passes = 6;
+};
+
+/// Places `netlist` on `die` (defaults to the paper's normalized unit die).
+Placement place(const circuit::Netlist& netlist,
+                geometry::BoundingBox die = geometry::BoundingBox::unit_die(),
+                const PlacerOptions& options = {});
+
+}  // namespace sckl::placer

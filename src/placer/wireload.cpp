@@ -1,0 +1,46 @@
+#include "placer/wireload.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sckl::placer {
+
+double net_hpwl(const circuit::Netlist& netlist, const Placement& placement,
+                std::size_t driver) {
+  const circuit::Gate& gate = netlist.gate(driver);
+  if (gate.fanout.empty()) return 0.0;
+  geometry::Point2 p = placement.location[driver];
+  double min_x = p.x;
+  double max_x = p.x;
+  double min_y = p.y;
+  double max_y = p.y;
+  for (std::size_t sink : gate.fanout) {
+    const geometry::Point2 q = placement.location[sink];
+    min_x = std::min(min_x, q.x);
+    max_x = std::max(max_x, q.x);
+    min_y = std::min(min_y, q.y);
+    max_y = std::max(max_y, q.y);
+  }
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+std::vector<double> all_net_hpwl(const circuit::Netlist& netlist,
+                                 const Placement& placement) {
+  require(placement.location.size() == netlist.num_gates_total(),
+          "all_net_hpwl: placement/netlist mismatch");
+  std::vector<double> hpwl(netlist.num_gates_total(), 0.0);
+  for (std::size_t g = 0; g < netlist.num_gates_total(); ++g)
+    hpwl[g] = net_hpwl(netlist, placement, g);
+  return hpwl;
+}
+
+double total_hpwl(const circuit::Netlist& netlist,
+                  const Placement& placement) {
+  double total = 0.0;
+  for (std::size_t g = 0; g < netlist.num_gates_total(); ++g)
+    total += net_hpwl(netlist, placement, g);
+  return total;
+}
+
+}  // namespace sckl::placer

@@ -1,0 +1,29 @@
+// Half-perimeter wirelength (HPWL) wire-load model.
+//
+// The paper models wire loads from the placed half-perimeter wirelength of
+// each net (Sec. 5.1). A net is one driver gate plus its fanout sinks; its
+// HPWL is the half perimeter of the bounding box of all pin locations. The
+// timing layer converts HPWL to wire resistance/capacitance with per-unit
+// constants from the synthetic 90nm-like technology.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "placer/recursive_placer.h"
+
+namespace sckl::placer {
+
+/// HPWL of the net driven by `driver` (0 when the gate has no fanout).
+double net_hpwl(const circuit::Netlist& netlist, const Placement& placement,
+                std::size_t driver);
+
+/// HPWL for every gate's output net, indexed by gate index.
+std::vector<double> all_net_hpwl(const circuit::Netlist& netlist,
+                                 const Placement& placement);
+
+/// Total HPWL over all nets — the placer's quality metric.
+double total_hpwl(const circuit::Netlist& netlist,
+                  const Placement& placement);
+
+}  // namespace sckl::placer

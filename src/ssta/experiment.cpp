@@ -1,0 +1,129 @@
+#include "ssta/experiment.h"
+
+#include <cmath>
+
+#include "circuit/synthetic.h"
+#include "common/error.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "field/cholesky_sampler.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/refine.h"
+
+namespace sckl::ssta {
+
+double ExperimentResult::mean_endpoint_sigma_error() const {
+  if (endpoint_sigma_error.empty()) return 0.0;
+  return mean_of(endpoint_sigma_error);
+}
+
+ExperimentPipeline::ExperimentPipeline(const ExperimentConfig& config)
+    : config_(config) {
+  netlist_ = std::make_unique<circuit::Netlist>(
+      circuit::make_paper_circuit(config.circuit, config.seed));
+  placer::PlacerOptions placer_options;
+  placer_options.seed = config.seed + 17;
+  placement_ = std::make_unique<placer::Placement>(placer::place(
+      *netlist_, geometry::BoundingBox::unit_die(), placer_options));
+  library_ =
+      std::make_unique<timing::CellLibrary>(timing::CellLibrary::default_90nm());
+  engine_ =
+      std::make_unique<timing::StaEngine>(*netlist_, *placement_, *library_);
+  locations_ = placement_->physical_locations(*netlist_);
+
+  const double c = config.kernel_c > 0.0 ? config.kernel_c
+                                         : kernels::paper_gaussian_c();
+  kernel_ = std::make_unique<kernels::GaussianKernel>(c);
+}
+
+const McSstaResult& ExperimentPipeline::reference() {
+  if (!reference_) {
+    Stopwatch setup;
+    const field::CholeskyFieldSampler sampler(*kernel_, locations_);
+    reference_setup_seconds_ = setup.seconds();
+    const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
+    McSstaOptions options;
+    options.num_samples = config_.num_samples;
+    options.seed = config_.seed + 1000;
+    reference_ = std::make_unique<McSstaResult>(
+        run_monte_carlo_ssta(*engine_, samplers, options));
+  }
+  return *reference_;
+}
+
+double ExperimentPipeline::reference_setup_seconds() {
+  reference();
+  return reference_setup_seconds_;
+}
+
+McSstaResult ExperimentPipeline::run_kle(const mesh::TriMesh& mesh,
+                                         std::size_t r,
+                                         std::size_t num_eigenpairs,
+                                         double* solve_seconds) {
+  Stopwatch setup;
+  core::KleOptions kle_options;
+  kle_options.num_eigenpairs =
+      std::min<std::size_t>(num_eigenpairs, mesh.num_triangles());
+  const core::KleResult kle = core::solve_kle(mesh, *kernel_, kle_options);
+  const field::KleFieldSampler sampler(kle, r, locations_);
+  if (solve_seconds != nullptr) *solve_seconds = setup.seconds();
+
+  const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
+  McSstaOptions options;
+  options.num_samples = config_.num_samples;
+  // Same seed as the reference: both runs see equally-sized, independent
+  // sample sets, mirroring the paper's "100K samples each".
+  options.seed = config_.seed + 1000;
+  return run_monte_carlo_ssta(*engine_, samplers, options);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentPipeline pipeline(config);
+
+  ExperimentResult result;
+  result.circuit = config.circuit;
+  result.num_gates = pipeline.num_gates();
+  result.r = config.r;
+
+  const McSstaResult& mc = pipeline.reference();
+  result.mc_setup_seconds = pipeline.reference_setup_seconds();
+  result.mc_run_seconds = mc.sampling_seconds + mc.sta_seconds;
+  result.mc_mean = mc.worst_delay.mean();
+  result.mc_sigma = mc.worst_delay.stddev();
+
+  const mesh::TriMesh mesh = mesh::paper_mesh(
+      geometry::BoundingBox::unit_die(), config.mesh_area_fraction,
+      config.seed + 7);
+  result.mesh_triangles = mesh.num_triangles();
+
+  const std::size_t pairs =
+      config.num_eigenpairs != 0
+          ? config.num_eigenpairs
+          : std::max<std::size_t>(2 * config.r, 50);
+  const McSstaResult kle =
+      pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds);
+  result.kle_run_seconds = kle.sampling_seconds + kle.sta_seconds;
+  result.kle_mean = kle.worst_delay.mean();
+  result.kle_sigma = kle.worst_delay.stddev();
+
+  result.e_mu_percent =
+      100.0 * std::abs(result.kle_mean - result.mc_mean) / result.mc_mean;
+  result.e_sigma_percent =
+      100.0 * std::abs(result.kle_sigma - result.mc_sigma) / result.mc_sigma;
+  result.speedup = result.mc_run_seconds / std::max(result.kle_run_seconds,
+                                                    1e-9);
+
+  result.endpoint_sigma_error.reserve(mc.endpoint.size());
+  for (std::size_t e = 0; e < mc.endpoint.size(); ++e) {
+    const double reference_sigma = mc.endpoint[e].stddev();
+    if (reference_sigma <= 0.0) continue;
+    result.endpoint_sigma_error.push_back(
+        std::abs(kle.endpoint[e].stddev() - reference_sigma) /
+        reference_sigma);
+  }
+  return result;
+}
+
+}  // namespace sckl::ssta

@@ -1,0 +1,101 @@
+// End-to-end paper experiments: Table 1 rows and Fig. 6 sweeps.
+//
+// One call builds the whole pipeline for a circuit: synthesize/parse the
+// netlist, place it on the normalized die, build the Gaussian kernel with
+// the paper's 2-D linear-cone fit, mesh the die, solve the KLE, construct
+// both samplers (Algorithm 1 reference, Algorithm 2 reduced), run the two
+// Monte Carlo SSTAs with the *same* timer, and report the Table 1 metrics:
+//   e_mu    = |mu_KLE - mu_MC| / mu_MC            (percent)
+//   e_sigma = |sigma_KLE - sigma_MC| / sigma_MC   (percent)
+//   speedup = t_MC / t_KLE                        (sampling + STA)
+// plus the per-endpoint sigma errors that Fig. 6 averages over outputs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kle_solver.h"
+#include "ssta/mc_ssta.h"
+
+namespace sckl::ssta {
+
+/// Configuration of one circuit experiment.
+struct ExperimentConfig {
+  std::string circuit = "c1908";   // paper circuit name
+  std::size_t num_samples = 1000;  // per SSTA run (paper used 100K)
+  std::size_t r = 25;              // KLE truncation (paper's choice)
+  std::size_t num_eigenpairs = 0;  // computed pairs m; 0 = max(2r, 50)
+  double mesh_area_fraction = 0.001;  // paper: max area 0.1% of the die
+  double kernel_c = 0.0;           // Gaussian decay; 0 = the paper's 2-D fit
+  std::uint64_t seed = 1;
+  bool reuse_kle = true;           // share one KLE across the 4 parameters
+};
+
+/// Everything the benches report about one circuit.
+struct ExperimentResult {
+  std::string circuit;
+  std::size_t num_gates = 0;   // N_g
+  std::size_t mesh_triangles = 0;  // n
+  std::size_t r = 0;
+
+  double mc_mean = 0.0;
+  double mc_sigma = 0.0;
+  double kle_mean = 0.0;
+  double kle_sigma = 0.0;
+  double e_mu_percent = 0.0;
+  double e_sigma_percent = 0.0;
+  double speedup = 0.0;  // (sampling+STA) time ratio MC / KLE
+
+  double mc_setup_seconds = 0.0;   // Cholesky factorization
+  double kle_setup_seconds = 0.0;  // KLE solve (once per kernel)
+  double mc_run_seconds = 0.0;
+  double kle_run_seconds = 0.0;
+
+  /// Per-endpoint sigma relative errors (fraction, not percent), for the
+  /// Fig. 6 "error averaged across all outputs" metric.
+  std::vector<double> endpoint_sigma_error;
+
+  /// Mean of endpoint_sigma_error (the Fig. 6 y-axis).
+  double mean_endpoint_sigma_error() const;
+};
+
+/// Runs the full comparison for one circuit.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Reusable pieces for sweep benches (Fig. 6 varies r and n on one circuit
+/// without rebuilding the netlist/placement/reference run each time).
+class ExperimentPipeline {
+ public:
+  explicit ExperimentPipeline(const ExperimentConfig& config);
+
+  const timing::StaEngine& engine() const { return *engine_; }
+  const std::vector<geometry::Point2>& gate_locations() const {
+    return locations_;
+  }
+  const kernels::CovarianceKernel& kernel() const { return *kernel_; }
+  std::size_t num_gates() const { return locations_.size(); }
+
+  /// Reference (Algorithm 1) statistics; computed once, cached.
+  const McSstaResult& reference();
+  double reference_setup_seconds();
+
+  /// Runs Algorithm 2 with a KLE built on `mesh` truncated at r.
+  McSstaResult run_kle(const mesh::TriMesh& mesh, std::size_t r,
+                       std::size_t num_eigenpairs, double* solve_seconds);
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<circuit::Netlist> netlist_;
+  std::unique_ptr<placer::Placement> placement_;
+  std::unique_ptr<timing::CellLibrary> library_;
+  std::unique_ptr<timing::StaEngine> engine_;
+  std::vector<geometry::Point2> locations_;
+  std::unique_ptr<kernels::CovarianceKernel> kernel_;
+  std::unique_ptr<McSstaResult> reference_;
+  double reference_setup_seconds_ = 0.0;
+};
+
+}  // namespace sckl::ssta

@@ -1,0 +1,61 @@
+#include "ssta/mc_ssta.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace sckl::ssta {
+
+McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
+                                  const ParameterSamplers& samplers,
+                                  const McSstaOptions& options) {
+  require(options.num_samples > 0, "run_monte_carlo_ssta: no samples");
+  require(options.block_size > 0, "run_monte_carlo_ssta: empty block");
+  const std::size_t num_gates =
+      engine.netlist().num_physical_gates();
+  for (const auto* sampler : samplers) {
+    require(sampler != nullptr, "run_monte_carlo_ssta: missing sampler");
+    require(sampler->num_locations() == num_gates,
+            "run_monte_carlo_ssta: sampler/netlist gate count mismatch");
+  }
+
+  McSstaResult result;
+  result.endpoint.resize(engine.num_endpoints());
+
+  Stopwatch total;
+  Rng master(options.seed);
+  std::array<Rng, timing::kNumStatParameters> streams = {
+      master.split(), master.split(), master.split(), master.split()};
+
+  std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
+  std::size_t remaining = options.num_samples;
+  while (remaining > 0) {
+    const std::size_t n = std::min(options.block_size, remaining);
+    remaining -= n;
+
+    Stopwatch sampling;
+    for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
+      samplers[j]->sample_block(n, streams[j], blocks[j]);
+    result.sampling_seconds += sampling.seconds();
+
+    Stopwatch sta;
+    for (std::size_t i = 0; i < n; ++i) {
+      timing::ParameterView view;
+      for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
+        view[j] = blocks[j].row_ptr(i);
+      const timing::StaResult timing_result = engine.run(view);
+      result.worst_delay.add(timing_result.worst_delay);
+      if (options.keep_samples)
+        result.worst_delay_samples.push_back(timing_result.worst_delay);
+      for (std::size_t e = 0; e < timing_result.endpoint_arrival.size(); ++e)
+        result.endpoint[e].add(timing_result.endpoint_arrival[e]);
+    }
+    result.sta_seconds += sta.seconds();
+  }
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace sckl::ssta

@@ -1,0 +1,51 @@
+// Monte Carlo statistical static timing analysis harness (Sec. 5.1).
+//
+// Runs N STA evaluations, drawing per-gate values of the four statistical
+// parameters from one FieldSampler per parameter (the P_j matrices of
+// Algorithms 1/2 are mutually independent, so each parameter gets its own
+// RNG stream). Samples are generated in blocks to bound memory, and the
+// harness separately times sample generation and STA so Table 1's speedup
+// decomposition can be reported.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.h"
+#include "field/field_sampler.h"
+#include "timing/sta.h"
+
+namespace sckl::ssta {
+
+/// Options for one Monte Carlo SSTA run.
+struct McSstaOptions {
+  std::size_t num_samples = 2000;
+  std::size_t block_size = 256;  // samples per generated block
+  std::uint64_t seed = 12345;
+  bool keep_samples = false;  // retain per-sample worst delays (yield curves)
+};
+
+/// Statistics collected over one run.
+struct McSstaResult {
+  RunningStats worst_delay;                // circuit delay across samples
+  std::vector<RunningStats> endpoint;      // per-endpoint delay statistics
+  std::vector<double> worst_delay_samples; // only with keep_samples
+  double sampling_seconds = 0.0;           // parameter-sample generation
+  double sta_seconds = 0.0;                // timer evaluation
+  double total_seconds = 0.0;              // end-to-end (incl. bookkeeping)
+};
+
+/// One sampler per statistical parameter (L, W, Vt, tox), in that order.
+/// The same sampler object may back several parameters; streams stay
+/// independent because each parameter splits its own RNG.
+using ParameterSamplers =
+    std::array<const field::FieldSampler*, timing::kNumStatParameters>;
+
+/// Runs Monte Carlo SSTA. All samplers must cover exactly the engine's
+/// physical gate count.
+McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
+                                  const ParameterSamplers& samplers,
+                                  const McSstaOptions& options = {});
+
+}  // namespace sckl::ssta

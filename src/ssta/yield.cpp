@@ -1,0 +1,64 @@
+#include "ssta/yield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "field/lhs.h"
+
+namespace sckl::ssta {
+double empirical_yield(const std::vector<double>& samples, double period) {
+  require(!samples.empty(), "empirical_yield: no samples");
+  std::size_t passing = 0;
+  for (double s : samples) passing += (s <= period) ? 1 : 0;
+  return static_cast<double>(passing) / static_cast<double>(samples.size());
+}
+
+std::vector<YieldPoint> empirical_yield_curve(
+    const std::vector<double>& samples, std::size_t points) {
+  require(!samples.empty(), "empirical_yield_curve: no samples");
+  require(points >= 2, "empirical_yield_curve: need at least two points");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double margin = 0.02 * (sorted.back() - sorted.front() + 1.0);
+  const double lo = sorted.front() - margin;
+  const double hi = sorted.back() + margin;
+  std::vector<YieldPoint> curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double period =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(points - 1);
+    // Sorted samples: passing count by binary search.
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), period);
+    curve.push_back(
+        {period, static_cast<double>(it - sorted.begin()) /
+                     static_cast<double>(sorted.size())});
+  }
+  return curve;
+}
+
+double canonical_yield(const CanonicalForm& worst_delay, double period) {
+  const double sigma = worst_delay.sigma();
+  if (sigma <= 0.0) return period >= worst_delay.mean() ? 1.0 : 0.0;
+  return normal_cdf((period - worst_delay.mean()) / sigma);
+}
+
+std::vector<YieldPoint> canonical_yield_curve(
+    const CanonicalForm& worst_delay,
+    const std::vector<YieldPoint>& period_grid) {
+  std::vector<YieldPoint> curve;
+  curve.reserve(period_grid.size());
+  for (const auto& point : period_grid)
+    curve.push_back(
+        {point.period, canonical_yield(worst_delay, point.period)});
+  return curve;
+}
+
+double canonical_period_for_yield(const CanonicalForm& worst_delay,
+                                  double target_yield) {
+  return worst_delay.mean() +
+         worst_delay.sigma() * field::inverse_normal_cdf(target_yield);
+}
+
+}  // namespace sckl::ssta

@@ -1,0 +1,48 @@
+// Timing yield: P(circuit delay <= T).
+//
+// The quantity a designer actually signs off on. Two estimators:
+//  - empirical, from retained Monte Carlo worst-delay samples;
+//  - parametric, from the canonical SSTA's normal worst-delay form
+//    (yield(T) = Phi((T - mean)/sigma)).
+// The yield bench sweeps T across the distribution and compares the two —
+// agreement in the body and mild divergence in the tails (the max of
+// normals is right-skewed, which the canonical normal cannot represent) is
+// the expected picture.
+#pragma once
+
+#include <vector>
+
+#include "ssta/canonical.h"
+
+namespace sckl::ssta {
+
+/// One point of a yield curve.
+struct YieldPoint {
+  double period = 0.0;  // T (ps)
+  double yield = 0.0;   // P(delay <= T)
+};
+
+/// Empirical yield at one period from Monte Carlo samples.
+double empirical_yield(const std::vector<double>& worst_delay_samples,
+                       double period);
+
+/// Empirical yield curve over `points` periods spanning
+/// [min sample - margin, max sample + margin].
+std::vector<YieldPoint> empirical_yield_curve(
+    const std::vector<double>& worst_delay_samples, std::size_t points);
+
+/// Parametric (normal) yield from a canonical worst-delay form.
+double canonical_yield(const CanonicalForm& worst_delay, double period);
+
+/// Parametric yield curve over the same period grid as an empirical curve
+/// (convenience for side-by-side bench output).
+std::vector<YieldPoint> canonical_yield_curve(
+    const CanonicalForm& worst_delay,
+    const std::vector<YieldPoint>& period_grid);
+
+/// The period achieving a target yield under the canonical model (the
+/// "statistical sign-off corner"): mean + z(yield) * sigma.
+double canonical_period_for_yield(const CanonicalForm& worst_delay,
+                                  double target_yield);
+
+}  // namespace sckl::ssta

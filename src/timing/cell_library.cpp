@@ -1,0 +1,156 @@
+#include "timing/cell_library.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::timing {
+namespace {
+
+using circuit::CellFunction;
+
+// Characterization grids. The upper points (slews of several ns, loads of
+// hundreds of fF) cover the unbuffered long nets of the placed benchmarks;
+// inside the grid the bilinear surface of the monotone drive model stays
+// well behaved, whereas far corner extrapolation of a concave surface can
+// go negative.
+const std::vector<double>& slew_axis() {
+  static const std::vector<double> axis = {5.0,   20.0,   60.0,  150.0,
+                                           400.0, 1200.0, 4000.0, 12000.0};
+  return axis;
+}
+
+const std::vector<double>& load_axis() {
+  static const std::vector<double> axis = {0.5,  2.0,   8.0,   25.0,
+                                           80.0, 250.0, 800.0, 2500.0};
+  return axis;
+}
+
+// First-order drive model backing the generated tables:
+// t = t0 + r_drive * load + k_slew * slew + k_mix * sqrt(slew * load).
+NldmTable make_delay_table(double t0, double r_drive, double k_slew) {
+  std::vector<std::vector<double>> values;
+  for (double s : slew_axis()) {
+    std::vector<double> row;
+    for (double c : load_axis())
+      row.push_back(t0 + r_drive * c + k_slew * s +
+                    0.05 * std::sqrt(s * c));
+    values.push_back(std::move(row));
+  }
+  return NldmTable(slew_axis(), load_axis(), std::move(values));
+}
+
+// Output slew: dominated by the RC at the output, with a weak feed-through
+// of the input slew (ramp composition).
+NldmTable make_slew_table(double s0, double r_drive) {
+  std::vector<std::vector<double>> values;
+  for (double s : slew_axis()) {
+    std::vector<double> row;
+    for (double c : load_axis()) {
+      const double step = std::log(9.0) * 0.7 * r_drive * c;
+      row.push_back(std::sqrt(s0 * s0 + step * step + 0.06 * s * s));
+    }
+    values.push_back(std::move(row));
+  }
+  return NldmTable(slew_axis(), load_axis(), std::move(values));
+}
+
+// Deterministic per-cell variation of the sensitivity magnitudes so the
+// library is not artificially uniform (hash of the cell name).
+double jitter(const std::string& name, std::size_t salt) {
+  std::size_t h = std::hash<std::string>{}(name) ^ (salt * 0x9E3779B9u);
+  h ^= h >> 16;
+  return 0.8 + 0.4 * static_cast<double>(h % 1000) / 999.0;  // [0.8, 1.2]
+}
+
+RankOneQuadratic make_delay_sensitivity(const std::string& name) {
+  RankOneQuadratic s;
+  // Per-sigma fractional impact, 90nm-plausible: channel length and Vt
+  // dominate; wider devices are faster (negative W coefficient).
+  s.linear = {0.055 * jitter(name, 1), -0.025 * jitter(name, 2),
+              0.045 * jitter(name, 3), 0.020 * jitter(name, 4)};
+  s.direction = {0.70, -0.10, 0.62, 0.20};
+  s.quadratic = 0.008 * jitter(name, 5);
+  return s;
+}
+
+RankOneQuadratic make_slew_sensitivity(const std::string& name) {
+  RankOneQuadratic s = make_delay_sensitivity(name);
+  for (auto& b : s.linear) b *= 0.8;
+  s.quadratic *= 0.8;
+  return s;
+}
+
+TimingCell make_cell(const std::string& name, CellFunction function,
+                     std::size_t arity, double t0, double r_drive,
+                     double input_cap) {
+  TimingCell cell;
+  cell.name = name;
+  cell.function = function;
+  cell.arity = arity;
+  cell.input_cap = input_cap;
+  cell.delay = make_delay_table(t0, r_drive, 0.18);
+  cell.output_slew = make_slew_table(8.0 + 0.2 * t0, r_drive);
+  cell.delay_sensitivity = make_delay_sensitivity(name);
+  cell.slew_sensitivity = make_slew_sensitivity(name);
+  return cell;
+}
+
+}  // namespace
+
+void CellLibrary::add_cell(TimingCell cell) {
+  for (const auto& existing : cells_)
+    require(!(existing.function == cell.function &&
+              existing.arity == cell.arity),
+            "CellLibrary::add_cell: duplicate cell " + cell.name);
+  cells_.push_back(std::move(cell));
+}
+
+const TimingCell& CellLibrary::cell_for(circuit::CellFunction function,
+                                        std::size_t arity) const {
+  const TimingCell* best = nullptr;
+  for (const auto& cell : cells_) {
+    if (cell.function != function) continue;
+    if (cell.arity == arity) return cell;
+    // Track the largest characterized arity as the clamp target.
+    if (best == nullptr || cell.arity > best->arity) best = &cell;
+  }
+  require(best != nullptr,
+          std::string("CellLibrary::cell_for: no cell for function ") +
+              circuit::cell_function_name(function));
+  return *best;
+}
+
+CellLibrary CellLibrary::default_90nm() {
+  CellLibrary library;
+  library.add_cell(make_cell("BUF", CellFunction::kBuf, 1, 22.0, 1.8, 2.0));
+  library.add_cell(make_cell("INV", CellFunction::kInv, 1, 12.0, 2.2, 1.8));
+  struct MultiInput {
+    CellFunction function;
+    const char* base;
+    double t0;
+    double r_drive;
+    double input_cap;
+  };
+  const MultiInput families[] = {
+      {CellFunction::kAnd, "AND", 24.0, 2.6, 2.1},
+      {CellFunction::kNand, "NAND", 16.0, 2.8, 2.2},
+      {CellFunction::kOr, "OR", 26.0, 2.9, 2.1},
+      {CellFunction::kNor, "NOR", 18.0, 3.2, 2.3},
+      {CellFunction::kXor, "XOR", 28.0, 3.5, 3.0},
+      {CellFunction::kXnor, "XNOR", 30.0, 3.5, 3.0},
+  };
+  for (const auto& family : families) {
+    for (std::size_t arity = 2; arity <= 4; ++arity) {
+      const double extra = static_cast<double>(arity - 2);
+      library.add_cell(make_cell(
+          family.base + std::to_string(arity), family.function, arity,
+          family.t0 + 4.0 * extra, family.r_drive + 0.4 * extra,
+          family.input_cap + 0.3 * extra));
+    }
+  }
+  library.add_cell(make_cell("DFF", CellFunction::kDff, 1, 45.0, 2.5, 2.0));
+  return library;
+}
+
+}  // namespace sckl::timing

@@ -1,0 +1,79 @@
+// Synthetic 90nm-like standard-cell library.
+//
+// The paper characterizes its gates from the Cadence 90nm Generic PDK; we
+// synthesize an equivalent library procedurally: NLDM delay/slew tables on
+// a 5x5 (input slew x output load) grid generated from a first-order drive
+// model (intrinsic delay + drive resistance x load + slew feed-through),
+// plus per-cell rank-one quadratic sensitivities to the four statistical
+// parameters. Magnitudes are 90nm-plausible (gate delays tens of ps, sigma
+// impact of a few percent per parameter); see DESIGN.md substitutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "timing/nldm.h"
+#include "timing/stat_gate_model.h"
+
+namespace sckl::timing {
+
+/// One characterized cell (function + arity).
+struct TimingCell {
+  std::string name;  // e.g. "NAND2"
+  circuit::CellFunction function = circuit::CellFunction::kBuf;
+  std::size_t arity = 1;
+  double input_cap = 2.0;  // fF per input pin
+  NldmTable delay;         // ps
+  NldmTable output_slew;   // ps
+  RankOneQuadratic delay_sensitivity;
+  RankOneQuadratic slew_sensitivity;
+};
+
+/// Interconnect topology used to derive per-sink wire delays.
+enum class WireModel {
+  /// Independent star segments per sink, loads from the HPWL wire-load
+  /// model — exactly the paper's setup (Sec. 5.1).
+  kStarHpwl,
+  /// Shared-trunk RC tree per net (driver -> net center -> sinks), Elmore
+  /// through the common trunk; loads from the tree's total capacitance.
+  kSharedTrunkTree,
+};
+
+/// Interconnect and environment constants of the technology.
+struct Technology {
+  double wire_resistance_per_unit = 0.2;   // kOhm per die unit (~1 mm)
+  double wire_capacitance_per_unit = 200;  // fF per die unit
+  double primary_input_slew = 40.0;        // ps
+  double clock_slew = 30.0;                // ps, drives DFF clk->Q lookup
+  double primary_output_cap = 5.0;         // fF pad load
+  double min_slew = 2.0;                   // ps floor
+  WireModel wire_model = WireModel::kStarHpwl;
+};
+
+/// Cell collection with (function, arity) lookup.
+class CellLibrary {
+ public:
+  /// Registers a cell; (function, arity) pairs must be unique.
+  void add_cell(TimingCell cell);
+
+  /// The cell for a gate's function and fanin count. Arity clamps to the
+  /// largest characterized arity of that function (ISCAS gates can have
+  /// wide fanin). Throws for functions with no cells (INPUT/OUTPUT).
+  const TimingCell& cell_for(circuit::CellFunction function,
+                             std::size_t arity) const;
+
+  const std::vector<TimingCell>& cells() const { return cells_; }
+  const Technology& technology() const { return technology_; }
+  void set_technology(const Technology& tech) { technology_ = tech; }
+
+  /// The default synthetic 90nm-like library: BUF/INV, 2-4 input
+  /// AND/NAND/OR/NOR/XOR/XNOR, and DFF.
+  static CellLibrary default_90nm();
+
+ private:
+  std::vector<TimingCell> cells_;
+  Technology technology_;
+};
+
+}  // namespace sckl::timing

@@ -1,0 +1,72 @@
+#include "timing/critical_path.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sckl::timing {
+
+CriticalPath extract_critical_path(const StaEngine& engine,
+                                   const StaResult& result,
+                                   const StaTrace& trace) {
+  const circuit::Netlist& netlist = engine.netlist();
+  require(trace.arrival.size() == netlist.num_gates_total(),
+          "extract_critical_path: trace does not match the netlist");
+  require(result.endpoint_arrival.size() == engine.num_endpoints(),
+          "extract_critical_path: result does not match the engine");
+
+  // Worst endpoint.
+  std::size_t worst_index = 0;
+  for (std::size_t e = 1; e < result.endpoint_arrival.size(); ++e)
+    if (result.endpoint_arrival[e] > result.endpoint_arrival[worst_index])
+      worst_index = e;
+
+  CriticalPath path;
+  path.endpoint = engine.endpoints()[worst_index];
+  path.delay = result.endpoint_arrival[worst_index];
+
+  // Walk back: endpoint input -> driving gate -> worst arc chain.
+  std::vector<std::size_t> reversed;
+  std::size_t gate = netlist.gate(path.endpoint).fanin[0];
+  while (true) {
+    reversed.push_back(gate);
+    const std::size_t arc = trace.worst_arc[gate];
+    if (arc == static_cast<std::size_t>(-1)) break;  // startpoint reached
+    gate = netlist.gate(gate).fanin[arc];
+  }
+  std::reverse(reversed.begin(), reversed.end());
+
+  double previous_arrival = 0.0;
+  for (std::size_t g : reversed) {
+    CriticalPathStep step;
+    step.gate = g;
+    step.arrival = trace.arrival[g];
+    step.slew = trace.slew[g];
+    step.increment = step.arrival - previous_arrival;
+    previous_arrival = step.arrival;
+    path.steps.push_back(step);
+  }
+  return path;
+}
+
+std::string format_critical_path(const circuit::Netlist& netlist,
+                                 const CriticalPath& path) {
+  std::ostringstream out;
+  out << "Critical path to endpoint '" << netlist.gate(path.endpoint).name
+      << "' (" << path.delay << " ps):\n";
+  out << "  " << std::setw(16) << "gate" << std::setw(8) << "cell"
+      << std::setw(12) << "arrival" << std::setw(12) << "slew"
+      << std::setw(12) << "incr" << '\n';
+  for (const auto& step : path.steps) {
+    const circuit::Gate& gate = netlist.gate(step.gate);
+    out << "  " << std::setw(16) << gate.name << std::setw(8)
+        << circuit::cell_function_name(gate.function) << std::setw(12)
+        << step.arrival << std::setw(12) << step.slew << std::setw(12)
+        << step.increment << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sckl::timing

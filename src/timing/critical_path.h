@@ -1,0 +1,43 @@
+// Critical-path extraction and reporting.
+//
+// Production STA reports the worst path, not just the endpoint arrival.
+// Given a traced STA run, walk back from the worst endpoint through each
+// gate's worst input arc to the launching startpoint, and format the result
+// as a classic timing report (gate, cell, arrival, slew, incremental
+// delay). Used by the ssta_flow example and by tests that pin down the
+// engine's max-propagation semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "timing/sta.h"
+
+namespace sckl::timing {
+
+/// One traversal step of a critical path, startpoint first.
+struct CriticalPathStep {
+  std::size_t gate = 0;     // netlist gate index
+  double arrival = 0.0;     // arrival at the gate's output (ps)
+  double slew = 0.0;        // slew at the gate's output (ps)
+  double increment = 0.0;   // delay added by this step (gate + wire in)
+};
+
+/// A complete worst path.
+struct CriticalPath {
+  std::vector<CriticalPathStep> steps;  // startpoint ... last gate
+  std::size_t endpoint = 0;             // endpoint gate index
+  double delay = 0.0;                   // endpoint arrival
+};
+
+/// Extracts the worst path of a traced run. `result`/`trace` must come from
+/// the same StaEngine::run call.
+CriticalPath extract_critical_path(const StaEngine& engine,
+                                   const StaResult& result,
+                                   const StaTrace& trace);
+
+/// Formats a path as a human-readable timing report.
+std::string format_critical_path(const circuit::Netlist& netlist,
+                                 const CriticalPath& path);
+
+}  // namespace sckl::timing

@@ -1,0 +1,234 @@
+#include "timing/library_io.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sckl::timing {
+namespace {
+
+using circuit::CellFunction;
+
+CellFunction function_from_name(const std::string& name) {
+  for (CellFunction f :
+       {CellFunction::kBuf, CellFunction::kInv, CellFunction::kAnd,
+        CellFunction::kNand, CellFunction::kOr, CellFunction::kNor,
+        CellFunction::kXor, CellFunction::kXnor, CellFunction::kDff}) {
+    if (name == circuit::cell_function_name(f)) return f;
+  }
+  require(false, "parse_library: unknown cell function '" + name + "'");
+  return CellFunction::kBuf;  // unreachable
+}
+
+void write_axis(std::ostringstream& out, const char* name,
+                const std::vector<double>& axis) {
+  out << "    " << name;
+  for (double v : axis) out << ' ' << v;
+  out << '\n';
+}
+
+void write_table_values(std::ostringstream& out, const char* name,
+                        const NldmTable& table) {
+  out << "    " << name << " {\n";
+  for (double s : table.slew_axis()) {
+    out << "     ";
+    for (double c : table.load_axis()) out << ' ' << table.lookup(s, c);
+    out << '\n';
+  }
+  out << "    }\n";
+}
+
+void write_sensitivity(std::ostringstream& out, const char* name,
+                       const RankOneQuadratic& s) {
+  out << "    " << name << " linear";
+  for (double v : s.linear) out << ' ' << v;
+  out << " direction";
+  for (double v : s.direction) out << ' ' << v;
+  out << " quadratic " << s.quadratic << '\n';
+}
+
+// Token stream with one-token lookahead and typed extraction.
+class Tokens {
+ public:
+  explicit Tokens(const std::string& text) {
+    std::istringstream in(text);
+    std::string token;
+    while (in >> token) tokens_.push_back(token);
+  }
+
+  bool done() const { return next_ >= tokens_.size(); }
+
+  const std::string& peek() const {
+    require(!done(), "parse_library: unexpected end of input");
+    return tokens_[next_];
+  }
+
+  std::string take() {
+    require(!done(), "parse_library: unexpected end of input");
+    return tokens_[next_++];
+  }
+
+  void expect(const std::string& token) {
+    const std::string got = take();
+    require(got == token, "parse_library: expected '" + token + "', got '" +
+                              got + "'");
+  }
+
+  double number() {
+    const std::string token = take();
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      require(used == token.size(), "parse_library: bad number '" + token +
+                                        "'");
+      return value;
+    } catch (const std::exception&) {
+      require(false, "parse_library: bad number '" + token + "'");
+      return 0.0;
+    }
+  }
+
+  std::string quoted() {
+    std::string token = take();
+    require(token.size() >= 2 && token.front() == '"' && token.back() == '"',
+            "parse_library: expected quoted string, got '" + token + "'");
+    return token.substr(1, token.size() - 2);
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t next_ = 0;
+};
+
+std::vector<double> read_numbers_until(Tokens& tokens,
+                                       const std::string& sentinel) {
+  std::vector<double> values;
+  while (tokens.peek() != sentinel) values.push_back(tokens.number());
+  return values;
+}
+
+NldmTable read_table(Tokens& tokens, const std::vector<double>& slew_axis,
+                     const std::vector<double>& load_axis) {
+  tokens.expect("{");
+  std::vector<std::vector<double>> rows;
+  for (std::size_t r = 0; r < slew_axis.size(); ++r) {
+    std::vector<double> row;
+    for (std::size_t c = 0; c < load_axis.size(); ++c)
+      row.push_back(tokens.number());
+    rows.push_back(std::move(row));
+  }
+  tokens.expect("}");
+  return NldmTable(slew_axis, load_axis, std::move(rows));
+}
+
+RankOneQuadratic read_sensitivity(Tokens& tokens) {
+  RankOneQuadratic s;
+  tokens.expect("linear");
+  for (auto& v : s.linear) v = tokens.number();
+  tokens.expect("direction");
+  for (auto& v : s.direction) v = tokens.number();
+  tokens.expect("quadratic");
+  s.quadratic = tokens.number();
+  return s;
+}
+
+}  // namespace
+
+std::string write_library(const CellLibrary& library,
+                          const std::string& name) {
+  std::ostringstream out;
+  out.precision(17);
+  const Technology& tech = library.technology();
+  out << "library \"" << name << "\" {\n";
+  out << "  technology { wire_res " << tech.wire_resistance_per_unit
+      << " wire_cap " << tech.wire_capacitance_per_unit << " input_slew "
+      << tech.primary_input_slew << " clock_slew " << tech.clock_slew
+      << " output_cap " << tech.primary_output_cap << " min_slew "
+      << tech.min_slew << " wire_model "
+      << (tech.wire_model == WireModel::kSharedTrunkTree ? 1 : 0) << " }\n";
+  for (const TimingCell& cell : library.cells()) {
+    out << "  cell \"" << cell.name << "\" function "
+        << circuit::cell_function_name(cell.function) << " arity "
+        << cell.arity << " input_cap " << cell.input_cap << " {\n";
+    std::ostringstream body;
+    body.precision(17);
+    write_axis(body, "slew_axis", cell.delay.slew_axis());
+    write_axis(body, "load_axis", cell.delay.load_axis());
+    write_table_values(body, "delay", cell.delay);
+    write_table_values(body, "output_slew", cell.output_slew);
+    write_sensitivity(body, "delay_sens", cell.delay_sensitivity);
+    write_sensitivity(body, "slew_sens", cell.slew_sensitivity);
+    out << body.str() << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+CellLibrary parse_library(const std::string& text) {
+  Tokens tokens(text);
+  CellLibrary library;
+  tokens.expect("library");
+  tokens.quoted();  // library name (informational)
+  tokens.expect("{");
+
+  tokens.expect("technology");
+  tokens.expect("{");
+  Technology tech;
+  while (tokens.peek() != "}") {
+    const std::string key = tokens.take();
+    const double value = tokens.number();
+    if (key == "wire_res") {
+      tech.wire_resistance_per_unit = value;
+    } else if (key == "wire_cap") {
+      tech.wire_capacitance_per_unit = value;
+    } else if (key == "input_slew") {
+      tech.primary_input_slew = value;
+    } else if (key == "clock_slew") {
+      tech.clock_slew = value;
+    } else if (key == "output_cap") {
+      tech.primary_output_cap = value;
+    } else if (key == "min_slew") {
+      tech.min_slew = value;
+    } else if (key == "wire_model") {
+      tech.wire_model = value != 0.0 ? WireModel::kSharedTrunkTree
+                                     : WireModel::kStarHpwl;
+    } else {
+      require(false, "parse_library: unknown technology key '" + key + "'");
+    }
+  }
+  tokens.expect("}");
+  library.set_technology(tech);
+
+  while (tokens.peek() != "}") {
+    tokens.expect("cell");
+    TimingCell cell;
+    cell.name = tokens.quoted();
+    tokens.expect("function");
+    cell.function = function_from_name(tokens.take());
+    tokens.expect("arity");
+    cell.arity = static_cast<std::size_t>(tokens.number());
+    tokens.expect("input_cap");
+    cell.input_cap = tokens.number();
+    tokens.expect("{");
+    tokens.expect("slew_axis");
+    const std::vector<double> slew_axis =
+        read_numbers_until(tokens, "load_axis");
+    tokens.expect("load_axis");
+    const std::vector<double> load_axis = read_numbers_until(tokens, "delay");
+    tokens.expect("delay");
+    cell.delay = read_table(tokens, slew_axis, load_axis);
+    tokens.expect("output_slew");
+    cell.output_slew = read_table(tokens, slew_axis, load_axis);
+    tokens.expect("delay_sens");
+    cell.delay_sensitivity = read_sensitivity(tokens);
+    tokens.expect("slew_sens");
+    cell.slew_sensitivity = read_sensitivity(tokens);
+    tokens.expect("}");
+    library.add_cell(std::move(cell));
+  }
+  tokens.expect("}");
+  return library;
+}
+
+}  // namespace sckl::timing

@@ -1,0 +1,36 @@
+// Cell-library text serialization (a Liberty-flavored format).
+//
+// Real flows characterize libraries once and ship them as text; this module
+// round-trips a CellLibrary through a compact, diff-friendly format:
+//
+//   library "sckl_90nm" {
+//     technology { wire_res 0.2  wire_cap 200 ... }
+//     cell "NAND2" function NAND arity 2 input_cap 2.2 {
+//       slew_axis 5 20 60 150 400
+//       load_axis 0.5 2 8 25 80
+//       delay { <5 rows x 5 cols of values> }
+//       output_slew { ... }
+//       delay_sens linear a b c d direction a b c d quadratic g
+//       slew_sens ...
+//     }
+//   }
+//
+// The parser is whitespace-token based and reports the offending token on
+// malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "timing/cell_library.h"
+
+namespace sckl::timing {
+
+/// Serializes a library (cells + technology) to text.
+std::string write_library(const CellLibrary& library,
+                          const std::string& name = "sckl_90nm");
+
+/// Parses a library from text produced by write_library (round-trippable).
+CellLibrary parse_library(const std::string& text);
+
+}  // namespace sckl::timing

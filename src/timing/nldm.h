@@ -1,0 +1,37 @@
+// NLDM-style two-dimensional timing tables.
+//
+// Gate delay and output slew are table lookups over (input slew, output
+// load), the standard non-linear delay model of Liberty-characterized
+// libraries. Lookups bilinearly interpolate inside the characterized grid
+// and linearly extrapolate at the edges (clamped axes), matching common STA
+// practice.
+#pragma once
+
+#include <vector>
+
+namespace sckl::timing {
+
+/// Monotone axis + value grid; values[i][j] corresponds to
+/// (slew_axis[i], load_axis[j]).
+class NldmTable {
+ public:
+  NldmTable() = default;
+
+  /// Builds a table. Axes must be strictly increasing and the value grid
+  /// must be slew_axis.size() x load_axis.size().
+  NldmTable(std::vector<double> slew_axis, std::vector<double> load_axis,
+            std::vector<std::vector<double>> values);
+
+  /// Bilinear interpolation with edge extrapolation.
+  double lookup(double input_slew, double load) const;
+
+  const std::vector<double>& slew_axis() const { return slew_axis_; }
+  const std::vector<double>& load_axis() const { return load_axis_; }
+
+ private:
+  std::vector<double> slew_axis_;
+  std::vector<double> load_axis_;
+  std::vector<std::vector<double>> values_;
+};
+
+}  // namespace sckl::timing

@@ -1,0 +1,70 @@
+#include "timing/rc_tree.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sckl::timing {
+
+RcTree::RcTree() {
+  // Root: no parent resistance; parent index is itself.
+  parent_.push_back(0);
+  resistance_.push_back(0.0);
+  capacitance_.push_back(0.0);
+}
+
+std::size_t RcTree::add_node(std::size_t parent, double resistance,
+                             double capacitance) {
+  require(parent < parent_.size(), "RcTree::add_node: bad parent");
+  require(resistance >= 0.0 && capacitance >= 0.0,
+          "RcTree::add_node: negative R or C");
+  parent_.push_back(parent);
+  resistance_.push_back(resistance);
+  capacitance_.push_back(capacitance);
+  return parent_.size() - 1;
+}
+
+void RcTree::add_capacitance(std::size_t node, double capacitance) {
+  require(node < parent_.size(), "RcTree::add_capacitance: bad node");
+  require(capacitance >= 0.0, "RcTree::add_capacitance: negative C");
+  capacitance_[node] += capacitance;
+}
+
+double RcTree::total_capacitance() const {
+  double total = 0.0;
+  for (double c : capacitance_) total += c;
+  return total;
+}
+
+std::vector<double> RcTree::elmore_delays() const {
+  const std::size_t n = parent_.size();
+  // Children are always appended after their parent, so index order is a
+  // valid topological order: reverse for downstream caps, forward for
+  // delay accumulation.
+  std::vector<double> downstream = capacitance_;
+  for (std::size_t i = n; i-- > 1;) downstream[parent_[i]] += downstream[i];
+  std::vector<double> delay(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i)
+    delay[i] = delay[parent_[i]] + resistance_[i] * downstream[i];
+  return delay;
+}
+
+double RcTree::elmore_delay_to(std::size_t node) const {
+  require(node < parent_.size(), "RcTree::elmore_delay_to: bad node");
+  return elmore_delays()[node];
+}
+
+double bakoglu_step_slew(double elmore_delay) {
+  // 10-90% rise time of a single-pole response: t = ln(9) * tau.
+  return std::log(9.0) * elmore_delay;
+}
+
+double peri_slew(double input_slew, double step_slew) {
+  return std::sqrt(input_slew * input_slew + step_slew * step_slew);
+}
+
+double wire_output_slew(double input_slew, double elmore_delay) {
+  return peri_slew(input_slew, bakoglu_step_slew(elmore_delay));
+}
+
+}  // namespace sckl::timing

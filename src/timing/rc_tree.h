@@ -1,0 +1,59 @@
+// RC interconnect trees: Elmore delay and PERI/Bakoglu slew.
+//
+// Wire delay uses the Elmore metric [19] (first moment of the impulse
+// response): delay(sink) = sum over tree nodes k of R(common path) * C_k,
+// computed with the classic two-pass algorithm (downstream capacitance,
+// then delay accumulation). Wire slew follows PERI [20] with the Bakoglu
+// step-response metric [21]: step_slew = ln(9) * elmore, and the ramp
+// response composes as out^2 = in^2 + step^2.
+//
+// Units everywhere in the timing layer: ps, kOhm, fF (kOhm x fF = ps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sckl::timing {
+
+/// Rooted RC tree. Node 0 is the root (driver output); every other node
+/// hangs off its parent through a resistance.
+class RcTree {
+ public:
+  RcTree();
+
+  /// Adds a node connected to `parent` through `resistance`, carrying
+  /// `capacitance` to ground; returns the node id.
+  std::size_t add_node(std::size_t parent, double resistance,
+                       double capacitance);
+
+  /// Adds extra grounded capacitance (e.g. a sink pin cap) at a node.
+  void add_capacitance(std::size_t node, double capacitance);
+
+  std::size_t num_nodes() const { return parent_.size(); }
+
+  /// Total capacitance of the tree — the driver's load.
+  double total_capacitance() const;
+
+  /// Elmore delays from the root to every node (root entry is 0).
+  std::vector<double> elmore_delays() const;
+
+  /// Elmore delay to one node.
+  double elmore_delay_to(std::size_t node) const;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<double> resistance_;
+  std::vector<double> capacitance_;
+};
+
+/// Bakoglu step-response slew of a node with the given Elmore delay.
+double bakoglu_step_slew(double elmore_delay);
+
+/// PERI slew propagation: ramp input of slew `input_slew` through a stage
+/// whose step response slew is `step_slew`.
+double peri_slew(double input_slew, double step_slew);
+
+/// Convenience: output slew at a wire sink = PERI(input, Bakoglu(elmore)).
+double wire_output_slew(double input_slew, double elmore_delay);
+
+}  // namespace sckl::timing

@@ -1,0 +1,70 @@
+#include "timing/slack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "timing/rc_tree.h"
+
+namespace sckl::timing {
+
+SlackReport compute_slacks(const StaEngine& engine, const StaTrace& trace,
+                           double required_time) {
+  const circuit::Netlist& netlist = engine.netlist();
+  const std::size_t n = netlist.num_gates_total();
+  require(trace.arrival.size() == n, "compute_slacks: trace/netlist mismatch");
+
+  SlackReport report;
+  report.required_time = required_time;
+  report.required.assign(n, std::numeric_limits<double>::infinity());
+
+  const auto& order = engine.levelization().topological_order;
+  const Technology& technology = engine.technology();
+
+  // Seed endpoints: the required time applies at the endpoint input pin, so
+  // the driving gate's output must satisfy required_time - wire.
+  for (std::size_t endpoint : engine.endpoints()) {
+    const circuit::Gate& gate = netlist.gate(endpoint);
+    const std::size_t u = gate.fanin[0];
+    report.required[u] = std::min(report.required[u],
+                                  required_time -
+                                      engine.edge_elmore(endpoint, 0));
+  }
+
+  // Reverse topological pass over combinational arcs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    const circuit::Gate& gate = netlist.gate(v);
+    if (gate.function == circuit::CellFunction::kInput ||
+        gate.function == circuit::CellFunction::kOutput ||
+        gate.function == circuit::CellFunction::kDff)
+      continue;  // startpoints/endpoints seeded above; pads have no arcs
+    if (report.required[v] ==
+        std::numeric_limits<double>::infinity())
+      continue;  // drives nothing constrained
+    const TimingCell& cell = *engine.cell(v);
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      const std::size_t u = gate.fanin[k];
+      const double wire = engine.edge_elmore(v, k);
+      const double in_slew = std::max(
+          technology.min_slew, wire_output_slew(trace.slew[u], wire));
+      const double arc_delay =
+          cell.delay.lookup(in_slew, engine.load_capacitance(v));
+      report.required[u] = std::min(
+          report.required[u], report.required[v] - arc_delay - wire);
+    }
+  }
+
+  report.slack.assign(n, std::numeric_limits<double>::infinity());
+  report.worst_slack = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 0; g < n; ++g) {
+    if (report.required[g] == std::numeric_limits<double>::infinity())
+      continue;
+    report.slack[g] = report.required[g] - trace.arrival[g];
+    report.worst_slack = std::min(report.worst_slack, report.slack[g]);
+    if (report.slack[g] < 0.0) ++report.num_negative;
+  }
+  return report;
+}
+
+}  // namespace sckl::timing

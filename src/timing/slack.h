@@ -1,0 +1,32 @@
+// Required-time / slack analysis (the backward STA pass).
+//
+// Given a forward trace and a timing constraint (required arrival at every
+// endpoint), propagate required times backward through the worst-arc graph:
+//   required(u) = min over fanout arcs (u -> v, arc k) of
+//                 required(v) - arc_delay(v, k) - wire(v, k)
+// and report slack = required - arrival per gate. Slack is how production
+// STA ranks criticality; the tests pin the invariants (critical-path gates
+// share the worst slack; slacks are monotone along any path).
+#pragma once
+
+#include <vector>
+
+#include "timing/sta.h"
+
+namespace sckl::timing {
+
+/// Slack analysis of one traced STA evaluation.
+struct SlackReport {
+  double required_time = 0.0;      // endpoint constraint used
+  std::vector<double> required;    // per gate output (+inf if unconstrained)
+  std::vector<double> slack;       // per gate output
+  double worst_slack = 0.0;        // min over all gates
+  std::size_t num_negative = 0;    // gates with slack < 0
+};
+
+/// Computes slacks for the given traced run under `required_time` at every
+/// endpoint. `trace` must come from `engine.run(..., &trace)`.
+SlackReport compute_slacks(const StaEngine& engine, const StaTrace& trace,
+                           double required_time);
+
+}  // namespace sckl::timing

@@ -1,0 +1,233 @@
+#include "timing/sta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "timing/rc_tree.h"
+
+namespace sckl::timing {
+
+using circuit::CellFunction;
+
+StaEngine::StaEngine(const circuit::Netlist& netlist,
+                     const placer::Placement& placement,
+                     const CellLibrary& library)
+    : netlist_(netlist),
+      library_(library),
+      levelization_(circuit::levelize(netlist)),
+      technology_(library.technology()) {
+  require(placement.location.size() == netlist.num_gates_total(),
+          "StaEngine: placement does not cover the netlist");
+  const std::size_t n = netlist.num_gates_total();
+  cell_.assign(n, nullptr);
+  load_cap_.assign(n, 0.0);
+  edge_elmore_.assign(n, {});
+  physical_index_.assign(n, kNoPhysical);
+
+  for (std::size_t c = 0; c < netlist.physical_gates().size(); ++c)
+    physical_index_[netlist.physical_gates()[c]] = c;
+
+  for (std::size_t g = 0; g < n; ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    if (gate.function != CellFunction::kInput &&
+        gate.function != CellFunction::kOutput)
+      cell_[g] = &library.cell_for(gate.function, gate.fanin.size());
+  }
+
+  // Wire parasitics, per the selected interconnect model.
+  const double r_unit = technology_.wire_resistance_per_unit;
+  const double c_unit = technology_.wire_capacitance_per_unit;
+  auto pin_cap_of = [this](std::size_t sink) {
+    return cell_[sink] != nullptr ? cell_[sink]->input_cap
+                                  : technology_.primary_output_cap;
+  };
+
+  // Per-sink wire delay, filled below and gathered into edge_elmore_.
+  std::vector<std::vector<double>> sink_elmore(n);
+
+  for (std::size_t g = 0; g < n; ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    sink_elmore[g].assign(gate.fanout.size(), 0.0);
+    if (gate.fanout.empty()) {
+      load_cap_[g] = 0.0;
+      continue;
+    }
+    const geometry::Point2 at = placement.location[g];
+
+    if (technology_.wire_model == WireModel::kStarHpwl) {
+      // The paper's model: driver load C = c_unit * HPWL + pin caps; each
+      // sink sees an independent segment of its Manhattan length,
+      // elmore = R_seg (C_seg/2 + C_pin).
+      double min_x = at.x;
+      double max_x = at.x;
+      double min_y = at.y;
+      double max_y = at.y;
+      double pin_cap = 0.0;
+      for (std::size_t s = 0; s < gate.fanout.size(); ++s) {
+        const std::size_t sink = gate.fanout[s];
+        const geometry::Point2 q = placement.location[sink];
+        min_x = std::min(min_x, q.x);
+        max_x = std::max(max_x, q.x);
+        min_y = std::min(min_y, q.y);
+        max_y = std::max(max_y, q.y);
+        pin_cap += pin_cap_of(sink);
+        const double length = geometry::manhattan_distance(at, q);
+        const double seg_r = r_unit * length;
+        const double seg_c = c_unit * length;
+        sink_elmore[g][s] = seg_r * (0.5 * seg_c + pin_cap_of(sink));
+      }
+      const double hpwl = (max_x - min_x) + (max_y - min_y);
+      load_cap_[g] = c_unit * hpwl + pin_cap;
+    } else {
+      // Shared-trunk RC tree: driver -> net center of mass -> sinks, each
+      // segment as an RC pi (half the segment cap at each end). Sinks share
+      // the trunk's delay, as on a routed net.
+      geometry::Point2 center = at;
+      for (std::size_t sink : gate.fanout)
+        center = center + placement.location[sink];
+      center = (1.0 / static_cast<double>(gate.fanout.size() + 1)) * center;
+
+      RcTree tree;
+      const double trunk_length = geometry::manhattan_distance(at, center);
+      const double trunk_c = c_unit * trunk_length;
+      const std::size_t trunk_node =
+          tree.add_node(0, r_unit * trunk_length, 0.5 * trunk_c);
+      tree.add_capacitance(0, 0.5 * trunk_c);
+      std::vector<std::size_t> sink_nodes;
+      sink_nodes.reserve(gate.fanout.size());
+      for (std::size_t sink : gate.fanout) {
+        const double branch_length = geometry::manhattan_distance(
+            center, placement.location[sink]);
+        const double branch_c = c_unit * branch_length;
+        const std::size_t node = tree.add_node(
+            trunk_node, r_unit * branch_length,
+            0.5 * branch_c + pin_cap_of(sink));
+        tree.add_capacitance(trunk_node, 0.5 * branch_c);
+        sink_nodes.push_back(node);
+      }
+      const std::vector<double> delays = tree.elmore_delays();
+      for (std::size_t s = 0; s < sink_nodes.size(); ++s)
+        sink_elmore[g][s] = delays[sink_nodes[s]];
+      load_cap_[g] = tree.total_capacitance();
+    }
+  }
+
+  // Gather per-sink delays into fanin-indexed form. A gate can appear
+  // multiple times in a driver's fanout (multi-pin connections); consume
+  // occurrences in order.
+  std::vector<std::size_t> cursor(n, 0);
+  for (std::size_t g = 0; g < n; ++g) {
+    const circuit::Gate& gate = netlist.gate(g);
+    edge_elmore_[g].resize(gate.fanin.size(), 0.0);
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      const std::size_t driver = gate.fanin[k];
+      const circuit::Gate& drv = netlist.gate(driver);
+      std::size_t slot = cursor[driver]++;
+      // Locate this gate among the driver's fanout starting at `slot`.
+      while (slot < drv.fanout.size() && drv.fanout[slot] != g) ++slot;
+      ensure(slot < drv.fanout.size(),
+             "StaEngine: fanout/fanin inconsistency");
+      cursor[driver] = slot + 1;
+      edge_elmore_[g][k] = sink_elmore[driver][slot];
+    }
+  }
+}
+
+double StaEngine::delay_factor(std::size_t gate,
+                               const ParameterView& parameters,
+                               const RankOneQuadratic& sensitivity) const {
+  const std::size_t index = physical_index_[gate];
+  if (index == kNoPhysical) return 1.0;
+  StatVector p{};
+  for (std::size_t j = 0; j < kNumStatParameters; ++j)
+    p[j] = parameters[j] != nullptr ? parameters[j][index] : 0.0;
+  return sensitivity.factor(p);
+}
+
+StaResult StaEngine::run(const ParameterView& parameters,
+                         StaTrace* trace) const {
+  const std::size_t n = netlist_.num_gates_total();
+  std::vector<double> arrival(n, 0.0);
+  std::vector<double> slew(n, technology_.min_slew);
+  std::vector<std::size_t> worst_arc;
+  if (trace != nullptr)
+    worst_arc.assign(n, static_cast<std::size_t>(-1));
+
+  for (std::size_t g : levelization_.topological_order) {
+    const circuit::Gate& gate = netlist_.gate(g);
+    switch (gate.function) {
+      case CellFunction::kInput:
+        arrival[g] = 0.0;
+        slew[g] = technology_.primary_input_slew;
+        break;
+      case CellFunction::kOutput:
+        break;  // endpoint; evaluated below
+      case CellFunction::kDff: {
+        // Launch: clk -> Q through the sequential cell.
+        const TimingCell& cell = *cell_[g];
+        const double df =
+            delay_factor(g, parameters, cell.delay_sensitivity);
+        const double sf =
+            delay_factor(g, parameters, cell.slew_sensitivity);
+        arrival[g] =
+            cell.delay.lookup(technology_.clock_slew, load_cap_[g]) * df;
+        slew[g] = std::max(
+            technology_.min_slew,
+            cell.output_slew.lookup(technology_.clock_slew, load_cap_[g]) *
+                sf);
+        break;
+      }
+      default: {
+        const TimingCell& cell = *cell_[g];
+        const double df =
+            delay_factor(g, parameters, cell.delay_sensitivity);
+        const double sf =
+            delay_factor(g, parameters, cell.slew_sensitivity);
+        double best_arrival = 0.0;
+        double best_slew = technology_.min_slew;
+        for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+          const std::size_t u = gate.fanin[k];
+          const double wire = edge_elmore_[g][k];
+          const double in_arrival = arrival[u] + wire;
+          const double in_slew =
+              std::max(technology_.min_slew, wire_output_slew(slew[u], wire));
+          const double d = cell.delay.lookup(in_slew, load_cap_[g]) * df;
+          const double candidate = in_arrival + d;
+          if (k == 0 || candidate > best_arrival) {
+            best_arrival = candidate;
+            best_slew = cell.output_slew.lookup(in_slew, load_cap_[g]) * sf;
+            if (trace != nullptr) worst_arc[g] = k;
+          }
+        }
+        arrival[g] = best_arrival;
+        slew[g] = std::max(technology_.min_slew, best_slew);
+        break;
+      }
+    }
+  }
+
+  StaResult result;
+  result.endpoint_arrival.reserve(levelization_.endpoints.size());
+  for (std::size_t endpoint : levelization_.endpoints) {
+    const circuit::Gate& gate = netlist_.gate(endpoint);
+    // Endpoint arrival is at the *input* pin: fanin arrival plus its wire.
+    ensure(!gate.fanin.empty(), "StaEngine: endpoint without fanin");
+    const std::size_t u = gate.fanin[0];
+    const double value = arrival[u] + edge_elmore_[endpoint][0];
+    result.endpoint_arrival.push_back(value);
+    result.worst_delay = std::max(result.worst_delay, value);
+  }
+  if (trace != nullptr) {
+    trace->arrival = std::move(arrival);
+    trace->slew = std::move(slew);
+    trace->worst_arc = std::move(worst_arc);
+  }
+  return result;
+}
+
+StaResult StaEngine::run_nominal(StaTrace* trace) const {
+  return run(ParameterView{nullptr, nullptr, nullptr, nullptr}, trace);
+}
+
+}  // namespace sckl::timing

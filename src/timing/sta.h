@@ -1,0 +1,110 @@
+// Block-based static timing analysis engine.
+//
+// This is the "core timer inside the Monte Carlo loops" of Sec. 5.1:
+//  - Elmore wire delay [19] on star RC nets derived from the placement,
+//  - PERI wire slew [20] with the Bakoglu step metric [21],
+//  - NLDM gate delay / output slew scaled by rank-one quadratic functions
+//    [22] of the four statistical parameters (L, W, Vt, tox),
+//  - forward propagation of arrival times and slews in topological order,
+//    max at merges; DFFs launch at their clk->Q delay and capture at their
+//    D pin; worst delay is the max over all endpoints (POs + DFF D pins).
+// All structure (levelization, cells, wire parasitics, edge Elmore delays)
+// is precomputed at construction; run() is then allocation-light and called
+// once per Monte Carlo sample.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/levelize.h"
+#include "placer/recursive_placer.h"
+#include "timing/cell_library.h"
+
+namespace sckl::timing {
+
+/// Per-sample statistical parameter inputs: for each of the 4 parameters, a
+/// pointer to N_physical_gates normalized values (physical_gates() order),
+/// or nullptr for nominal (all zeros).
+using ParameterView = std::array<const double*, kNumStatParameters>;
+
+/// Result of one STA evaluation.
+struct StaResult {
+  /// Arrival time per endpoint, aligned with StaEngine::endpoints().
+  std::vector<double> endpoint_arrival;
+  /// Worst (largest) endpoint arrival — the circuit delay.
+  double worst_delay = 0.0;
+};
+
+/// Per-gate internals of one STA evaluation, for consumers that need more
+/// than endpoint arrivals (critical-path extraction, the canonical SSTA's
+/// nominal linearization point).
+struct StaTrace {
+  std::vector<double> arrival;      // per gate (output pin)
+  std::vector<double> slew;         // per gate (output pin)
+  /// Index into gate.fanin of the arc that set the gate's arrival
+  /// (SIZE_MAX for startpoints).
+  std::vector<std::size_t> worst_arc;
+};
+
+/// Precompiled timing view of one placed netlist.
+class StaEngine {
+ public:
+  StaEngine(const circuit::Netlist& netlist,
+            const placer::Placement& placement, const CellLibrary& library);
+
+  /// Timing endpoints: primary outputs, then flip-flop D pins.
+  const std::vector<std::size_t>& endpoints() const {
+    return levelization_.endpoints;
+  }
+  std::size_t num_endpoints() const { return levelization_.endpoints.size(); }
+
+  /// Logic depth (informational).
+  std::size_t depth() const { return levelization_.depth; }
+
+  /// Runs STA with the given per-gate parameters. When `trace` is non-null
+  /// it receives the per-gate arrivals/slews/worst arcs.
+  StaResult run(const ParameterView& parameters,
+                StaTrace* trace = nullptr) const;
+
+  /// Runs STA at nominal process (all parameters zero).
+  StaResult run_nominal(StaTrace* trace = nullptr) const;
+
+  /// Wire Elmore delay on the arc into fanin k of gate g (precomputed).
+  double edge_elmore(std::size_t gate, std::size_t fanin_index) const {
+    return edge_elmore_[gate][fanin_index];
+  }
+
+  /// Driver load capacitance of gate g's output net.
+  double load_capacitance(std::size_t gate) const { return load_cap_[gate]; }
+
+  /// The characterized cell of gate g (nullptr for pads).
+  const TimingCell* cell(std::size_t gate) const { return cell_[gate]; }
+
+  /// Index of gate g within the physical-gate (sampler) ordering, or
+  /// SIZE_MAX for pads.
+  std::size_t physical_index(std::size_t gate) const {
+    return physical_index_[gate];
+  }
+
+  const Technology& technology() const { return technology_; }
+  const circuit::Levelization& levelization() const { return levelization_; }
+
+  const circuit::Netlist& netlist() const { return netlist_; }
+
+ private:
+  double delay_factor(std::size_t gate, const ParameterView& parameters,
+                      const RankOneQuadratic& sensitivity) const;
+
+  const circuit::Netlist& netlist_;
+  const CellLibrary& library_;
+  circuit::Levelization levelization_;
+  Technology technology_;
+
+  std::vector<const TimingCell*> cell_;       // per gate; nullptr for pads
+  std::vector<double> load_cap_;              // per gate output
+  std::vector<std::vector<double>> edge_elmore_;  // [gate][fanin index]
+  std::vector<std::size_t> physical_index_;   // per gate; npos for pads
+  static constexpr std::size_t kNoPhysical = static_cast<std::size_t>(-1);
+};
+
+}  // namespace sckl::timing

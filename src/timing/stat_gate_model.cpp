@@ -1,0 +1,32 @@
+#include "timing/stat_gate_model.h"
+
+#include <algorithm>
+
+namespace sckl::timing {
+
+const char* stat_parameter_name(std::size_t parameter) {
+  switch (parameter) {
+    case kParamL:
+      return "L";
+    case kParamW:
+      return "W";
+    case kParamVt:
+      return "Vt";
+    case kParamTox:
+      return "tox";
+    default:
+      return "?";
+  }
+}
+
+double RankOneQuadratic::factor(const StatVector& p, double min_factor) const {
+  double lin = 0.0;
+  double proj = 0.0;
+  for (std::size_t i = 0; i < kNumStatParameters; ++i) {
+    lin += linear[i] * p[i];
+    proj += direction[i] * p[i];
+  }
+  return std::max(min_factor, 1.0 + lin + quadratic * proj * proj);
+}
+
+}  // namespace sckl::timing

@@ -1,0 +1,222 @@
+// Tests for src/circuit: netlist construction/validation, the ISCAS .bench
+// parser and writer (round-trip), the synthetic circuit generator (exact
+// paper gate counts), and levelization with sequential cuts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/bench_parser.h"
+#include "circuit/levelize.h"
+#include "circuit/netlist.h"
+#include "circuit/synthetic.h"
+#include "common/error.h"
+
+namespace sckl::circuit {
+namespace {
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist n("t");
+  n.add_gate("a", CellFunction::kInput, {});
+  n.add_gate("b", CellFunction::kInput, {});
+  n.add_gate("g", CellFunction::kNand, {"a", "b"});
+  n.add_gate("g_po", CellFunction::kOutput, {"g"});
+  n.finalize();
+  EXPECT_EQ(n.num_gates_total(), 4u);
+  EXPECT_EQ(n.num_physical_gates(), 1u);
+  EXPECT_EQ(n.primary_inputs().size(), 2u);
+  EXPECT_EQ(n.primary_outputs().size(), 1u);
+  EXPECT_TRUE(n.flip_flops().empty());
+  const Gate& g = n.gate(n.index_of("g"));
+  EXPECT_EQ(g.fanin.size(), 2u);
+  EXPECT_EQ(g.fanout.size(), 1u);
+  EXPECT_TRUE(n.contains("a"));
+  EXPECT_FALSE(n.contains("zz"));
+  EXPECT_THROW(n.index_of("zz"), Error);
+}
+
+TEST(Netlist, ForwardReferencesResolveAtFinalize) {
+  Netlist n("t");
+  n.add_gate("pi", CellFunction::kInput, {});
+  n.add_gate("ff", CellFunction::kDff, {"late"});  // defined below
+  n.add_gate("late", CellFunction::kInv, {"ff"});
+  n.add_gate("late_po", CellFunction::kOutput, {"late"});
+  EXPECT_NO_THROW(n.finalize());
+  EXPECT_EQ(n.flip_flops().size(), 1u);
+}
+
+TEST(Netlist, ValidationErrors) {
+  {
+    Netlist n;
+    n.add_gate("a", CellFunction::kInput, {});
+    EXPECT_THROW(n.add_gate("a", CellFunction::kInput, {}), Error);  // dup
+  }
+  {
+    Netlist n;
+    n.add_gate("a", CellFunction::kInput, {});
+    n.add_gate("g", CellFunction::kInv, {"missing"});
+    n.add_gate("g_po", CellFunction::kOutput, {"g"});
+    EXPECT_THROW(n.finalize(), Error);  // dangling reference
+  }
+  {
+    Netlist n;
+    n.add_gate("a", CellFunction::kInput, {});
+    n.add_gate("g", CellFunction::kNand, {"a"});  // arity violation
+    n.add_gate("g_po", CellFunction::kOutput, {"g"});
+    EXPECT_THROW(n.finalize(), Error);
+  }
+  {
+    Netlist n;
+    n.add_gate("g", CellFunction::kBuf, {"g"});
+    EXPECT_THROW(n.finalize(), Error);  // no PIs
+  }
+}
+
+TEST(BenchParser, ParsesEmbeddedC17) {
+  const Netlist c17 = parse_bench_string(c17_bench_text(), "c17");
+  EXPECT_EQ(c17.primary_inputs().size(), 5u);
+  EXPECT_EQ(c17.primary_outputs().size(), 2u);
+  EXPECT_EQ(c17.num_physical_gates(), 6u);  // six NAND2s
+  for (std::size_t g : c17.physical_gates()) {
+    EXPECT_EQ(c17.gate(g).function, CellFunction::kNand);
+    EXPECT_EQ(c17.gate(g).fanin.size(), 2u);
+  }
+}
+
+TEST(BenchParser, RoundTripPreservesStructure) {
+  const Netlist original = parse_bench_string(c17_bench_text(), "c17");
+  const std::string text = write_bench(original);
+  const Netlist reparsed = parse_bench_string(text, "c17rt");
+  EXPECT_EQ(reparsed.num_gates_total(), original.num_gates_total());
+  EXPECT_EQ(reparsed.num_physical_gates(), original.num_physical_gates());
+  EXPECT_EQ(reparsed.primary_inputs().size(),
+            original.primary_inputs().size());
+  EXPECT_EQ(reparsed.primary_outputs().size(),
+            original.primary_outputs().size());
+}
+
+TEST(BenchParser, HandlesCommentsWhitespaceAndDff) {
+  const std::string text = R"(
+# a sequential fragment
+INPUT( x )
+OUTPUT(q)
+q = DFF( g1 )   # state
+g1 = NOT(x)
+)";
+  const Netlist n = parse_bench_string(text);
+  EXPECT_EQ(n.flip_flops().size(), 1u);
+  EXPECT_EQ(n.num_physical_gates(), 2u);
+}
+
+TEST(BenchParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_bench_string("FOO(x)\n"), Error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ng = BLORP(a)\nOUTPUT(g)\n"),
+               Error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ng = NAND(a, )\nOUTPUT(g)\n"),
+               Error);
+  EXPECT_THROW(parse_bench_file("/nonexistent/path.bench"), Error);
+}
+
+TEST(Synthetic, ExactGateCount) {
+  for (std::size_t target : {10u, 100u, 383u, 2307u}) {
+    SyntheticSpec spec;
+    spec.num_gates = target;
+    spec.seed = 5;
+    const Netlist n = synthetic_circuit(spec);
+    EXPECT_EQ(n.num_physical_gates(), target) << "target " << target;
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.num_gates = 200;
+  spec.seed = 11;
+  const Netlist a = synthetic_circuit(spec);
+  const Netlist b = synthetic_circuit(spec);
+  EXPECT_EQ(write_bench(a), write_bench(b));
+  spec.seed = 12;
+  const Netlist c = synthetic_circuit(spec);
+  EXPECT_NE(write_bench(a), write_bench(c));
+}
+
+TEST(Synthetic, SequentialFractionRespected) {
+  SyntheticSpec spec;
+  spec.num_gates = 1000;
+  spec.dff_fraction = 0.15;
+  const Netlist n = synthetic_circuit(spec);
+  EXPECT_NEAR(static_cast<double>(n.flip_flops().size()), 150.0, 1.0);
+  EXPECT_EQ(n.num_physical_gates(), 1000u);
+}
+
+TEST(Synthetic, GeneratedCircuitsAreLevelizable) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SyntheticSpec spec;
+    spec.num_gates = 500;
+    spec.dff_fraction = 0.2;
+    spec.seed = seed;
+    const Netlist n = synthetic_circuit(spec);
+    const Levelization lv = levelize(n);
+    EXPECT_EQ(lv.topological_order.size(), n.num_gates_total());
+    EXPECT_GT(lv.depth, 3u);  // non-trivial logic depth
+  }
+}
+
+TEST(Synthetic, PaperTableMatchesPaperGateCounts) {
+  const auto& table = paper_circuit_table();
+  ASSERT_EQ(table.size(), 14u);
+  EXPECT_STREQ(table.front().name, "c880");
+  EXPECT_EQ(table.front().num_gates, 383u);
+  EXPECT_STREQ(table.back().name, "s38417");
+  EXPECT_EQ(table.back().num_gates, 22179u);
+  // Spot-build one of each kind.
+  const Netlist comb = make_paper_circuit("c880");
+  EXPECT_EQ(comb.num_physical_gates(), 383u);
+  EXPECT_TRUE(comb.flip_flops().empty());
+  const Netlist seq = make_paper_circuit("s5378");
+  EXPECT_EQ(seq.num_physical_gates(), 2779u);
+  EXPECT_FALSE(seq.flip_flops().empty());
+  EXPECT_THROW(make_paper_circuit("c9999"), Error);
+}
+
+TEST(Levelize, DepthOfC17IsKnown) {
+  const Netlist c17 = parse_bench_string(c17_bench_text(), "c17");
+  const Levelization lv = levelize(c17);
+  // c17: NAND levels 1..3 (gate 22 = NAND(10@1, 16@2)) plus the PO
+  // pseudo-gates at level 4.
+  EXPECT_EQ(lv.depth, 4u);
+  EXPECT_EQ(lv.endpoints.size(), 2u);  // two POs, no DFFs
+  // Topological property: every gate appears after all its fanins (modulo
+  // DFF cuts, absent here).
+  std::vector<std::size_t> position(c17.num_gates_total());
+  for (std::size_t i = 0; i < lv.topological_order.size(); ++i)
+    position[lv.topological_order[i]] = i;
+  for (std::size_t g = 0; g < c17.num_gates_total(); ++g)
+    for (std::size_t f : c17.gate(g).fanin)
+      EXPECT_LT(position[f], position[g]);
+}
+
+TEST(Levelize, DffCutsCombinationalLoop) {
+  // A feedback loop through a DFF must levelize fine.
+  Netlist n("loop");
+  n.add_gate("pi", CellFunction::kInput, {});
+  n.add_gate("ff", CellFunction::kDff, {"g"});
+  n.add_gate("g", CellFunction::kNand, {"pi", "ff"});
+  n.add_gate("g_po", CellFunction::kOutput, {"g"});
+  n.finalize();
+  const Levelization lv = levelize(n);
+  EXPECT_EQ(lv.topological_order.size(), 4u);
+  // Endpoints: the PO and the DFF D pin.
+  EXPECT_EQ(lv.endpoints.size(), 2u);
+}
+
+TEST(Levelize, DetectsCombinationalCycle) {
+  Netlist n("cyc");
+  n.add_gate("pi", CellFunction::kInput, {});
+  n.add_gate("a", CellFunction::kNand, {"pi", "b"});
+  n.add_gate("b", CellFunction::kNand, {"pi", "a"});
+  n.add_gate("a_po", CellFunction::kOutput, {"a"});
+  n.finalize();
+  EXPECT_THROW(levelize(n), Error);
+}
+
+}  // namespace
+}  // namespace sckl::circuit

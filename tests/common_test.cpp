@@ -1,0 +1,279 @@
+// Tests for src/common: error handling, RNG quality/determinism, streaming
+// statistics, table formatting, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace sckl {
+namespace {
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    require(false, "the condition");
+    FAIL() << "require did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the condition"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsureThrowsWithInvariantKind) {
+  try {
+    ensure(false, "broken");
+    FAIL() << "ensure did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Error, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_NO_THROW(ensure(true, "ok"));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 10 - 600);
+    EXPECT_LT(c, draws / 10 + 600);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(11);
+  RunningStats stats;
+  double sum_cubed = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    stats.add(x);
+    sum_cubed += x * x * x;
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+  EXPECT_NEAR(sum_cubed / n, 0.0, 0.03);  // skewness ~ 0
+}
+
+TEST(Rng, NormalWithParametersScales) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(13);
+  Rng child = parent.split();
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(parent.normal(), child.normal());
+  EXPECT_LT(std::abs(acc.correlation()), 0.02);
+}
+
+TEST(Rng, NormalVectorHasRequestedLength) {
+  Rng rng(14);
+  EXPECT_EQ(rng.normal_vector(17).size(), 17u);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> data = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats stats;
+  for (double x : data) stats.add(x);
+  double mean = 0.0;
+  for (double x : data) mean += x;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+  EXPECT_EQ(stats.count(), data.size());
+}
+
+TEST(RunningStats, EmptyAndSingleValueEdgeCases) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(15);
+  RunningStats whole;
+  RunningStats part1;
+  RunningStats part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    whole.add(x);
+    (i % 2 == 0 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(part1.count(), whole.count());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(Covariance, RecoverKnownLinearRelation) {
+  Rng rng(16);
+  CovarianceAccumulator acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.normal();
+    acc.add(x, 2.0 * x + rng.normal());  // cov = 2, corr = 2/sqrt(5)
+  }
+  EXPECT_NEAR(acc.covariance(), 2.0, 0.05);
+  EXPECT_NEAR(acc.correlation(), 2.0 / std::sqrt(5.0), 0.01);
+}
+
+TEST(Covariance, DegenerateInputsGiveZero) {
+  CovarianceAccumulator acc;
+  acc.add(1.0, 1.0);
+  EXPECT_EQ(acc.covariance(), 0.0);
+  EXPECT_EQ(acc.correlation(), 0.0);
+  acc.add(1.0, 2.0);  // x variance is 0
+  EXPECT_EQ(acc.correlation(), 0.0);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  const std::vector<double> values = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0}, 1.1), Error);
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(stddev_of({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+  EXPECT_THROW(mean_of({}), Error);
+  EXPECT_THROW(stddev_of({1.0}), Error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GE(sw.seconds(), 0.0);
+  const double first = sw.seconds();
+  const double second = sw.seconds();
+  EXPECT_LE(first, second);  // monotone across calls
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(TextTable, AlignsColumnsAndFormatsCsv) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_numeric_row({2.5, 3.25}, 2);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.25"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("2.50,3.25"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_NE(format_scientific(12345.0, 2).find("e"), std::string::npos);
+}
+
+TEST(CliFlags, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--alpha=3",  "--beta=2.5",
+                        "--flag",     "positional", "--name=abc",
+                        "--enabled=false"};
+  CliFlags flags(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.get_double("beta", 0.0), 2.5);
+  EXPECT_TRUE(flags.get_bool("flag", false));
+  EXPECT_FALSE(flags.get_bool("enabled", true));
+  EXPECT_EQ(flags.get_string("name", ""), "abc");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(CliFlags, RejectsMalformedValues) {
+  const char* argv[] = {"prog", "--x=abc"};
+  CliFlags flags(2, argv);
+  EXPECT_THROW(flags.get_int("x", 0), Error);
+  EXPECT_THROW(flags.get_double("x", 0.0), Error);
+  EXPECT_THROW(flags.get_bool("x", false), Error);
+}
+
+}  // namespace
+}  // namespace sckl

@@ -1,0 +1,109 @@
+// Tests for kernel extraction from (synthetic) measurement data — the
+// simulated Xiong/Liu workflow: sample a known field at test sites, bin the
+// empirical correlogram, fit a kernel family, recover the ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "field/cholesky_sampler.h"
+#include "kernels/extraction.h"
+#include "kernels/kernel_library.h"
+
+namespace sckl::kernels {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_sites(std::size_t count, Rng& rng) {
+  std::vector<Point2> sites(count);
+  for (auto& s : sites) {
+    s.x = rng.uniform(-1.0, 1.0);
+    s.y = rng.uniform(-1.0, 1.0);
+  }
+  return sites;
+}
+
+TEST(Correlogram, RecoversKernelShape) {
+  const GaussianKernel truth(2.5);
+  Rng rng(5);
+  const auto sites = random_sites(60, rng);
+  const field::CholeskyFieldSampler sampler(truth, sites);
+  linalg::Matrix measurements;
+  sampler.sample_block(4000, rng, measurements);  // 4000 "dies"
+
+  const auto bins = empirical_correlogram(measurements, sites, 12, 2.0);
+  ASSERT_GT(bins.size(), 6u);
+  for (const auto& bin : bins) {
+    EXPECT_NEAR(bin.correlation, truth.radial(bin.distance), 0.08)
+        << "at v=" << bin.distance;
+    EXPECT_GT(bin.num_pairs, 0u);
+  }
+  // Monotone decay within noise: first bin far above last bin.
+  EXPECT_GT(bins.front().correlation, bins.back().correlation + 0.3);
+}
+
+TEST(Correlogram, InputValidation) {
+  linalg::Matrix tiny(2, 3);
+  const std::vector<Point2> sites = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_THROW(empirical_correlogram(tiny, sites, 4, 1.0), Error);  // dies<3
+  linalg::Matrix ok(5, 2);
+  EXPECT_THROW(empirical_correlogram(ok, sites, 4, 1.0), Error);  // mismatch
+  linalg::Matrix good(5, 3);
+  EXPECT_THROW(empirical_correlogram(good, sites, 0, 1.0), Error);
+}
+
+TEST(CorrelogramFit, RecoversDecayParameter) {
+  const double c_true = 2.5;
+  const GaussianKernel truth(c_true);
+  Rng rng(6);
+  const auto sites = random_sites(80, rng);
+  const field::CholeskyFieldSampler sampler(truth, sites);
+  linalg::Matrix measurements;
+  sampler.sample_block(6000, rng, measurements);
+  const auto bins = empirical_correlogram(measurements, sites, 14, 2.2);
+
+  const auto gaussian_family = [](double c) {
+    return [c](double v) { return std::exp(-c * v * v); };
+  };
+  const CorrelogramFit fit =
+      fit_correlogram(bins, gaussian_family, 0.2, 20.0);
+  EXPECT_NEAR(fit.parameter, c_true, 0.35);
+  EXPECT_LT(fit.rmse, 0.05);
+}
+
+TEST(CorrelogramFit, PrefersTheTrueFamily) {
+  // Fit both Gaussian and exponential families to Gaussian-kernel data;
+  // the Gaussian family must fit better (model selection as in [1]).
+  const GaussianKernel truth(2.5);
+  Rng rng(7);
+  const auto sites = random_sites(70, rng);
+  const field::CholeskyFieldSampler sampler(truth, sites);
+  linalg::Matrix measurements;
+  sampler.sample_block(6000, rng, measurements);
+  const auto bins = empirical_correlogram(measurements, sites, 14, 2.2);
+
+  const auto gaussian_family = [](double c) {
+    return [c](double v) { return std::exp(-c * v * v); };
+  };
+  const auto exponential_family = [](double c) {
+    return [c](double v) { return std::exp(-c * v); };
+  };
+  const CorrelogramFit g = fit_correlogram(bins, gaussian_family, 0.2, 20.0);
+  const CorrelogramFit e =
+      fit_correlogram(bins, exponential_family, 0.2, 20.0);
+  EXPECT_LT(g.rmse, e.rmse);
+}
+
+TEST(CorrelogramFit, ValidatesInput) {
+  const auto family = [](double c) {
+    return [c](double v) { return std::exp(-c * v); };
+  };
+  EXPECT_THROW(fit_correlogram({}, family, 0.1, 1.0), Error);
+  const std::vector<CorrelogramBin> bins = {{0.5, 0.5, 10}};
+  EXPECT_THROW(fit_correlogram(bins, family, -1.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace sckl::kernels

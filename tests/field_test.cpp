@@ -1,0 +1,165 @@
+// Tests for src/field: both samplers must reproduce the kernel's covariance
+// empirically (Algorithm 1 exactly, Algorithm 2 up to truncation error),
+// and the latent-dimension bookkeeping that drives the paper's speedup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "core/kle_solver.h"
+#include "field/cholesky_sampler.h"
+#include "field/covariance_estimate.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/structured_mesher.h"
+
+namespace sckl::field {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Point2;
+
+std::vector<Point2> test_locations() {
+  return {{0.0, 0.0},  {0.1, 0.05},  {-0.5, 0.5}, {0.8, -0.7},
+          {-0.9, -0.9}, {0.45, 0.45}, {0.5, -0.5}, {-0.2, 0.7}};
+}
+
+TEST(CholeskySampler, LatentDimensionIsGateCount) {
+  const kernels::GaussianKernel kernel(2.33);
+  const CholeskyFieldSampler sampler(kernel, test_locations());
+  EXPECT_EQ(sampler.num_locations(), 8u);
+  EXPECT_EQ(sampler.latent_dimension(), 8u);
+}
+
+TEST(CholeskySampler, EmpiricalCovarianceMatchesKernel) {
+  const kernels::GaussianKernel kernel(2.33);
+  const auto locations = test_locations();
+  const CholeskyFieldSampler sampler(kernel, locations);
+  Rng rng(21);
+  const linalg::Matrix cov = empirical_covariance(sampler, 60000, rng);
+  const CovarianceErrorSummary s =
+      compare_covariance(cov, kernel, locations);
+  // Monte Carlo noise at 60K samples: ~1/sqrt(N) ~ 0.004; allow 4x.
+  EXPECT_LT(s.max_abs_error, 0.03);
+  EXPECT_LT(s.max_diag_error, 0.03);
+}
+
+TEST(CholeskySampler, HandlesNearSingularGram) {
+  // Two nearly coincident points make the Gram matrix numerically
+  // semi-definite; the jitter path must absorb it.
+  std::vector<Point2> locations = {{0.0, 0.0}, {1e-9, 0.0}, {0.5, 0.5}};
+  const kernels::GaussianKernel kernel(2.0);
+  const CholeskyFieldSampler sampler(kernel, locations);
+  Rng rng(22);
+  linalg::Matrix block;
+  sampler.sample_block(100, rng, block);
+  // Coincident points get (essentially) identical samples.
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_NEAR(block(i, 0), block(i, 1), 1e-3);
+}
+
+TEST(CholeskySampler, RejectsEmptyLocations) {
+  const kernels::GaussianKernel kernel(2.0);
+  EXPECT_THROW(CholeskyFieldSampler(kernel, {}), Error);
+}
+
+class KleSamplerTest : public ::testing::Test {
+ protected:
+  KleSamplerTest()
+      : kernel_(kernels::paper_gaussian_c()),
+        mesh_(mesh::structured_mesh(BoundingBox::unit_die(), 14, 14,
+                                    mesh::StructuredPattern::kCross)) {}
+
+  core::KleResult solve(std::size_t pairs) {
+    core::KleOptions options;
+    options.num_eigenpairs = pairs;
+    return core::solve_kle(mesh_, kernel_, options);
+  }
+
+  kernels::GaussianKernel kernel_;
+  mesh::TriMesh mesh_;
+};
+
+TEST_F(KleSamplerTest, LatentDimensionIsR) {
+  const core::KleResult kle = solve(30);
+  const KleFieldSampler sampler(kle, 25, test_locations());
+  EXPECT_EQ(sampler.latent_dimension(), 25u);
+  EXPECT_EQ(sampler.num_locations(), 8u);
+}
+
+TEST_F(KleSamplerTest, EmpiricalCovarianceMatchesKernelUpToTruncation) {
+  const core::KleResult kle = solve(40);
+  const auto locations = test_locations();
+  const KleFieldSampler sampler(kle, 40, locations);
+  Rng rng(23);
+  const linalg::Matrix cov = empirical_covariance(sampler, 60000, rng);
+  const CovarianceErrorSummary s =
+      compare_covariance(cov, kernel_, locations);
+  // Truncation (r=40 on a coarse mesh) + the piecewise-constant basis error
+  // at off-centroid gate locations (O(h) ~ 0.1 here) + MC noise; the paper's
+  // finer mesh pushes this to the few-percent level.
+  EXPECT_LT(s.max_abs_error, 0.13);
+}
+
+TEST_F(KleSamplerTest, TruncationErrorDecreasesWithR) {
+  const core::KleResult kle = solve(40);
+  const auto locations = test_locations();
+  Rng rng_small(24);
+  Rng rng_large(24);
+  const KleFieldSampler small(kle, 4, locations);
+  const KleFieldSampler large(kle, 40, locations);
+  const auto err_small = compare_covariance(
+      empirical_covariance(small, 40000, rng_small), kernel_, locations);
+  const auto err_large = compare_covariance(
+      empirical_covariance(large, 40000, rng_large), kernel_, locations);
+  EXPECT_GT(err_small.max_abs_error, err_large.max_abs_error);
+}
+
+TEST_F(KleSamplerTest, SampleBlockIsDeterministicInRng) {
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  Rng rng1(25);
+  Rng rng2(25);
+  linalg::Matrix a;
+  linalg::Matrix b;
+  sampler.sample_block(16, rng1, a);
+  sampler.sample_block(16, rng2, b);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST_F(KleSamplerTest, NearbyLocationsAreStronglyCorrelated) {
+  const core::KleResult kle = solve(40);
+  const std::vector<Point2> locations = {
+      {0.0, 0.0}, {0.05, 0.0}, {0.9, 0.9}};  // two close, one far
+  const KleFieldSampler sampler(kle, 40, locations);
+  Rng rng(26);
+  linalg::Matrix block;
+  sampler.sample_block(20000, rng, block);
+  CovarianceAccumulator close_pair;
+  CovarianceAccumulator far_pair;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    close_pair.add(block(i, 0), block(i, 1));
+    far_pair.add(block(i, 0), block(i, 2));
+  }
+  EXPECT_GT(close_pair.correlation(), 0.9);
+  EXPECT_LT(std::abs(far_pair.correlation()), 0.2);
+}
+
+TEST(CovarianceEstimate, RejectsTooFewSamples) {
+  const kernels::GaussianKernel kernel(2.0);
+  const CholeskyFieldSampler sampler(kernel, test_locations());
+  Rng rng(27);
+  EXPECT_THROW(empirical_covariance(sampler, 1, rng), Error);
+}
+
+TEST(CovarianceEstimate, CompareRejectsShapeMismatch) {
+  const kernels::GaussianKernel kernel(2.0);
+  const linalg::Matrix wrong(3, 3);
+  EXPECT_THROW(compare_covariance(wrong, kernel, test_locations()), Error);
+}
+
+}  // namespace
+}  // namespace sckl::field

@@ -1,0 +1,167 @@
+// Tests for src/geometry: predicates, triangle metrics, and the spatial
+// grid point-location index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "geometry/point2.h"
+#include "geometry/spatial_grid.h"
+#include "geometry/triangle.h"
+
+namespace sckl::geometry {
+namespace {
+
+TEST(Point2, ArithmeticAndDistances) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+  const Point2 c = a + b;
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  const Point2 d = 2.0 * a;
+  EXPECT_DOUBLE_EQ(d.y, 4.0);
+  EXPECT_TRUE((a - a) == (Point2{0.0, 0.0}));
+}
+
+TEST(BoundingBox, ContainsAndDimensions) {
+  const BoundingBox box = BoundingBox::unit_die();
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.area(), 4.0);
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({-1.0, 1.0}));  // boundary inclusive
+  EXPECT_FALSE(box.contains({1.01, 0.0}));
+}
+
+TEST(Orientation, SignConvention) {
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {0, 1}), 0.0);  // CCW positive
+  EXPECT_LT(orientation({0, 0}, {0, 1}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0.0);  // collinear
+}
+
+TEST(TriangleMetrics, AreaCentroidLongestSide) {
+  const Triangle t{{Point2{0, 0}, Point2{4, 0}, Point2{0, 3}}};
+  EXPECT_DOUBLE_EQ(triangle_area(t), 6.0);
+  EXPECT_DOUBLE_EQ(longest_side(t), 5.0);
+  const Point2 c = t.centroid();
+  EXPECT_NEAR(c.x, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+}
+
+TEST(TriangleMetrics, AnglesOfKnownTriangles) {
+  const Triangle right{{Point2{0, 0}, Point2{1, 0}, Point2{0, 1}}};
+  EXPECT_NEAR(min_angle_degrees(right), 45.0, 1e-9);
+  const Triangle equilateral{
+      {Point2{0, 0}, Point2{1, 0}, Point2{0.5, std::sqrt(3.0) / 2.0}}};
+  EXPECT_NEAR(min_angle_degrees(equilateral), 60.0, 1e-9);
+  const Triangle sliver{{Point2{0, 0}, Point2{10, 0}, Point2{5, 0.1}}};
+  EXPECT_LT(min_angle_degrees(sliver), 2.0);
+}
+
+TEST(PointInTriangle, InsideOutsideBoundary) {
+  const Triangle t{{Point2{0, 0}, Point2{2, 0}, Point2{0, 2}}};
+  EXPECT_TRUE(point_in_triangle(t, {0.5, 0.5}));
+  EXPECT_TRUE(point_in_triangle(t, {0.0, 0.0}));   // vertex
+  EXPECT_TRUE(point_in_triangle(t, {1.0, 0.0}));   // edge
+  EXPECT_FALSE(point_in_triangle(t, {1.5, 1.5}));
+  EXPECT_FALSE(point_in_triangle(t, {-0.1, 0.5}));
+  // Winding must not matter.
+  const Triangle cw{{Point2{0, 0}, Point2{0, 2}, Point2{2, 0}}};
+  EXPECT_TRUE(point_in_triangle(cw, {0.5, 0.5}));
+}
+
+TEST(Circumcircle, UnitCircleMembership) {
+  // Triangle inscribed in the unit circle (CCW).
+  const Point2 a{1, 0};
+  const Point2 b{0, 1};
+  const Point2 c{-1, 0};
+  EXPECT_TRUE(in_circumcircle(a, b, c, {0.0, -0.5}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0.0, -1.5}));
+  EXPECT_FALSE(in_circumcircle(a, b, c, {0.0, -1.0}));  // on circle: strict
+}
+
+TEST(Circumcenter, EquidistantFromVertices) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Triangle t{{Point2{rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                Point2{rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                Point2{rng.uniform(-1, 1), rng.uniform(-1, 1)}}};
+    if (triangle_area(t) < 1e-3) continue;
+    const Point2 center = circumcenter(t);
+    const double r0 = distance(center, t.p[0]);
+    EXPECT_NEAR(distance(center, t.p[1]), r0, 1e-9);
+    EXPECT_NEAR(distance(center, t.p[2]), r0, 1e-9);
+  }
+}
+
+TEST(Circumcenter, ThrowsOnDegenerate) {
+  const Triangle collinear{{Point2{0, 0}, Point2{1, 1}, Point2{2, 2}}};
+  EXPECT_THROW(circumcenter(collinear), Error);
+}
+
+TEST(Barycentric, SumsToOneAndLocates) {
+  const Triangle t{{Point2{0, 0}, Point2{1, 0}, Point2{0, 1}}};
+  const auto w = barycentric(t, {0.25, 0.25});
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  for (double v : w) EXPECT_GT(v, 0.0);
+  const auto at_vertex = barycentric(t, {0.0, 0.0});
+  EXPECT_NEAR(at_vertex[0], 1.0, 1e-12);
+}
+
+class SpatialGridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 2x2 grid of unit squares, each split into 2 triangles => 8 triangles.
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gx = 0; gx < 2; ++gx) {
+        const double x0 = gx;
+        const double y0 = gy;
+        triangles_.push_back(
+            {{Point2{x0, y0}, Point2{x0 + 1, y0}, Point2{x0 + 1, y0 + 1}}});
+        triangles_.push_back(
+            {{Point2{x0, y0}, Point2{x0 + 1, y0 + 1}, Point2{x0, y0 + 1}}});
+      }
+    }
+  }
+  std::vector<Triangle> triangles_;
+  BoundingBox bounds_{{0.0, 0.0}, {2.0, 2.0}};
+};
+
+TEST_F(SpatialGridTest, FindsContainingTriangle) {
+  const SpatialGrid grid(triangles_, bounds_);
+  for (std::size_t t = 0; t < triangles_.size(); ++t) {
+    const Point2 centroid = triangles_[t].centroid();
+    const auto hit = grid.find_containing(centroid);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(point_in_triangle(triangles_[*hit], centroid));
+  }
+}
+
+TEST_F(SpatialGridTest, MissesOutsidePoints) {
+  const SpatialGrid grid(triangles_, bounds_);
+  EXPECT_FALSE(grid.find_containing({1.0, 2.5}).has_value());
+  // ... but the fallback still returns a nearest triangle.
+  const std::size_t nearest = grid.find_containing_or_nearest({1.0, 2.5});
+  EXPECT_LT(nearest, triangles_.size());
+}
+
+TEST_F(SpatialGridTest, RandomQueriesAgreeWithBruteForce) {
+  const SpatialGrid grid(triangles_, bounds_, 5);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 q{rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0)};
+    const std::size_t found = grid.find_containing_or_nearest(q);
+    EXPECT_TRUE(point_in_triangle(triangles_[found], q, 1e-9))
+        << "query (" << q.x << ", " << q.y << ")";
+  }
+}
+
+TEST_F(SpatialGridTest, RejectsEmptyInput) {
+  EXPECT_THROW(SpatialGrid({}, bounds_), Error);
+  EXPECT_THROW(SpatialGrid(triangles_, BoundingBox{{0, 0}, {0, 1}}), Error);
+}
+
+}  // namespace
+}  // namespace sckl::geometry

@@ -1,0 +1,120 @@
+// Tests for the grid+PCA baseline model (the paper's Sec. 2.1 comparison
+// point) and its head-to-head behaviour against the KLE sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/kle_solver.h"
+#include "field/covariance_estimate.h"
+#include "field/kle_sampler.h"
+#include "gridmodel/grid_model.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/structured_mesher.h"
+
+namespace sckl::gridmodel {
+namespace {
+
+using geometry::BoundingBox;
+using geometry::Point2;
+
+TEST(GridModel, CellGeometry) {
+  const kernels::GaussianKernel kernel(2.0);
+  const GridCorrelationModel model(kernel, BoundingBox::unit_die(), 4);
+  EXPECT_EQ(model.num_cells(), 16u);
+  EXPECT_EQ(model.cells_per_side(), 4u);
+  // Cell 0 is bottom-left; its center at (-0.75, -0.75).
+  EXPECT_NEAR(model.cell_center(0).x, -0.75, 1e-12);
+  EXPECT_NEAR(model.cell_center(0).y, -0.75, 1e-12);
+  EXPECT_EQ(model.cell_of({-0.9, -0.9}), 0u);
+  EXPECT_EQ(model.cell_of({0.9, 0.9}), 15u);
+  // Clamping outside the die.
+  EXPECT_EQ(model.cell_of({-5.0, -5.0}), 0u);
+}
+
+TEST(GridModel, PcaSpectrumSumsToTrace) {
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const GridCorrelationModel model(kernel, BoundingBox::unit_die(), 6);
+  double sum = 0.0;
+  for (double v : model.eigenvalues()) sum += v;
+  // Normalized kernel: trace = num_cells.
+  EXPECT_NEAR(sum, 36.0, 1e-8);
+  // Descending.
+  for (std::size_t i = 1; i < model.eigenvalues().size(); ++i)
+    EXPECT_GE(model.eigenvalues()[i - 1], model.eigenvalues()[i] - 1e-12);
+}
+
+TEST(GridModel, ComponentsForVarianceIsMonotone) {
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const GridCorrelationModel model(kernel, BoundingBox::unit_die(), 8);
+  const std::size_t r80 = model.components_for_variance(0.80);
+  const std::size_t r95 = model.components_for_variance(0.95);
+  const std::size_t r999 = model.components_for_variance(0.999);
+  EXPECT_LE(r80, r95);
+  EXPECT_LE(r95, r999);
+  EXPECT_LT(r95, model.num_cells());  // smooth kernel compresses well
+  EXPECT_THROW(model.components_for_variance(0.0), Error);
+}
+
+TEST(GridPcaSampler, ReproducesCellCorrelations) {
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const GridCorrelationModel model(kernel, BoundingBox::unit_die(), 5);
+  // Probe at cell centers so the grid model's representation is exact.
+  std::vector<Point2> locations;
+  for (std::size_t c = 0; c < model.num_cells(); c += 6)
+    locations.push_back(model.cell_center(c));
+  const GridPcaSampler sampler(model, model.num_cells(), locations);
+  Rng rng(9);
+  const linalg::Matrix cov =
+      field::empirical_covariance(sampler, 40000, rng);
+  const auto summary = field::compare_covariance(cov, kernel, locations);
+  EXPECT_LT(summary.max_abs_error, 0.04);  // MC noise only
+}
+
+TEST(GridPcaSampler, SameCellMeansPerfectCorrelation) {
+  // The grid model's core weakness: two gates in one cell are identical.
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const GridCorrelationModel model(kernel, BoundingBox::unit_die(), 4);
+  const std::vector<Point2> locations = {{0.55, 0.55}, {0.9, 0.9}};
+  ASSERT_EQ(model.cell_of(locations[0]), model.cell_of(locations[1]));
+  const GridPcaSampler sampler(model, 16, locations);
+  Rng rng(10);
+  linalg::Matrix block;
+  sampler.sample_block(200, rng, block);
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_DOUBLE_EQ(block(i, 0), block(i, 1));
+}
+
+TEST(GridVsKle, KleTracksIntraCellDecorrelationGridCannot) {
+  // Two probes 0.25 apart inside one (coarse) grid cell: the true kernel
+  // correlation is ~0.84, the grid says exactly 1, the KLE gets it right.
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const std::vector<Point2> locations = {{0.50, 0.50}, {0.75, 0.50}};
+  const double truth = kernel(locations[0], locations[1]);
+  ASSERT_LT(truth, 0.95);
+
+  const GridCorrelationModel grid(kernel, BoundingBox::unit_die(), 2);
+  ASSERT_EQ(grid.cell_of(locations[0]), grid.cell_of(locations[1]));
+  const GridPcaSampler grid_sampler(grid, 4, locations);
+
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      BoundingBox::unit_die(), 900, mesh::StructuredPattern::kCross);
+  core::KleOptions options;
+  options.num_eigenpairs = 40;
+  const core::KleResult kle = core::solve_kle(mesh, kernel, options);
+  const field::KleFieldSampler kle_sampler(kle, 40, locations);
+
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const auto grid_cov =
+      field::empirical_covariance(grid_sampler, 30000, rng_a);
+  const auto kle_cov =
+      field::empirical_covariance(kle_sampler, 30000, rng_b);
+  EXPECT_GT(grid_cov(0, 1), 0.97);                 // wrongly ~1
+  EXPECT_NEAR(kle_cov(0, 1), truth, 0.06);          // right
+}
+
+}  // namespace
+}  // namespace sckl::gridmodel

@@ -1,0 +1,151 @@
+// Cross-module integration tests: the full paper pipeline assembled by hand
+// (kernel fit -> mesh -> KLE -> truncation -> samplers -> Monte Carlo STA),
+// checking the relationships the paper's experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/synthetic.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/kle_solver.h"
+#include "core/truncation.h"
+#include "field/cholesky_sampler.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/refine.h"
+#include "mesh/structured_mesher.h"
+#include "placer/recursive_placer.h"
+#include "ssta/mc_ssta.h"
+
+namespace sckl {
+namespace {
+
+TEST(Integration, PaperTruncationRuleYieldsAboutTwentyFiveRvs) {
+  // The paper's headline: the Gaussian kernel on the unit die, meshed at
+  // max-area 0.1%, truncates to r = 25 under the 1% criterion with m = 200
+  // computed pairs. Validate the full chain on a slightly coarser mesh
+  // (m = 120 keeps this test fast) — r must land in the low tens.
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const mesh::TriMesh mesh =
+      mesh::paper_mesh(geometry::BoundingBox::unit_die(), 0.004);
+  core::KleOptions options;
+  options.num_eigenpairs = 120;
+  const core::KleResult kle = core::solve_kle(mesh, kernel, options);
+  const std::size_t r =
+      core::select_truncation(kle.eigenvalues(), mesh.num_triangles(), 0.01);
+  EXPECT_GE(r, 10u);
+  EXPECT_LE(r, 60u);
+}
+
+TEST(Integration, KleAndCholeskyProduceMatchingDelayDistributions) {
+  // Two independent sampling mechanisms, one timer: worst-delay mean/sigma
+  // must agree within Monte Carlo noise (the core claim of Table 1).
+  circuit::SyntheticSpec spec;
+  spec.name = "mini";
+  spec.num_gates = 150;
+  spec.seed = 31;
+  const circuit::Netlist netlist = circuit::synthetic_circuit(spec);
+  const placer::Placement placement = placer::place(netlist);
+  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
+  const timing::StaEngine engine(netlist, placement, library);
+  const auto locations = placement.physical_locations(netlist);
+
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const field::CholeskyFieldSampler reference(kernel, locations);
+
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      geometry::BoundingBox::unit_die(), 800);
+  core::KleOptions kle_options;
+  kle_options.num_eigenpairs = 50;
+  const core::KleResult kle = core::solve_kle(mesh, kernel, kle_options);
+  const field::KleFieldSampler reduced(kle, 25, locations);
+
+  ssta::McSstaOptions options;
+  options.num_samples = 1500;
+  const ssta::ParameterSamplers mc{&reference, &reference, &reference,
+                                   &reference};
+  const ssta::ParameterSamplers kl{&reduced, &reduced, &reduced, &reduced};
+  const ssta::McSstaResult a = run_monte_carlo_ssta(engine, mc, options);
+  const ssta::McSstaResult b = run_monte_carlo_ssta(engine, kl, options);
+
+  EXPECT_NEAR(b.worst_delay.mean(), a.worst_delay.mean(),
+              0.01 * a.worst_delay.mean());
+  EXPECT_NEAR(b.worst_delay.stddev(), a.worst_delay.stddev(),
+              0.20 * a.worst_delay.stddev());
+  // The headline dimensionality reduction: latent 25 vs N_g = 150.
+  EXPECT_EQ(reduced.latent_dimension(), 25u);
+  EXPECT_EQ(reference.latent_dimension(), 150u);
+}
+
+TEST(Integration, IgnoringSpatialCorrelationChangesSigma) {
+  // Control experiment: an independent-per-gate sampler (white noise) must
+  // yield a *different* worst-delay sigma than the correlated reference —
+  // this is why spatial correlation modeling matters at all (Sec. 1).
+  circuit::SyntheticSpec spec;
+  spec.name = "mini2";
+  spec.num_gates = 200;
+  spec.seed = 41;
+  const circuit::Netlist netlist = circuit::synthetic_circuit(spec);
+  const placer::Placement placement = placer::place(netlist);
+  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
+  const timing::StaEngine engine(netlist, placement, library);
+  const auto locations = placement.physical_locations(netlist);
+
+  const kernels::GaussianKernel correlated_kernel(kernels::paper_gaussian_c());
+  // Nearly-white kernel: correlation collapses within tiny distances.
+  const kernels::GaussianKernel white_kernel(4000.0);
+  const field::CholeskyFieldSampler correlated(correlated_kernel, locations);
+  const field::CholeskyFieldSampler white(white_kernel, locations);
+
+  ssta::McSstaOptions options;
+  options.num_samples = 1500;
+  const ssta::McSstaResult rc = run_monte_carlo_ssta(
+      engine, {&correlated, &correlated, &correlated, &correlated}, options);
+  const ssta::McSstaResult rw = run_monte_carlo_ssta(
+      engine, {&white, &white, &white, &white}, options);
+  // Correlated variation produces a wider worst-delay distribution (path
+  // delays add near-coherently when gates track each other).
+  EXPECT_GT(rc.worst_delay.stddev(), 1.5 * rw.worst_delay.stddev());
+}
+
+TEST(Integration, SpeedAdvantageGrowsWithGateCount) {
+  // Algorithm 2's per-sample cost is O(N_g r) vs Algorithm 1's O(N_g^2):
+  // the sampling-time ratio must grow with N_g (Table 1's trend).
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      geometry::BoundingBox::unit_die(), 600);
+  core::KleOptions kle_options;
+  kle_options.num_eigenpairs = 40;
+  const core::KleResult kle = core::solve_kle(mesh, kernel, kle_options);
+
+  double previous_ratio = 0.0;
+  for (std::size_t gates : {200u, 800u}) {
+    circuit::SyntheticSpec spec;
+    spec.num_gates = gates;
+    spec.seed = 51;
+    const circuit::Netlist netlist = circuit::synthetic_circuit(spec);
+    const placer::Placement placement = placer::place(netlist);
+    const auto locations = placement.physical_locations(netlist);
+    const field::CholeskyFieldSampler dense(kernel, locations);
+    const field::KleFieldSampler reduced(kle, 25, locations);
+
+    Rng rng_a(7);
+    Rng rng_b(7);
+    linalg::Matrix block;
+    Stopwatch t_dense;
+    for (int rep = 0; rep < 3; ++rep) dense.sample_block(200, rng_a, block);
+    const double dense_time = t_dense.seconds();
+    Stopwatch t_reduced;
+    for (int rep = 0; rep < 3; ++rep) reduced.sample_block(200, rng_b, block);
+    const double reduced_time = t_reduced.seconds();
+    const double ratio = dense_time / std::max(reduced_time, 1e-9);
+    EXPECT_GT(ratio, previous_ratio);
+    previous_ratio = ratio;
+  }
+  EXPECT_GT(previous_ratio, 2.0);  // 800 gates vs r=25: clear advantage
+}
+
+}  // namespace
+}  // namespace sckl

@@ -1,0 +1,200 @@
+// Tests for src/kernels: kernel families (values, limits, symmetry),
+// validity (PSD) checks including the paper's claim that the 2-D isotropic
+// linear kernel can be invalid, and the Fig. 3a least-squares fits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "kernels/covariance_kernel.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "kernels/psd_check.h"
+
+namespace sckl::kernels {
+namespace {
+
+using geometry::Point2;
+
+TEST(GaussianKernel, ValuesAndUnitDiagonal) {
+  const GaussianKernel k(2.0);
+  EXPECT_DOUBLE_EQ(k({0, 0}, {0, 0}), 1.0);
+  EXPECT_NEAR(k({0, 0}, {1, 0}), std::exp(-2.0), 1e-15);
+  EXPECT_NEAR(k({0, 0}, {1, 1}), std::exp(-4.0), 1e-15);
+  EXPECT_THROW(GaussianKernel(0.0), Error);
+  EXPECT_NE(k.name().find("gaussian"), std::string::npos);
+}
+
+TEST(ExponentialKernel, DecaysWithL2Distance) {
+  const ExponentialKernel k(1.5);
+  EXPECT_DOUBLE_EQ(k({0, 0}, {0, 0}), 1.0);
+  EXPECT_NEAR(k({0, 0}, {3, 4}), std::exp(-1.5 * 5.0), 1e-15);
+}
+
+TEST(SeparableL1Kernel, FactorsIntoOneDimensionalKernels) {
+  const SeparableL1Kernel k(0.8);
+  const double v = k({0.2, -0.3}, {0.7, 0.4});
+  EXPECT_NEAR(v, std::exp(-0.8 * 0.5) * std::exp(-0.8 * 0.7), 1e-14);
+}
+
+TEST(RadialMagnitudeKernel, PerfectCorrelationOnCircles) {
+  // The paper's criticism of [2]: points on an origin-centric circle are
+  // perfectly correlated however far apart they are.
+  const RadialMagnitudeKernel k(2.0);
+  EXPECT_NEAR(k({1, 0}, {0, 1}), 1.0, 1e-15);
+  EXPECT_NEAR(k({1, 0}, {-1, 0}), 1.0, 1e-15);
+  EXPECT_LT(k({1, 0}, {2, 0}), 1.0);
+}
+
+TEST(MaternKernel, UnitValueAtZeroAndMonotoneDecay) {
+  const MaternKernel k(3.0, 2.5);
+  EXPECT_DOUBLE_EQ(k.radial(0.0), 1.0);
+  double previous = 1.0;
+  for (double v = 0.05; v < 3.0; v += 0.05) {
+    const double value = k.radial(v);
+    EXPECT_LE(value, previous + 1e-12) << "at v=" << v;
+    EXPECT_GE(value, 0.0);
+    previous = value;
+  }
+  // Continuity at 0: small v close to 1.
+  EXPECT_NEAR(k.radial(1e-6), 1.0, 1e-3);
+}
+
+TEST(MaternKernel, ParameterValidation) {
+  EXPECT_THROW(MaternKernel(0.0, 2.0), Error);
+  EXPECT_THROW(MaternKernel(1.0, 1.0), Error);
+  EXPECT_NO_THROW(MaternKernel(1.0, 1.5));
+}
+
+TEST(MaternKernel, SpecialCaseMatchesExponentialFamily) {
+  // nu = 1/2 (s = 1.5) reduces to exp(-b v) analytically.
+  const MaternKernel k(2.0, 1.5);
+  for (double v : {0.1, 0.5, 1.0, 2.0})
+    EXPECT_NEAR(k.radial(v), std::exp(-2.0 * v), 1e-10) << "v=" << v;
+}
+
+TEST(LinearConeKernel, PiecewiseLinear) {
+  const LinearConeKernel k(1.0);
+  EXPECT_DOUBLE_EQ(k.radial(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(k.radial(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(k.radial(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.radial(2.0), 0.0);
+}
+
+TEST(SphericalKernel, CompactSupportAndShape) {
+  const SphericalKernel k(2.0);
+  EXPECT_DOUBLE_EQ(k.radial(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(k.radial(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.radial(5.0), 0.0);
+  EXPECT_NEAR(k.radial(1.0), 1.0 - 0.75 + 0.0625, 1e-15);
+}
+
+TEST(AllKernels, SymmetryProperty) {
+  std::vector<std::unique_ptr<CovarianceKernel>> kernels;
+  kernels.push_back(std::make_unique<GaussianKernel>(2.0));
+  kernels.push_back(std::make_unique<ExponentialKernel>(1.0));
+  kernels.push_back(std::make_unique<SeparableL1Kernel>(0.7));
+  kernels.push_back(std::make_unique<MaternKernel>(2.0, 2.0));
+  kernels.push_back(std::make_unique<LinearConeKernel>(1.0));
+  kernels.push_back(std::make_unique<SphericalKernel>(1.5));
+  kernels.push_back(std::make_unique<RadialMagnitudeKernel>(1.0));
+  const Point2 x{0.3, -0.4};
+  const Point2 y{-0.8, 0.9};
+  for (const auto& k : kernels) {
+    EXPECT_DOUBLE_EQ((*k)(x, y), (*k)(y, x)) << k->name();
+    EXPECT_DOUBLE_EQ((*k)(x, x), 1.0) << k->name();
+    // clone preserves behavior
+    const auto copy = k->clone();
+    EXPECT_DOUBLE_EQ((*copy)(x, y), (*k)(x, y)) << k->name();
+    EXPECT_EQ(copy->name(), k->name());
+  }
+}
+
+TEST(PsdCheck, ValidKernelsPass) {
+  EXPECT_TRUE(check_positive_semidefinite(GaussianKernel(2.33)).passed);
+  EXPECT_TRUE(check_positive_semidefinite(ExponentialKernel(1.0)).passed);
+  EXPECT_TRUE(check_positive_semidefinite(SeparableL1Kernel(1.0)).passed);
+  EXPECT_TRUE(check_positive_semidefinite(MaternKernel(3.0, 2.0)).passed);
+  EXPECT_TRUE(check_positive_semidefinite(SphericalKernel(1.0)).passed);
+}
+
+TEST(PsdCheck, LinearConeFailsInTwoDimensions) {
+  // [1]'s observation reproduced: the isotropic linear kernel is not a
+  // valid 2-D covariance (its min Gram eigenvalue goes genuinely negative
+  // for dense enough point sets).
+  const PsdCheckResult result = check_positive_semidefinite(
+      LinearConeKernel(1.0), geometry::BoundingBox::unit_die(),
+      /*trials=*/8, /*points_per_trial=*/120, /*tolerance=*/1e-8);
+  EXPECT_FALSE(result.passed);
+  EXPECT_LT(result.min_relative_eigenvalue, -1e-6);
+}
+
+TEST(RadialSse, ZeroForIdenticalProfiles) {
+  const RadialProfile p = [](double v) { return std::exp(-v); };
+  EXPECT_NEAR(radial_sse(p, p, 2.0), 0.0, 1e-15);
+}
+
+TEST(RadialSse, WeightingChangesEmphasis) {
+  const RadialProfile a = [](double v) { return v < 0.2 ? 1.0 : 0.0; };
+  const RadialProfile b = [](double) { return 0.0; };
+  const double uniform = radial_sse(a, b, 2.0, FitWeight::kUniform);
+  const double radial = radial_sse(a, b, 2.0, FitWeight::kRadial);
+  // The mismatch lives near v=0 where the radial weight is small.
+  EXPECT_LT(radial, uniform);
+}
+
+TEST(KernelFit, RecoversKnownDecayParameter) {
+  // Fit the Gaussian family to an exact Gaussian target: recovers c.
+  const double c_true = 2.7;
+  const auto family = [](double c) -> RadialProfile {
+    return [c](double v) { return std::exp(-c * v * v); };
+  };
+  const RadialProfile target = family(c_true);
+  const RadialFitResult fit =
+      fit_radial_parameter(family, target, 2.0, 0.1, 20.0);
+  EXPECT_NEAR(fit.parameter, c_true, 1e-4);
+  EXPECT_NEAR(fit.sse, 0.0, 1e-10);
+}
+
+TEST(KernelFit, GaussianFitsLinearBetterThanExponential) {
+  // Fig. 3a's claim: the Gaussian kernel fits the measurement-backed linear
+  // kernel better than the exponential kernel (1-D uniform-weight fit).
+  const LinearConeKernel cone(1.0);
+  const RadialProfile target = [&cone](double v) { return cone.radial(v); };
+  const auto gaussian_family = [](double c) -> RadialProfile {
+    return [c](double v) { return std::exp(-c * v * v); };
+  };
+  const auto exponential_family = [](double c) -> RadialProfile {
+    return [c](double v) { return std::exp(-c * v); };
+  };
+  const RadialFitResult g =
+      fit_radial_parameter(gaussian_family, target, 2.0, 0.05, 50.0);
+  const RadialFitResult e =
+      fit_radial_parameter(exponential_family, target, 2.0, 0.05, 50.0);
+  EXPECT_LT(g.sse, e.sse);
+}
+
+TEST(KernelFit, PaperGaussianCIsReasonable) {
+  // The 2-D fit to the rho=1 cone should land in the low single digits and
+  // keep meaningful correlation at mid-range separations.
+  const double c = paper_gaussian_c();
+  EXPECT_GT(c, 0.5);
+  EXPECT_LT(c, 10.0);
+  const GaussianKernel k(c);
+  EXPECT_GT(k.radial(0.5), 0.2);
+  EXPECT_LT(k.radial(1.5), 0.2);
+}
+
+TEST(KernelFit, RejectsBadBrackets) {
+  const auto family = [](double c) -> RadialProfile {
+    return [c](double v) { return std::exp(-c * v); };
+  };
+  const RadialProfile target = [](double) { return 0.5; };
+  EXPECT_THROW(fit_radial_parameter(family, target, 1.0, -1.0, 2.0), Error);
+  EXPECT_THROW(fit_radial_parameter(family, target, 1.0, 2.0, 1.0), Error);
+  EXPECT_THROW(radial_sse(target, target, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace sckl::kernels

@@ -1,0 +1,332 @@
+// Tests for src/linalg: matrix container, BLAS kernels, Cholesky, the
+// symmetric eigensolvers (QL, Jacobi, Lanczos) against each other and
+// against analytically known spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/jacobi_eigen.h"
+#include "linalg/lanczos.h"
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+
+namespace sckl::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+// Random symmetric positive-definite matrix A = B B^T + n*I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a = gemm_bt(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 3), Error);
+}
+
+TEST(Matrix, TransposeIdentityRowsColumns) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Vector col = m.column(1);
+  EXPECT_DOUBLE_EQ(col[1], 5.0);
+  const Vector row = m.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), Error);
+  EXPECT_THROW(Matrix::from_rows({}), Error);
+}
+
+TEST(Matrix, SymmetryAndNorms) {
+  Matrix s = Matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  EXPECT_TRUE(is_symmetric(s));
+  s(0, 1) = 1.1;
+  EXPECT_FALSE(is_symmetric(s));
+  const Matrix m = Matrix::from_rows({{3.0, 4.0}});
+  EXPECT_NEAR(frobenius_norm(m), 5.0, 1e-12);
+}
+
+TEST(Blas, DotNormAxpyScale) {
+  Vector x = {1.0, 2.0, 2.0};
+  Vector y = {3.0, 0.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 3.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_THROW(dot(x, Vector{1.0}), Error);
+}
+
+TEST(Blas, GemvAgainstHandComputed) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const Vector x = {1.0, -1.0};
+  const Vector y = gemv(a, x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+  const Vector z = gemv_transposed(a, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 9.0);
+  EXPECT_DOUBLE_EQ(z[1], 12.0);
+}
+
+TEST(Blas, GemmMatchesManualProduct) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(6, 5, rng);
+  const Matrix c = gemm(a, b);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < 6; ++k) expected += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), expected, 1e-12);
+    }
+}
+
+TEST(Blas, GemmBtEqualsGemmWithTranspose) {
+  Rng rng(4);
+  const Matrix a = random_matrix(3, 7, rng);
+  const Matrix b = random_matrix(5, 7, rng);
+  const Matrix direct = gemm_bt(a, b);
+  const Matrix via_transpose = gemm(a, b.transposed());
+  EXPECT_LT(direct.max_abs_diff(via_transpose), 1e-12);
+}
+
+TEST(Blas, GramMatchesAtA) {
+  Rng rng(5);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix g = gram(a);
+  const Matrix expected = gemm(a.transposed(), a);
+  EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+  EXPECT_TRUE(is_symmetric(g, 1e-12));
+}
+
+TEST(Cholesky, ReconstructsInput) {
+  Rng rng(6);
+  const Matrix a = random_spd(12, rng);
+  const CholeskyFactor f = cholesky(a);
+  const Matrix rebuilt = gemm_bt(f.lower, f.lower);
+  EXPECT_LT(rebuilt.max_abs_diff(a) / frobenius_norm(a), 1e-12);
+  // Strict upper triangle of L is zero.
+  for (std::size_t i = 0; i < 12; ++i)
+    for (std::size_t j = i + 1; j < 12; ++j)
+      EXPECT_EQ(f.lower(i, j), 0.0);
+}
+
+TEST(Cholesky, SolveInvertsMultiplication) {
+  Rng rng(7);
+  const Matrix a = random_spd(9, rng);
+  const CholeskyFactor f = cholesky(a);
+  const Vector x_true = rng.normal_vector(9);
+  const Vector b = gemv(a, x_true);
+  const Vector x = f.solve(b);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix bad = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});  // eigenvalue -1
+  EXPECT_THROW(cholesky(bad), Error);
+  EXPECT_FALSE(try_cholesky(bad).has_value());
+}
+
+TEST(Cholesky, LogDeterminant) {
+  const Matrix a = Matrix::from_rows({{4.0, 0.0}, {0.0, 9.0}});
+  const CholeskyFactor f = cholesky(a);
+  EXPECT_NEAR(f.log_determinant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, JitterRecoversSemidefinite) {
+  // Rank-1 PSD matrix: plain Cholesky fails, jitter succeeds.
+  Matrix a(3, 3);
+  const Vector v = {1.0, 2.0, 3.0};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v[i] * v[j];
+  const JitteredCholesky jc = cholesky_with_jitter(a);
+  EXPECT_GT(jc.jitter, 0.0);
+  const Matrix rebuilt = gemm_bt(jc.factor.lower, jc.factor.lower);
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-4);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  const Matrix a = Matrix::from_rows(
+      {{3.0, 0.0, 0.0}, {0.0, -1.0, 0.0}, {0.0, 0.0, 2.0}});
+  const SymmetricEigenResult r = symmetric_eigen(a);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], -1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a = Matrix::from_rows({{2.0, 1.0}, {1.0, 2.0}});
+  const SymmetricEigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+// Property check used by several suites: A V = V diag(values), V orthonormal.
+void expect_valid_decomposition(const Matrix& a,
+                                const SymmetricEigenResult& r, double tol) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < r.values.size(); ++j) {
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = r.vectors(i, j);
+    const Vector av = gemv(a, v);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[i], r.values[j] * v[i], tol) << "pair " << j;
+  }
+  const Matrix vtv = gram(r.vectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(r.values.size())), tol);
+}
+
+TEST(SymmetricEigen, RandomMatrixSatisfiesDefinition) {
+  Rng rng(8);
+  const std::size_t n = 30;
+  Matrix a = random_matrix(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = 0.5 * (a(i, j) + a(j, i));
+      a(j, i) = a(i, j);
+    }
+  const SymmetricEigenResult r = symmetric_eigen(a);
+  expect_valid_decomposition(a, r, 1e-9);
+  // Sorted descending.
+  for (std::size_t j = 1; j < n; ++j)
+    EXPECT_GE(r.values[j - 1], r.values[j] - 1e-12);
+  // Trace preserved.
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += r.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(SymmetricEigen, EigenvaluesOnlyMatchesFull) {
+  Rng rng(9);
+  const Matrix a = random_spd(20, rng);
+  const SymmetricEigenResult full = symmetric_eigen(a);
+  const Vector values = symmetric_eigenvalues(a);
+  ASSERT_EQ(values.size(), full.values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(values[i], full.values[i], 1e-8 * std::abs(values[0]));
+}
+
+TEST(SymmetricEigen, SizeOneMatrix) {
+  const Matrix a = Matrix::from_rows({{5.0}});
+  const SymmetricEigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-15);
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(TridiagonalEigen, LaplacianHasKnownSpectrum) {
+  // Tridiagonal (-1, 2, -1) of size n: eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const std::size_t n = 12;
+  Vector d(n, 2.0);
+  Vector e(n - 1, -1.0);
+  const SymmetricEigenResult r = tridiagonal_eigen(d, e);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(static_cast<double>(n - k) * M_PI /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(r.values[k], expected, 1e-10);
+  }
+}
+
+TEST(TridiagonalEigen, EigenvaluesOnlyAgrees) {
+  Vector d = {1.0, -2.0, 0.5, 4.0};
+  Vector e = {0.3, -0.7, 1.1};
+  const SymmetricEigenResult full = tridiagonal_eigen(d, e);
+  const Vector values = tridiagonal_eigenvalues(d, e);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_NEAR(values[i], full.values[i], 1e-12);
+}
+
+TEST(JacobiEigen, AgreesWithQlSolver) {
+  Rng rng(10);
+  const Matrix a = random_spd(16, rng);
+  const SymmetricEigenResult ql = symmetric_eigen(a);
+  const SymmetricEigenResult jac = jacobi_eigen(a);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(ql.values[i], jac.values[i], 1e-9 * ql.values[0]);
+  expect_valid_decomposition(a, jac, 1e-9);
+}
+
+TEST(Lanczos, TopPairsMatchDenseSolver) {
+  Rng rng(11);
+  const Matrix a = random_spd(60, rng);
+  const SymmetricEigenResult dense = symmetric_eigen(a);
+  LanczosOptions options;
+  options.num_eigenpairs = 8;
+  const SymmetricEigenResult lz = lanczos_largest(a, options);
+  ASSERT_EQ(lz.values.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(lz.values[i], dense.values[i], 1e-7 * dense.values[0]);
+  // Ritz vectors satisfy the eigen equation.
+  for (std::size_t j = 0; j < 8; ++j) {
+    Vector v(60);
+    for (std::size_t i = 0; i < 60; ++i) v[i] = lz.vectors(i, j);
+    const Vector av = gemv(a, v);
+    for (std::size_t i = 0; i < 60; ++i)
+      EXPECT_NEAR(av[i], lz.values[j] * v[i], 1e-6 * dense.values[0]);
+  }
+}
+
+TEST(Lanczos, MatrixFreeOperatorInterface) {
+  // Operator: diagonal {10, 9, ..., 1} without materializing a matrix.
+  const std::size_t n = 10;
+  const MatVec apply = [n](const Vector& x, Vector& y) {
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] = static_cast<double>(n - i) * x[i];
+  };
+  LanczosOptions options;
+  options.num_eigenpairs = 3;
+  const SymmetricEigenResult r = lanczos_largest(apply, n, options);
+  EXPECT_NEAR(r.values[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.values[1], 9.0, 1e-9);
+  EXPECT_NEAR(r.values[2], 8.0, 1e-9);
+}
+
+TEST(Lanczos, HandlesRepeatedEigenvaluesViaRestart) {
+  // Identity-like operator: every direction is invariant; needs restarts.
+  Matrix a = Matrix::identity(12);
+  a(0, 0) = 2.0;
+  LanczosOptions options;
+  options.num_eigenpairs = 4;
+  const SymmetricEigenResult r = lanczos_largest(a, options);
+  EXPECT_NEAR(r.values[0], 2.0, 1e-9);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_NEAR(r.values[i], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sckl::linalg

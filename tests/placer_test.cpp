@@ -1,0 +1,191 @@
+// Tests for src/placer: hypergraph extraction, FM bisection (balance, cut
+// improvement, correctness of incremental gains), recursive placement
+// legality, and HPWL.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/bench_parser.h"
+#include "circuit/synthetic.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "placer/fm_partitioner.h"
+#include "placer/hypergraph.h"
+#include "placer/recursive_placer.h"
+#include "placer/wireload.h"
+
+namespace sckl::placer {
+namespace {
+
+using circuit::CellFunction;
+
+Hypergraph clique_pair_graph() {
+  // Two 4-cliques joined by a single bridge net: the optimal bisection cuts
+  // exactly one net.
+  Hypergraph g;
+  g.num_cells = 8;
+  g.cell_nets.assign(8, {});
+  auto add_net = [&g](std::vector<std::size_t> cells) {
+    const std::size_t e = g.nets.size();
+    for (std::size_t c : cells) g.cell_nets[c].push_back(e);
+    g.nets.push_back(std::move(cells));
+  };
+  for (std::size_t a = 0; a < 4; ++a)
+    for (std::size_t b = a + 1; b < 4; ++b) add_net({a, b});
+  for (std::size_t a = 4; a < 8; ++a)
+    for (std::size_t b = a + 1; b < 8; ++b) add_net({a, b});
+  add_net({0, 4});  // bridge
+  return g;
+}
+
+TEST(Hypergraph, BuildFromNetlist) {
+  const circuit::Netlist c17 =
+      circuit::parse_bench_string(circuit::c17_bench_text(), "c17");
+  const Hypergraph g = build_hypergraph(c17);
+  EXPECT_EQ(g.num_cells, 6u);
+  // Nets: each NAND whose fanout includes another physical gate. In c17,
+  // gates 10, 11, 16, 19 drive other gates; 22 and 23 drive only pads.
+  EXPECT_EQ(g.nets.size(), 4u);
+  EXPECT_GT(g.max_cell_degree(), 0u);
+}
+
+TEST(Hypergraph, InducedSubgraphDropsExternalNets) {
+  const Hypergraph g = clique_pair_graph();
+  const Hypergraph sub = induced_subgraph(g, {0, 1, 2, 3});
+  EXPECT_EQ(sub.num_cells, 4u);
+  EXPECT_EQ(sub.nets.size(), 6u);  // bridge drops (single endpoint inside)
+  const Hypergraph cross = induced_subgraph(g, {0, 4});
+  EXPECT_EQ(cross.nets.size(), 1u);  // only the bridge survives
+}
+
+TEST(FmPartitioner, FindsTheObviousMinCut) {
+  const Hypergraph g = clique_pair_graph();
+  FmOptions options;
+  options.seed = 3;
+  const FmResult r = fm_bisect(g, options);
+  EXPECT_EQ(r.cut, 1u);  // only the bridge is cut
+  EXPECT_EQ(r.size0, 4u);
+  // The two cliques end up on opposite sides.
+  for (std::size_t c = 1; c < 4; ++c) EXPECT_EQ(r.side[c], r.side[0]);
+  for (std::size_t c = 5; c < 8; ++c) EXPECT_EQ(r.side[c], r.side[4]);
+  EXPECT_NE(r.side[0], r.side[4]);
+}
+
+TEST(FmPartitioner, CutMatchesIndependentCount) {
+  const circuit::SyntheticSpec spec{.name = "t", .num_gates = 300,
+                                    .seed = 7};
+  const circuit::Netlist n = circuit::synthetic_circuit(spec);
+  const Hypergraph g = build_hypergraph(n);
+  const FmResult r = fm_bisect(g);
+  EXPECT_EQ(r.cut, cut_size(g, r.side));
+}
+
+TEST(FmPartitioner, ImprovesOverRandomAndStaysBalanced) {
+  const circuit::SyntheticSpec spec{.name = "t", .num_gates = 400,
+                                    .seed = 9};
+  const circuit::Netlist n = circuit::synthetic_circuit(spec);
+  const Hypergraph g = build_hypergraph(n);
+
+  // Baseline: average cut of random balanced partitions.
+  Rng rng(10);
+  double random_cut = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> side(g.num_cells, 0);
+    for (std::size_t i = 0; i < g.num_cells; ++i)
+      side[i] = static_cast<int>(rng.uniform_index(2));
+    random_cut += static_cast<double>(cut_size(g, side));
+  }
+  random_cut /= trials;
+
+  FmOptions options;
+  options.balance_tolerance = 0.1;
+  const FmResult r = fm_bisect(g, options);
+  EXPECT_LT(static_cast<double>(r.cut), 0.7 * random_cut);
+  const double fraction =
+      static_cast<double>(r.size0) / static_cast<double>(g.num_cells);
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.65);
+}
+
+TEST(FmPartitioner, RejectsTrivialInput) {
+  Hypergraph g;
+  g.num_cells = 1;
+  g.cell_nets.assign(1, {});
+  EXPECT_THROW(fm_bisect(g), Error);
+}
+
+TEST(RecursivePlacer, AllGatesInsideDieAndPadsOnBoundary) {
+  const circuit::SyntheticSpec spec{.name = "t", .num_gates = 500,
+                                    .seed = 4};
+  const circuit::Netlist n = circuit::synthetic_circuit(spec);
+  const geometry::BoundingBox die = geometry::BoundingBox::unit_die();
+  const Placement p = place(n, die);
+  ASSERT_EQ(p.location.size(), n.num_gates_total());
+  for (std::size_t g = 0; g < n.num_gates_total(); ++g)
+    EXPECT_TRUE(die.contains(p.location[g])) << n.gate(g).name;
+  for (std::size_t pi : n.primary_inputs())
+    EXPECT_DOUBLE_EQ(p.location[pi].x, die.min.x);
+  for (std::size_t po : n.primary_outputs())
+    EXPECT_DOUBLE_EQ(p.location[po].x, die.max.x);
+  // Physical gate locations: right count, in-core.
+  const auto locations = p.physical_locations(n);
+  EXPECT_EQ(locations.size(), n.num_physical_gates());
+}
+
+TEST(RecursivePlacer, SpreadsCellsAcrossTheDie) {
+  const circuit::SyntheticSpec spec{.name = "t", .num_gates = 800,
+                                    .seed = 5};
+  const circuit::Netlist n = circuit::synthetic_circuit(spec);
+  const Placement p = place(n);
+  // Quadrant occupancy: no quadrant empty or hoarding > 60%.
+  std::array<int, 4> quadrant{0, 0, 0, 0};
+  for (const auto& loc : p.physical_locations(n)) {
+    const int q = (loc.x >= 0.0 ? 1 : 0) + (loc.y >= 0.0 ? 2 : 0);
+    ++quadrant[static_cast<std::size_t>(q)];
+  }
+  for (int count : quadrant) {
+    EXPECT_GT(count, 0);
+    EXPECT_LT(count, 480);
+  }
+}
+
+TEST(RecursivePlacer, BeatsRandomPlacementOnHpwl) {
+  const circuit::SyntheticSpec spec{.name = "t", .num_gates = 600,
+                                    .seed = 6};
+  const circuit::Netlist n = circuit::synthetic_circuit(spec);
+  const Placement mincut = place(n);
+
+  Placement random = mincut;
+  Rng rng(11);
+  for (std::size_t g : n.physical_gates())
+    random.location[g] = {rng.uniform(-0.98, 0.98), rng.uniform(-0.98, 0.98)};
+  EXPECT_LT(total_hpwl(n, mincut), 0.8 * total_hpwl(n, random));
+}
+
+TEST(Wireload, HpwlHandComputed) {
+  circuit::Netlist n("t");
+  n.add_gate("a", CellFunction::kInput, {});
+  n.add_gate("g", CellFunction::kBuf, {"a"});
+  n.add_gate("h", CellFunction::kInv, {"g"});
+  n.add_gate("k", CellFunction::kInv, {"g"});
+  n.add_gate("h_po", CellFunction::kOutput, {"h"});
+  n.add_gate("k_po", CellFunction::kOutput, {"k"});
+  n.finalize();
+  Placement p;
+  p.die = geometry::BoundingBox::unit_die();
+  p.location.assign(n.num_gates_total(), {0.0, 0.0});
+  p.location[n.index_of("g")] = {0.0, 0.0};
+  p.location[n.index_of("h")] = {0.5, 0.25};
+  p.location[n.index_of("k")] = {-0.25, 0.5};
+  // Net g -> {h, k}: bbox x [-0.25, 0.5], y [0, 0.5] => HPWL 1.25.
+  EXPECT_NEAR(net_hpwl(n, p, n.index_of("g")), 1.25, 1e-12);
+  // Sink-less gates have zero HPWL.
+  EXPECT_DOUBLE_EQ(net_hpwl(n, p, n.index_of("h_po")), 0.0);
+  const auto all = all_net_hpwl(n, p);
+  EXPECT_EQ(all.size(), n.num_gates_total());
+  EXPECT_NEAR(all[n.index_of("g")], 1.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace sckl::placer

@@ -1,0 +1,138 @@
+// Tests for src/ssta: the Monte Carlo harness bookkeeping and a small
+// end-to-end experiment checking the paper's headline claims in miniature
+// (KLE statistics track the Cholesky reference).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/bench_parser.h"
+#include "circuit/synthetic.h"
+#include "common/error.h"
+#include "core/kle_solver.h"
+#include "field/cholesky_sampler.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "mesh/structured_mesher.h"
+#include "placer/recursive_placer.h"
+#include "ssta/experiment.h"
+#include "ssta/mc_ssta.h"
+
+namespace sckl::ssta {
+namespace {
+
+class McSstaTest : public ::testing::Test {
+ protected:
+  McSstaTest()
+      : netlist_(circuit::parse_bench_string(circuit::c17_bench_text(),
+                                             "c17")),
+        placement_(placer::place(netlist_)),
+        library_(timing::CellLibrary::default_90nm()),
+        engine_(netlist_, placement_, library_),
+        kernel_(kernels::paper_gaussian_c()),
+        locations_(placement_.physical_locations(netlist_)),
+        sampler_(kernel_, locations_) {}
+
+  circuit::Netlist netlist_;
+  placer::Placement placement_;
+  timing::CellLibrary library_;
+  timing::StaEngine engine_;
+  kernels::GaussianKernel kernel_;
+  std::vector<geometry::Point2> locations_;
+  field::CholeskyFieldSampler sampler_;
+};
+
+TEST_F(McSstaTest, CollectsRequestedSampleCount) {
+  const ParameterSamplers samplers{&sampler_, &sampler_, &sampler_,
+                                   &sampler_};
+  McSstaOptions options;
+  options.num_samples = 500;
+  options.block_size = 64;  // exercises a partial last block
+  const McSstaResult r = run_monte_carlo_ssta(engine_, samplers, options);
+  EXPECT_EQ(r.worst_delay.count(), 500u);
+  ASSERT_EQ(r.endpoint.size(), engine_.num_endpoints());
+  for (const auto& e : r.endpoint) EXPECT_EQ(e.count(), 500u);
+  EXPECT_GE(r.total_seconds, 0.0);
+  EXPECT_GE(r.sampling_seconds, 0.0);
+  EXPECT_GE(r.sta_seconds, 0.0);
+}
+
+TEST_F(McSstaTest, MeanNearNominalAndPositiveSigma) {
+  const ParameterSamplers samplers{&sampler_, &sampler_, &sampler_,
+                                   &sampler_};
+  McSstaOptions options;
+  options.num_samples = 3000;
+  const McSstaResult r = run_monte_carlo_ssta(engine_, samplers, options);
+  const double nominal = engine_.run_nominal().worst_delay;
+  // With few-percent sensitivities the mean sits near nominal and sigma is
+  // a few percent of it.
+  EXPECT_NEAR(r.worst_delay.mean(), nominal, 0.15 * nominal);
+  EXPECT_GT(r.worst_delay.stddev(), 0.005 * nominal);
+  EXPECT_LT(r.worst_delay.stddev(), 0.5 * nominal);
+}
+
+TEST_F(McSstaTest, DeterministicInSeed) {
+  const ParameterSamplers samplers{&sampler_, &sampler_, &sampler_,
+                                   &sampler_};
+  McSstaOptions options;
+  options.num_samples = 100;
+  const McSstaResult a = run_monte_carlo_ssta(engine_, samplers, options);
+  const McSstaResult b = run_monte_carlo_ssta(engine_, samplers, options);
+  EXPECT_DOUBLE_EQ(a.worst_delay.mean(), b.worst_delay.mean());
+  EXPECT_DOUBLE_EQ(a.worst_delay.stddev(), b.worst_delay.stddev());
+}
+
+TEST_F(McSstaTest, ValidatesConfiguration) {
+  const ParameterSamplers samplers{&sampler_, &sampler_, &sampler_,
+                                   &sampler_};
+  McSstaOptions bad;
+  bad.num_samples = 0;
+  EXPECT_THROW(run_monte_carlo_ssta(engine_, samplers, bad), Error);
+  const ParameterSamplers missing{&sampler_, nullptr, &sampler_, &sampler_};
+  EXPECT_THROW(run_monte_carlo_ssta(engine_, missing, {}), Error);
+}
+
+TEST(Experiment, SmallCircuitKleTracksReference) {
+  // End-to-end miniature of a Table 1 row on the smallest paper circuit
+  // with few samples; statistical errors must land in single-digit percent.
+  ExperimentConfig config;
+  config.circuit = "c880";
+  config.num_samples = 400;
+  config.r = 25;
+  config.seed = 3;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_EQ(result.num_gates, 383u);
+  EXPECT_GT(result.mesh_triangles, 1000u);
+  EXPECT_GT(result.mc_sigma, 0.0);
+  EXPECT_GT(result.kle_sigma, 0.0);
+  // Mean errors are tiny (paper: <= 0.109%); allow sampling noise at N=400.
+  EXPECT_LT(result.e_mu_percent, 2.0);
+  // Sigma error: paper <= 5.7% at 100K samples; N=400 noise floor is
+  // ~1/sqrt(2*400) ~ 3.5% per estimate, so stay generous.
+  EXPECT_LT(result.e_sigma_percent, 25.0);
+  EXPECT_GT(result.speedup, 0.0);
+  EXPECT_FALSE(result.endpoint_sigma_error.empty());
+  EXPECT_GE(result.mean_endpoint_sigma_error(), 0.0);
+}
+
+TEST(Experiment, PipelineReusesReference) {
+  ExperimentConfig config;
+  config.circuit = "c880";
+  config.num_samples = 120;
+  ExperimentPipeline pipeline(config);
+  const McSstaResult& first = pipeline.reference();
+  const McSstaResult& second = pipeline.reference();
+  EXPECT_EQ(&first, &second);  // cached
+  EXPECT_EQ(first.worst_delay.count(), 120u);
+  EXPECT_GT(pipeline.num_gates(), 0u);
+
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      geometry::BoundingBox::unit_die(), 400);
+  double solve_seconds = -1.0;
+  const McSstaResult kle = pipeline.run_kle(mesh, 10, 20, &solve_seconds);
+  EXPECT_EQ(kle.worst_delay.count(), 120u);
+  EXPECT_GE(solve_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sckl::ssta

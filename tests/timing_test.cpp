@@ -1,0 +1,245 @@
+// Tests for src/timing: Elmore on hand-computed RC trees, PERI/Bakoglu
+// slew, NLDM interpolation, the rank-one quadratic statistical model, the
+// synthetic cell library, and the STA engine on known circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/bench_parser.h"
+#include "common/error.h"
+#include "placer/recursive_placer.h"
+#include "timing/cell_library.h"
+#include "timing/nldm.h"
+#include "timing/rc_tree.h"
+#include "timing/sta.h"
+#include "timing/stat_gate_model.h"
+
+namespace sckl::timing {
+namespace {
+
+TEST(RcTree, SingleSegmentElmore) {
+  // Root - R=2 - node(C=3): delay = 2 * 3 = 6.
+  RcTree tree;
+  const std::size_t n1 = tree.add_node(0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(tree.elmore_delay_to(n1), 6.0);
+  EXPECT_DOUBLE_EQ(tree.total_capacitance(), 3.0);
+}
+
+TEST(RcTree, ChainElmoreHandComputed) {
+  // Root - R1=1 - a(C=2) - R2=3 - b(C=4):
+  // delay(a) = 1 * (2 + 4) = 6; delay(b) = 6 + 3 * 4 = 18.
+  RcTree tree;
+  const std::size_t a = tree.add_node(0, 1.0, 2.0);
+  const std::size_t b = tree.add_node(a, 3.0, 4.0);
+  const auto d = tree.elmore_delays();
+  EXPECT_DOUBLE_EQ(d[a], 6.0);
+  EXPECT_DOUBLE_EQ(d[b], 18.0);
+}
+
+TEST(RcTree, BranchingTreeSharesTrunkDelay) {
+  // Root - R1=2 - t(C=1) with two branches: t - R=1 - x(C=5), t - R=4 - y(C=3).
+  RcTree tree;
+  const std::size_t t = tree.add_node(0, 2.0, 1.0);
+  const std::size_t x = tree.add_node(t, 1.0, 5.0);
+  const std::size_t y = tree.add_node(t, 4.0, 3.0);
+  const auto d = tree.elmore_delays();
+  const double trunk = 2.0 * (1.0 + 5.0 + 3.0);  // R1 * all downstream C
+  EXPECT_DOUBLE_EQ(d[t], trunk);
+  EXPECT_DOUBLE_EQ(d[x], trunk + 1.0 * 5.0);
+  EXPECT_DOUBLE_EQ(d[y], trunk + 4.0 * 3.0);
+}
+
+TEST(RcTree, AddCapacitanceAffectsUpstreamDelay) {
+  RcTree tree;
+  const std::size_t a = tree.add_node(0, 1.0, 1.0);
+  const double before = tree.elmore_delay_to(a);
+  tree.add_capacitance(a, 2.0);
+  EXPECT_DOUBLE_EQ(tree.elmore_delay_to(a), before + 1.0 * 2.0);
+}
+
+TEST(RcTree, InputValidation) {
+  RcTree tree;
+  EXPECT_THROW(tree.add_node(5, 1.0, 1.0), Error);
+  EXPECT_THROW(tree.add_node(0, -1.0, 1.0), Error);
+  EXPECT_THROW(tree.add_capacitance(3, 1.0), Error);
+}
+
+TEST(Slew, BakogluAndPeriComposition) {
+  EXPECT_NEAR(bakoglu_step_slew(10.0), std::log(9.0) * 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(peri_slew(3.0, 4.0), 5.0);
+  // Zero wire: slew passes through unchanged.
+  EXPECT_DOUBLE_EQ(wire_output_slew(7.0, 0.0), 7.0);
+  // Monotone in both arguments.
+  EXPECT_GT(wire_output_slew(7.0, 5.0), 7.0);
+  EXPECT_GT(wire_output_slew(9.0, 5.0), wire_output_slew(7.0, 5.0));
+}
+
+TEST(Nldm, ExactAtGridPointsAndBilinearBetween) {
+  const NldmTable table({10.0, 20.0}, {1.0, 3.0},
+                        {{5.0, 9.0}, {7.0, 15.0}});
+  EXPECT_DOUBLE_EQ(table.lookup(10.0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(table.lookup(20.0, 3.0), 15.0);
+  // Center: average of the four corners.
+  EXPECT_DOUBLE_EQ(table.lookup(15.0, 2.0), 9.0);
+  // Edge midpoints.
+  EXPECT_DOUBLE_EQ(table.lookup(10.0, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(table.lookup(15.0, 1.0), 6.0);
+}
+
+TEST(Nldm, ExtrapolatesLinearlyOutsideGrid) {
+  const NldmTable table({10.0, 20.0}, {1.0, 3.0},
+                        {{5.0, 9.0}, {7.0, 15.0}});
+  // Below the slew axis: continue the first-segment slope.
+  EXPECT_DOUBLE_EQ(table.lookup(0.0, 1.0), 3.0);
+  // Beyond the load axis at slew 10: slope (9-5)/2 = 2 per load unit.
+  EXPECT_DOUBLE_EQ(table.lookup(10.0, 5.0), 13.0);
+}
+
+TEST(Nldm, ValidatesConstruction) {
+  EXPECT_THROW(NldmTable({2.0, 1.0}, {1.0}, {{1.0}, {2.0}}), Error);
+  EXPECT_THROW(NldmTable({1.0}, {1.0, 2.0}, {{1.0}}), Error);
+  EXPECT_THROW(NldmTable({}, {1.0}, {}), Error);
+}
+
+TEST(RankOneQuadratic, FactorArithmetic) {
+  RankOneQuadratic s;
+  s.linear = {0.1, -0.05, 0.0, 0.0};
+  s.direction = {1.0, 0.0, 0.0, 0.0};
+  s.quadratic = 0.01;
+  EXPECT_DOUBLE_EQ(s.factor({0, 0, 0, 0}), 1.0);
+  EXPECT_NEAR(s.factor({1, 0, 0, 0}), 1.0 + 0.1 + 0.01, 1e-12);
+  EXPECT_NEAR(s.factor({1, 2, 0, 0}), 1.0 + 0.1 - 0.1 + 0.01, 1e-12);
+  // At -100 sigma the quadratic term dominates: 1 - 10 + 100 = 91.
+  EXPECT_DOUBLE_EQ(s.factor({-100, 0, 0, 0}, 0.2), 91.0);
+  RankOneQuadratic pure_linear;
+  pure_linear.linear = {-0.5, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(pure_linear.factor({10, 0, 0, 0}, 0.2), 0.2);
+}
+
+TEST(StatParameter, NamesAreStable) {
+  EXPECT_STREQ(stat_parameter_name(kParamL), "L");
+  EXPECT_STREQ(stat_parameter_name(kParamTox), "tox");
+}
+
+TEST(CellLibrary, DefaultLibraryCoversAllFunctions) {
+  const CellLibrary lib = CellLibrary::default_90nm();
+  using circuit::CellFunction;
+  for (CellFunction f :
+       {CellFunction::kBuf, CellFunction::kInv, CellFunction::kAnd,
+        CellFunction::kNand, CellFunction::kOr, CellFunction::kNor,
+        CellFunction::kXor, CellFunction::kXnor, CellFunction::kDff}) {
+    const TimingCell& cell = lib.cell_for(f, 2);
+    EXPECT_GT(cell.input_cap, 0.0);
+    EXPECT_GT(cell.delay.lookup(40.0, 10.0), 0.0);
+  }
+  // Wide gates clamp to the largest characterized arity.
+  const TimingCell& wide = lib.cell_for(circuit::CellFunction::kNand, 9);
+  EXPECT_EQ(wide.arity, 4u);
+  // No cells for pads.
+  EXPECT_THROW(lib.cell_for(circuit::CellFunction::kInput, 0), Error);
+}
+
+TEST(CellLibrary, DelayIncreasesWithLoadAndArity) {
+  const CellLibrary lib = CellLibrary::default_90nm();
+  const TimingCell& nand2 = lib.cell_for(circuit::CellFunction::kNand, 2);
+  const TimingCell& nand4 = lib.cell_for(circuit::CellFunction::kNand, 4);
+  EXPECT_GT(nand2.delay.lookup(40.0, 30.0), nand2.delay.lookup(40.0, 5.0));
+  EXPECT_GT(nand4.delay.lookup(40.0, 10.0), nand2.delay.lookup(40.0, 10.0));
+  EXPECT_GT(nand2.output_slew.lookup(40.0, 30.0),
+            nand2.output_slew.lookup(40.0, 5.0));
+}
+
+TEST(CellLibrary, RejectsDuplicates) {
+  CellLibrary lib = CellLibrary::default_90nm();
+  TimingCell duplicate;
+  duplicate.function = circuit::CellFunction::kInv;
+  duplicate.arity = 1;
+  duplicate.name = "INV_DUP";
+  EXPECT_THROW(lib.add_cell(duplicate), Error);
+}
+
+class StaC17Test : public ::testing::Test {
+ protected:
+  StaC17Test()
+      : netlist_(circuit::parse_bench_string(circuit::c17_bench_text(),
+                                             "c17")),
+        placement_(placer::place(netlist_)),
+        library_(CellLibrary::default_90nm()),
+        engine_(netlist_, placement_, library_) {}
+
+  circuit::Netlist netlist_;
+  placer::Placement placement_;
+  CellLibrary library_;
+  StaEngine engine_;
+};
+
+TEST_F(StaC17Test, NominalDelayIsPlausible) {
+  const StaResult r = engine_.run_nominal();
+  ASSERT_EQ(r.endpoint_arrival.size(), 2u);
+  // Three NAND levels plus wires. Note the wires are huge for this setup:
+  // 6 gates spread over the full normalized die (~2 mm of routing per net
+  // at 200 fF/mm), so several hundred ps per stage is expected.
+  EXPECT_GT(r.worst_delay, 20.0);
+  EXPECT_LT(r.worst_delay, 20000.0);
+  for (double a : r.endpoint_arrival) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, r.worst_delay);
+  }
+  EXPECT_EQ(engine_.depth(), 4u);
+}
+
+TEST_F(StaC17Test, SlowerParametersSlowTheCircuit) {
+  const std::vector<double> plus_sigma(netlist_.num_physical_gates(), 2.0);
+  const std::vector<double> zeros(netlist_.num_physical_gates(), 0.0);
+  // +2 sigma on L (the dominant positive sensitivity) slows every gate.
+  const StaResult nominal = engine_.run_nominal();
+  const StaResult slow = engine_.run(
+      {plus_sigma.data(), zeros.data(), zeros.data(), zeros.data()});
+  EXPECT_GT(slow.worst_delay, nominal.worst_delay * 1.02);
+  // Wider devices (+W) speed it up.
+  const StaResult fast = engine_.run(
+      {zeros.data(), plus_sigma.data(), zeros.data(), zeros.data()});
+  EXPECT_LT(fast.worst_delay, nominal.worst_delay);
+}
+
+TEST_F(StaC17Test, DeterministicAcrossRuns) {
+  const StaResult a = engine_.run_nominal();
+  const StaResult b = engine_.run_nominal();
+  EXPECT_EQ(a.worst_delay, b.worst_delay);
+}
+
+TEST(StaEngine, SequentialCircuitHasDffEndpoints) {
+  circuit::Netlist n("seq");
+  n.add_gate("pi", circuit::CellFunction::kInput, {});
+  n.add_gate("g1", circuit::CellFunction::kInv, {"pi"});
+  n.add_gate("ff", circuit::CellFunction::kDff, {"g1"});
+  n.add_gate("g2", circuit::CellFunction::kInv, {"ff"});
+  n.add_gate("g2_po", circuit::CellFunction::kOutput, {"g2"});
+  n.finalize();
+  const placer::Placement p = placer::place(n);
+  const CellLibrary lib = CellLibrary::default_90nm();
+  const StaEngine engine(n, p, lib);
+  EXPECT_EQ(engine.num_endpoints(), 2u);  // PO + DFF D pin
+  const StaResult r = engine.run_nominal();
+  // The DFF launches with its clk->Q delay, so the PO path is non-zero
+  // even though the D path has just one inverter.
+  for (double a : r.endpoint_arrival) EXPECT_GT(a, 0.0);
+}
+
+TEST(StaEngine, LongerWiresIncreaseDelay) {
+  // Same netlist placed on a tiny vs a huge die: wire delay must grow.
+  const circuit::Netlist n =
+      circuit::parse_bench_string(circuit::c17_bench_text(), "c17");
+  const CellLibrary lib = CellLibrary::default_90nm();
+  const placer::Placement small_die =
+      placer::place(n, {{-0.1, -0.1}, {0.1, 0.1}});
+  const placer::Placement big_die =
+      placer::place(n, {{-4.0, -4.0}, {4.0, 4.0}});
+  const StaEngine engine_small(n, small_die, lib);
+  const StaEngine engine_big(n, big_die, lib);
+  EXPECT_GT(engine_big.run_nominal().worst_delay,
+            engine_small.run_nominal().worst_delay);
+}
+
+}  // namespace
+}  // namespace sckl::timing
