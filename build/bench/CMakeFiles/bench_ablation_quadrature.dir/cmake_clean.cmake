@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quadrature.dir/bench_ablation_quadrature.cpp.o"
+  "CMakeFiles/bench_ablation_quadrature.dir/bench_ablation_quadrature.cpp.o.d"
+  "bench_ablation_quadrature"
+  "bench_ablation_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

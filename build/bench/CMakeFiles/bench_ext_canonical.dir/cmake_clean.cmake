@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_canonical.dir/bench_ext_canonical.cpp.o"
+  "CMakeFiles/bench_ext_canonical.dir/bench_ext_canonical.cpp.o.d"
+  "bench_ext_canonical"
+  "bench_ext_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gridmodel.dir/bench_ext_gridmodel.cpp.o"
+  "CMakeFiles/bench_ext_gridmodel.dir/bench_ext_gridmodel.cpp.o.d"
+  "bench_ext_gridmodel"
+  "bench_ext_gridmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gridmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

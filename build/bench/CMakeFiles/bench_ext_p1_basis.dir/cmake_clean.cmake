@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_p1_basis.dir/bench_ext_p1_basis.cpp.o"
+  "CMakeFiles/bench_ext_p1_basis.dir/bench_ext_p1_basis.cpp.o.d"
+  "bench_ext_p1_basis"
+  "bench_ext_p1_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_p1_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

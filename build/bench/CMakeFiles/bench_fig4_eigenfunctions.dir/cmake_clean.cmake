@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_eigenfunctions.dir/bench_fig4_eigenfunctions.cpp.o"
+  "CMakeFiles/bench_fig4_eigenfunctions.dir/bench_fig4_eigenfunctions.cpp.o.d"
+  "bench_fig4_eigenfunctions"
+  "bench_fig4_eigenfunctions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_eigenfunctions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_eigenvalue_decay.dir/bench_fig5_eigenvalue_decay.cpp.o"
+  "CMakeFiles/bench_fig5_eigenvalue_decay.dir/bench_fig5_eigenvalue_decay.cpp.o.d"
+  "bench_fig5_eigenvalue_decay"
+  "bench_fig5_eigenvalue_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_eigenvalue_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

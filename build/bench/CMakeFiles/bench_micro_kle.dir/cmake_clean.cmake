@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kle.dir/bench_micro_kle.cpp.o"
+  "CMakeFiles/bench_micro_kle.dir/bench_micro_kle.cpp.o.d"
+  "bench_micro_kle"
+  "bench_micro_kle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ssta.dir/bench_table1_ssta.cpp.o"
+  "CMakeFiles/bench_table1_ssta.dir/bench_table1_ssta.cpp.o.d"
+  "bench_table1_ssta"
+  "bench_table1_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

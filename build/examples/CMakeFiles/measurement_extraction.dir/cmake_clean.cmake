@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_extraction.dir/measurement_extraction.cpp.o"
+  "CMakeFiles/measurement_extraction.dir/measurement_extraction.cpp.o.d"
+  "measurement_extraction"
+  "measurement_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_convergence.dir/mesh_convergence.cpp.o"
+  "CMakeFiles/mesh_convergence.dir/mesh_convergence.cpp.o.d"
+  "mesh_convergence"
+  "mesh_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

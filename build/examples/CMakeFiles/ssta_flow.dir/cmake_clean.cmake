@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssta_flow.dir/ssta_flow.cpp.o"
+  "CMakeFiles/ssta_flow.dir/ssta_flow.cpp.o.d"
+  "ssta_flow"
+  "ssta_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssta_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

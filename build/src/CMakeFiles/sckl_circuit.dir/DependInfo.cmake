@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_parser.cpp" "src/CMakeFiles/sckl_circuit.dir/circuit/bench_parser.cpp.o" "gcc" "src/CMakeFiles/sckl_circuit.dir/circuit/bench_parser.cpp.o.d"
+  "/root/repo/src/circuit/levelize.cpp" "src/CMakeFiles/sckl_circuit.dir/circuit/levelize.cpp.o" "gcc" "src/CMakeFiles/sckl_circuit.dir/circuit/levelize.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/sckl_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/sckl_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/synthetic.cpp" "src/CMakeFiles/sckl_circuit.dir/circuit/synthetic.cpp.o" "gcc" "src/CMakeFiles/sckl_circuit.dir/circuit/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

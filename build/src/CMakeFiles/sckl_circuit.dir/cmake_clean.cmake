@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_circuit.dir/circuit/bench_parser.cpp.o"
+  "CMakeFiles/sckl_circuit.dir/circuit/bench_parser.cpp.o.d"
+  "CMakeFiles/sckl_circuit.dir/circuit/levelize.cpp.o"
+  "CMakeFiles/sckl_circuit.dir/circuit/levelize.cpp.o.d"
+  "CMakeFiles/sckl_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/sckl_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/sckl_circuit.dir/circuit/synthetic.cpp.o"
+  "CMakeFiles/sckl_circuit.dir/circuit/synthetic.cpp.o.d"
+  "libsckl_circuit.a"
+  "libsckl_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

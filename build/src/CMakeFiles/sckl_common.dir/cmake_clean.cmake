@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_common.dir/common/cli.cpp.o"
+  "CMakeFiles/sckl_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/sckl_common.dir/common/error.cpp.o"
+  "CMakeFiles/sckl_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/sckl_common.dir/common/rng.cpp.o"
+  "CMakeFiles/sckl_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/sckl_common.dir/common/statistics.cpp.o"
+  "CMakeFiles/sckl_common.dir/common/statistics.cpp.o.d"
+  "CMakeFiles/sckl_common.dir/common/table.cpp.o"
+  "CMakeFiles/sckl_common.dir/common/table.cpp.o.d"
+  "libsckl_common.a"
+  "libsckl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

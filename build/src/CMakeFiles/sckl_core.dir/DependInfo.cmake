@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic_kle.cpp" "src/CMakeFiles/sckl_core.dir/core/analytic_kle.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/analytic_kle.cpp.o.d"
+  "/root/repo/src/core/galerkin.cpp" "src/CMakeFiles/sckl_core.dir/core/galerkin.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/galerkin.cpp.o.d"
+  "/root/repo/src/core/kle_field.cpp" "src/CMakeFiles/sckl_core.dir/core/kle_field.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/kle_field.cpp.o.d"
+  "/root/repo/src/core/kle_solver.cpp" "src/CMakeFiles/sckl_core.dir/core/kle_solver.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/kle_solver.cpp.o.d"
+  "/root/repo/src/core/p1_galerkin.cpp" "src/CMakeFiles/sckl_core.dir/core/p1_galerkin.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/p1_galerkin.cpp.o.d"
+  "/root/repo/src/core/quadrature.cpp" "src/CMakeFiles/sckl_core.dir/core/quadrature.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/quadrature.cpp.o.d"
+  "/root/repo/src/core/truncation.cpp" "src/CMakeFiles/sckl_core.dir/core/truncation.cpp.o" "gcc" "src/CMakeFiles/sckl_core.dir/core/truncation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_core.dir/core/analytic_kle.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/analytic_kle.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/galerkin.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/galerkin.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/kle_field.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/kle_field.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/kle_solver.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/kle_solver.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/p1_galerkin.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/p1_galerkin.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/quadrature.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/quadrature.cpp.o.d"
+  "CMakeFiles/sckl_core.dir/core/truncation.cpp.o"
+  "CMakeFiles/sckl_core.dir/core/truncation.cpp.o.d"
+  "libsckl_core.a"
+  "libsckl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

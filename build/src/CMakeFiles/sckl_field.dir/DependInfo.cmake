@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/cholesky_sampler.cpp" "src/CMakeFiles/sckl_field.dir/field/cholesky_sampler.cpp.o" "gcc" "src/CMakeFiles/sckl_field.dir/field/cholesky_sampler.cpp.o.d"
+  "/root/repo/src/field/covariance_estimate.cpp" "src/CMakeFiles/sckl_field.dir/field/covariance_estimate.cpp.o" "gcc" "src/CMakeFiles/sckl_field.dir/field/covariance_estimate.cpp.o.d"
+  "/root/repo/src/field/kle_sampler.cpp" "src/CMakeFiles/sckl_field.dir/field/kle_sampler.cpp.o" "gcc" "src/CMakeFiles/sckl_field.dir/field/kle_sampler.cpp.o.d"
+  "/root/repo/src/field/lhs.cpp" "src/CMakeFiles/sckl_field.dir/field/lhs.cpp.o" "gcc" "src/CMakeFiles/sckl_field.dir/field/lhs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

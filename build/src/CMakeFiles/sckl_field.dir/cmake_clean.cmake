@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_field.dir/field/cholesky_sampler.cpp.o"
+  "CMakeFiles/sckl_field.dir/field/cholesky_sampler.cpp.o.d"
+  "CMakeFiles/sckl_field.dir/field/covariance_estimate.cpp.o"
+  "CMakeFiles/sckl_field.dir/field/covariance_estimate.cpp.o.d"
+  "CMakeFiles/sckl_field.dir/field/kle_sampler.cpp.o"
+  "CMakeFiles/sckl_field.dir/field/kle_sampler.cpp.o.d"
+  "CMakeFiles/sckl_field.dir/field/lhs.cpp.o"
+  "CMakeFiles/sckl_field.dir/field/lhs.cpp.o.d"
+  "libsckl_field.a"
+  "libsckl_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_geometry.dir/geometry/spatial_grid.cpp.o"
+  "CMakeFiles/sckl_geometry.dir/geometry/spatial_grid.cpp.o.d"
+  "CMakeFiles/sckl_geometry.dir/geometry/triangle.cpp.o"
+  "CMakeFiles/sckl_geometry.dir/geometry/triangle.cpp.o.d"
+  "libsckl_geometry.a"
+  "libsckl_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_gridmodel.dir/gridmodel/grid_model.cpp.o"
+  "CMakeFiles/sckl_gridmodel.dir/gridmodel/grid_model.cpp.o.d"
+  "libsckl_gridmodel.a"
+  "libsckl_gridmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_gridmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

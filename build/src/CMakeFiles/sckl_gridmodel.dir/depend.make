@@ -1,0 +1,2 @@
+# Empty dependencies file for sckl_gridmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/covariance_kernel.cpp" "src/CMakeFiles/sckl_kernels.dir/kernels/covariance_kernel.cpp.o" "gcc" "src/CMakeFiles/sckl_kernels.dir/kernels/covariance_kernel.cpp.o.d"
+  "/root/repo/src/kernels/extraction.cpp" "src/CMakeFiles/sckl_kernels.dir/kernels/extraction.cpp.o" "gcc" "src/CMakeFiles/sckl_kernels.dir/kernels/extraction.cpp.o.d"
+  "/root/repo/src/kernels/kernel_fit.cpp" "src/CMakeFiles/sckl_kernels.dir/kernels/kernel_fit.cpp.o" "gcc" "src/CMakeFiles/sckl_kernels.dir/kernels/kernel_fit.cpp.o.d"
+  "/root/repo/src/kernels/kernel_library.cpp" "src/CMakeFiles/sckl_kernels.dir/kernels/kernel_library.cpp.o" "gcc" "src/CMakeFiles/sckl_kernels.dir/kernels/kernel_library.cpp.o.d"
+  "/root/repo/src/kernels/psd_check.cpp" "src/CMakeFiles/sckl_kernels.dir/kernels/psd_check.cpp.o" "gcc" "src/CMakeFiles/sckl_kernels.dir/kernels/psd_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

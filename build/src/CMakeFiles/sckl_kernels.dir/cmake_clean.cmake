@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_kernels.dir/kernels/covariance_kernel.cpp.o"
+  "CMakeFiles/sckl_kernels.dir/kernels/covariance_kernel.cpp.o.d"
+  "CMakeFiles/sckl_kernels.dir/kernels/extraction.cpp.o"
+  "CMakeFiles/sckl_kernels.dir/kernels/extraction.cpp.o.d"
+  "CMakeFiles/sckl_kernels.dir/kernels/kernel_fit.cpp.o"
+  "CMakeFiles/sckl_kernels.dir/kernels/kernel_fit.cpp.o.d"
+  "CMakeFiles/sckl_kernels.dir/kernels/kernel_library.cpp.o"
+  "CMakeFiles/sckl_kernels.dir/kernels/kernel_library.cpp.o.d"
+  "CMakeFiles/sckl_kernels.dir/kernels/psd_check.cpp.o"
+  "CMakeFiles/sckl_kernels.dir/kernels/psd_check.cpp.o.d"
+  "libsckl_kernels.a"
+  "libsckl_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/blas.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/blas.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/generalized_eigen.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/generalized_eigen.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/generalized_eigen.cpp.o.d"
+  "/root/repo/src/linalg/jacobi_eigen.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/jacobi_eigen.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/jacobi_eigen.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cpp" "src/CMakeFiles/sckl_linalg.dir/linalg/symmetric_eigen.cpp.o" "gcc" "src/CMakeFiles/sckl_linalg.dir/linalg/symmetric_eigen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_linalg.dir/linalg/blas.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/blas.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/generalized_eigen.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/generalized_eigen.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/jacobi_eigen.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/jacobi_eigen.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/lanczos.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/lanczos.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/sckl_linalg.dir/linalg/symmetric_eigen.cpp.o"
+  "CMakeFiles/sckl_linalg.dir/linalg/symmetric_eigen.cpp.o.d"
+  "libsckl_linalg.a"
+  "libsckl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsckl_linalg.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/delaunay.cpp" "src/CMakeFiles/sckl_mesh.dir/mesh/delaunay.cpp.o" "gcc" "src/CMakeFiles/sckl_mesh.dir/mesh/delaunay.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/CMakeFiles/sckl_mesh.dir/mesh/refine.cpp.o" "gcc" "src/CMakeFiles/sckl_mesh.dir/mesh/refine.cpp.o.d"
+  "/root/repo/src/mesh/structured_mesher.cpp" "src/CMakeFiles/sckl_mesh.dir/mesh/structured_mesher.cpp.o" "gcc" "src/CMakeFiles/sckl_mesh.dir/mesh/structured_mesher.cpp.o.d"
+  "/root/repo/src/mesh/tri_mesh.cpp" "src/CMakeFiles/sckl_mesh.dir/mesh/tri_mesh.cpp.o" "gcc" "src/CMakeFiles/sckl_mesh.dir/mesh/tri_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

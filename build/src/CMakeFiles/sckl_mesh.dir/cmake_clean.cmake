@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_mesh.dir/mesh/delaunay.cpp.o"
+  "CMakeFiles/sckl_mesh.dir/mesh/delaunay.cpp.o.d"
+  "CMakeFiles/sckl_mesh.dir/mesh/refine.cpp.o"
+  "CMakeFiles/sckl_mesh.dir/mesh/refine.cpp.o.d"
+  "CMakeFiles/sckl_mesh.dir/mesh/structured_mesher.cpp.o"
+  "CMakeFiles/sckl_mesh.dir/mesh/structured_mesher.cpp.o.d"
+  "CMakeFiles/sckl_mesh.dir/mesh/tri_mesh.cpp.o"
+  "CMakeFiles/sckl_mesh.dir/mesh/tri_mesh.cpp.o.d"
+  "libsckl_mesh.a"
+  "libsckl_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

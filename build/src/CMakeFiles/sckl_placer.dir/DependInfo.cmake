@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placer/fm_partitioner.cpp" "src/CMakeFiles/sckl_placer.dir/placer/fm_partitioner.cpp.o" "gcc" "src/CMakeFiles/sckl_placer.dir/placer/fm_partitioner.cpp.o.d"
+  "/root/repo/src/placer/hypergraph.cpp" "src/CMakeFiles/sckl_placer.dir/placer/hypergraph.cpp.o" "gcc" "src/CMakeFiles/sckl_placer.dir/placer/hypergraph.cpp.o.d"
+  "/root/repo/src/placer/recursive_placer.cpp" "src/CMakeFiles/sckl_placer.dir/placer/recursive_placer.cpp.o" "gcc" "src/CMakeFiles/sckl_placer.dir/placer/recursive_placer.cpp.o.d"
+  "/root/repo/src/placer/wireload.cpp" "src/CMakeFiles/sckl_placer.dir/placer/wireload.cpp.o" "gcc" "src/CMakeFiles/sckl_placer.dir/placer/wireload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

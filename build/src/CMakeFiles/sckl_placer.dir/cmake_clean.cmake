@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_placer.dir/placer/fm_partitioner.cpp.o"
+  "CMakeFiles/sckl_placer.dir/placer/fm_partitioner.cpp.o.d"
+  "CMakeFiles/sckl_placer.dir/placer/hypergraph.cpp.o"
+  "CMakeFiles/sckl_placer.dir/placer/hypergraph.cpp.o.d"
+  "CMakeFiles/sckl_placer.dir/placer/recursive_placer.cpp.o"
+  "CMakeFiles/sckl_placer.dir/placer/recursive_placer.cpp.o.d"
+  "CMakeFiles/sckl_placer.dir/placer/wireload.cpp.o"
+  "CMakeFiles/sckl_placer.dir/placer/wireload.cpp.o.d"
+  "libsckl_placer.a"
+  "libsckl_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

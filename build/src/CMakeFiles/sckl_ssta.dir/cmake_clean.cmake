@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_ssta.dir/ssta/canonical.cpp.o"
+  "CMakeFiles/sckl_ssta.dir/ssta/canonical.cpp.o.d"
+  "CMakeFiles/sckl_ssta.dir/ssta/experiment.cpp.o"
+  "CMakeFiles/sckl_ssta.dir/ssta/experiment.cpp.o.d"
+  "CMakeFiles/sckl_ssta.dir/ssta/mc_ssta.cpp.o"
+  "CMakeFiles/sckl_ssta.dir/ssta/mc_ssta.cpp.o.d"
+  "CMakeFiles/sckl_ssta.dir/ssta/pce.cpp.o"
+  "CMakeFiles/sckl_ssta.dir/ssta/pce.cpp.o.d"
+  "CMakeFiles/sckl_ssta.dir/ssta/yield.cpp.o"
+  "CMakeFiles/sckl_ssta.dir/ssta/yield.cpp.o.d"
+  "libsckl_ssta.a"
+  "libsckl_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/cell_library.cpp" "src/CMakeFiles/sckl_timing.dir/timing/cell_library.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/cell_library.cpp.o.d"
+  "/root/repo/src/timing/critical_path.cpp" "src/CMakeFiles/sckl_timing.dir/timing/critical_path.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/critical_path.cpp.o.d"
+  "/root/repo/src/timing/library_io.cpp" "src/CMakeFiles/sckl_timing.dir/timing/library_io.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/library_io.cpp.o.d"
+  "/root/repo/src/timing/nldm.cpp" "src/CMakeFiles/sckl_timing.dir/timing/nldm.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/nldm.cpp.o.d"
+  "/root/repo/src/timing/rc_tree.cpp" "src/CMakeFiles/sckl_timing.dir/timing/rc_tree.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/rc_tree.cpp.o.d"
+  "/root/repo/src/timing/slack.cpp" "src/CMakeFiles/sckl_timing.dir/timing/slack.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/slack.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/sckl_timing.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/sta.cpp.o.d"
+  "/root/repo/src/timing/stat_gate_model.cpp" "src/CMakeFiles/sckl_timing.dir/timing/stat_gate_model.cpp.o" "gcc" "src/CMakeFiles/sckl_timing.dir/timing/stat_gate_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sckl_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sckl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

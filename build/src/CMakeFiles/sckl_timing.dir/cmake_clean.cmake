@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sckl_timing.dir/timing/cell_library.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/cell_library.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/critical_path.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/critical_path.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/library_io.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/library_io.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/nldm.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/nldm.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/rc_tree.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/rc_tree.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/slack.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/slack.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/sta.cpp.o.d"
+  "CMakeFiles/sckl_timing.dir/timing/stat_gate_model.cpp.o"
+  "CMakeFiles/sckl_timing.dir/timing/stat_gate_model.cpp.o.d"
+  "libsckl_timing.a"
+  "libsckl_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sckl_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmodel_test.dir/gridmodel_test.cpp.o"
+  "CMakeFiles/gridmodel_test.dir/gridmodel_test.cpp.o.d"
+  "gridmodel_test"
+  "gridmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p1_galerkin_test.dir/p1_galerkin_test.cpp.o"
+  "CMakeFiles/p1_galerkin_test.dir/p1_galerkin_test.cpp.o.d"
+  "p1_galerkin_test"
+  "p1_galerkin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p1_galerkin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_ext_test.dir/timing_ext_test.cpp.o"
+  "CMakeFiles/timing_ext_test.dir/timing_ext_test.cpp.o.d"
+  "timing_ext_test"
+  "timing_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
