@@ -4,8 +4,19 @@
 //    took 11.2 s for 200 pairs at n = 1546),
 //  - per-sample generation throughput: Algorithm 1 (O(N_g^2)) vs
 //    Algorithm 2 (O(N_g r)) — the source of Table 1's speedup,
-//  - STA evaluation cost per sample.
+//  - STA evaluation cost per sample,
+//  - artifact-store cold solve vs warm load (the offline/online split).
+//
+// --json=PATH additionally times the artifact store on a 1600-triangle mesh
+// (cold Galerkin+eigensolve+persist, warm disk load, warm memory hit) and
+// appends one {"bench": ..., "wall_ms": ...} JSON record per measurement to
+// PATH — the input of the BENCH_*.json perf trajectory. Combine with
+// --benchmark_filter=NONE to emit only the JSON records.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
@@ -17,6 +28,7 @@
 #include "mesh/structured_mesher.h"
 #include "placer/recursive_placer.h"
 #include "ssta/mc_ssta.h"
+#include "store/artifact_store.h"
 #include "timing/sta.h"
 
 namespace {
@@ -141,6 +153,100 @@ void BM_StaEvaluation(benchmark::State& state) {
 BENCHMARK(BM_StaEvaluation)->Arg(383)->Arg(880)->Arg(1669)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_ArtifactDiskLoad(benchmark::State& state) {
+  // Pre-build one artifact, then measure the warm disk path in isolation.
+  const auto root =
+      std::filesystem::temp_directory_path() / "sckl_bench_micro_store";
+  store::KleArtifactConfig config;
+  std::string id;
+  std::vector<double> params;
+  store::describe_kernel(paper_kernel(), id, params);
+  config.kernel_id = id;
+  config.kernel_params = params;
+  config.mesh.target_triangles = static_cast<std::uint64_t>(state.range(0));
+  config.num_eigenpairs = 50;
+  store::KleArtifactStore builder(root);
+  builder.get_or_compute(config, paper_kernel());
+  const std::string path = builder.path_for(config).string();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::read_kle_file(path));
+  }
+}
+BENCHMARK(BM_ArtifactDiskLoad)->Arg(576)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+/// Appends cold/warm artifact-store records to `json_path` and reports the
+/// headline speedup on stdout. Returns false when the acceptance floor
+/// (warm disk >= 50x faster than cold solve at n >= 1000) is missed.
+bool emit_store_json(const std::string& json_path) {
+  const auto root =
+      std::filesystem::temp_directory_path() / "sckl_bench_store_json";
+  std::filesystem::remove_all(root);
+
+  store::KleArtifactConfig config;
+  std::string id;
+  std::vector<double> params;
+  store::describe_kernel(paper_kernel(), id, params);
+  config.kernel_id = id;
+  config.kernel_params = params;
+  config.mesh.kind = store::MeshSpec::Kind::kStructuredCross;
+  config.mesh.target_triangles = 1546;  // cross split lands on 1600
+  config.num_eigenpairs = 50;
+
+  store::KleArtifactStore cold_store(root);
+  const store::FetchResult cold = cold_store.get_or_compute(config, paper_kernel());
+  store::KleArtifactStore warm_store(root);
+  const store::FetchResult disk = warm_store.get_or_compute(config, paper_kernel());
+  const store::FetchResult memory = warm_store.get_or_compute(config, paper_kernel());
+  const std::size_t triangles = cold.artifact->mesh().num_triangles();
+
+  std::FILE* f = std::fopen(json_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_kle: cannot open %s\n", json_path.c_str());
+    return false;
+  }
+  const auto record = [&](const char* name, double wall_ms) {
+    std::fprintf(f,
+                 "{\"bench\": \"%s\", \"wall_ms\": %.6f, \"triangles\": %zu, "
+                 "\"eigenpairs\": %llu}\n",
+                 name, wall_ms, triangles,
+                 static_cast<unsigned long long>(config.num_eigenpairs));
+  };
+  record("kle_cold_solve_and_persist", cold.seconds * 1e3);
+  record("kle_store_warm_disk_load", disk.seconds * 1e3);
+  record("kle_store_warm_memory_hit", memory.seconds * 1e3);
+  std::fclose(f);
+
+  const double speedup = cold.seconds / std::max(disk.seconds, 1e-12);
+  std::printf("artifact store @ n=%zu: cold=%.1fms disk=%.3fms memory=%.4fms "
+              "(cold/disk = %.0fx)\ncache: %s\n",
+              triangles, cold.seconds * 1e3, disk.seconds * 1e3,
+              memory.seconds * 1e3, speedup,
+              to_string(warm_store.cache_stats()).c_str());
+  std::filesystem::remove_all(root);
+  return cold.source == store::FetchSource::kSolved &&
+         disk.source == store::FetchSource::kDisk &&
+         memory.source == store::FetchSource::kMemory && speedup >= 50.0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract our --json=PATH flag before google-benchmark sees the argv.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!json_path.empty() && !emit_store_json(json_path)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

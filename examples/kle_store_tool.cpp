@@ -1,0 +1,198 @@
+// Offline artifact-repository management CLI — the "decompose once" half of
+// the paper's offline/online split (Algorithm 2 consumes what this builds).
+//
+//   kle_store_tool build   --root=DIR [--kernel=gaussian] [--c=VALUE]
+//                          [--mesh=paper|cross|diagonal] [--triangles=1546]
+//                          [--area-fraction=0.001] [--mesh-seed=1]
+//                          [--pairs=50] [--quadrature=1|3|7] [--force]
+//       Solves (or re-serves) the configured KLE into the repository and
+//       reports cold-vs-warm wall time.
+//   kle_store_tool inspect --root=DIR --key=HEX   (or: inspect FILE.sckl)
+//       Validates one artifact and prints its header, mesh size, and
+//       leading eigenvalues.
+//   kle_store_tool ls      --root=DIR
+//       Lists artifacts with file sizes.
+//   kle_store_tool gc      --root=DIR
+//       Deletes orphaned tmp files and corrupt/mismatched artifacts.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "kernels/kernel_fit.h"
+#include "kernels/kernel_library.h"
+#include "store/artifact_store.h"
+
+namespace {
+
+using namespace sckl;
+
+std::unique_ptr<kernels::CovarianceKernel> make_kernel(const CliFlags& flags) {
+  const std::string family = flags.get_string("kernel", "gaussian");
+  const double c = flags.get_double("c", 0.0);
+  if (family == "gaussian")
+    return std::make_unique<kernels::GaussianKernel>(
+        c > 0.0 ? c : kernels::paper_gaussian_c());
+  if (family == "exponential")
+    return std::make_unique<kernels::ExponentialKernel>(c > 0.0 ? c : 1.0);
+  if (family == "separable_l1")
+    return std::make_unique<kernels::SeparableL1Kernel>(c > 0.0 ? c : 1.0);
+  if (family == "matern")
+    return std::make_unique<kernels::MaternKernel>(
+        flags.get_double("b", 2.0), flags.get_double("s", 2.0));
+  if (family == "linear_cone")
+    return std::make_unique<kernels::LinearConeKernel>(
+        flags.get_double("rho", 1.0));
+  throw Error("unknown --kernel family '" + family +
+              "' (gaussian, exponential, separable_l1, matern, linear_cone)");
+}
+
+store::KleArtifactConfig make_config(const CliFlags& flags,
+                                     const kernels::CovarianceKernel& kernel) {
+  store::KleArtifactConfig config;
+  store::describe_kernel(kernel, config.kernel_id, config.kernel_params);
+  const std::string mesh = flags.get_string("mesh", "cross");
+  if (mesh == "paper") {
+    config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+  } else if (mesh == "cross") {
+    config.mesh.kind = store::MeshSpec::Kind::kStructuredCross;
+  } else if (mesh == "diagonal") {
+    config.mesh.kind = store::MeshSpec::Kind::kStructuredDiagonal;
+  } else {
+    throw Error("unknown --mesh '" + mesh + "' (paper, cross, diagonal)");
+  }
+  config.mesh.target_triangles =
+      static_cast<std::uint64_t>(flags.get_int("triangles", 1546));
+  config.mesh.area_fraction = flags.get_double("area-fraction", 0.001);
+  config.mesh.mesher_seed =
+      static_cast<std::uint64_t>(flags.get_int("mesh-seed", 1));
+  const long quadrature = flags.get_int("quadrature", 1);
+  config.quadrature = quadrature == 7   ? core::QuadratureRule::kSymmetric7
+                      : quadrature == 3 ? core::QuadratureRule::kSymmetric3
+                                        : core::QuadratureRule::kCentroid1;
+  config.num_eigenpairs =
+      static_cast<std::uint64_t>(flags.get_int("pairs", 50));
+  return config;
+}
+
+void print_artifact(const store::StoredKleResult& artifact) {
+  const store::KleArtifactConfig& config = artifact.config();
+  std::printf("  key          %s\n",
+              store::key_string(store::artifact_key(config)).c_str());
+  std::printf("  kernel       %s (", config.kernel_id.c_str());
+  for (std::size_t i = 0; i < config.kernel_params.size(); ++i)
+    std::printf("%s%.17g", i ? ", " : "", config.kernel_params[i]);
+  std::printf(")\n");
+  std::printf("  die          [%g, %g] x [%g, %g]\n", config.die.min.x,
+              config.die.max.x, config.die.min.y, config.die.max.y);
+  std::printf("  mesh         kind=%u target=%llu area_fraction=%g seed=%llu "
+              "-> %zu triangles, %zu vertices\n",
+              static_cast<unsigned>(config.mesh.kind),
+              static_cast<unsigned long long>(config.mesh.target_triangles),
+              config.mesh.area_fraction,
+              static_cast<unsigned long long>(config.mesh.mesher_seed),
+              artifact.mesh().num_triangles(), artifact.mesh().num_vertices());
+  std::printf("  quadrature   %u-point\n",
+              config.quadrature == core::QuadratureRule::kSymmetric7   ? 7u
+              : config.quadrature == core::QuadratureRule::kSymmetric3 ? 3u
+                                                                       : 1u);
+  const auto& lambda = artifact.kle().eigenvalues();
+  std::printf("  eigenpairs   %zu computed (requested %llu)\n", lambda.size(),
+              static_cast<unsigned long long>(config.num_eigenpairs));
+  std::printf("  lambda[0..4] ");
+  for (std::size_t j = 0; j < lambda.size() && j < 5; ++j)
+    std::printf("%s%.6g", j ? ", " : "", lambda[j]);
+  std::printf("\n  memory       ~%.2f MiB resident\n",
+              static_cast<double>(artifact.approximate_bytes()) / (1 << 20));
+}
+
+int cmd_build(const CliFlags& flags, const std::string& root) {
+  const auto kernel = make_kernel(flags);
+  const store::KleArtifactConfig config = make_config(flags, *kernel);
+  store::KleArtifactStore store(root);
+  if (flags.get_bool("force", false)) {
+    std::error_code ec;
+    std::filesystem::remove(store.path_for(config), ec);
+  }
+  const store::FetchResult first = store.get_or_compute(config, *kernel);
+  std::printf("build: source=%s wall=%.4fs -> %s\n", to_string(first.source),
+              first.seconds, store.path_for(config).c_str());
+  // Time the two warm paths: in-process memory hit, then a fresh store
+  // instance forcing a disk load.
+  const store::FetchResult memory_hit = store.get_or_compute(config, *kernel);
+  store::KleArtifactStore cold_store(root);
+  const store::FetchResult disk_hit = cold_store.get_or_compute(config, *kernel);
+  std::printf("warm:  memory=%.6fs disk=%.6fs", memory_hit.seconds,
+              disk_hit.seconds);
+  if (first.source == store::FetchSource::kSolved && disk_hit.seconds > 0.0)
+    std::printf("  (cold solve / warm disk load = %.0fx)",
+                first.seconds / disk_hit.seconds);
+  std::printf("\ncache: %s\n", to_string(store.cache_stats()).c_str());
+  print_artifact(*first.artifact);
+  return 0;
+}
+
+int cmd_inspect(const CliFlags& flags, const std::string& root) {
+  std::string path;
+  if (flags.has("key")) {
+    path = (std::filesystem::path(root) /
+            (flags.get_string("key", "") + ".sckl")).string();
+  } else if (flags.positional().size() > 1) {
+    path = flags.positional()[1];
+  } else {
+    std::fprintf(stderr, "inspect: need --root+--key or a .sckl file path\n");
+    return 2;
+  }
+  const store::StoredKleResult artifact = store::read_kle_file(path);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  std::printf("%s: valid (%llu bytes on disk)\n", path.c_str(),
+              static_cast<unsigned long long>(ec ? 0 : bytes));
+  print_artifact(artifact);
+  return 0;
+}
+
+int cmd_ls(const std::string& root) {
+  store::KleArtifactStore store(root);
+  const auto entries = store.ls();
+  for (const auto& entry : entries)
+    std::printf("%s  %12llu bytes\n", entry.key.c_str(),
+                static_cast<unsigned long long>(entry.file_bytes));
+  std::printf("%zu artifact(s) in %s\n", entries.size(), root.c_str());
+  return 0;
+}
+
+int cmd_gc(const std::string& root) {
+  store::KleArtifactStore store(root);
+  const std::size_t removed = store.gc();
+  std::printf("gc: removed %zu file(s) from %s\n", removed, root.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sckl;
+  const CliFlags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: kle_store_tool <build|inspect|ls|gc> --root=DIR "
+                 "[options]\n");
+    return 2;
+  }
+  const std::string command = flags.positional().front();
+  const std::string root = flags.get_string("root", ".sckl-store");
+  try {
+    if (command == "build") return cmd_build(flags, root);
+    if (command == "inspect") return cmd_inspect(flags, root);
+    if (command == "ls") return cmd_ls(root);
+    if (command == "gc") return cmd_gc(root);
+    std::fprintf(stderr, "kle_store_tool: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "kle_store_tool: %s\n", e.what());
+    return 1;
+  }
+}

@@ -5,11 +5,19 @@
 //   Monte Carlo SSTA with Algorithm 1 (reference) and Algorithm 2 (KLE),
 //   then a side-by-side report.
 //
+// With --store=DIR the solved KLE is fetched through the artifact store
+// (kle_store_tool's repository format): the first run pays the eigensolve
+// and persists it, later runs load the artifact from disk in milliseconds —
+// the paper's offline-decompose / online-sample split.
+//
 // Usage: ./examples/ssta_flow [--circuit=c880] [--samples=500] [--r=25]
+//                             [--store=/path/to/repo]
 #include <cstdio>
+#include <memory>
 
 #include "circuit/synthetic.h"
 #include "common/cli.h"
+#include "common/stopwatch.h"
 #include "core/kle_solver.h"
 #include "field/cholesky_sampler.h"
 #include "field/kle_sampler.h"
@@ -19,6 +27,7 @@
 #include "placer/recursive_placer.h"
 #include "placer/wireload.h"
 #include "ssta/mc_ssta.h"
+#include "store/artifact_store.h"
 #include "timing/critical_path.h"
 #include "timing/sta.h"
 
@@ -26,6 +35,7 @@ int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
   const std::string name = flags.get_string("circuit", "c880");
+  const std::string store_root = flags.get_string("store", "");
   // Sigma-vs-sigma comparisons have a ~1/sqrt(N) noise floor; 1000 samples
   // put it at ~3%.
   const auto samples =
@@ -54,15 +64,42 @@ int main(int argc, char** argv) {
   const auto locations = placement.physical_locations(netlist);
   const field::CholeskyFieldSampler dense(kernel, locations);
 
-  const mesh::TriMesh mesh = mesh::paper_mesh();
-  core::KleOptions kle_options;
-  kle_options.num_eigenpairs = std::max<std::size_t>(2 * r, 50);
-  const core::KleResult kle = core::solve_kle(mesh, kernel, kle_options);
-  const field::KleFieldSampler reduced(kle, r, locations);
+  const std::size_t num_eigenpairs = std::max<std::size_t>(2 * r, 50);
+  std::unique_ptr<field::KleFieldSampler> reduced_ptr;
+  std::shared_ptr<const store::StoredKleResult> artifact;  // keeps mesh alive
+  std::unique_ptr<mesh::TriMesh> owned_mesh;
+  std::size_t num_triangles = 0;
+  if (!store_root.empty()) {
+    // Warm path: memory -> <store>/<hash>.sckl -> solve-and-persist.
+    store::KleArtifactStore store(store_root);
+    store::KleArtifactConfig config;
+    store::describe_kernel(kernel, config.kernel_id, config.kernel_params);
+    config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+    config.num_eigenpairs = num_eigenpairs;
+    const store::FetchResult fetch = store.get_or_compute(config, kernel);
+    artifact = fetch.artifact;
+    num_triangles = artifact->mesh().num_triangles();
+    reduced_ptr =
+        std::make_unique<field::KleFieldSampler>(*artifact, r, locations);
+    std::printf("KLE artifact %s: source=%s fetch=%.3fs (%s)\n",
+                store.path_for(config).c_str(), to_string(fetch.source),
+                fetch.seconds, to_string(store.cache_stats()).c_str());
+  } else {
+    Stopwatch solve;
+    owned_mesh = std::make_unique<mesh::TriMesh>(mesh::paper_mesh());
+    core::KleOptions kle_options;
+    kle_options.num_eigenpairs = num_eigenpairs;
+    const core::KleResult kle = core::solve_kle(*owned_mesh, kernel, kle_options);
+    num_triangles = owned_mesh->num_triangles();
+    reduced_ptr = std::make_unique<field::KleFieldSampler>(kle, r, locations);
+    std::printf("KLE solved fresh in %.3fs (pass --store=DIR to persist)\n",
+                solve.seconds());
+  }
+  const field::KleFieldSampler& reduced = *reduced_ptr;
   std::printf("samplers: Algorithm 1 latent dim %zu | Algorithm 2 latent "
               "dim %zu (n = %zu triangles)\n\n",
               dense.latent_dimension(), reduced.latent_dimension(),
-              mesh.num_triangles());
+              num_triangles);
 
   // Monte Carlo SSTA, both ways, same timer.
   ssta::McSstaOptions options;

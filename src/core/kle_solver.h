@@ -37,6 +37,16 @@ struct KleOptions {
 };
 
 /// Result of the numerical KLE of one kernel on one mesh.
+///
+/// LIFETIME CONTRACT — READ BEFORE STORING A KleResult ANYWHERE:
+/// KleResult deliberately BORROWS its mesh (it holds `const TriMesh&` and
+/// never copies it), so the mesh passed to solve_kle()/the constructor must
+/// strictly outlive the result. Returning a KleResult from a function whose
+/// local mesh dies, or caching one beyond its mesh's scope, is a dangling
+/// reference and undefined behaviour. When ownership is needed — persisted
+/// artifacts, caches, anything deserialized — use store::StoredKleResult
+/// (store/kle_io.h), which owns the mesh via shared_ptr and exposes the same
+/// KleResult view.
 class KleResult {
  public:
   KleResult(const mesh::TriMesh& mesh, linalg::Vector eigenvalues,
@@ -91,7 +101,8 @@ class KleResult {
   geometry::SpatialGrid locator_;
 };
 
-/// Computes the KLE of `kernel` on `mesh`. The mesh must outlive the result.
+/// Computes the KLE of `kernel` on `mesh`. The mesh must outlive the result
+/// (see the KleResult lifetime contract above).
 KleResult solve_kle(const mesh::TriMesh& mesh,
                     const kernels::CovarianceKernel& kernel,
                     const KleOptions& options = {});

@@ -8,6 +8,11 @@ KleFieldSampler::KleFieldSampler(const core::KleResult& kle, std::size_t r,
                                  const std::vector<geometry::Point2>& locations)
     : r_(r), field_(kle, r, locations) {}
 
+KleFieldSampler::KleFieldSampler(const store::StoredKleResult& stored,
+                                 std::size_t r,
+                                 const std::vector<geometry::Point2>& locations)
+    : KleFieldSampler(stored.kle(), r, locations) {}
+
 std::size_t KleFieldSampler::num_locations() const {
   return field_.num_locations();
 }

@@ -12,6 +12,7 @@
 
 #include "core/kle_field.h"
 #include "field/field_sampler.h"
+#include "store/kle_io.h"
 
 namespace sckl::field {
 
@@ -21,6 +22,10 @@ class KleFieldSampler final : public FieldSampler {
   /// Freezes `kle` at truncation r for the given locations. The KleResult
   /// may be destroyed afterwards; all needed state is copied.
   KleFieldSampler(const core::KleResult& kle, std::size_t r,
+                  const std::vector<geometry::Point2>& locations);
+
+  /// Same, from a persisted/cached artifact (artifact store warm path).
+  KleFieldSampler(const store::StoredKleResult& stored, std::size_t r,
                   const std::vector<geometry::Point2>& locations);
 
   std::size_t num_locations() const override;

@@ -58,6 +58,39 @@ double ExperimentPipeline::reference_setup_seconds() {
   return reference_setup_seconds_;
 }
 
+store::KleArtifactConfig ExperimentPipeline::artifact_config(
+    std::size_t num_eigenpairs) const {
+  store::KleArtifactConfig config;
+  store::describe_kernel(*kernel_, config.kernel_id, config.kernel_params);
+  config.die = geometry::BoundingBox::unit_die();
+  config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+  config.mesh.area_fraction = config_.mesh_area_fraction;
+  config.mesh.mesher_seed = config_.seed + 7;
+  config.quadrature = core::QuadratureRule::kCentroid1;
+  config.num_eigenpairs = num_eigenpairs;
+  return config;
+}
+
+McSstaResult ExperimentPipeline::run_kle_stored(
+    store::KleArtifactStore& store, std::size_t r, std::size_t num_eigenpairs,
+    double* fetch_seconds, store::FetchSource* source,
+    std::size_t* mesh_triangles) {
+  Stopwatch setup;
+  const store::FetchResult fetch =
+      store.get_or_compute(artifact_config(num_eigenpairs), *kernel_);
+  const field::KleFieldSampler sampler(*fetch.artifact, r, locations_);
+  if (fetch_seconds != nullptr) *fetch_seconds = setup.seconds();
+  if (source != nullptr) *source = fetch.source;
+  if (mesh_triangles != nullptr)
+    *mesh_triangles = fetch.artifact->mesh().num_triangles();
+
+  const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
+  McSstaOptions options;
+  options.num_samples = config_.num_samples;
+  options.seed = config_.seed + 1000;
+  return run_monte_carlo_ssta(*engine_, samplers, options);
+}
+
 McSstaResult ExperimentPipeline::run_kle(const mesh::TriMesh& mesh,
                                          std::size_t r,
                                          std::size_t num_eigenpairs,
@@ -93,17 +126,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.mc_mean = mc.worst_delay.mean();
   result.mc_sigma = mc.worst_delay.stddev();
 
-  const mesh::TriMesh mesh = mesh::paper_mesh(
-      geometry::BoundingBox::unit_die(), config.mesh_area_fraction,
-      config.seed + 7);
-  result.mesh_triangles = mesh.num_triangles();
-
   const std::size_t pairs =
       config.num_eigenpairs != 0
           ? config.num_eigenpairs
           : std::max<std::size_t>(2 * config.r, 50);
-  const McSstaResult kle =
-      pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds);
+  McSstaResult kle;
+  if (!config.store_root.empty()) {
+    store::KleArtifactStore store(config.store_root);
+    store::FetchSource source = store::FetchSource::kSolved;
+    kle = pipeline.run_kle_stored(store, config.r, pairs,
+                                  &result.kle_setup_seconds, &source,
+                                  &result.mesh_triangles);
+    result.kle_source = store::to_string(source);
+  } else {
+    const mesh::TriMesh mesh = mesh::paper_mesh(
+        geometry::BoundingBox::unit_die(), config.mesh_area_fraction,
+        config.seed + 7);
+    result.mesh_triangles = mesh.num_triangles();
+    kle = pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds);
+  }
   result.kle_run_seconds = kle.sampling_seconds + kle.sta_seconds;
   result.kle_mean = kle.worst_delay.mean();
   result.kle_sigma = kle.worst_delay.stddev();

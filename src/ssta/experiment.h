@@ -17,6 +17,7 @@
 
 #include "core/kle_solver.h"
 #include "ssta/mc_ssta.h"
+#include "store/artifact_store.h"
 
 namespace sckl::ssta {
 
@@ -30,6 +31,12 @@ struct ExperimentConfig {
   double kernel_c = 0.0;           // Gaussian decay; 0 = the paper's 2-D fit
   std::uint64_t seed = 1;
   bool reuse_kle = true;           // share one KLE across the 4 parameters
+
+  /// When non-empty, the KLE is fetched through a KleArtifactStore rooted
+  /// here (memory -> disk -> solve) instead of always solving fresh, and
+  /// kle_setup_seconds becomes the fetch time. Repeated runs on the same
+  /// root skip the eigensolve entirely (the paper's offline/online split).
+  std::string store_root;
 };
 
 /// Everything the benches report about one circuit.
@@ -48,7 +55,8 @@ struct ExperimentResult {
   double speedup = 0.0;  // (sampling+STA) time ratio MC / KLE
 
   double mc_setup_seconds = 0.0;   // Cholesky factorization
-  double kle_setup_seconds = 0.0;  // KLE solve (once per kernel)
+  double kle_setup_seconds = 0.0;  // KLE solve — or store fetch — time
+  std::string kle_source;          // "", or store provenance: solved/disk/memory
   double mc_run_seconds = 0.0;
   double kle_run_seconds = 0.0;
 
@@ -83,6 +91,19 @@ class ExperimentPipeline {
   /// Runs Algorithm 2 with a KLE built on `mesh` truncated at r.
   McSstaResult run_kle(const mesh::TriMesh& mesh, std::size_t r,
                        std::size_t num_eigenpairs, double* solve_seconds);
+
+  /// The artifact configuration this pipeline's KLE is keyed under (paper
+  /// mesh on the unit die, this pipeline's kernel, centroid quadrature).
+  store::KleArtifactConfig artifact_config(std::size_t num_eigenpairs) const;
+
+  /// Runs Algorithm 2 with the KLE fetched through `store` (solving only on
+  /// a cold miss). Reports fetch provenance/time and the mesh size through
+  /// the out-parameters when non-null.
+  McSstaResult run_kle_stored(store::KleArtifactStore& store, std::size_t r,
+                              std::size_t num_eigenpairs,
+                              double* fetch_seconds,
+                              store::FetchSource* source,
+                              std::size_t* mesh_triangles);
 
   const ExperimentConfig& config() const { return config_; }
 

@@ -1,0 +1,153 @@
+#include "store/artifact_store.h"
+
+#include <atomic>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace sckl::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Process-unique suffix so concurrent writers never share a tmp file.
+std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ".tmp" + std::to_string(counter.fetch_add(1));
+}
+
+bool is_sckl_file(const fs::directory_entry& entry) {
+  return entry.is_regular_file() && entry.path().extension() == ".sckl";
+}
+
+}  // namespace
+
+const char* to_string(FetchSource source) {
+  switch (source) {
+    case FetchSource::kMemory: return "memory";
+    case FetchSource::kDisk: return "disk";
+    case FetchSource::kSolved: return "solved";
+  }
+  return "unknown";
+}
+
+KleArtifactStore::KleArtifactStore(fs::path root, const StoreOptions& options)
+    : root_(std::move(root)), options_(options), cache_(options.cache_bytes) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  require(!ec && fs::is_directory(root_),
+          "KleArtifactStore: cannot create repository root '" +
+              root_.string() + "'");
+}
+
+fs::path KleArtifactStore::path_for(const KleArtifactConfig& config) const {
+  return root_ / (key_string(artifact_key(config)) + ".sckl");
+}
+
+FetchResult KleArtifactStore::get_or_compute(
+    const KleArtifactConfig& config, const kernels::CovarianceKernel& kernel) {
+  Stopwatch watch;
+  const std::uint64_t key = artifact_key(config);
+
+  FetchResult result;
+  if (auto cached = cache_.get(key)) {
+    result.artifact = std::move(cached);
+    result.source = FetchSource::kMemory;
+    result.seconds = watch.seconds();
+    return result;
+  }
+
+  const fs::path path = root_ / (key_string(key) + ".sckl");
+  std::error_code ec;
+  if (fs::exists(path, ec) && !ec) {
+    try {
+      auto loaded =
+          std::make_shared<const StoredKleResult>(read_kle_file(path.string()));
+      // Defend against renamed/colliding files: the stored config must hash
+      // back to the file's own key.
+      if (artifact_key(loaded->config()) == key) {
+        cache_.put(key, loaded, loaded->approximate_bytes());
+        result.artifact = std::move(loaded);
+        result.source = FetchSource::kDisk;
+        result.seconds = watch.seconds();
+        return result;
+      }
+    } catch (const Error&) {
+      // Truncated/corrupted/old-version artifact: fall through to a fresh
+      // solve, which rewrites the file atomically.
+    }
+  }
+
+  auto solved =
+      std::make_shared<const StoredKleResult>(StoredKleResult::solve(config, kernel));
+  if (options_.write_through) {
+    const fs::path tmp = path.string() + unique_tmp_suffix();
+    write_kle_file(tmp.string(), *solved);
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      throw Error("KleArtifactStore: cannot publish artifact to '" +
+                  path.string() + "'");
+    }
+  }
+  cache_.put(key, solved, solved->approximate_bytes());
+  result.artifact = std::move(solved);
+  result.source = FetchSource::kSolved;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+bool KleArtifactStore::contains(const KleArtifactConfig& config) const {
+  const fs::path path = path_for(config);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return false;
+  try {
+    const StoredKleResult loaded = read_kle_file(path.string());
+    return artifact_key(loaded.config()) == artifact_key(config);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::vector<StoreEntry> KleArtifactStore::ls() const {
+  std::vector<StoreEntry> entries;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!is_sckl_file(entry)) continue;
+    StoreEntry e;
+    e.key = entry.path().stem().string();
+    std::error_code ec;
+    e.file_bytes = entry.file_size(ec);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::size_t KleArtifactStore::gc() {
+  std::size_t removed = 0;
+  std::vector<fs::path> doomed;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string name = path.filename().string();
+    if (name.find(".sckl.tmp") != std::string::npos) {
+      doomed.push_back(path);  // orphaned in-flight write
+      continue;
+    }
+    if (path.extension() != ".sckl") continue;
+    try {
+      const StoredKleResult loaded = read_kle_file(path.string());
+      if (key_string(artifact_key(loaded.config())) != path.stem().string())
+        doomed.push_back(path);  // renamed or hash-mismatched
+    } catch (const Error&) {
+      doomed.push_back(path);  // truncated / corrupted / wrong version
+    }
+  }
+  for (const auto& path : doomed) {
+    std::error_code ec;
+    if (fs::remove(path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace sckl::store

@@ -1,0 +1,99 @@
+// Content-addressed repository of solved KLE artifacts.
+//
+// The paper's economics (Sec. 5, Algorithm 2) are "decompose once, sample
+// forever": the Galerkin assembly + eigensolve dominate setup, while the
+// downstream Monte Carlo only needs (eigenvalues, coefficients, mesh). The
+// store makes that split operational:
+//
+//   memory LRU  ->  <root>/<hex key>.sckl on disk  ->  solve_kle fallback
+//
+// Keys are 64-bit content hashes of the artifact configuration (key_hash.h),
+// so any parameter change produces a new file and stale artifacts can never
+// be served for a different configuration. Disk writes go through a unique
+// tmp file followed by std::filesystem::rename, which is atomic on POSIX —
+// concurrent processes may race to solve the same key, but readers only ever
+// see complete, checksummed files. A file that fails validation (truncated,
+// corrupted, version-mismatched) is treated as a miss and rewritten; gc()
+// deletes such files plus orphaned tmp files.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/kle_io.h"
+#include "store/lru_cache.h"
+
+namespace sckl::store {
+
+/// Tuning knobs of a KleArtifactStore.
+struct StoreOptions {
+  std::size_t cache_bytes = std::size_t{256} << 20;  // in-memory LRU budget
+  bool write_through = true;  // persist freshly solved artifacts to disk
+};
+
+/// Where a get_or_compute() answer came from.
+enum class FetchSource {
+  kMemory,  // in-process LRU hit
+  kDisk,    // validated read of <root>/<key>.sckl
+  kSolved,  // full Galerkin + eigensolve fallback
+};
+
+const char* to_string(FetchSource source);
+
+/// One artifact fetch: the (shared, immutable) result plus provenance.
+struct FetchResult {
+  std::shared_ptr<const StoredKleResult> artifact;
+  FetchSource source = FetchSource::kSolved;
+  double seconds = 0.0;  // wall time of this fetch
+};
+
+/// Directory-listing entry of ls().
+struct StoreEntry {
+  std::string key;             // 16-hex-digit file stem
+  std::uintmax_t file_bytes = 0;
+};
+
+/// Content-hash keyed repository with an in-memory LRU front.
+class KleArtifactStore {
+ public:
+  /// Opens (creating if needed) the repository rooted at `root`.
+  explicit KleArtifactStore(std::filesystem::path root,
+                            const StoreOptions& options = {});
+
+  /// Returns the artifact for `config`, consulting memory, then disk, then
+  /// solving with `kernel` (and persisting the result). `kernel` must be the
+  /// kernel `config` describes — describe_kernel() builds matching ids.
+  FetchResult get_or_compute(const KleArtifactConfig& config,
+                             const kernels::CovarianceKernel& kernel);
+
+  /// True when a validated artifact for `config` exists on disk.
+  bool contains(const KleArtifactConfig& config) const;
+
+  /// On-disk path an artifact for `config` lives at (whether or not it
+  /// exists yet).
+  std::filesystem::path path_for(const KleArtifactConfig& config) const;
+
+  /// All *.sckl entries currently in the repository (validity not checked).
+  std::vector<StoreEntry> ls() const;
+
+  /// Removes orphaned tmp files and artifacts that fail validation or whose
+  /// content hash disagrees with their file name; returns files deleted.
+  std::size_t gc();
+
+  /// In-memory cache counters.
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Drops the in-memory cache (disk is untouched); for warm/cold timing.
+  void drop_memory_cache() { cache_.clear(); }
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path root_;
+  StoreOptions options_;
+  LruCache<std::uint64_t, StoredKleResult> cache_;
+};
+
+}  // namespace sckl::store

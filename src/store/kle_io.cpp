@@ -1,0 +1,321 @@
+#include "store/kle_io.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.h"
+
+namespace sckl::store {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'S', 'C', 'K', 'L'};
+
+// --- little-endian writers -------------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// --- little-endian readers -------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    need(len, "string body");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (size_ - pos_ < n)
+      throw Error(std::string("kle_io: truncated artifact (while reading ") +
+                  what + ")");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+StoredKleResult::StoredKleResult(KleArtifactConfig config,
+                                 std::shared_ptr<const mesh::TriMesh> mesh,
+                                 linalg::Vector eigenvalues,
+                                 linalg::Matrix coefficients)
+    : config_(std::move(config)),
+      mesh_((require(mesh != nullptr, "StoredKleResult: mesh must not be null"),
+             std::move(mesh))),
+      kle_(*mesh_, std::move(eigenvalues), std::move(coefficients)) {}
+
+StoredKleResult StoredKleResult::solve(const KleArtifactConfig& config,
+                                       const kernels::CovarianceKernel& kernel) {
+  auto mesh = std::make_shared<const mesh::TriMesh>(config.mesh.build(config.die));
+  core::KleOptions options;
+  options.num_eigenpairs = static_cast<std::size_t>(config.num_eigenpairs);
+  options.quadrature = config.quadrature;
+  core::KleResult kle = core::solve_kle(*mesh, kernel, options);
+  linalg::Vector values = kle.eigenvalues();
+  linalg::Matrix coefficients = kle.coefficients();
+  return StoredKleResult(config, std::move(mesh), std::move(values),
+                         std::move(coefficients));
+}
+
+std::size_t StoredKleResult::approximate_bytes() const {
+  const std::size_t mesh_bytes =
+      mesh_->num_vertices() * sizeof(geometry::Point2) +
+      mesh_->num_triangles() *
+          (sizeof(mesh::TriMesh::TriangleIndices) + sizeof(double) +
+           sizeof(geometry::Point2));
+  const std::size_t spectrum_bytes =
+      kle_.eigenvalues().size() * sizeof(double) +
+      kle_.coefficients().rows() * kle_.coefficients().cols() * sizeof(double);
+  // The spatial locator stores one bucket entry per triangle on average
+  // plus grid overhead; 2x the triangle count is a fair charge.
+  const std::size_t locator_bytes =
+      2 * mesh_->num_triangles() * sizeof(std::size_t);
+  return mesh_bytes + spectrum_bytes + locator_bytes;
+}
+
+std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored) {
+  std::vector<std::uint8_t> payload;
+  const KleArtifactConfig& config = stored.config();
+  const mesh::TriMesh& mesh = stored.mesh();
+  const core::KleResult& kle = stored.kle();
+  payload.reserve(64 + config.kernel_id.size() +
+                  mesh.num_vertices() * 16 + mesh.num_triangles() * 24 +
+                  kle.eigenvalues().size() * 8 +
+                  kle.coefficients().rows() * kle.coefficients().cols() * 8);
+
+  // Artifact config.
+  put_string(payload, config.kernel_id);
+  put_u32(payload, static_cast<std::uint32_t>(config.kernel_params.size()));
+  for (double p : config.kernel_params) put_f64(payload, p);
+  put_f64(payload, config.die.min.x);
+  put_f64(payload, config.die.min.y);
+  put_f64(payload, config.die.max.x);
+  put_f64(payload, config.die.max.y);
+  put_u32(payload, static_cast<std::uint32_t>(config.mesh.kind));
+  put_u64(payload, config.mesh.target_triangles);
+  put_f64(payload, config.mesh.area_fraction);
+  put_u64(payload, config.mesh.mesher_seed);
+  put_u32(payload, static_cast<std::uint32_t>(config.quadrature));
+  put_u64(payload, config.num_eigenpairs);
+
+  // Mesh.
+  put_u64(payload, mesh.num_vertices());
+  put_u64(payload, mesh.num_triangles());
+  for (const auto& v : mesh.vertices()) {
+    put_f64(payload, v.x);
+    put_f64(payload, v.y);
+  }
+  for (const auto& t : mesh.triangle_indices())
+    for (std::size_t corner : t) put_u64(payload, corner);
+
+  // Spectrum.
+  put_u64(payload, kle.eigenvalues().size());
+  for (double lambda : kle.eigenvalues()) put_f64(payload, lambda);
+  const linalg::Matrix& d = kle.coefficients();
+  put_u64(payload, d.rows());
+  put_u64(payload, d.cols());
+  for (std::size_t i = 0; i < d.rows(); ++i)
+    for (std::size_t j = 0; j < d.cols(); ++j) put_f64(payload, d(i, j));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 20);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, kKleFormatVersion);
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(payload.data(), payload.size()));
+  return out;
+}
+
+StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 20)
+    throw Error("kle_io: truncated artifact (shorter than header)");
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin()))
+    throw Error("kle_io: bad magic (not a .sckl artifact)");
+
+  Reader header(bytes.data() + 4, bytes.size() - 4);
+  const std::uint32_t version = header.u32();
+  if (version != kKleFormatVersion)
+    throw Error("kle_io: unsupported format version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(kKleFormatVersion) + ")");
+  const std::uint64_t payload_size = header.u64();
+  if (bytes.size() < 16 + payload_size + 4)
+    throw Error("kle_io: truncated artifact (payload shorter than header "
+                "declares)");
+  const std::uint8_t* payload = bytes.data() + 16;
+
+  Reader trailer(payload + payload_size, 4);
+  const std::uint32_t stored_crc = trailer.u32();
+  const std::uint32_t actual_crc =
+      crc32(payload, static_cast<std::size_t>(payload_size));
+  if (stored_crc != actual_crc)
+    throw Error("kle_io: checksum mismatch (artifact is corrupted)");
+
+  Reader r(payload, static_cast<std::size_t>(payload_size));
+
+  KleArtifactConfig config;
+  config.kernel_id = r.string();
+  const std::uint32_t num_params = r.u32();
+  config.kernel_params.resize(num_params);
+  for (auto& p : config.kernel_params) p = r.f64();
+  config.die.min.x = r.f64();
+  config.die.min.y = r.f64();
+  config.die.max.x = r.f64();
+  config.die.max.y = r.f64();
+  const std::uint32_t mesh_kind = r.u32();
+  if (mesh_kind > static_cast<std::uint32_t>(MeshSpec::Kind::kPaperRefined))
+    throw Error("kle_io: unknown mesh spec kind " + std::to_string(mesh_kind));
+  config.mesh.kind = static_cast<MeshSpec::Kind>(mesh_kind);
+  config.mesh.target_triangles = r.u64();
+  config.mesh.area_fraction = r.f64();
+  config.mesh.mesher_seed = r.u64();
+  const std::uint32_t quadrature = r.u32();
+  if (quadrature > static_cast<std::uint32_t>(core::QuadratureRule::kSymmetric7))
+    throw Error("kle_io: unknown quadrature rule " + std::to_string(quadrature));
+  config.quadrature = static_cast<core::QuadratureRule>(quadrature);
+  config.num_eigenpairs = r.u64();
+
+  const std::uint64_t num_vertices = r.u64();
+  const std::uint64_t num_triangles = r.u64();
+  // Guard the multiplications below against absurd counts from a payload
+  // that passed CRC (e.g. a hand-built file).
+  if (num_vertices > payload_size || num_triangles > payload_size)
+    throw Error("kle_io: implausible mesh size in artifact");
+  std::vector<geometry::Point2> vertices(num_vertices);
+  for (auto& v : vertices) {
+    v.x = r.f64();
+    v.y = r.f64();
+  }
+  std::vector<mesh::TriMesh::TriangleIndices> triangles(num_triangles);
+  for (auto& t : triangles)
+    for (auto& corner : t) corner = static_cast<std::size_t>(r.u64());
+  auto mesh = std::make_shared<const mesh::TriMesh>(std::move(vertices),
+                                                    std::move(triangles));
+
+  const std::uint64_t num_values = r.u64();
+  if (num_values > payload_size)
+    throw Error("kle_io: implausible eigenvalue count in artifact");
+  linalg::Vector eigenvalues(num_values);
+  for (auto& lambda : eigenvalues) lambda = r.f64();
+
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  if (rows > payload_size || cols > payload_size)
+    throw Error("kle_io: implausible coefficient shape in artifact");
+  linalg::Matrix coefficients(static_cast<std::size_t>(rows),
+                              static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < coefficients.rows(); ++i)
+    for (std::size_t j = 0; j < coefficients.cols(); ++j)
+      coefficients(i, j) = r.f64();
+
+  if (r.remaining() != 0)
+    throw Error("kle_io: trailing bytes after payload (corrupt or "
+                "mis-declared size)");
+
+  return StoredKleResult(std::move(config), std::move(mesh),
+                         std::move(eigenvalues), std::move(coefficients));
+}
+
+void write_kle_file(const std::string& path, const StoredKleResult& stored) {
+  const std::vector<std::uint8_t> bytes = encode_kle(stored);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw Error("kle_io: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed)
+    throw Error("kle_io: short write to '" + path + "'");
+}
+
+StoredKleResult read_kle_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw Error("kle_io: cannot open '" + path + "' for reading");
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  std::size_t got = 0;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), f)) > 0)
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw Error("kle_io: read error on '" + path + "'");
+  try {
+    return decode_kle(bytes);
+  } catch (const Error& e) {
+    throw Error(std::string(e.what()) + " [file: " + path + "]");
+  }
+}
+
+}  // namespace sckl::store

@@ -1,0 +1,97 @@
+// Versioned binary serialization of solved KLEs.
+//
+// File layout (all multi-byte fields little-endian; doubles stored as their
+// IEEE-754 bit patterns in a u64):
+//
+//   offset  size  field
+//   0       4     magic "SCKL"
+//   4       4     u32 format version (currently 1)
+//   8       8     u64 payload size P in bytes
+//   16      P     payload (below)
+//   16+P    4     u32 CRC-32 (IEEE 802.3) of the payload bytes
+//
+// Payload, in order:
+//   artifact config   kernel_id (u32 length + bytes), u32 param count +
+//                     params (f64), die rectangle (4 f64), mesh spec
+//                     (u32 kind, u64 target_triangles, f64 area_fraction,
+//                     u64 mesher_seed), u32 quadrature, u64 num_eigenpairs
+//   mesh              u64 num_vertices, u64 num_triangles, vertices
+//                     (2 f64 each), triangle index triples (3 u64 each)
+//   eigenvalues       u64 m, m f64 (descending, post-clamp)
+//   coefficients      u64 rows, u64 cols, rows*cols f64 row-major
+//
+// Readers reject, with a diagnostic sckl::Error, anything that is truncated,
+// carries the wrong magic, an unsupported version, or a payload whose CRC
+// does not match — corruption is never silently accepted. Round-trips are
+// bit-exact: every double survives unchanged through the u64 bit pattern.
+//
+// StoredKleResult is the ownership-fixing wrapper around core::KleResult:
+// KleResult intentionally borrows its mesh (see kle_solver.h), which is
+// wrong for deserialized artifacts that have no other owner. StoredKleResult
+// keeps the mesh alive via shared_ptr and rebuilds the KleResult view on it,
+// so artifacts are fully self-contained.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/key_hash.h"
+
+namespace sckl::store {
+
+/// Current serialization format version.
+inline constexpr std::uint32_t kKleFormatVersion = 1;
+
+/// A solved KLE that owns every byte of its state, including the mesh.
+class StoredKleResult {
+ public:
+  /// Wraps freshly solved or deserialized data. The mesh pointer must be
+  /// non-null; eigenvalue/coefficient shapes are validated by KleResult.
+  StoredKleResult(KleArtifactConfig config,
+                  std::shared_ptr<const mesh::TriMesh> mesh,
+                  linalg::Vector eigenvalues, linalg::Matrix coefficients);
+
+  /// Solves the KLE described by `config` with `kernel` and wraps the
+  /// result (the cache-miss path of the artifact store).
+  static StoredKleResult solve(const KleArtifactConfig& config,
+                               const kernels::CovarianceKernel& kernel);
+
+  const KleArtifactConfig& config() const { return config_; }
+  const mesh::TriMesh& mesh() const { return *mesh_; }
+  std::shared_ptr<const mesh::TriMesh> mesh_ptr() const { return mesh_; }
+
+  /// The standard KLE view (eigenvalues, coefficients, eigenfunction
+  /// evaluation). Valid for the lifetime of this object.
+  const core::KleResult& kle() const { return kle_; }
+
+  /// Approximate resident size in bytes (mesh + spectrum + locator), used
+  /// as the LRU charge of this artifact.
+  std::size_t approximate_bytes() const;
+
+ private:
+  KleArtifactConfig config_;
+  std::shared_ptr<const mesh::TriMesh> mesh_;
+  core::KleResult kle_;  // views *mesh_, which this object keeps alive
+};
+
+/// Serializes to the format described above.
+std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored);
+
+/// Parses an encoded artifact; throws sckl::Error on truncation, bad magic,
+/// unsupported version, or checksum mismatch.
+StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes);
+
+/// Writes `stored` to `path` (not atomic — the artifact store wraps this in
+/// a tmp-file + rename dance; direct callers get plain semantics).
+void write_kle_file(const std::string& path, const StoredKleResult& stored);
+
+/// Reads and validates an artifact file; throws sckl::Error on I/O failure
+/// or any of the decode_kle rejection cases.
+StoredKleResult read_kle_file(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace sckl::store

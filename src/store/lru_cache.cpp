@@ -1,0 +1,20 @@
+#include "store/lru_cache.h"
+
+#include <cstdio>
+
+namespace sckl::store {
+
+std::string to_string(const CacheStats& stats) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "hits=%llu misses=%llu evictions=%llu entries=%zu "
+                "bytes=%zu/%zu hit_rate=%.1f%%",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions),
+                stats.entries, stats.bytes, stats.byte_budget,
+                100.0 * stats.hit_rate());
+  return buffer;
+}
+
+}  // namespace sckl::store

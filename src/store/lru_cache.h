@@ -1,0 +1,133 @@
+// Thread-safe, byte-budgeted LRU cache fronting the on-disk artifact store.
+//
+// Values are held by shared_ptr so a caller can keep using an artifact after
+// it has been evicted; eviction only drops the cache's reference. All
+// operations take one std::mutex — artifacts are coarse objects fetched a
+// handful of times per process, so a sharded design would be over-
+// engineering here. Hit/miss/eviction counters are exported via CacheStats
+// for the serving-telemetry story (and asserted by the unit tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace sckl::store {
+
+/// Counters describing cache behaviour since construction (or clear()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t entries = 0;      // current resident entry count
+  std::size_t bytes = 0;        // current resident byte charge
+  std::size_t byte_budget = 0;  // configured capacity
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// One-line human-readable rendering of the counters.
+std::string to_string(const CacheStats& stats);
+
+/// LRU cache keyed by `Key`, holding shared_ptr<const Value>, evicting by
+/// least-recent use once the summed byte charges exceed the budget.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// A zero budget disables caching entirely (every put is a no-op).
+  explicit LruCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr
+  /// (counting a miss).
+  std::shared_ptr<const Value> get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `value` with the given byte charge, then evicts
+  /// least-recently-used entries until the budget holds. An entry larger
+  /// than the whole budget is not cached at all.
+  void put(const Key& key, std::shared_ptr<const Value> value,
+           std::size_t bytes) {
+    require(value != nullptr, "LruCache::put: value must not be null");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= it->second->bytes;
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    if (bytes > byte_budget_) return;  // would evict everything else anyway
+    order_.push_front(Entry{key, std::move(value), bytes});
+    index_[key] = order_.begin();
+    bytes_ += bytes;
+    ++insertions_;
+    while (bytes_ > byte_budget_ && order_.size() > 1) {
+      const Entry& victim = order_.back();
+      bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Drops every entry; counters keep accumulating.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    order_.clear();
+    index_.clear();
+    bytes_ = 0;
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.insertions = insertions_;
+    s.entries = order_.size();
+    s.bytes = bytes_;
+    s.byte_budget = byte_budget_;
+    return s;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace sckl::store

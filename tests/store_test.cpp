@@ -1,0 +1,406 @@
+// Tests for the src/store/ artifact subsystem: binary round-trips, format
+// rejection, content-hash keying, LRU behaviour, and get_or_compute.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_library.h"
+#include "store/artifact_store.h"
+#include "store/key_hash.h"
+#include "store/kle_io.h"
+
+namespace {
+
+using namespace sckl;
+namespace fs = std::filesystem;
+
+store::KleArtifactConfig small_config() {
+  store::KleArtifactConfig config;
+  config.kernel_id = "gaussian";
+  config.kernel_params = {2.0};
+  config.mesh.kind = store::MeshSpec::Kind::kStructuredCross;
+  config.mesh.target_triangles = 100;
+  config.num_eigenpairs = 16;
+  return config;
+}
+
+store::StoredKleResult small_artifact() {
+  const kernels::GaussianKernel kernel(2.0);
+  return store::StoredKleResult::solve(small_config(), kernel);
+}
+
+/// Fresh scratch directory under the gtest temp root.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("sckl_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+bool bit_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+// --- kle_io ----------------------------------------------------------------
+
+TEST(KleIoTest, RoundTripIsBitExact) {
+  const store::StoredKleResult original = small_artifact();
+  const std::vector<std::uint8_t> bytes = store::encode_kle(original);
+  const store::StoredKleResult copy = store::decode_kle(bytes);
+
+  ASSERT_EQ(copy.mesh().num_vertices(), original.mesh().num_vertices());
+  ASSERT_EQ(copy.mesh().num_triangles(), original.mesh().num_triangles());
+  for (std::size_t v = 0; v < copy.mesh().num_vertices(); ++v) {
+    EXPECT_TRUE(bit_equal(copy.mesh().vertices()[v].x,
+                          original.mesh().vertices()[v].x));
+    EXPECT_TRUE(bit_equal(copy.mesh().vertices()[v].y,
+                          original.mesh().vertices()[v].y));
+  }
+  EXPECT_EQ(copy.mesh().triangle_indices(), original.mesh().triangle_indices());
+
+  const auto& lambda_a = original.kle().eigenvalues();
+  const auto& lambda_b = copy.kle().eigenvalues();
+  ASSERT_EQ(lambda_a.size(), lambda_b.size());
+  for (std::size_t j = 0; j < lambda_a.size(); ++j)
+    EXPECT_TRUE(bit_equal(lambda_a[j], lambda_b[j])) << "lambda " << j;
+
+  const auto& d_a = original.kle().coefficients();
+  const auto& d_b = copy.kle().coefficients();
+  ASSERT_EQ(d_a.rows(), d_b.rows());
+  ASSERT_EQ(d_a.cols(), d_b.cols());
+  for (std::size_t i = 0; i < d_a.rows(); ++i)
+    for (std::size_t j = 0; j < d_a.cols(); ++j)
+      EXPECT_TRUE(bit_equal(d_a(i, j), d_b(i, j))) << "d(" << i << "," << j
+                                                   << ")";
+
+  EXPECT_EQ(copy.config().kernel_id, original.config().kernel_id);
+  EXPECT_EQ(copy.config().kernel_params, original.config().kernel_params);
+  EXPECT_EQ(store::artifact_key(copy.config()),
+            store::artifact_key(original.config()));
+}
+
+TEST(KleIoTest, FileRoundTripMatchesBufferRoundTrip) {
+  const store::StoredKleResult original = small_artifact();
+  const fs::path path = scratch_dir("io_file") / "artifact.sckl";
+  store::write_kle_file(path.string(), original);
+  const store::StoredKleResult loaded = store::read_kle_file(path.string());
+  EXPECT_EQ(store::encode_kle(loaded), store::encode_kle(original));
+}
+
+TEST(KleIoTest, TruncatedFileIsRejected) {
+  const store::StoredKleResult original = small_artifact();
+  std::vector<std::uint8_t> bytes = store::encode_kle(original);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{17},
+        bytes.size() / 2, bytes.size() - 1}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(keep));
+    EXPECT_THROW(store::decode_kle(cut), Error) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(KleIoTest, CorruptedPayloadIsRejectedByChecksum) {
+  const store::StoredKleResult original = small_artifact();
+  std::vector<std::uint8_t> bytes = store::encode_kle(original);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  try {
+    store::decode_kle(bytes);
+    FAIL() << "corrupted payload must not decode";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(KleIoTest, WrongMagicAndVersionAreRejected) {
+  const store::StoredKleResult original = small_artifact();
+  std::vector<std::uint8_t> bytes = store::encode_kle(original);
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(store::decode_kle(bad_magic), Error);
+
+  std::vector<std::uint8_t> bad_version = bytes;
+  bad_version[4] = 0x7F;  // version 127, little-endian low byte
+  try {
+    store::decode_kle(bad_version);
+    FAIL() << "future version must not decode";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(KleIoTest, StoredResultOwnsItsMesh) {
+  // A deserialized artifact must stay fully usable with no external mesh —
+  // the KleResult dangling-reference hazard the wrapper exists to fix.
+  std::unique_ptr<store::StoredKleResult> copy;
+  {
+    const store::StoredKleResult original = small_artifact();
+    copy = std::make_unique<store::StoredKleResult>(
+        store::decode_kle(store::encode_kle(original)));
+    // `original` (and its mesh) die here.
+  }
+  EXPECT_GT(copy->kle().eigenvalue(0), 0.0);
+  EXPECT_GE(copy->kle().eigenfunction_value(0, {0.1, -0.2}), -1e9);
+  Rng rng(7);
+  const std::vector<geometry::Point2> gates{{0.0, 0.0}, {0.5, 0.5}};
+  const field::KleFieldSampler sampler(*copy, 8, gates);
+  linalg::Matrix block;
+  sampler.sample_block(4, rng, block);
+  EXPECT_EQ(block.rows(), 4u);
+  EXPECT_EQ(block.cols(), gates.size());
+}
+
+// --- key_hash --------------------------------------------------------------
+
+TEST(KeyHashTest, SameConfigSameKey) {
+  EXPECT_EQ(store::artifact_key(small_config()),
+            store::artifact_key(small_config()));
+}
+
+TEST(KeyHashTest, AnyFieldDeltaChangesKey) {
+  const std::uint64_t base = store::artifact_key(small_config());
+
+  store::KleArtifactConfig c = small_config();
+  c.kernel_id = "exponential";
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.kernel_params[0] = 2.0000000001;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.die.max.x = 0.5;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.mesh.kind = store::MeshSpec::Kind::kStructuredDiagonal;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.mesh.target_triangles += 1;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.mesh.area_fraction *= 2.0;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.mesh.mesher_seed += 1;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.quadrature = core::QuadratureRule::kSymmetric3;
+  EXPECT_NE(store::artifact_key(c), base);
+
+  c = small_config();
+  c.num_eigenpairs += 1;
+  EXPECT_NE(store::artifact_key(c), base);
+}
+
+TEST(KeyHashTest, KeyStringIsFixedWidthHex) {
+  EXPECT_EQ(store::key_string(0), "0000000000000000");
+  EXPECT_EQ(store::key_string(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(store::key_string(~std::uint64_t{0}), "ffffffffffffffff");
+}
+
+TEST(KeyHashTest, DescribeKernelMatchesLibraryTypes) {
+  std::string id;
+  std::vector<double> params;
+  store::describe_kernel(kernels::GaussianKernel(2.33), id, params);
+  EXPECT_EQ(id, "gaussian");
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_DOUBLE_EQ(params[0], 2.33);
+  store::describe_kernel(kernels::MaternKernel(2.0, 3.0), id, params);
+  EXPECT_EQ(id, "matern");
+  EXPECT_EQ(params, (std::vector<double>{2.0, 3.0}));
+  store::describe_kernel(kernels::SphericalKernel(1.5), id, params);
+  EXPECT_TRUE(params.empty());
+  EXPECT_FALSE(id.empty());  // falls back to name()
+}
+
+// --- LruCache --------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedAndCounts) {
+  store::LruCache<int, int> cache(300);
+  auto value = [](int v) { return std::make_shared<const int>(v); };
+  cache.put(1, value(10), 100);
+  cache.put(2, value(20), 100);
+  cache.put(3, value(30), 100);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.get(1), nullptr);
+  cache.put(4, value(40), 100);
+
+  EXPECT_EQ(cache.get(2), nullptr);  // evicted
+  ASSERT_NE(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(3), nullptr);
+  ASSERT_NE(cache.get(4), nullptr);
+  EXPECT_EQ(*cache.get(4), 40);
+
+  const store::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 300u);
+  EXPECT_EQ(stats.misses, 1u);   // the get(2) after eviction
+  EXPECT_GE(stats.hits, 5u);     // 1 touch + 4 verification gets
+}
+
+TEST(LruCacheTest, OversizedEntryIsNotCached) {
+  store::LruCache<int, int> cache(100);
+  cache.put(1, std::make_shared<const int>(1), 101);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCacheTest, ReplacingAKeyUpdatesByteCharge) {
+  store::LruCache<int, int> cache(200);
+  cache.put(1, std::make_shared<const int>(1), 150);
+  cache.put(1, std::make_shared<const int>(2), 50);
+  EXPECT_EQ(cache.stats().bytes, 50u);
+  EXPECT_EQ(*cache.get(1), 2);
+}
+
+TEST(LruCacheTest, ConcurrentMixedUseIsSafe) {
+  store::LruCache<int, int> cache(64 * 10);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = (t * 31 + i) % 23;
+        if (auto hit = cache.get(key)) {
+          EXPECT_EQ(*hit, key);
+        } else {
+          cache.put(key, std::make_shared<const int>(key), 64);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const store::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 500u);
+  EXPECT_LE(stats.bytes, stats.byte_budget);
+}
+
+// --- KleArtifactStore ------------------------------------------------------
+
+TEST(ArtifactStoreTest, GetOrComputeMatchesFreshSolveBitExactly) {
+  const fs::path root = scratch_dir("store_equiv");
+  const kernels::GaussianKernel kernel(2.0);
+  const store::KleArtifactConfig config = small_config();
+
+  store::KleArtifactStore store(root);
+  const store::FetchResult cold = store.get_or_compute(config, kernel);
+  EXPECT_EQ(cold.source, store::FetchSource::kSolved);
+
+  const store::StoredKleResult fresh = store::StoredKleResult::solve(config, kernel);
+  EXPECT_EQ(store::encode_kle(*cold.artifact), store::encode_kle(fresh));
+}
+
+TEST(ArtifactStoreTest, MemoryThenDiskHitsAndStats) {
+  const fs::path root = scratch_dir("store_hits");
+  const kernels::GaussianKernel kernel(2.0);
+  const store::KleArtifactConfig config = small_config();
+
+  store::KleArtifactStore store(root);
+  EXPECT_FALSE(store.contains(config));
+  const store::FetchResult cold = store.get_or_compute(config, kernel);
+  EXPECT_EQ(cold.source, store::FetchSource::kSolved);
+  EXPECT_TRUE(store.contains(config));
+  EXPECT_TRUE(fs::exists(store.path_for(config)));
+
+  const store::FetchResult warm = store.get_or_compute(config, kernel);
+  EXPECT_EQ(warm.source, store::FetchSource::kMemory);
+  EXPECT_EQ(warm.artifact.get(), cold.artifact.get());  // same shared object
+  EXPECT_EQ(store.cache_stats().hits, 1u);
+
+  // A fresh process (new store instance) must come from disk, bit-exactly.
+  store::KleArtifactStore reopened(root);
+  const store::FetchResult disk = reopened.get_or_compute(config, kernel);
+  EXPECT_EQ(disk.source, store::FetchSource::kDisk);
+  EXPECT_EQ(store::encode_kle(*disk.artifact),
+            store::encode_kle(*cold.artifact));
+
+  // Dropping the memory cache forces the disk path again.
+  store.drop_memory_cache();
+  EXPECT_EQ(store.get_or_compute(config, kernel).source,
+            store::FetchSource::kDisk);
+}
+
+TEST(ArtifactStoreTest, CorruptedFileIsResolvedAndRewritten) {
+  const fs::path root = scratch_dir("store_corrupt");
+  const kernels::GaussianKernel kernel(2.0);
+  const store::KleArtifactConfig config = small_config();
+
+  store::KleArtifactStore store(root);
+  store.get_or_compute(config, kernel);
+  const fs::path path = store.path_for(config);
+
+  // Flip a byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(200);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(store::read_kle_file(path.string()), Error);
+  EXPECT_FALSE(store.contains(config));
+
+  store::KleArtifactStore reopened(root);
+  const store::FetchResult fetch = reopened.get_or_compute(config, kernel);
+  EXPECT_EQ(fetch.source, store::FetchSource::kSolved);  // not served corrupt
+  EXPECT_TRUE(reopened.contains(config));                // rewritten clean
+}
+
+TEST(ArtifactStoreTest, LsAndGcCleanBadFiles) {
+  const fs::path root = scratch_dir("store_gc");
+  const kernels::GaussianKernel kernel(2.0);
+  store::KleArtifactStore store(root);
+  store.get_or_compute(small_config(), kernel);
+  ASSERT_EQ(store.ls().size(), 1u);
+
+  // Plant an orphaned tmp file, a truncated artifact, and a renamed one.
+  std::ofstream(root / "deadbeef00000000.sckl.tmp3") << "partial";
+  std::ofstream(root / "0123456789abcdef.sckl") << "SCKLgarbage";
+  fs::copy_file(root / (store.ls()[0].key + ".sckl"),
+                root / "aaaaaaaaaaaaaaaa.sckl");
+
+  EXPECT_EQ(store.gc(), 3u);
+  EXPECT_EQ(store.ls().size(), 1u);
+  EXPECT_TRUE(store.contains(small_config()));
+}
+
+TEST(ArtifactStoreTest, DifferentConfigsGetDifferentFiles) {
+  const fs::path root = scratch_dir("store_two");
+  const kernels::GaussianKernel k2(2.0);
+  const kernels::GaussianKernel k3(3.0);
+  store::KleArtifactConfig a = small_config();
+  store::KleArtifactConfig b = small_config();
+  b.kernel_params = {3.0};
+
+  store::KleArtifactStore store(root);
+  store.get_or_compute(a, k2);
+  store.get_or_compute(b, k3);
+  EXPECT_EQ(store.ls().size(), 2u);
+  EXPECT_NE(store.path_for(a), store.path_for(b));
+
+  // Each artifact reloads under its own key with its own kernel parameters.
+  store::KleArtifactStore reopened(root);
+  const auto got_b = reopened.get_or_compute(b, k3);
+  EXPECT_EQ(got_b.source, store::FetchSource::kDisk);
+  EXPECT_EQ(got_b.artifact->config().kernel_params, std::vector<double>{3.0});
+}
+
+}  // namespace
