@@ -11,15 +11,22 @@
 //       Validates one artifact and prints its header, mesh size, and
 //       leading eigenvalues.
 //   kle_store_tool ls      --root=DIR
-//       Lists artifacts with file sizes.
+//       Lists artifacts with file sizes; quarantined .sckl.bad files are
+//       flagged.
 //   kle_store_tool gc      --root=DIR
-//       Deletes orphaned tmp files and corrupt/mismatched artifacts.
+//       Deletes orphaned tmp files, corrupt/mismatched artifacts, and
+//       quarantined .sckl.bad files.
+//
+// build/inspect accept --validate (run core::check_kle_health on the
+// artifact and print the report) and --strict (additionally exit non-zero
+// when the report has findings of kWarning or worse).
 #include <cstdio>
 #include <string>
 
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "core/kle_health.h"
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
 #include "store/artifact_store.h"
@@ -107,6 +114,18 @@ void print_artifact(const store::StoredKleResult& artifact) {
               static_cast<double>(artifact.approximate_bytes()) / (1 << 20));
 }
 
+/// Shared --validate/--strict handling: prints the health report and, in
+/// strict mode, throws (exit 1 via main's catch) on warnings or worse.
+void validate_artifact(const CliFlags& flags,
+                       const store::StoredKleResult& artifact) {
+  const bool strict = flags.get_bool("strict", false);
+  if (!strict && !flags.get_bool("validate", false)) return;
+  const robust::HealthReport report = core::check_kle_health(artifact.kle());
+  std::printf("health (worst: %s):\n%s", to_string(report.worst()),
+              report.to_string().c_str());
+  if (strict) report.throw_if_fatal(robust::Severity::kWarning);
+}
+
 int cmd_build(const CliFlags& flags, const std::string& root) {
   const auto kernel = make_kernel(flags);
   const store::KleArtifactConfig config = make_config(flags, *kernel);
@@ -129,7 +148,15 @@ int cmd_build(const CliFlags& flags, const std::string& root) {
     std::printf("  (cold solve / warm disk load = %.0fx)",
                 first.seconds / disk_hit.seconds);
   std::printf("\ncache: %s\n", to_string(store.cache_stats()).c_str());
+  const store::StoreHealth health = store.health();
+  if (health.read_retries + health.write_retries + health.failed_reads +
+          health.failed_writes + health.quarantined > 0)
+    std::printf("store faults: %zu read retries, %zu write retries, "
+                "%zu failed reads, %zu failed writes, %zu quarantined\n",
+                health.read_retries, health.write_retries, health.failed_reads,
+                health.failed_writes, health.quarantined);
   print_artifact(*first.artifact);
+  validate_artifact(flags, *first.artifact);
   return 0;
 }
 
@@ -150,16 +177,24 @@ int cmd_inspect(const CliFlags& flags, const std::string& root) {
   std::printf("%s: valid (%llu bytes on disk)\n", path.c_str(),
               static_cast<unsigned long long>(ec ? 0 : bytes));
   print_artifact(artifact);
+  validate_artifact(flags, artifact);
   return 0;
 }
 
 int cmd_ls(const std::string& root) {
   store::KleArtifactStore store(root);
   const auto entries = store.ls();
-  for (const auto& entry : entries)
-    std::printf("%s  %12llu bytes\n", entry.key.c_str(),
-                static_cast<unsigned long long>(entry.file_bytes));
-  std::printf("%zu artifact(s) in %s\n", entries.size(), root.c_str());
+  std::size_t quarantined = 0;
+  for (const auto& entry : entries) {
+    std::printf("%s  %12llu bytes%s\n", entry.key.c_str(),
+                static_cast<unsigned long long>(entry.file_bytes),
+                entry.quarantined ? "  [QUARANTINED]" : "");
+    if (entry.quarantined) ++quarantined;
+  }
+  std::printf("%zu artifact(s) in %s", entries.size(), root.c_str());
+  if (quarantined > 0)
+    std::printf(" (%zu quarantined — run gc to purge)", quarantined);
+  std::printf("\n");
   return 0;
 }
 

@@ -10,14 +10,19 @@
 // and persists it, later runs load the artifact from disk in milliseconds —
 // the paper's offline-decompose / online-sample split.
 //
+// --validate runs core::check_kle_health on the KLE and prints the report;
+// --strict additionally escalates warnings (solver fallback, out-of-mesh
+// gates, health findings) to a non-zero exit instead of recovering silently.
+//
 // Usage: ./examples/ssta_flow [--circuit=c880] [--samples=500] [--r=25]
-//                             [--store=/path/to/repo]
+//                             [--store=/path/to/repo] [--validate] [--strict]
 #include <cstdio>
 #include <memory>
 
 #include "circuit/synthetic.h"
 #include "common/cli.h"
 #include "common/stopwatch.h"
+#include "core/kle_health.h"
 #include "core/kle_solver.h"
 #include "field/cholesky_sampler.h"
 #include "field/kle_sampler.h"
@@ -31,9 +36,10 @@
 #include "timing/critical_path.h"
 #include "timing/sta.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(const sckl::CliFlags& flags) {
   using namespace sckl;
-  const CliFlags flags(argc, argv);
   const std::string name = flags.get_string("circuit", "c880");
   const std::string store_root = flags.get_string("store", "");
   // Sigma-vs-sigma comparisons have a ~1/sqrt(N) noise floor; 1000 samples
@@ -41,6 +47,8 @@ int main(int argc, char** argv) {
   const auto samples =
       static_cast<std::size_t>(flags.get_int("samples", 1000));
   const auto r = static_cast<std::size_t>(flags.get_int("r", 25));
+  const bool strict = flags.get_bool("strict", false);
+  const bool validate = strict || flags.get_bool("validate", false);
 
   // Netlist + placement + timer.
   const circuit::Netlist netlist = circuit::make_paper_circuit(name);
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
   std::shared_ptr<const store::StoredKleResult> artifact;  // keeps mesh alive
   std::unique_ptr<mesh::TriMesh> owned_mesh;
   std::size_t num_triangles = 0;
+  robust::HealthReport health;
+  core::KleSolveInfo solve_info;
   if (!store_root.empty()) {
     // Warm path: memory -> <store>/<hash>.sckl -> solve-and-persist.
     store::KleArtifactStore store(store_root);
@@ -84,18 +94,47 @@ int main(int argc, char** argv) {
     std::printf("KLE artifact %s: source=%s fetch=%.3fs (%s)\n",
                 store.path_for(config).c_str(), to_string(fetch.source),
                 fetch.seconds, to_string(store.cache_stats()).c_str());
+    const store::StoreHealth store_health = store.health();
+    if (store_health.read_retries + store_health.write_retries +
+            store_health.failed_reads + store_health.failed_writes +
+            store_health.quarantined > 0)
+      std::printf("store faults: %zu read retries, %zu write retries, "
+                  "%zu failed reads, %zu failed writes, %zu quarantined\n",
+                  store_health.read_retries, store_health.write_retries,
+                  store_health.failed_reads, store_health.failed_writes,
+                  store_health.quarantined);
+    if (validate) health = core::check_kle_health(artifact->kle());
   } else {
     Stopwatch solve;
     owned_mesh = std::make_unique<mesh::TriMesh>(mesh::paper_mesh());
     core::KleOptions kle_options;
     kle_options.num_eigenpairs = num_eigenpairs;
-    const core::KleResult kle = core::solve_kle(*owned_mesh, kernel, kle_options);
+    const core::KleResult kle =
+        core::solve_kle(*owned_mesh, kernel, kle_options, &solve_info);
     num_triangles = owned_mesh->num_triangles();
     reduced_ptr = std::make_unique<field::KleFieldSampler>(kle, r, locations);
     std::printf("KLE solved fresh in %.3fs (pass --store=DIR to persist)\n",
                 solve.seconds());
+    if (validate) health = core::check_kle_health(kle);
   }
   const field::KleFieldSampler& reduced = *reduced_ptr;
+  if (solve_info.fallback)
+    std::printf("KLE solver fallback: %s\n", solve_info.fallback_reason.c_str());
+  if (reduced.out_of_mesh_count() > 0)
+    std::printf("out-of-mesh gates: %zu resolved to the nearest triangle\n",
+                reduced.out_of_mesh_count());
+  if (validate) {
+    if (solve_info.fallback)
+      health.add(robust::Severity::kWarning, "solver_fallback",
+                 solve_info.fallback_reason);
+    if (reduced.out_of_mesh_count() > 0)
+      health.add(robust::Severity::kWarning, "out_of_mesh",
+                 std::to_string(reduced.out_of_mesh_count()) +
+                     " gate(s) resolved to the nearest mesh triangle");
+    std::printf("KLE health (worst: %s):\n%s", to_string(health.worst()),
+                health.to_string().c_str());
+    if (strict) health.throw_if_fatal(robust::Severity::kWarning);
+  }
   std::printf("samplers: Algorithm 1 latent dim %zu | Algorithm 2 latent "
               "dim %zu (n = %zu triangles)\n\n",
               dense.latent_dimension(), reduced.latent_dimension(),
@@ -129,4 +168,16 @@ int main(int argc, char** argv) {
               e_mu, e_sigma,
               mc.sampling_seconds / std::max(kl.sampling_seconds, 1e-9));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sckl::CliFlags flags(argc, argv);
+  try {
+    return run(flags);
+  } catch (const sckl::Error& e) {
+    std::fprintf(stderr, "ssta_flow: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,12 +1,30 @@
 #include "common/error.h"
 
-namespace sckl::detail {
+namespace sckl {
 
-void raise(std::string_view kind, std::string_view message) {
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kInvariant: return "invariant";
+    case ErrorCode::kIoTransient: return "io_transient";
+    case ErrorCode::kCorruptArtifact: return "corrupt_artifact";
+    case ErrorCode::kNotPositiveDefinite: return "not_positive_definite";
+    case ErrorCode::kNoConvergence: return "no_convergence";
+    case ErrorCode::kNonFinite: return "non_finite";
+    case ErrorCode::kHealthCheckFailed: return "health_check_failed";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void raise(std::string_view kind, std::string_view message, ErrorCode code) {
   std::string what;
   what.reserve(kind.size() + 2 + message.size());
   what.append(kind).append(": ").append(message);
-  throw Error(what);
+  throw Error(what, code);
 }
 
-}  // namespace sckl::detail
+}  // namespace detail
+}  // namespace sckl

@@ -4,6 +4,15 @@
 // std::runtime_error). Library code uses require() for argument checking on
 // public entry points and ensure() for internal invariants; both carry a
 // formatted message with the failing context.
+//
+// Every Error additionally carries an ErrorCode so callers can react to the
+// *class* of failure without parsing messages — the resilience layer
+// (src/robust/, the artifact store's retry loop, solve_kle's backend
+// fallback) dispatches on these codes: transient I/O errors are retried,
+// corrupt artifacts are quarantined, eigensolver non-convergence triggers the
+// dense fallback, and everything else propagates. with_context() chains a
+// pipeline-stage prefix onto an in-flight error so a failure deep inside
+// linalg reports which stage of the pipeline it killed.
 #pragma once
 
 #include <stdexcept>
@@ -12,25 +21,63 @@
 
 namespace sckl {
 
+/// Machine-readable classification of an Error. Codes describe how a caller
+/// may *react* (retry, fall back, quarantine, give up), not where the error
+/// was thrown — with_context() preserves the code while the message grows.
+enum class ErrorCode : int {
+  kGeneric = 0,          // unclassified failure
+  kPrecondition,         // caller violated a documented precondition
+  kInvariant,            // internal invariant broke (library bug or fault)
+  kIoTransient,          // I/O failure that a bounded retry may fix
+  kCorruptArtifact,      // checksum/format violation — retrying cannot help
+  kNotPositiveDefinite,  // Cholesky met a non-positive pivot
+  kNoConvergence,        // iterative solver exhausted its budget
+  kNonFinite,            // NaN/Inf reached a numeric entry point
+  kHealthCheckFailed,    // robust::HealthReport::throw_if_fatal tripped
+};
+
+/// Short stable name of a code ("io_transient", "no_convergence", ...).
+const char* to_string(ErrorCode code);
+
 /// Exception type thrown by every sckl component on contract violation or
 /// unrecoverable numerical failure (e.g. Cholesky on a non-PSD matrix).
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kGeneric)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+  /// Returns a copy whose message is prefixed with `stage`, preserving the
+  /// code. Use in catch blocks to record which pipeline stage an error
+  /// passed through: `throw e.with_context("solve_kle")` yields
+  /// "solve_kle: <original message>".
+  Error with_context(std::string_view stage) const {
+    std::string chained;
+    chained.reserve(stage.size() + 2 + std::string_view(what()).size());
+    chained.append(stage).append(": ").append(what());
+    return Error(chained, code_);
+  }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {
-[[noreturn]] void raise(std::string_view kind, std::string_view message);
+[[noreturn]] void raise(std::string_view kind, std::string_view message,
+                        ErrorCode code);
 }  // namespace detail
 
 /// Validates a caller-supplied precondition; throws sckl::Error when violated.
 inline void require(bool condition, std::string_view message) {
-  if (!condition) detail::raise("precondition violated", message);
+  if (!condition)
+    detail::raise("precondition violated", message, ErrorCode::kPrecondition);
 }
 
 /// Validates an internal invariant; throws sckl::Error when violated.
 inline void ensure(bool condition, std::string_view message) {
-  if (!condition) detail::raise("invariant violated", message);
+  if (!condition)
+    detail::raise("invariant violated", message, ErrorCode::kInvariant);
 }
 
 }  // namespace sckl

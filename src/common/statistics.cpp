@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.h"
 
 namespace sckl {
+namespace {
+
+// The batch helpers reject NaN/Inf up front with a located diagnostic: a
+// single poisoned sample would otherwise turn the whole summary into NaN
+// (or, for quantile, silently break the sort ordering).
+void require_finite(const std::vector<double>& values, const char* who) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (!std::isfinite(values[i]))
+      throw Error(std::string(who) + ": input value at index " +
+                      std::to_string(i) + " is not finite",
+                  ErrorCode::kNonFinite);
+}
+
+}  // namespace
 
 RunningStats::RunningStats()
     : min_(std::numeric_limits<double>::infinity()),
@@ -70,6 +85,7 @@ double CovarianceAccumulator::correlation() const {
 double quantile(std::vector<double> values, double q) {
   require(!values.empty(), "quantile: empty input");
   require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  require_finite(values, "quantile");
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -80,6 +96,7 @@ double quantile(std::vector<double> values, double q) {
 
 double mean_of(const std::vector<double>& values) {
   require(!values.empty(), "mean_of: empty input");
+  require_finite(values, "mean_of");
   RunningStats s;
   for (double v : values) s.add(v);
   return s.mean();
@@ -87,6 +104,7 @@ double mean_of(const std::vector<double>& values) {
 
 double stddev_of(const std::vector<double>& values) {
   require(values.size() >= 2, "stddev_of: need at least two values");
+  require_finite(values, "stddev_of");
   RunningStats s;
   for (double v : values) s.add(v);
   return s.stddev();

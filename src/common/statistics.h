@@ -75,12 +75,15 @@ class CovarianceAccumulator {
 
 /// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
 /// between order statistics. The input is copied and partially sorted.
+/// Throws sckl::Error (code kNonFinite) when any input is NaN/Inf.
 double quantile(std::vector<double> values, double q);
 
-/// Mean of a vector; throws on empty input.
+/// Mean of a vector; throws on empty input or non-finite values
+/// (kNonFinite, naming the offending index).
 double mean_of(const std::vector<double>& values);
 
-/// Unbiased standard deviation of a vector; throws when size < 2.
+/// Unbiased standard deviation of a vector; throws when size < 2 or any
+/// value is non-finite.
 double stddev_of(const std::vector<double>& values);
 
 }  // namespace sckl

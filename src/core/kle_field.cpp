@@ -14,7 +14,13 @@ KleField::KleField(const KleResult& kle, std::size_t r,
   triangle_index_.reserve(locations.size());
   gate_rows_ = linalg::Matrix(locations.size(), r_);
   for (std::size_t i = 0; i < locations.size(); ++i) {
-    const std::size_t tri = kle.triangle_of(locations[i]);
+    // Fallback chain for out-of-mesh gates: nearest triangle, counted so the
+    // caller can distinguish boundary round-off from a mesh/placement bug.
+    const std::optional<std::size_t> containing =
+        kle.triangle_containing(locations[i]);
+    if (!containing.has_value()) ++out_of_mesh_count_;
+    const std::size_t tri =
+        containing.has_value() ? *containing : kle.triangle_of(locations[i]);
     triangle_index_.push_back(tri);
     std::copy(d_lambda_.row_ptr(tri), d_lambda_.row_ptr(tri) + r_,
               gate_rows_.row_ptr(i));

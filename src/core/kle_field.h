@@ -19,11 +19,19 @@ class KleField {
  public:
   /// Builds the per-location operator. `locations` are die coordinates
   /// (gate placements); each is resolved to its containing triangle once.
+  /// Locations outside every mesh triangle (gates legalized marginally off
+  /// the die, float round-off at the boundary) resolve to the nearest
+  /// triangle instead of failing; they are counted in out_of_mesh_count()
+  /// so callers can decide whether the placement/mesh mismatch is benign.
   KleField(const KleResult& kle, std::size_t r,
            const std::vector<geometry::Point2>& locations);
 
   std::size_t reduced_dimension() const { return r_; }
   std::size_t num_locations() const { return gate_rows_.rows(); }
+
+  /// Number of locations that fell outside every mesh triangle and were
+  /// resolved to the nearest one.
+  std::size_t out_of_mesh_count() const { return out_of_mesh_count_; }
 
   /// Triangle index backing location i.
   std::size_t triangle_of_location(std::size_t i) const;
@@ -47,6 +55,7 @@ class KleField {
   linalg::Matrix d_lambda_;   // n x r
   linalg::Matrix gate_rows_;  // num_locations x r (gathered rows of d_lambda_)
   std::vector<std::size_t> triangle_index_;
+  std::size_t out_of_mesh_count_ = 0;
 };
 
 }  // namespace sckl::core

@@ -1,0 +1,49 @@
+// Health validation of a solved KLE — the "trust but verify" step between
+// solving (or loading a cached artifact) and spending CPU-hours sampling
+// from it.
+//
+// A KLE can be silently wrong in ways no individual routine notices: a
+// stale artifact deserialized against a different mesh, an eigensolver that
+// stopped at a best-effort subspace, a kernel whose quadrature clamped away
+// real variance. check_kle_health() runs cheap structural checks on the
+// result alone, and — when the Galerkin matrix is available — the definitive
+// eigen-residual check ||B u - lambda u||, and grades everything into a
+// robust::HealthReport. Callers pick their own strictness via
+// HealthReport::throw_if_fatal().
+#pragma once
+
+#include "core/kle_solver.h"
+#include "robust/health.h"
+
+namespace sckl::core {
+
+/// Tolerances for check_kle_health(). Defaults suit the double-precision
+/// dense/Lanczos solvers in this repo.
+struct KleHealthOptions {
+  /// Relative eigen-residual ||B u_j - lambda_j u_j|| / lambda_1 above which
+  /// a pair is graded kError (requires the Galerkin-matrix overload).
+  double residual_tolerance = 1e-8;
+  /// Max Phi-orthonormality drift |d_j^T Phi d_k - delta_jk| graded kError.
+  double orthonormality_tolerance = 1e-8;
+  /// Clamped negative-eigenvalue mass, as a fraction of lambda_1, above
+  /// which clamping is graded kError instead of kInfo.
+  double clamped_fraction_tolerance = 1e-6;
+};
+
+/// Structural checks on the result alone: NaN/Inf scans of eigenvalues and
+/// coefficients (kFatal), descending eigenvalue order (kError),
+/// Phi-orthonormality drift of the eigenfunctions (kError past tolerance),
+/// and negative-eigenvalue clamp accounting (kInfo, kError when the clamped
+/// mass is significant). O(n m^2) for the orthonormality Gram matrix.
+robust::HealthReport check_kle_health(const KleResult& kle,
+                                      const KleHealthOptions& options = {});
+
+/// Everything above plus the definitive per-pair eigen-residual check
+/// ||B u_j - lambda_j u_j|| / lambda_1 against the Galerkin matrix the KLE
+/// was (supposedly) solved from. `galerkin` must be the n x n scaled matrix
+/// B = Phi^{1/2} K-projection Phi^{-1/2} of assemble_galerkin_matrix().
+robust::HealthReport check_kle_health(const KleResult& kle,
+                                      const linalg::Matrix& galerkin,
+                                      const KleHealthOptions& options = {});
+
+}  // namespace sckl::core

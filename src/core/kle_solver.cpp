@@ -21,8 +21,15 @@ KleResult::KleResult(const mesh::TriMesh& mesh, linalg::Vector eigenvalues,
   require(coefficients_.cols() == eigenvalues_.size(),
           "KleResult: coefficient columns must match eigenvalue count");
   // Quadrature noise can push trailing eigenvalues of a PSD kernel slightly
-  // negative; clamp so sqrt(lambda) in eq. 28 stays real.
-  for (auto& value : eigenvalues_) value = std::max(value, 0.0);
+  // negative; clamp so sqrt(lambda) in eq. 28 stays real, and account for
+  // what was removed so health validation can flag excessive clamping.
+  for (auto& value : eigenvalues_) {
+    if (value < 0.0) {
+      ++clamped_count_;
+      clamped_magnitude_ -= value;
+      value = 0.0;
+    }
+  }
 }
 
 double KleResult::eigenvalue(std::size_t j) const {
@@ -38,6 +45,11 @@ double KleResult::coefficient(std::size_t i, std::size_t j) const {
 
 std::size_t KleResult::triangle_of(geometry::Point2 x) const {
   return locator_.find_containing_or_nearest(x);
+}
+
+std::optional<std::size_t> KleResult::triangle_containing(
+    geometry::Point2 x) const {
+  return locator_.find_containing(x);
 }
 
 double KleResult::eigenfunction_value(std::size_t j,
@@ -81,17 +93,34 @@ double KleResult::captured_variance_fraction(std::size_t r,
 
 KleResult solve_kle(const mesh::TriMesh& mesh,
                     const kernels::CovarianceKernel& kernel,
-                    const KleOptions& options) {
+                    const KleOptions& options, KleSolveInfo* info) {
   const std::size_t n = mesh.num_triangles();
   const std::size_t m = std::min(options.num_eigenpairs, n);
   require(m > 0, "solve_kle: need at least one eigenpair");
 
   const linalg::Matrix b =
       assemble_galerkin_matrix(mesh, kernel, options.quadrature);
+  // Reject NaN/Inf before it can poison the whole spectrum: one bad kernel
+  // evaluation would otherwise surface as mysteriously wrong eigenpairs.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = b.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j)
+      if (!std::isfinite(row[j]))
+        throw Error("solve_kle: Galerkin matrix entry (" + std::to_string(i) +
+                        ", " + std::to_string(j) +
+                        ") is not finite — kernel '" + kernel.name() +
+                        "' produced NaN/Inf",
+                    ErrorCode::kNonFinite);
+  }
 
   KleBackend backend = options.backend;
   if (backend == KleBackend::kAuto)
     backend = (m * 3 < n) ? KleBackend::kLanczos : KleBackend::kDense;
+  if (info != nullptr) {
+    *info = KleSolveInfo{};
+    info->requested = options.backend;
+    info->used = backend;
+  }
 
   linalg::SymmetricEigenResult eigen;
   if (backend == KleBackend::kLanczos) {
@@ -102,7 +131,22 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
     // give the subspace generous room.
     lanczos.max_subspace = std::min(n, 2 * m + 160);
     lanczos.tolerance = 1e-9;
-    eigen = linalg::lanczos_largest(b, lanczos);
+    linalg::LanczosInfo lanczos_info;
+    try {
+      eigen = linalg::lanczos_largest(b, lanczos, &lanczos_info);
+      if (info != nullptr) info->lanczos = lanczos_info;
+    } catch (const Error& e) {
+      // Fallback chain: a non-convergent Lanczos costs us the fast path,
+      // not the result — rerun with the O(n^3) dense solver and record why.
+      if (e.code() != ErrorCode::kNoConvergence) throw;
+      if (info != nullptr) {
+        info->lanczos = lanczos_info;
+        info->used = KleBackend::kDense;
+        info->fallback = true;
+        info->fallback_reason = e.what();
+      }
+      eigen = linalg::symmetric_eigen(b);
+    }
   } else {
     eigen = linalg::symmetric_eigen(b);
   }
@@ -115,7 +159,12 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
       coefficients(i, j) = eigen.vectors(i, j) * inv_root;
   }
   linalg::Vector values(eigen.values.begin(), eigen.values.begin() + m);
-  return KleResult(mesh, std::move(values), std::move(coefficients));
+  KleResult result(mesh, std::move(values), std::move(coefficients));
+  if (info != nullptr) {
+    info->clamped_eigenvalues = result.clamped_count();
+    info->clamped_magnitude = result.clamped_magnitude();
+  }
+  return result;
 }
 
 }  // namespace sckl::core

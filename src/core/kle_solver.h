@@ -15,9 +15,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/galerkin.h"
 #include "geometry/spatial_grid.h"
+#include "linalg/lanczos.h"
 
 namespace sckl::core {
 
@@ -34,6 +36,20 @@ struct KleOptions {
   QuadratureRule quadrature = QuadratureRule::kCentroid1;
   KleBackend backend = KleBackend::kAuto;
   std::uint64_t lanczos_seed = 42;
+};
+
+/// Telemetry of one solve_kle() call: which backend actually produced the
+/// result, whether the Lanczos -> dense fallback chain fired and why, and
+/// the negative-eigenvalue clamp accounting of the returned spectrum. Pass
+/// the optional out-parameter to record it; solving is unaffected.
+struct KleSolveInfo {
+  KleBackend requested = KleBackend::kAuto;  // backend the caller asked for
+  KleBackend used = KleBackend::kDense;      // backend that produced λ, d
+  bool fallback = false;              // Lanczos failed, dense recovered
+  std::string fallback_reason;        // what() of the Lanczos failure
+  linalg::LanczosInfo lanczos;        // iteration telemetry (when attempted)
+  std::size_t clamped_eigenvalues = 0;  // trailing negatives clamped to 0
+  double clamped_magnitude = 0.0;       // total magnitude removed by clamping
 };
 
 /// Result of the numerical KLE of one kernel on one mesh.
@@ -78,6 +94,18 @@ class KleResult {
   /// Triangle containing x (nearest for boundary/degenerate points).
   std::size_t triangle_of(geometry::Point2 x) const;
 
+  /// Triangle strictly containing x, or nullopt when x lies outside every
+  /// mesh triangle (e.g. a gate legalized marginally off the die). Callers
+  /// that resolve such points to the nearest triangle should count them —
+  /// see KleField::out_of_mesh_count().
+  std::optional<std::size_t> triangle_containing(geometry::Point2 x) const;
+
+  /// Number of eigenvalues that came in negative (quadrature noise) and
+  /// were clamped to zero by the constructor, and the total magnitude
+  /// removed. Large clamped mass signals an invalid or mis-assembled kernel.
+  std::size_t clamped_count() const { return clamped_count_; }
+  double clamped_magnitude() const { return clamped_magnitude_; }
+
   /// Truncated reconstruction K_hat(x, y) from the first r eigenpairs.
   double reconstruct_kernel(geometry::Point2 x, geometry::Point2 y,
                             std::size_t r) const;
@@ -99,12 +127,21 @@ class KleResult {
   linalg::Vector eigenvalues_;
   linalg::Matrix coefficients_;  // n x m, column j = d_j
   geometry::SpatialGrid locator_;
+  std::size_t clamped_count_ = 0;
+  double clamped_magnitude_ = 0.0;
 };
 
 /// Computes the KLE of `kernel` on `mesh`. The mesh must outlive the result
 /// (see the KleResult lifetime contract above).
+///
+/// Resilience: a Galerkin matrix containing NaN/Inf is rejected up front
+/// (sckl::Error, code kNonFinite) instead of letting NaN propagate into the
+/// spectrum. When the Lanczos backend fails to converge (kNoConvergence),
+/// the solve is retried with the dense backend and the fallback is recorded
+/// in `info` — callers lose speed, not the answer.
 KleResult solve_kle(const mesh::TriMesh& mesh,
                     const kernels::CovarianceKernel& kernel,
-                    const KleOptions& options = {});
+                    const KleOptions& options = {},
+                    KleSolveInfo* info = nullptr);
 
 }  // namespace sckl::core

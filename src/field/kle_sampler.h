@@ -35,6 +35,10 @@ class KleFieldSampler final : public FieldSampler {
 
   const core::KleField& field() const { return field_; }
 
+  /// Locations that were outside every mesh triangle and got resolved to
+  /// the nearest one (see core::KleField::out_of_mesh_count()).
+  std::size_t out_of_mesh_count() const { return field_.out_of_mesh_count(); }
+
  private:
   std::size_t r_;
   core::KleField field_;

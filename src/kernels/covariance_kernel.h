@@ -8,9 +8,11 @@
 // empirical validator.
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <string>
 
+#include "common/error.h"
 #include "geometry/point2.h"
 
 namespace sckl::kernels {
@@ -35,7 +37,17 @@ class CovarianceKernel {
 class IsotropicKernel : public CovarianceKernel {
  public:
   double operator()(geometry::Point2 x, geometry::Point2 y) const final {
-    return radial(geometry::distance(x, y));
+    const double v = geometry::distance(x, y);
+    // A NaN/Inf coordinate (corrupt placement, uninitialized gate) would
+    // silently poison every Galerkin entry downstream; fail at the source
+    // with a code the solvers can dispatch on.
+    if (!std::isfinite(v))
+      throw Error(name() + ": non-finite separation between query points (" +
+                      std::to_string(x.x) + ", " + std::to_string(x.y) +
+                      ") and (" + std::to_string(y.x) + ", " +
+                      std::to_string(y.y) + ")",
+                  ErrorCode::kNonFinite);
+    return radial(v);
   }
 
   /// Correlation as a function of Euclidean separation v >= 0.

@@ -17,10 +17,24 @@ std::string format_params(const char* name, double a, const char* an,
   return out.str();
 }
 
+// Non-isotropic kernels don't pass through IsotropicKernel::operator() and
+// its separation guard, so they validate their own distance measure here
+// (same contract: NaN/Inf coordinates fail loudly with kNonFinite).
+void require_finite_separation(double v, const CovarianceKernel& kernel,
+                               geometry::Point2 x, geometry::Point2 y) {
+  if (std::isfinite(v)) return;
+  throw Error(kernel.name() + ": non-finite separation between query points (" +
+                  std::to_string(x.x) + ", " + std::to_string(x.y) +
+                  ") and (" + std::to_string(y.x) + ", " +
+                  std::to_string(y.y) + ")",
+              ErrorCode::kNonFinite);
+}
+
 }  // namespace
 
 GaussianKernel::GaussianKernel(double c) : c_(c) {
-  require(c > 0.0, "GaussianKernel: c must be positive");
+  require(std::isfinite(c) && c > 0.0,
+          "GaussianKernel: c must be finite and positive");
 }
 double GaussianKernel::radial(double v) const { return std::exp(-c_ * v * v); }
 std::string GaussianKernel::name() const {
@@ -31,7 +45,8 @@ std::unique_ptr<CovarianceKernel> GaussianKernel::clone() const {
 }
 
 ExponentialKernel::ExponentialKernel(double c) : c_(c) {
-  require(c > 0.0, "ExponentialKernel: c must be positive");
+  require(std::isfinite(c) && c > 0.0,
+          "ExponentialKernel: c must be finite and positive");
 }
 double ExponentialKernel::radial(double v) const { return std::exp(-c_ * v); }
 std::string ExponentialKernel::name() const {
@@ -42,11 +57,14 @@ std::unique_ptr<CovarianceKernel> ExponentialKernel::clone() const {
 }
 
 SeparableL1Kernel::SeparableL1Kernel(double c) : c_(c) {
-  require(c > 0.0, "SeparableL1Kernel: c must be positive");
+  require(std::isfinite(c) && c > 0.0,
+          "SeparableL1Kernel: c must be finite and positive");
 }
 double SeparableL1Kernel::operator()(geometry::Point2 x,
                                      geometry::Point2 y) const {
-  return std::exp(-c_ * geometry::manhattan_distance(x, y));
+  const double v = geometry::manhattan_distance(x, y);
+  require_finite_separation(v, *this, x, y);
+  return std::exp(-c_ * v);
 }
 std::string SeparableL1Kernel::name() const {
   return format_params("separable_l1", c_, "c");
@@ -56,13 +74,16 @@ std::unique_ptr<CovarianceKernel> SeparableL1Kernel::clone() const {
 }
 
 RadialMagnitudeKernel::RadialMagnitudeKernel(double c) : c_(c) {
-  require(c > 0.0, "RadialMagnitudeKernel: c must be positive");
+  require(std::isfinite(c) && c > 0.0,
+          "RadialMagnitudeKernel: c must be finite and positive");
 }
 double RadialMagnitudeKernel::operator()(geometry::Point2 x,
                                          geometry::Point2 y) const {
   const double rx = std::hypot(x.x, x.y);
   const double ry = std::hypot(y.x, y.y);
-  return std::exp(-c_ * std::abs(rx - ry));
+  const double v = std::abs(rx - ry);
+  require_finite_separation(v, *this, x, y);
+  return std::exp(-c_ * v);
 }
 std::string RadialMagnitudeKernel::name() const {
   return format_params("radial_magnitude", c_, "c");
@@ -73,8 +94,10 @@ std::unique_ptr<CovarianceKernel> RadialMagnitudeKernel::clone() const {
 
 MaternKernel::MaternKernel(double b, double s)
     : b_(b), s_(s), log_gamma_(std::lgamma(s - 1.0)) {
-  require(b > 0.0, "MaternKernel: b must be positive");
-  require(s > 1.0, "MaternKernel: s must exceed 1");
+  require(std::isfinite(b) && b > 0.0,
+          "MaternKernel: b must be finite and positive");
+  require(std::isfinite(s) && s > 1.0,
+          "MaternKernel: s must be finite and exceed 1");
 }
 double MaternKernel::radial(double v) const {
   if (v <= 0.0) return 1.0;
@@ -96,7 +119,8 @@ std::unique_ptr<CovarianceKernel> MaternKernel::clone() const {
 }
 
 LinearConeKernel::LinearConeKernel(double rho) : rho_(rho) {
-  require(rho > 0.0, "LinearConeKernel: rho must be positive");
+  require(std::isfinite(rho) && rho > 0.0,
+          "LinearConeKernel: rho must be finite and positive");
 }
 double LinearConeKernel::radial(double v) const {
   return v >= rho_ ? 0.0 : 1.0 - v / rho_;
@@ -109,7 +133,8 @@ std::unique_ptr<CovarianceKernel> LinearConeKernel::clone() const {
 }
 
 SphericalKernel::SphericalKernel(double rho) : rho_(rho) {
-  require(rho > 0.0, "SphericalKernel: rho must be positive");
+  require(std::isfinite(rho) && rho > 0.0,
+          "SphericalKernel: rho must be finite and positive");
 }
 double SphericalKernel::radial(double v) const {
   if (v >= rho_) return 0.0;

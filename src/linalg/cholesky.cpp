@@ -1,20 +1,26 @@
 #include "linalg/cholesky.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.h"
+#include "robust/fault_injection.h"
 
 namespace sckl::linalg {
 namespace {
 
-// In-place lower Cholesky; returns false on a non-positive pivot.
-bool factor_in_place(Matrix& a) {
+// In-place lower Cholesky; returns false on a non-positive pivot, reporting
+// the failing index and eliminated diagonal value through `failure`.
+bool factor_in_place(Matrix& a, CholeskyFailure* failure) {
   const std::size_t n = a.rows();
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     const double* jrow = a.row_ptr(j);
     for (std::size_t k = 0; k < j; ++k) diag -= jrow[k] * jrow[k];
-    if (!(diag > 0.0)) return false;  // also rejects NaN
+    if (!(diag > 0.0)) {  // also rejects NaN
+      if (failure != nullptr) *failure = {j, diag};
+      return false;
+    }
     const double ljj = std::sqrt(diag);
     a(j, j) = ljj;
     const double inv = 1.0 / ljj;
@@ -29,6 +35,13 @@ bool factor_in_place(Matrix& a) {
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j) a(i, j) = 0.0;
   return true;
+}
+
+std::string pivot_message(const CholeskyFailure& failure) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "(pivot %zu = %.6g after elimination)",
+                failure.pivot_index, failure.pivot_value);
+  return buffer;
 }
 
 }  // namespace
@@ -60,15 +73,24 @@ double CholeskyFactor::log_determinant() const {
 }
 
 CholeskyFactor cholesky(const Matrix& k) {
-  auto result = try_cholesky(k);
-  require(result.has_value(), "cholesky: matrix is not positive definite");
+  CholeskyFailure failure;
+  auto result = try_cholesky(k, &failure);
+  if (!result.has_value())
+    throw Error("cholesky: matrix is not positive definite " +
+                    pivot_message(failure),
+                ErrorCode::kNotPositiveDefinite);
   return std::move(*result);
 }
 
-std::optional<CholeskyFactor> try_cholesky(const Matrix& k) {
+std::optional<CholeskyFactor> try_cholesky(const Matrix& k,
+                                           CholeskyFailure* failure) {
   require(k.rows() == k.cols(), "cholesky: matrix must be square");
+  if (robust::fault_injected(robust::FaultSite::kCholeskyPivot)) {
+    if (failure != nullptr) *failure = {0, std::nan("")};
+    return std::nullopt;
+  }
   Matrix a = k;
-  if (!factor_in_place(a)) return std::nullopt;
+  if (!factor_in_place(a, failure)) return std::nullopt;
   return CholeskyFactor{std::move(a)};
 }
 
@@ -78,16 +100,22 @@ JitteredCholesky cholesky_with_jitter(Matrix k, double initial_jitter,
   const std::size_t n = k.rows();
   double jitter = 0.0;
   double next = initial_jitter;
+  CholeskyFailure failure;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    Matrix a = k;
-    for (std::size_t i = 0; i < n; ++i) a(i, i) += jitter;
-    if (factor_in_place(a))
-      return JitteredCholesky{CholeskyFactor{std::move(a)}, jitter};
+    if (robust::fault_injected(robust::FaultSite::kCholeskyPivot)) {
+      failure = {0, std::nan("")};
+    } else {
+      Matrix a = k;
+      for (std::size_t i = 0; i < n; ++i) a(i, i) += jitter;
+      if (factor_in_place(a, &failure))
+        return JitteredCholesky{CholeskyFactor{std::move(a)}, jitter};
+    }
     jitter = next;
     next *= 10.0;
   }
-  require(false, "cholesky_with_jitter: failed even with maximal jitter");
-  return {};  // unreachable
+  throw Error("cholesky_with_jitter: failed even with maximal jitter " +
+                  pivot_message(failure),
+              ErrorCode::kNotPositiveDefinite);
 }
 
 }  // namespace sckl::linalg

@@ -4,8 +4,17 @@
 // matrix once and multiplies every Monte Carlo sample block by the upper
 // factor U (K = U^T U). We store the lower factor L (K = L L^T); U = L^T, so
 // sampling uses gemm_bt with L directly.
+//
+// Failure diagnostics: a non-SPD input is reported with the index and value
+// of the failing pivot (the eliminated diagonal entry that came out
+// non-positive), which distinguishes "semi-definite by a rounding hair"
+// (tiny negative pivot deep in the elimination — jitter will fix it) from
+// "structurally indefinite input" (large negative pivot early on). The
+// robust::FaultSite::kCholeskyPivot injection site makes both try_cholesky
+// and the jitter ladder fail on demand so fallback chains are testable.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "linalg/matrix.h"
@@ -23,13 +32,23 @@ struct CholeskyFactor {
   double log_determinant() const;
 };
 
-/// Factors a symmetric positive-definite matrix. Throws sckl::Error when the
-/// matrix is not positive definite (non-positive pivot).
+/// Diagnostics of a failed factorization: which pivot broke, and its value
+/// after elimination (NaN when the failure was fault-injected).
+struct CholeskyFailure {
+  std::size_t pivot_index = 0;
+  double pivot_value = 0.0;
+};
+
+/// Factors a symmetric positive-definite matrix. Throws sckl::Error (code
+/// kNotPositiveDefinite) naming the failing pivot index and value when the
+/// matrix is not positive definite.
 CholeskyFactor cholesky(const Matrix& k);
 
 /// Like cholesky() but returns nullopt instead of throwing; used by the PSD
-/// validity checker where "not PSD" is an expected answer.
-std::optional<CholeskyFactor> try_cholesky(const Matrix& k);
+/// validity checker where "not PSD" is an expected answer. When `failure` is
+/// non-null it receives the failing pivot diagnostics on a nullopt return.
+std::optional<CholeskyFactor> try_cholesky(const Matrix& k,
+                                           CholeskyFailure* failure = nullptr);
 
 /// Factors K + jitter*I, growing jitter geometrically from `initial_jitter`
 /// until the factorization succeeds (at most `max_attempts` tries). Returns

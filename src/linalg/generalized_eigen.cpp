@@ -1,5 +1,9 @@
 #include "linalg/generalized_eigen.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "common/error.h"
 
 namespace sckl::linalg {
@@ -40,12 +44,43 @@ void solve_lower_transposed_inplace(const Matrix& lower, Matrix& b) {
 }
 
 SymmetricEigenResult generalized_symmetric_eigen(const Matrix& a,
-                                                 const Matrix& m) {
+                                                 const Matrix& m,
+                                                 GeneralizedEigenInfo* info) {
   const std::size_t n = a.rows();
   require(a.cols() == n, "generalized_symmetric_eigen: A must be square");
   require(m.rows() == n && m.cols() == n,
           "generalized_symmetric_eigen: M shape mismatch");
-  const CholeskyFactor factor = cholesky(m);
+
+  // Exact factorization first; a numerically semi-definite mass matrix (the
+  // routine Gaussian-kernel case) falls back to the jitter ladder instead of
+  // killing the solve. Scale the initial jitter to the matrix so the
+  // regularization stays relatively tiny.
+  CholeskyFailure mass_failure;
+  std::optional<CholeskyFactor> exact = try_cholesky(m, &mass_failure);
+  CholeskyFactor factor;
+  if (exact.has_value()) {
+    factor = std::move(*exact);
+    if (info != nullptr) *info = GeneralizedEigenInfo{};
+  } else {
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      max_diag = std::max(max_diag, std::abs(m(i, i)));
+    const double initial_jitter = std::max(1e-14 * max_diag, 1e-300);
+    JitteredCholesky jittered;
+    try {
+      jittered = cholesky_with_jitter(m, initial_jitter);
+    } catch (const Error& e) {
+      throw e.with_context(
+          "generalized_symmetric_eigen: mass matrix is not SPD and jitter "
+          "regularization failed");
+    }
+    if (info != nullptr) {
+      info->mass_spd = false;
+      info->mass_jitter = jittered.jitter;
+      info->failure = mass_failure;
+    }
+    factor = std::move(jittered.factor);
+  }
 
   // C = L^{-1} A L^{-T}: first Y = L^{-1} A (rows), then C = Y L^{-T},
   // computed as C^T = L^{-1} Y^T — but Y L^{-T} = (L^{-1} Y^T)^T and C is

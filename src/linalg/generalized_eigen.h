@@ -9,6 +9,12 @@
 // and back-transform d = L^{-T} u. The d vectors come out M-orthonormal
 // (d_i^T M d_j = delta_ij), which is the Galerkin analogue of orthonormal
 // eigenfunctions.
+//
+// Resilience: mass matrices assembled from very smooth kernels (or refined
+// P1 meshes with near-degenerate elements) can be numerically semi-definite.
+// Instead of dying on the Cholesky, the solver falls back to
+// cholesky_with_jitter and records the regularization it had to apply in the
+// optional GeneralizedEigenInfo out-parameter.
 #pragma once
 
 #include "linalg/cholesky.h"
@@ -16,11 +22,19 @@
 
 namespace sckl::linalg {
 
+/// Telemetry of one generalized_symmetric_eigen call.
+struct GeneralizedEigenInfo {
+  bool mass_spd = true;       // first (exact) Cholesky of M succeeded
+  double mass_jitter = 0.0;   // diagonal jitter the fallback had to add
+  CholeskyFailure failure;    // failing pivot of the exact factorization
+};
+
 /// Solves A d = lambda M d for symmetric A and SPD M. Eigenvalues descend;
-/// column j of `vectors` is d_j with d_j^T M d_j = 1. Throws when M is not
-/// positive definite.
-SymmetricEigenResult generalized_symmetric_eigen(const Matrix& a,
-                                                 const Matrix& m);
+/// column j of `vectors` is d_j with d_j^T M d_j = 1. A numerically
+/// semi-definite M is regularized with the smallest workable diagonal jitter
+/// (recorded in `info`); only a structurally indefinite M still throws.
+SymmetricEigenResult generalized_symmetric_eigen(
+    const Matrix& a, const Matrix& m, GeneralizedEigenInfo* info = nullptr);
 
 /// In-place forward substitution: solves L X = B for X (L lower-triangular,
 /// from a Cholesky factor), overwriting B. B is n x k.

@@ -1,0 +1,106 @@
+#include "robust/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sckl::robust {
+
+namespace {
+
+constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
+    "store_read",
+    "store_write",
+    "lanczos_convergence",
+    "cholesky_pivot",
+};
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  const int index = static_cast<int>(site);
+  if (index < 0 || index >= kNumFaultSites) return "unknown";
+  return kSiteNames[static_cast<std::size_t>(index)];
+}
+
+std::optional<FaultSite> fault_site_from_name(std::string_view name) {
+  for (int i = 0; i < kNumFaultSites; ++i)
+    if (name == kSiteNames[static_cast<std::size_t>(i)])
+      return static_cast<FaultSite>(i);
+  return std::nullopt;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("SCKL_FAULTS");
+  if (env != nullptr && *env != '\0') arm(env);
+}
+
+void FaultInjector::arm(const std::string& plan) {
+  std::size_t start = 0;
+  while (start < plan.size()) {
+    std::size_t end = plan.find(',', start);
+    if (end == std::string::npos) end = plan.size();
+    const std::string_view entry(plan.data() + start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    require(colon != std::string_view::npos,
+            "FaultInjector: plan entry is not of the form site:count");
+    const std::string_view name = entry.substr(0, colon);
+    const std::string_view count_text = entry.substr(colon + 1);
+    const std::optional<FaultSite> site = fault_site_from_name(name);
+    require(site.has_value(),
+            "FaultInjector: unknown fault site '" + std::string(name) + "'");
+    require(!count_text.empty(), "FaultInjector: missing fault count");
+    std::uint64_t count = 0;
+    for (char c : count_text) {
+      require(c >= '0' && c <= '9',
+              "FaultInjector: fault count must be a non-negative integer");
+      count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    arm(*site, count);
+  }
+}
+
+void FaultInjector::arm(FaultSite site, std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_[static_cast<std::size_t>(site)] = count;
+  bool any = false;
+  for (std::uint64_t b : budget_) any = any || b > 0;
+  armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_.fill(0);
+  stats_.fill(FaultSiteStats{});
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_inject(FaultSite site) {
+  const auto index = static_cast<std::size_t>(site);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_[index].hits;
+  if (budget_[index] == 0) return false;
+  --budget_[index];
+  ++stats_[index].injected;
+  if (budget_[index] == 0) {
+    bool any = false;
+    for (std::uint64_t b : budget_) any = any || b > 0;
+    armed_.store(any, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+FaultSiteStats FaultInjector::stats(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace sckl::robust

@@ -1,0 +1,71 @@
+#include "robust/health.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace sckl::robust {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
+void HealthReport::add(Severity severity, std::string check,
+                       std::string message) {
+  if (severity > worst_) worst_ = severity;
+  findings_.push_back({severity, std::move(check), std::move(message)});
+}
+
+void HealthReport::metric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), value);
+}
+
+double HealthReport::metric_value(const std::string& name) const {
+  for (const auto& [metric_name, value] : metrics_)
+    if (metric_name == name) return value;
+  return std::nan("");
+}
+
+std::size_t HealthReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const auto& finding : findings_)
+    if (finding.severity == severity) ++n;
+  return n;
+}
+
+void HealthReport::throw_if_fatal(Severity threshold) const {
+  if (ok(threshold)) return;
+  std::string what = "health check failed:";
+  for (const auto& finding : findings_) {
+    if (finding.severity < threshold) continue;
+    what.append("\n  [").append(robust::to_string(finding.severity))
+        .append("] ").append(finding.check).append(": ")
+        .append(finding.message);
+  }
+  throw Error(what, ErrorCode::kHealthCheckFailed);
+}
+
+std::string HealthReport::to_string() const {
+  std::string out;
+  if (findings_.empty()) out = "health: ok (no findings)\n";
+  for (const auto& finding : findings_) {
+    out.append("[").append(robust::to_string(finding.severity)).append("] ")
+        .append(finding.check).append(": ").append(finding.message)
+        .append("\n");
+  }
+  for (const auto& [name, value] : metrics_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-28s %.6g\n", name.c_str(), value);
+    out.append(line);
+  }
+  return out;
+}
+
+}  // namespace sckl::robust

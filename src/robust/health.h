@@ -1,0 +1,75 @@
+// Severity-graded health reporting for numerical results.
+//
+// A HealthReport collects the findings of a validator pass (e.g.
+// core::validate_kle: eigen-residual norms, orthonormality drift, NaN scans,
+// clamp accounting) as (severity, check, message) triples plus named numeric
+// metrics. Callers choose the policy: print the report, count findings, or
+// call throw_if_fatal() for strict mode — the validator itself never throws,
+// so degraded-but-usable results stay usable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sckl::robust {
+
+/// Finding severity, ordered: higher values are worse.
+enum class Severity : int {
+  kInfo = 0,   // normal, recorded for telemetry (e.g. tiny clamped tail)
+  kWarning,    // degraded but usable (residual above tolerance, fallback hit)
+  kError,      // result is suspect; strict pipelines should stop
+  kFatal,      // result is unusable (NaN/Inf, structural violation)
+};
+
+const char* to_string(Severity severity);
+
+/// One validator finding.
+struct HealthFinding {
+  Severity severity = Severity::kInfo;
+  std::string check;    // short check id, e.g. "eigen_residual"
+  std::string message;  // human-readable detail
+};
+
+/// Accumulated findings and metrics of one validation pass.
+class HealthReport {
+ public:
+  void add(Severity severity, std::string check, std::string message);
+
+  /// Records a named numeric measurement (e.g. "max_eigen_residual").
+  void metric(std::string name, double value);
+
+  const std::vector<HealthFinding>& findings() const { return findings_; }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+  /// Value of a recorded metric; NaN when absent.
+  double metric_value(const std::string& name) const;
+
+  /// Worst severity seen; kInfo for an empty report.
+  Severity worst() const { return worst_; }
+
+  /// Number of findings at exactly `severity`.
+  std::size_t count(Severity severity) const;
+
+  /// True when no finding reaches `threshold`.
+  bool ok(Severity threshold = Severity::kError) const {
+    return worst_ < threshold;
+  }
+
+  /// Strict mode: throws sckl::Error (code kHealthCheckFailed) listing every
+  /// finding at or above `threshold`; no-op when the report is clean.
+  void throw_if_fatal(Severity threshold = Severity::kError) const;
+
+  /// Multi-line rendering: one line per finding, then one per metric.
+  std::string to_string() const;
+
+ private:
+  std::vector<HealthFinding> findings_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  Severity worst_ = Severity::kInfo;
+};
+
+}  // namespace sckl::robust

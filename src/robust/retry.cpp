@@ -1,0 +1,13 @@
+#include "robust/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace sckl::robust::detail {
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace sckl::robust::detail

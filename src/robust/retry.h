@@ -1,0 +1,56 @@
+// Bounded retry-with-backoff for transiently failing operations.
+//
+// The artifact store uses this around disk reads/writes: a torn read on a
+// network filesystem or a transient EMFILE is worth a couple of retries, a
+// checksum mismatch is not. Retryability is decided by the caller-supplied
+// predicate over the thrown sckl::Error (typically `code() == kIoTransient`);
+// everything else propagates immediately. Backoff grows geometrically and is
+// deliberately tiny by default — this is smoothing over hiccups, not a
+// distributed-systems reconnect loop.
+#pragma once
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace sckl::robust {
+
+/// Retry budget and pacing.
+struct RetryPolicy {
+  int max_attempts = 3;                    // total tries, including the first
+  double initial_backoff_seconds = 5e-4;   // sleep before the first retry
+  double backoff_growth = 2.0;             // multiplier per further retry
+};
+
+/// Attempts actually retried (i.e. failures absorbed) by one retry_bounded
+/// call; useful for telemetry counters.
+struct RetryStats {
+  int retried = 0;
+};
+
+namespace detail {
+void sleep_seconds(double seconds);
+}  // namespace detail
+
+/// Calls `fn` up to policy.max_attempts times. A thrown sckl::Error is
+/// retried (after a backoff sleep) only while `should_retry(error)` returns
+/// true and attempts remain; otherwise it propagates to the caller. Returns
+/// fn's result on the first success.
+template <typename Fn, typename ShouldRetry>
+auto retry_bounded(const RetryPolicy& policy, Fn&& fn,
+                   ShouldRetry&& should_retry, RetryStats* stats = nullptr)
+    -> decltype(fn()) {
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const Error& e) {
+      if (attempt >= policy.max_attempts || !should_retry(e)) throw;
+      if (stats != nullptr) ++stats->retried;
+      detail::sleep_seconds(backoff);
+      backoff *= policy.backoff_growth;
+    }
+  }
+}
+
+}  // namespace sckl::robust

@@ -1,6 +1,7 @@
 #include "ssta/experiment.h"
 
 #include <cmath>
+#include <utility>
 
 #include "circuit/synthetic.h"
 #include "common/error.h"
@@ -74,7 +75,7 @@ store::KleArtifactConfig ExperimentPipeline::artifact_config(
 McSstaResult ExperimentPipeline::run_kle_stored(
     store::KleArtifactStore& store, std::size_t r, std::size_t num_eigenpairs,
     double* fetch_seconds, store::FetchSource* source,
-    std::size_t* mesh_triangles) {
+    std::size_t* mesh_triangles, KleRunInfo* info, bool validate) {
   Stopwatch setup;
   const store::FetchResult fetch =
       store.get_or_compute(artifact_config(num_eigenpairs), *kernel_);
@@ -83,6 +84,13 @@ McSstaResult ExperimentPipeline::run_kle_stored(
   if (source != nullptr) *source = fetch.source;
   if (mesh_triangles != nullptr)
     *mesh_triangles = fetch.artifact->mesh().num_triangles();
+  if (info != nullptr) {
+    info->out_of_mesh_gates = sampler.out_of_mesh_count();
+    if (validate) {
+      info->validated = true;
+      info->health = core::check_kle_health(fetch.artifact->kle());
+    }
+  }
 
   const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
   McSstaOptions options;
@@ -94,14 +102,23 @@ McSstaResult ExperimentPipeline::run_kle_stored(
 McSstaResult ExperimentPipeline::run_kle(const mesh::TriMesh& mesh,
                                          std::size_t r,
                                          std::size_t num_eigenpairs,
-                                         double* solve_seconds) {
+                                         double* solve_seconds,
+                                         KleRunInfo* info, bool validate) {
   Stopwatch setup;
   core::KleOptions kle_options;
   kle_options.num_eigenpairs =
       std::min<std::size_t>(num_eigenpairs, mesh.num_triangles());
-  const core::KleResult kle = core::solve_kle(mesh, *kernel_, kle_options);
+  const core::KleResult kle = core::solve_kle(
+      mesh, *kernel_, kle_options, info != nullptr ? &info->solve : nullptr);
   const field::KleFieldSampler sampler(kle, r, locations_);
   if (solve_seconds != nullptr) *solve_seconds = setup.seconds();
+  if (info != nullptr) {
+    info->out_of_mesh_gates = sampler.out_of_mesh_count();
+    if (validate) {
+      info->validated = true;
+      info->health = core::check_kle_health(kle);
+    }
+  }
 
   const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
   McSstaOptions options;
@@ -130,20 +147,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       config.num_eigenpairs != 0
           ? config.num_eigenpairs
           : std::max<std::size_t>(2 * config.r, 50);
+  const bool validate = config.validate_kle || config.strict;
+  KleRunInfo info;
   McSstaResult kle;
   if (!config.store_root.empty()) {
     store::KleArtifactStore store(config.store_root);
     store::FetchSource source = store::FetchSource::kSolved;
     kle = pipeline.run_kle_stored(store, config.r, pairs,
                                   &result.kle_setup_seconds, &source,
-                                  &result.mesh_triangles);
+                                  &result.mesh_triangles, &info, validate);
     result.kle_source = store::to_string(source);
   } else {
     const mesh::TriMesh mesh = mesh::paper_mesh(
         geometry::BoundingBox::unit_die(), config.mesh_area_fraction,
         config.seed + 7);
     result.mesh_triangles = mesh.num_triangles();
-    kle = pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds);
+    kle = pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds,
+                           &info, validate);
+  }
+  result.out_of_mesh_gates = info.out_of_mesh_gates;
+  if (info.solve.fallback) result.kle_fallback_reason = info.solve.fallback_reason;
+  if (validate) {
+    // Fold the pipeline-level recoveries into the health report so one
+    // artifact carries the whole resilience story (and strict mode can
+    // escalate all of it at once).
+    robust::HealthReport report = std::move(info.health);
+    if (info.solve.fallback)
+      report.add(robust::Severity::kWarning, "solver_fallback",
+                 info.solve.fallback_reason);
+    if (info.out_of_mesh_gates > 0)
+      report.add(robust::Severity::kWarning, "out_of_mesh",
+                 std::to_string(info.out_of_mesh_gates) +
+                     " gate(s) resolved to the nearest mesh triangle");
+    result.health_ok = report.ok();
+    result.health_summary = report.to_string();
+    if (config.strict) report.throw_if_fatal(robust::Severity::kWarning);
   }
   result.kle_run_seconds = kle.sampling_seconds + kle.sta_seconds;
   result.kle_mean = kle.worst_delay.mean();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kle_health.h"
 #include "core/kle_solver.h"
 #include "ssta/mc_ssta.h"
 #include "store/artifact_store.h"
@@ -37,6 +38,13 @@ struct ExperimentConfig {
   /// kle_setup_seconds becomes the fetch time. Repeated runs on the same
   /// root skip the eigensolve entirely (the paper's offline/online split).
   std::string store_root;
+
+  /// Run core::check_kle_health on the KLE and report it in the result.
+  bool validate_kle = false;
+  /// Escalate resilience warnings (solver fallback, out-of-mesh gates,
+  /// health findings of kWarning or worse) to a thrown sckl::Error instead
+  /// of silently recovering. Implies validate_kle.
+  bool strict = false;
 };
 
 /// Everything the benches report about one circuit.
@@ -60,6 +68,15 @@ struct ExperimentResult {
   double mc_run_seconds = 0.0;
   double kle_run_seconds = 0.0;
 
+  /// Resilience telemetry: non-empty when the Lanczos -> dense fallback
+  /// fired during the KLE solve.
+  std::string kle_fallback_reason;
+  /// Gates outside every mesh triangle, resolved to the nearest one.
+  std::size_t out_of_mesh_gates = 0;
+  /// Health validation (filled when validate_kle/strict was set).
+  bool health_ok = true;
+  std::string health_summary;
+
   /// Per-endpoint sigma relative errors (fraction, not percent), for the
   /// Fig. 6 "error averaged across all outputs" metric.
   std::vector<double> endpoint_sigma_error;
@@ -68,8 +85,18 @@ struct ExperimentResult {
   double mean_endpoint_sigma_error() const;
 };
 
-/// Runs the full comparison for one circuit.
+/// Runs the full comparison for one circuit. With config.strict set, throws
+/// sckl::Error (code kHealthCheckFailed) when the KLE needed a fallback or
+/// fails health validation instead of recovering silently.
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Resilience telemetry of one pipeline KLE run.
+struct KleRunInfo {
+  core::KleSolveInfo solve;            // fresh-solve path only
+  std::size_t out_of_mesh_gates = 0;   // gates resolved to nearest triangle
+  bool validated = false;              // health report below was computed
+  robust::HealthReport health;
+};
 
 /// Reusable pieces for sweep benches (Fig. 6 varies r and n on one circuit
 /// without rebuilding the netlist/placement/reference run each time).
@@ -88,9 +115,12 @@ class ExperimentPipeline {
   const McSstaResult& reference();
   double reference_setup_seconds();
 
-  /// Runs Algorithm 2 with a KLE built on `mesh` truncated at r.
+  /// Runs Algorithm 2 with a KLE built on `mesh` truncated at r. Pass
+  /// `info` to collect solver fallback/out-of-mesh telemetry; `validate`
+  /// additionally runs core::check_kle_health into info->health.
   McSstaResult run_kle(const mesh::TriMesh& mesh, std::size_t r,
-                       std::size_t num_eigenpairs, double* solve_seconds);
+                       std::size_t num_eigenpairs, double* solve_seconds,
+                       KleRunInfo* info = nullptr, bool validate = false);
 
   /// The artifact configuration this pipeline's KLE is keyed under (paper
   /// mesh on the unit die, this pipeline's kernel, centroid quadrature).
@@ -103,7 +133,9 @@ class ExperimentPipeline {
                               std::size_t num_eigenpairs,
                               double* fetch_seconds,
                               store::FetchSource* source,
-                              std::size_t* mesh_triangles);
+                              std::size_t* mesh_triangles,
+                              KleRunInfo* info = nullptr,
+                              bool validate = false);
 
   const ExperimentConfig& config() const { return config_; }
 

@@ -21,6 +21,15 @@ bool is_sckl_file(const fs::directory_entry& entry) {
   return entry.is_regular_file() && entry.path().extension() == ".sckl";
 }
 
+bool is_quarantined_file(const fs::directory_entry& entry) {
+  return entry.is_regular_file() && entry.path().extension() == ".bad" &&
+         entry.path().stem().extension() == ".sckl";
+}
+
+bool is_transient(const Error& e) {
+  return e.code() == ErrorCode::kIoTransient;
+}
+
 }  // namespace
 
 const char* to_string(FetchSource source) {
@@ -61,9 +70,14 @@ FetchResult KleArtifactStore::get_or_compute(
   const fs::path path = root_ / (key_string(key) + ".sckl");
   std::error_code ec;
   if (fs::exists(path, ec) && !ec) {
+    robust::RetryStats stats;
     try {
-      auto loaded =
-          std::make_shared<const StoredKleResult>(read_kle_file(path.string()));
+      // Transient read failures (EIO, injected store_read faults) are
+      // retried with bounded backoff before we give up on the disk copy.
+      auto loaded = std::make_shared<const StoredKleResult>(robust::retry_bounded(
+          options_.retry, [&] { return read_kle_file(path.string()); },
+          is_transient, &stats));
+      read_retries_ += static_cast<std::size_t>(stats.retried);
       // Defend against renamed/colliding files: the stored config must hash
       // back to the file's own key.
       if (artifact_key(loaded->config()) == key) {
@@ -73,22 +87,46 @@ FetchResult KleArtifactStore::get_or_compute(
         result.seconds = watch.seconds();
         return result;
       }
-    } catch (const Error&) {
-      // Truncated/corrupted/old-version artifact: fall through to a fresh
-      // solve, which rewrites the file atomically.
+      // Valid file, wrong content for its name: quarantine the evidence and
+      // re-solve (the rewrite below replaces the name atomically).
+      quarantine(path);
+    } catch (const Error& e) {
+      read_retries_ += static_cast<std::size_t>(stats.retried);
+      ++failed_reads_;
+      if (e.code() == ErrorCode::kCorruptArtifact)
+        quarantine(path);  // keep the broken bytes for post-mortem
+      // Either way: fall through to a fresh solve, which rewrites the file
+      // atomically. The fallback costs a solve, never the answer.
     }
   }
 
   auto solved =
       std::make_shared<const StoredKleResult>(StoredKleResult::solve(config, kernel));
   if (options_.write_through) {
-    const fs::path tmp = path.string() + unique_tmp_suffix();
-    write_kle_file(tmp.string(), *solved);
-    fs::rename(tmp, path, ec);
-    if (ec) {
-      fs::remove(tmp, ec);
-      throw Error("KleArtifactStore: cannot publish artifact to '" +
-                  path.string() + "'");
+    robust::RetryStats stats;
+    try {
+      robust::retry_bounded(
+          options_.retry,
+          [&] {
+            const fs::path tmp = path.string() + unique_tmp_suffix();
+            write_kle_file(tmp.string(), *solved);
+            std::error_code rename_ec;
+            fs::rename(tmp, path, rename_ec);
+            if (rename_ec) {
+              fs::remove(tmp, rename_ec);
+              throw Error("KleArtifactStore: cannot publish artifact to '" +
+                              path.string() + "'",
+                          ErrorCode::kIoTransient);
+            }
+          },
+          is_transient, &stats);
+      write_retries_ += static_cast<std::size_t>(stats.retried);
+    } catch (const Error& e) {
+      if (!is_transient(e)) throw;
+      // Persistence failed even after retries; the solved artifact is still
+      // perfectly usable — degrade to memory-only and count the loss.
+      write_retries_ += static_cast<std::size_t>(stats.retried);
+      ++failed_writes_;
     }
   }
   cache_.put(key, solved, solved->approximate_bytes());
@@ -98,12 +136,37 @@ FetchResult KleArtifactStore::get_or_compute(
   return result;
 }
 
+void KleArtifactStore::quarantine(const fs::path& path) {
+  std::error_code ec;
+  const fs::path bad = path.string() + ".bad";
+  fs::rename(path, bad, ec);
+  if (ec) {
+    // Can't even move it aside (read-only dir?); delete so the poisoned file
+    // stops shadowing the re-solved artifact. Losing evidence beats serving
+    // corruption.
+    fs::remove(path, ec);
+  }
+  ++quarantined_;
+}
+
+StoreHealth KleArtifactStore::health() const {
+  StoreHealth h;
+  h.read_retries = read_retries_.load();
+  h.write_retries = write_retries_.load();
+  h.failed_reads = failed_reads_.load();
+  h.failed_writes = failed_writes_.load();
+  h.quarantined = quarantined_.load();
+  return h;
+}
+
 bool KleArtifactStore::contains(const KleArtifactConfig& config) const {
   const fs::path path = path_for(config);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) return false;
   try {
-    const StoredKleResult loaded = read_kle_file(path.string());
+    const StoredKleResult loaded = robust::retry_bounded(
+        options_.retry, [&] { return read_kle_file(path.string()); },
+        is_transient);
     return artifact_key(loaded.config()) == artifact_key(config);
   } catch (const Error&) {
     return false;
@@ -113,9 +176,14 @@ bool KleArtifactStore::contains(const KleArtifactConfig& config) const {
 std::vector<StoreEntry> KleArtifactStore::ls() const {
   std::vector<StoreEntry> entries;
   for (const auto& entry : fs::directory_iterator(root_)) {
-    if (!is_sckl_file(entry)) continue;
+    const bool quarantined = is_quarantined_file(entry);
+    if (!is_sckl_file(entry) && !quarantined) continue;
     StoreEntry e;
-    e.key = entry.path().stem().string();
+    // A quarantined "<key>.sckl.bad" reports the same key as the healthy
+    // file it used to be.
+    e.key = quarantined ? entry.path().stem().stem().string()
+                        : entry.path().stem().string();
+    e.quarantined = quarantined;
     std::error_code ec;
     e.file_bytes = entry.file_size(ec);
     entries.push_back(std::move(e));
@@ -134,13 +202,22 @@ std::size_t KleArtifactStore::gc() {
       doomed.push_back(path);  // orphaned in-flight write
       continue;
     }
+    if (is_quarantined_file(fs::directory_entry(path))) {
+      doomed.push_back(path);  // quarantined evidence, post-mortem is over
+      continue;
+    }
     if (path.extension() != ".sckl") continue;
     try {
-      const StoredKleResult loaded = read_kle_file(path.string());
+      const StoredKleResult loaded = robust::retry_bounded(
+          options_.retry, [&] { return read_kle_file(path.string()); },
+          is_transient);
       if (key_string(artifact_key(loaded.config())) != path.stem().string())
         doomed.push_back(path);  // renamed or hash-mismatched
-    } catch (const Error&) {
-      doomed.push_back(path);  // truncated / corrupted / wrong version
+    } catch (const Error& e) {
+      // A read that stays transient after retries proves nothing about the
+      // file; deleting on it would let a disk hiccup wipe healthy artifacts.
+      if (e.code() != ErrorCode::kIoTransient)
+        doomed.push_back(path);  // truncated / corrupted / wrong version
     }
   }
   for (const auto& path : doomed) {

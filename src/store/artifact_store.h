@@ -12,16 +12,27 @@
 // be served for a different configuration. Disk writes go through a unique
 // tmp file followed by std::filesystem::rename, which is atomic on POSIX —
 // concurrent processes may race to solve the same key, but readers only ever
-// see complete, checksummed files. A file that fails validation (truncated,
-// corrupted, version-mismatched) is treated as a miss and rewritten; gc()
-// deletes such files plus orphaned tmp files.
+// see complete, checksummed files.
+//
+// Failure handling (reaction keyed on sckl::ErrorCode):
+//   kIoTransient    read/write retried with bounded backoff (StoreOptions::
+//                   retry); reads that stay broken fall back to a fresh
+//                   solve, writes that stay broken degrade to memory-only.
+//   kCorruptArtifact the file is quarantined — renamed to <key>.sckl.bad so
+//                   the evidence survives for post-mortem instead of being
+//                   silently rewritten — and the artifact is re-solved.
+// Every reaction is counted in StoreHealth (health()). gc() deletes
+// orphaned tmp files, invalid/misnamed artifacts, and quarantined files;
+// ls() lists quarantined entries alongside healthy ones.
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "robust/retry.h"
 #include "store/kle_io.h"
 #include "store/lru_cache.h"
 
@@ -31,6 +42,17 @@ namespace sckl::store {
 struct StoreOptions {
   std::size_t cache_bytes = std::size_t{256} << 20;  // in-memory LRU budget
   bool write_through = true;  // persist freshly solved artifacts to disk
+  robust::RetryPolicy retry;  // bounded backoff for transient disk I/O
+};
+
+/// Resilience telemetry: how often the store had to react to a fault.
+/// All-zero on a healthy filesystem.
+struct StoreHealth {
+  std::size_t read_retries = 0;      // transient read failures retried
+  std::size_t write_retries = 0;     // transient write failures retried
+  std::size_t failed_reads = 0;      // reads abandoned after retries -> solve
+  std::size_t failed_writes = 0;     // writes abandoned -> memory-only result
+  std::size_t quarantined = 0;       // corrupt artifacts moved to .sckl.bad
 };
 
 /// Where a get_or_compute() answer came from.
@@ -53,6 +75,7 @@ struct FetchResult {
 struct StoreEntry {
   std::string key;             // 16-hex-digit file stem
   std::uintmax_t file_bytes = 0;
+  bool quarantined = false;    // true for <key>.sckl.bad evidence files
 };
 
 /// Content-hash keyed repository with an in-memory LRU front.
@@ -75,15 +98,20 @@ class KleArtifactStore {
   /// exists yet).
   std::filesystem::path path_for(const KleArtifactConfig& config) const;
 
-  /// All *.sckl entries currently in the repository (validity not checked).
+  /// All *.sckl entries currently in the repository (validity not checked),
+  /// plus quarantined *.sckl.bad files flagged as such.
   std::vector<StoreEntry> ls() const;
 
-  /// Removes orphaned tmp files and artifacts that fail validation or whose
-  /// content hash disagrees with their file name; returns files deleted.
+  /// Removes orphaned tmp files, artifacts that fail validation or whose
+  /// content hash disagrees with their file name, and quarantined .sckl.bad
+  /// files; returns files deleted.
   std::size_t gc();
 
   /// In-memory cache counters.
   CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Fault-reaction counters accumulated over this store's lifetime.
+  StoreHealth health() const;
 
   /// Drops the in-memory cache (disk is untouched); for warm/cold timing.
   void drop_memory_cache() { cache_.clear(); }
@@ -91,9 +119,17 @@ class KleArtifactStore {
   const std::filesystem::path& root() const { return root_; }
 
  private:
+  /// Moves a broken artifact aside to <name>.bad; counts it.
+  void quarantine(const std::filesystem::path& path);
+
   std::filesystem::path root_;
   StoreOptions options_;
   LruCache<std::uint64_t, StoredKleResult> cache_;
+  std::atomic<std::size_t> read_retries_{0};
+  std::atomic<std::size_t> write_retries_{0};
+  std::atomic<std::size_t> failed_reads_{0};
+  std::atomic<std::size_t> failed_writes_{0};
+  std::atomic<std::size_t> quarantined_{0};
 };
 
 }  // namespace sckl::store

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "robust/fault_injection.h"
 
 namespace sckl::store {
 
@@ -77,7 +78,8 @@ class Reader {
   void need(std::size_t n, const char* what) {
     if (size_ - pos_ < n)
       throw Error(std::string("kle_io: truncated artifact (while reading ") +
-                  what + ")");
+                      what + ")",
+                  ErrorCode::kCorruptArtifact);
   }
 
   const std::uint8_t* data_;
@@ -200,20 +202,24 @@ std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored) {
 
 StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() < 20)
-    throw Error("kle_io: truncated artifact (shorter than header)");
+    throw Error("kle_io: truncated artifact (shorter than header)",
+                ErrorCode::kCorruptArtifact);
   if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin()))
-    throw Error("kle_io: bad magic (not a .sckl artifact)");
+    throw Error("kle_io: bad magic (not a .sckl artifact)",
+                ErrorCode::kCorruptArtifact);
 
   Reader header(bytes.data() + 4, bytes.size() - 4);
   const std::uint32_t version = header.u32();
   if (version != kKleFormatVersion)
     throw Error("kle_io: unsupported format version " +
-                std::to_string(version) + " (this build reads version " +
-                std::to_string(kKleFormatVersion) + ")");
+                    std::to_string(version) + " (this build reads version " +
+                    std::to_string(kKleFormatVersion) + ")",
+                ErrorCode::kCorruptArtifact);
   const std::uint64_t payload_size = header.u64();
   if (bytes.size() < 16 + payload_size + 4)
     throw Error("kle_io: truncated artifact (payload shorter than header "
-                "declares)");
+                "declares)",
+                ErrorCode::kCorruptArtifact);
   const std::uint8_t* payload = bytes.data() + 16;
 
   Reader trailer(payload + payload_size, 4);
@@ -221,7 +227,8 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
   const std::uint32_t actual_crc =
       crc32(payload, static_cast<std::size_t>(payload_size));
   if (stored_crc != actual_crc)
-    throw Error("kle_io: checksum mismatch (artifact is corrupted)");
+    throw Error("kle_io: checksum mismatch (artifact is corrupted)",
+                ErrorCode::kCorruptArtifact);
 
   Reader r(payload, static_cast<std::size_t>(payload_size));
 
@@ -236,14 +243,16 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
   config.die.max.y = r.f64();
   const std::uint32_t mesh_kind = r.u32();
   if (mesh_kind > static_cast<std::uint32_t>(MeshSpec::Kind::kPaperRefined))
-    throw Error("kle_io: unknown mesh spec kind " + std::to_string(mesh_kind));
+    throw Error("kle_io: unknown mesh spec kind " + std::to_string(mesh_kind),
+                ErrorCode::kCorruptArtifact);
   config.mesh.kind = static_cast<MeshSpec::Kind>(mesh_kind);
   config.mesh.target_triangles = r.u64();
   config.mesh.area_fraction = r.f64();
   config.mesh.mesher_seed = r.u64();
   const std::uint32_t quadrature = r.u32();
   if (quadrature > static_cast<std::uint32_t>(core::QuadratureRule::kSymmetric7))
-    throw Error("kle_io: unknown quadrature rule " + std::to_string(quadrature));
+    throw Error("kle_io: unknown quadrature rule " + std::to_string(quadrature),
+                ErrorCode::kCorruptArtifact);
   config.quadrature = static_cast<core::QuadratureRule>(quadrature);
   config.num_eigenpairs = r.u64();
 
@@ -252,7 +261,8 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
   // Guard the multiplications below against absurd counts from a payload
   // that passed CRC (e.g. a hand-built file).
   if (num_vertices > payload_size || num_triangles > payload_size)
-    throw Error("kle_io: implausible mesh size in artifact");
+    throw Error("kle_io: implausible mesh size in artifact",
+                ErrorCode::kCorruptArtifact);
   std::vector<geometry::Point2> vertices(num_vertices);
   for (auto& v : vertices) {
     v.x = r.f64();
@@ -266,14 +276,16 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
 
   const std::uint64_t num_values = r.u64();
   if (num_values > payload_size)
-    throw Error("kle_io: implausible eigenvalue count in artifact");
+    throw Error("kle_io: implausible eigenvalue count in artifact",
+                ErrorCode::kCorruptArtifact);
   linalg::Vector eigenvalues(num_values);
   for (auto& lambda : eigenvalues) lambda = r.f64();
 
   const std::uint64_t rows = r.u64();
   const std::uint64_t cols = r.u64();
   if (rows > payload_size || cols > payload_size)
-    throw Error("kle_io: implausible coefficient shape in artifact");
+    throw Error("kle_io: implausible coefficient shape in artifact",
+                ErrorCode::kCorruptArtifact);
   linalg::Matrix coefficients(static_cast<std::size_t>(rows),
                               static_cast<std::size_t>(cols));
   for (std::size_t i = 0; i < coefficients.rows(); ++i)
@@ -282,27 +294,39 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
 
   if (r.remaining() != 0)
     throw Error("kle_io: trailing bytes after payload (corrupt or "
-                "mis-declared size)");
+                "mis-declared size)",
+                ErrorCode::kCorruptArtifact);
 
   return StoredKleResult(std::move(config), std::move(mesh),
                          std::move(eigenvalues), std::move(coefficients));
 }
 
 void write_kle_file(const std::string& path, const StoredKleResult& stored) {
+  if (robust::fault_injected(robust::FaultSite::kStoreWrite))
+    throw Error("kle_io: write failure injected at fault site 'store_write' "
+                "for '" + path + "'",
+                ErrorCode::kIoTransient);
   const std::vector<std::uint8_t> bytes = encode_kle(stored);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr)
-    throw Error("kle_io: cannot open '" + path + "' for writing");
+    throw Error("kle_io: cannot open '" + path + "' for writing",
+                ErrorCode::kIoTransient);
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool flushed = std::fclose(f) == 0;
   if (written != bytes.size() || !flushed)
-    throw Error("kle_io: short write to '" + path + "'");
+    throw Error("kle_io: short write to '" + path + "'",
+                ErrorCode::kIoTransient);
 }
 
 StoredKleResult read_kle_file(const std::string& path) {
+  if (robust::fault_injected(robust::FaultSite::kStoreRead))
+    throw Error("kle_io: read failure injected at fault site 'store_read' "
+                "for '" + path + "'",
+                ErrorCode::kIoTransient);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr)
-    throw Error("kle_io: cannot open '" + path + "' for reading");
+    throw Error("kle_io: cannot open '" + path + "' for reading",
+                ErrorCode::kIoTransient);
   std::vector<std::uint8_t> bytes;
   std::array<std::uint8_t, 1 << 16> chunk;
   std::size_t got = 0;
@@ -310,11 +334,15 @@ StoredKleResult read_kle_file(const std::string& path) {
     bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  if (read_error) throw Error("kle_io: read error on '" + path + "'");
+  if (read_error)
+    throw Error("kle_io: read error on '" + path + "'",
+                ErrorCode::kIoTransient);
   try {
     return decode_kle(bytes);
   } catch (const Error& e) {
-    throw Error(std::string(e.what()) + " [file: " + path + "]");
+    // Preserve the code — the artifact store dispatches on it (transient ->
+    // retry, corrupt -> quarantine).
+    throw e.with_context("kle_io: while reading '" + path + "'");
   }
 }
 

@@ -84,11 +84,15 @@ std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored);
 StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes);
 
 /// Writes `stored` to `path` (not atomic — the artifact store wraps this in
-/// a tmp-file + rename dance; direct callers get plain semantics).
+/// a tmp-file + rename dance; direct callers get plain semantics). I/O
+/// failures throw sckl::Error with code kIoTransient (the store retries
+/// these); the deterministic fault site `store_write` injects here.
 void write_kle_file(const std::string& path, const StoredKleResult& stored);
 
-/// Reads and validates an artifact file; throws sckl::Error on I/O failure
-/// or any of the decode_kle rejection cases.
+/// Reads and validates an artifact file. I/O failures throw with code
+/// kIoTransient (retryable); decode/validation failures with code
+/// kCorruptArtifact (the store quarantines these). The deterministic fault
+/// site `store_read` injects a transient failure here.
 StoredKleResult read_kle_file(const std::string& path);
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte range.

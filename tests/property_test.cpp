@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "circuit/bench_parser.h"
 #include "circuit/synthetic.h"
+#include "common/error.h"
 #include "common/rng.h"
+#include "common/statistics.h"
 #include "core/kle_solver.h"
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
@@ -115,6 +118,50 @@ TEST_P(KleInvariantTest, ReconstructionVarianceNeverExceedsUnity) {
     const double variance = kle.reconstruct_kernel(x, x, 30);
     EXPECT_LE(variance, 1.0 + 0.05) << GetParam().kernel_name;
     EXPECT_GE(variance, 0.0);
+  }
+}
+
+TEST_P(KleInvariantTest, SolveOutputIsFiniteEverywhere) {
+  // Finite-or-throw: whatever solve_kle returns must be entirely finite —
+  // NaN/Inf inputs are rejected with a diagnostic sckl::Error before they
+  // can reach the spectrum (see NonFiniteGalerkinMatrixIsRejected in
+  // robust_test.cpp for the throwing half of the contract).
+  const auto kernel = GetParam().make();
+  const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
+      geometry::BoundingBox::unit_die(), 250, mesh::StructuredPattern::kCross);
+  core::KleOptions options;
+  options.num_eigenpairs = 20;
+  const core::KleResult kle = core::solve_kle(mesh, *kernel, options);
+  for (std::size_t j = 0; j < kle.num_eigenpairs(); ++j) {
+    EXPECT_TRUE(std::isfinite(kle.eigenvalue(j))) << GetParam().kernel_name;
+    for (std::size_t i = 0; i < kle.basis_size(); ++i)
+      EXPECT_TRUE(std::isfinite(kle.coefficient(i, j)))
+          << GetParam().kernel_name << " d(" << i << "," << j << ")";
+  }
+}
+
+TEST_P(KleInvariantTest, KernelIsFiniteOnTheDieAndRejectsNonFiniteInput) {
+  const auto kernel = GetParam().make();
+  Rng rng(19);
+  for (int probe = 0; probe < 200; ++probe) {
+    const geometry::Point2 x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const geometry::Point2 y{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    const double k = (*kernel)(x, y);
+    EXPECT_TRUE(std::isfinite(k)) << GetParam().kernel_name;
+    EXPECT_LE(std::abs(k), 1.0 + 1e-9) << GetParam().kernel_name;
+  }
+  // A poisoned coordinate must fail loudly with the kNonFinite code, never
+  // return NaN (the separable kernel guards inside its own evaluation).
+  const geometry::Point2 good{0.25, -0.5};
+  for (const double bad_value : {std::numeric_limits<double>::quiet_NaN(),
+                                 std::numeric_limits<double>::infinity()}) {
+    const geometry::Point2 bad{bad_value, 0.0};
+    try {
+      const double k = (*kernel)(good, bad);
+      EXPECT_TRUE(false) << GetParam().kernel_name << " returned " << k;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kNonFinite) << GetParam().kernel_name;
+    }
   }
 }
 
@@ -309,6 +356,53 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5.0, 0.5, 0.1),
                       std::make_tuple(0.0, 0.0, 0.5),
                       std::make_tuple(2.0, 0.9, 0.0)));
+
+// -------------------------------------------------------- statistics ----
+
+class StatisticsFiniteTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatisticsFiniteTest, SummariesAreFiniteOrThrowOnPoisonedInput) {
+  // Finite-or-throw for the batch statistics helpers: clean input always
+  // yields finite summaries; any NaN/Inf entry raises kNonFinite instead of
+  // silently poisoning the result.
+  Rng rng(GetParam());
+  std::vector<double> values(64);
+  for (double& v : values) v = rng.uniform(-100.0, 100.0);
+  const double mean = mean_of(values);
+  const double stddev = stddev_of(values);
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_TRUE(std::isfinite(stddev));
+  EXPECT_GE(stddev, 0.0);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    const double value = quantile(values, q);
+    EXPECT_TRUE(std::isfinite(value));
+    EXPECT_GE(value, -100.0);
+    EXPECT_LE(value, 100.0);
+  }
+
+  const std::size_t poisoned_index = rng.uniform_index(values.size());
+  for (const double poison : {std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity()}) {
+    std::vector<double> poisoned = values;
+    poisoned[poisoned_index] = poison;
+    for (auto fn : {+[](const std::vector<double>& v) { (void)mean_of(v); },
+                    +[](const std::vector<double>& v) { (void)stddev_of(v); },
+                    +[](const std::vector<double>& v) {
+                      (void)quantile(v, 0.5);
+                    }}) {
+      try {
+        fn(poisoned);
+        ADD_FAILURE() << "expected kNonFinite for poison " << poison;
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kNonFinite);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatisticsFiniteTest,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
 
 // --------------------------------------------------- synthetic suite ----
 
