@@ -13,9 +13,21 @@
 //   kle_store_tool ls      --root=DIR
 //       Lists artifacts with file sizes; quarantined .sckl.bad files are
 //       flagged.
-//   kle_store_tool gc      --root=DIR
-//       Deletes orphaned tmp files, corrupt/mismatched artifacts, and
-//       quarantined .sckl.bad files.
+//   kle_store_tool gc      --root=DIR [--dry-run] [--tmp-age=SECONDS]
+//       Deletes orphaned tmp files, stale lock files, corrupt/mismatched
+//       artifacts, and quarantined .sckl.bad files. --dry-run prints the
+//       deletion plan (path + reason) without touching anything; --tmp-age
+//       keeps tmp files younger than the given age (an in-flight writer on
+//       another host may still own them).
+//   kle_store_tool fsck    --root=DIR [--report-only] [--purge-quarantine]
+//                          [--tmp-age=SECONDS]
+//       Startup-recovery pass: reaps orphaned tmp files and stale locks,
+//       quarantines CRC-invalid or misnamed artifacts to .sckl.bad, and
+//       prints the severity-graded health report. --report-only classifies
+//       without repairing; exit status is non-zero when problems remain.
+//   kle_store_tool lock-status --root=DIR
+//       Shows every lock file in the repository and whether a living
+//       process currently holds its flock.
 //
 // build/inspect accept --validate (run core::check_kle_health on the
 // artifact and print the report) and --strict (additionally exit non-zero
@@ -30,6 +42,8 @@
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
 #include "store/artifact_store.h"
+#include "store/file_lock.h"
+#include "store/recovery.h"
 
 namespace {
 
@@ -149,12 +163,8 @@ int cmd_build(const CliFlags& flags, const std::string& root) {
                 first.seconds / disk_hit.seconds);
   std::printf("\ncache: %s\n", to_string(store.cache_stats()).c_str());
   const store::StoreHealth health = store.health();
-  if (health.read_retries + health.write_retries + health.failed_reads +
-          health.failed_writes + health.quarantined > 0)
-    std::printf("store faults: %zu read retries, %zu write retries, "
-                "%zu failed reads, %zu failed writes, %zu quarantined\n",
-                health.read_retries, health.write_retries, health.failed_reads,
-                health.failed_writes, health.quarantined);
+  if (health.total() > 0)
+    std::printf("store faults: %s\n", to_string(health).c_str());
   print_artifact(*first.artifact);
   validate_artifact(flags, *first.artifact);
   return 0;
@@ -198,10 +208,60 @@ int cmd_ls(const std::string& root) {
   return 0;
 }
 
-int cmd_gc(const std::string& root) {
+int cmd_gc(const CliFlags& flags, const std::string& root) {
   store::KleArtifactStore store(root);
-  const std::size_t removed = store.gc();
-  std::printf("gc: removed %zu file(s) from %s\n", removed, root.c_str());
+  store::GcOptions options;
+  options.dry_run = flags.get_bool("dry-run", false);
+  options.tmp_max_age_seconds = flags.get_double("tmp-age", 0.0);
+  const store::GcReport report = store.gc(options);
+  for (const auto& candidate : report.candidates)
+    std::printf("  %-18s %s\n", (candidate.reason + ":").c_str(),
+                candidate.path.c_str());
+  if (options.dry_run)
+    std::printf("gc --dry-run: would remove %zu file(s) from %s\n",
+                report.candidates.size(), root.c_str());
+  else
+    std::printf("gc: removed %zu file(s) from %s\n", report.removed,
+                root.c_str());
+  return 0;
+}
+
+int cmd_fsck(const CliFlags& flags, const std::string& root) {
+  store::FsckOptions options;
+  options.repair = !flags.get_bool("report-only", false);
+  options.purge_quarantine = flags.get_bool("purge-quarantine", false);
+  options.tmp_max_age_seconds = flags.get_double("tmp-age", 0.0);
+  const store::FsckResult result = store::fsck(root, options);
+  std::printf("%s", result.report.to_string().c_str());
+  std::printf("fsck %s: %zu scanned, %zu healthy, %zu tmp, %zu stale locks, "
+              "%zu corrupt, %zu mismatched, %zu quarantined, %zu unreadable, "
+              "%zu repaired\n",
+              options.repair ? "(repair)" : "(report-only)",
+              result.stats.scanned, result.stats.healthy,
+              result.stats.orphaned_tmp, result.stats.stale_locks,
+              result.stats.corrupt, result.stats.mismatched,
+              result.stats.quarantined, result.stats.unreadable,
+              result.stats.repaired);
+  // Repair mode fixed (or quarantined) everything it safely could; only
+  // unreadable files remain a live problem. Report-only flags any debris.
+  const bool ok =
+      options.repair ? result.stats.unreadable == 0 : result.stats.clean();
+  return ok ? 0 : 1;
+}
+
+int cmd_lock_status(const std::string& root) {
+  std::size_t locks = 0, held = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(std::filesystem::path(root))) {
+    if (!entry.is_regular_file() || !store::is_lock_file(entry.path()))
+      continue;
+    ++locks;
+    const bool live = store::lock_is_held(entry.path());
+    if (live) ++held;
+    std::printf("%-24s %s\n", entry.path().filename().c_str(),
+                live ? "HELD" : "stale (no living holder)");
+  }
+  std::printf("%zu lock file(s), %zu currently held\n", locks, held);
   return 0;
 }
 
@@ -212,8 +272,8 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: kle_store_tool <build|inspect|ls|gc> --root=DIR "
-                 "[options]\n");
+                 "usage: kle_store_tool <build|inspect|ls|gc|fsck|lock-status> "
+                 "--root=DIR [options]\n");
     return 2;
   }
   const std::string command = flags.positional().front();
@@ -222,7 +282,9 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(flags, root);
     if (command == "inspect") return cmd_inspect(flags, root);
     if (command == "ls") return cmd_ls(root);
-    if (command == "gc") return cmd_gc(root);
+    if (command == "gc") return cmd_gc(flags, root);
+    if (command == "fsck") return cmd_fsck(flags, root);
+    if (command == "lock-status") return cmd_lock_status(root);
     std::fprintf(stderr, "kle_store_tool: unknown command '%s'\n",
                  command.c_str());
     return 2;

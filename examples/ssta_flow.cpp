@@ -15,7 +15,8 @@
 // gates, health findings) to a non-zero exit instead of recovering silently.
 //
 // Usage: ./examples/ssta_flow [--circuit=c880] [--samples=500] [--r=25]
-//                             [--store=/path/to/repo] [--validate] [--strict]
+//                             [--store=/path/to/repo] [--fsck]
+//                             [--validate] [--strict]
 #include <cstdio>
 #include <memory>
 
@@ -81,7 +82,11 @@ int run(const sckl::CliFlags& flags) {
   core::KleSolveInfo solve_info;
   if (!store_root.empty()) {
     // Warm path: memory -> <store>/<hash>.sckl -> solve-and-persist.
-    store::KleArtifactStore store(store_root);
+    // --fsck first runs the crash-recovery pass over the repository, reaping
+    // debris a previously killed writer may have left.
+    store::StoreOptions store_options;
+    store_options.fsck_on_open = flags.get_bool("fsck", false);
+    store::KleArtifactStore store(store_root, store_options);
     store::KleArtifactConfig config;
     store::describe_kernel(kernel, config.kernel_id, config.kernel_params);
     config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
@@ -95,14 +100,8 @@ int run(const sckl::CliFlags& flags) {
                 store.path_for(config).c_str(), to_string(fetch.source),
                 fetch.seconds, to_string(store.cache_stats()).c_str());
     const store::StoreHealth store_health = store.health();
-    if (store_health.read_retries + store_health.write_retries +
-            store_health.failed_reads + store_health.failed_writes +
-            store_health.quarantined > 0)
-      std::printf("store faults: %zu read retries, %zu write retries, "
-                  "%zu failed reads, %zu failed writes, %zu quarantined\n",
-                  store_health.read_retries, store_health.write_retries,
-                  store_health.failed_reads, store_health.failed_writes,
-                  store_health.quarantined);
+    if (store_health.total() > 0)
+      std::printf("store faults: %s\n", to_string(store_health).c_str());
     if (validate) health = core::check_kle_health(artifact->kle());
   } else {
     Stopwatch solve;

@@ -13,6 +13,10 @@ constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
     "store_write",
     "lanczos_convergence",
     "cholesky_pivot",
+    "store_write_pre_fsync",
+    "store_write_pre_rename",
+    "store_write_post_rename",
+    "store_gc_mid_sweep",
 };
 
 }  // namespace
@@ -96,6 +100,10 @@ bool FaultInjector::should_inject(FaultSite site) {
     armed_.store(any, std::memory_order_relaxed);
   }
   return true;
+}
+
+void crash_point(FaultSite site) {
+  if (fault_injected(site)) std::_Exit(kCrashExitCode);
 }
 
 FaultSiteStats FaultInjector::stats(FaultSite site) const {

@@ -32,13 +32,28 @@ namespace sckl::robust {
 
 /// A compiled-in point in the pipeline where a deterministic fault can be
 /// injected. Keep to_string()/fault_site_from_name() in sync when extending.
+///
+/// The store_write_pre_fsync .. store_gc_mid_sweep entries are *crash
+/// points*, not error injections: when armed (via crash_point() below) they
+/// terminate the process with _Exit, simulating a `kill -9` at the worst
+/// possible instants of the artifact store's publish/sweep protocols. The
+/// kill-loop harness (tests/kill_loop_harness.cpp) arms them in child
+/// processes and asserts the crash-consistency invariant after each kill.
 enum class FaultSite : int {
-  kStoreRead = 0,        // artifact read fails with a transient I/O error
-  kStoreWrite,           // artifact write/publish fails transiently
-  kLanczosConvergence,   // Lanczos reports non-convergence (kNoConvergence)
-  kCholeskyPivot,        // Cholesky reports a non-positive pivot
+  kStoreRead = 0,          // artifact read fails with a transient I/O error
+  kStoreWrite,             // artifact write/publish fails transiently
+  kLanczosConvergence,     // Lanczos reports non-convergence (kNoConvergence)
+  kCholeskyPivot,          // Cholesky reports a non-positive pivot
+  kStoreWritePreFsync,     // crash: tmp bytes written, not yet fsync'd
+  kStoreWritePreRename,    // crash: tmp durable, rename not yet issued
+  kStoreWritePostRename,   // crash: renamed, directory not yet fsync'd
+  kStoreGcMidSweep,        // crash: gc/fsck halfway through its delete list
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 8;
+
+/// Exit status of a process killed by an armed crash point; the kill-loop
+/// harness asserts it to distinguish an intended crash from a real failure.
+inline constexpr int kCrashExitCode = 86;
 
 /// Stable lowercase site name ("store_read", "lanczos_convergence", ...).
 const char* to_string(FaultSite site);
@@ -100,6 +115,13 @@ inline bool fault_injected(FaultSite site) {
   if (!injector.armed()) return false;
   return injector.should_inject(site);
 }
+
+/// Crash-injection check for the kill-9 simulation sites: terminates the
+/// process immediately (no atexit handlers, no stream flush — exactly like a
+/// kill) when `site` is armed. Disarmed cost is the same single relaxed
+/// atomic load as fault_injected(). Never returns true-and-continues: a
+/// crash point either kills the process or does nothing.
+void crash_point(FaultSite site);
 
 /// RAII fault plan for tests: arms on construction, disarms (and clears
 /// telemetry) on destruction so plans never leak across test cases.

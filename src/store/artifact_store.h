@@ -9,10 +9,22 @@
 //
 // Keys are 64-bit content hashes of the artifact configuration (key_hash.h),
 // so any parameter change produces a new file and stale artifacts can never
-// be served for a different configuration. Disk writes go through a unique
-// tmp file followed by std::filesystem::rename, which is atomic on POSIX —
-// concurrent processes may race to solve the same key, but readers only ever
-// see complete, checksummed files.
+// be served for a different configuration.
+//
+// Crash consistency & multi-process safety. One root may be shared by many
+// processes, any of which can die at any instant. The publish protocol is
+//
+//   write <key>.sckl.<pid>.<seq>.tmp  ->  fsync(tmp)  ->  rename to
+//   <key>.sckl  ->  fsync(root directory)
+//
+// so a final name only ever maps to a complete, fsync-durable, checksummed
+// file; a crash at any point leaves at worst an orphaned tmp file that
+// fsck()/gc() reap. Coordination uses advisory flock (file_lock.h), which
+// the kernel releases when a holder dies: every read/write operation holds
+// <root>/store.lock shared, gc()/fsck() hold it exclusive, and a cold-key
+// solve holds <key>.lock exclusive — N processes (or threads) racing on the
+// same cold key perform exactly one eigensolve; the rest wake up, re-check
+// the disk, and load the winner's artifact (StoreHealth::deduped_solves).
 //
 // Failure handling (reaction keyed on sckl::ErrorCode):
 //   kIoTransient    read/write retried with bounded backoff (StoreOptions::
@@ -22,8 +34,10 @@
 //                   the evidence survives for post-mortem instead of being
 //                   silently rewritten — and the artifact is re-solved.
 // Every reaction is counted in StoreHealth (health()). gc() deletes
-// orphaned tmp files, invalid/misnamed artifacts, and quarantined files;
-// ls() lists quarantined entries alongside healthy ones.
+// orphaned tmp files, stale lock files, invalid/misnamed artifacts, and
+// quarantined files (dry-run supported); ls() lists quarantined entries
+// alongside healthy ones; fsck() (recovery.h) is the conservative
+// startup-repair variant that quarantines instead of deleting.
 #pragma once
 
 #include <atomic>
@@ -35,6 +49,7 @@
 #include "robust/retry.h"
 #include "store/kle_io.h"
 #include "store/lru_cache.h"
+#include "store/recovery.h"
 
 namespace sckl::store {
 
@@ -42,18 +57,30 @@ namespace sckl::store {
 struct StoreOptions {
   std::size_t cache_bytes = std::size_t{256} << 20;  // in-memory LRU budget
   bool write_through = true;  // persist freshly solved artifacts to disk
+  bool fsck_on_open = false;  // run a repairing fsck() pass in the ctor
   robust::RetryPolicy retry;  // bounded backoff for transient disk I/O
 };
 
 /// Resilience telemetry: how often the store had to react to a fault.
-/// All-zero on a healthy filesystem.
+/// All-zero on a healthy filesystem with uncontended keys.
 struct StoreHealth {
   std::size_t read_retries = 0;      // transient read failures retried
   std::size_t write_retries = 0;     // transient write failures retried
   std::size_t failed_reads = 0;      // reads abandoned after retries -> solve
   std::size_t failed_writes = 0;     // writes abandoned -> memory-only result
   std::size_t quarantined = 0;       // corrupt artifacts moved to .sckl.bad
+  std::size_t deduped_solves = 0;    // stampedes resolved by the per-key lock:
+                                     // waited, re-checked, loaded instead of
+                                     // re-solving
+
+  std::size_t total() const {
+    return read_retries + write_retries + failed_reads + failed_writes +
+           quarantined + deduped_solves;
+  }
 };
+
+/// One-line human-readable rendering of the counters.
+std::string to_string(const StoreHealth& health);
 
 /// Where a get_or_compute() answer came from.
 enum class FetchSource {
@@ -78,16 +105,37 @@ struct StoreEntry {
   bool quarantined = false;    // true for <key>.sckl.bad evidence files
 };
 
+/// Tuning of one gc() sweep.
+struct GcOptions {
+  bool dry_run = false;            // plan and report, delete nothing
+  double tmp_max_age_seconds = 0;  // orphaned tmp younger than this is kept
+};
+
+/// One file gc() deleted or (dry-run) would delete, with the reason.
+struct GcCandidate {
+  std::filesystem::path path;
+  std::string reason;  // "orphaned tmp", "stale lock", "corrupt", ...
+};
+
+/// Outcome of one gc() sweep.
+struct GcReport {
+  std::vector<GcCandidate> candidates;  // everything eligible for deletion
+  std::size_t removed = 0;              // actually deleted (0 under dry_run)
+};
+
 /// Content-hash keyed repository with an in-memory LRU front.
 class KleArtifactStore {
  public:
-  /// Opens (creating if needed) the repository rooted at `root`.
+  /// Opens (creating if needed) the repository rooted at `root`. With
+  /// StoreOptions::fsck_on_open, runs a repairing recovery pass first.
   explicit KleArtifactStore(std::filesystem::path root,
                             const StoreOptions& options = {});
 
   /// Returns the artifact for `config`, consulting memory, then disk, then
   /// solving with `kernel` (and persisting the result). `kernel` must be the
   /// kernel `config` describes — describe_kernel() builds matching ids.
+  /// Cold keys are serialized on an advisory per-key lock so concurrent
+  /// callers — threads or processes — run the eigensolve exactly once.
   FetchResult get_or_compute(const KleArtifactConfig& config,
                              const kernels::CovarianceKernel& kernel);
 
@@ -98,14 +146,25 @@ class KleArtifactStore {
   /// exists yet).
   std::filesystem::path path_for(const KleArtifactConfig& config) const;
 
+  /// Advisory lock file guarding the solve of `config`'s key.
+  std::filesystem::path lock_path_for(const KleArtifactConfig& config) const;
+
   /// All *.sckl entries currently in the repository (validity not checked),
   /// plus quarantined *.sckl.bad files flagged as such.
   std::vector<StoreEntry> ls() const;
 
-  /// Removes orphaned tmp files, artifacts that fail validation or whose
-  /// content hash disagrees with their file name, and quarantined .sckl.bad
-  /// files; returns files deleted.
-  std::size_t gc();
+  /// Sweeps the repository under the exclusive store lock: orphaned tmp
+  /// files (older than GcOptions::tmp_max_age_seconds), stale lock files,
+  /// artifacts that fail validation or whose content hash disagrees with
+  /// their file name, and quarantined .sckl.bad files. Dry-run reports the
+  /// plan without deleting.
+  GcReport gc(const GcOptions& options);
+
+  /// Convenience sweep with default options; returns files deleted.
+  std::size_t gc() { return gc(GcOptions{}).removed; }
+
+  /// Runs a recovery pass (recovery.h) over this root.
+  FsckResult fsck(const FsckOptions& options = {}) const;
 
   /// In-memory cache counters.
   CacheStats cache_stats() const { return cache_.stats(); }
@@ -122,6 +181,15 @@ class KleArtifactStore {
   /// Moves a broken artifact aside to <name>.bad; counts it.
   void quarantine(const std::filesystem::path& path);
 
+  /// Durable atomic publish: unique tmp + fsync + rename + directory fsync.
+  /// Throws kIoTransient on failure (tmp is cleaned up best-effort).
+  void publish(const std::filesystem::path& path, const StoredKleResult& solved);
+
+  /// Attempts a validated disk load of `key` at `path`; returns nullptr on
+  /// miss and on failures (which are counted / quarantined as usual).
+  std::shared_ptr<const StoredKleResult> load_from_disk(
+      std::uint64_t key, const std::filesystem::path& path);
+
   std::filesystem::path root_;
   StoreOptions options_;
   LruCache<std::uint64_t, StoredKleResult> cache_;
@@ -130,6 +198,7 @@ class KleArtifactStore {
   std::atomic<std::size_t> failed_reads_{0};
   std::atomic<std::size_t> failed_writes_{0};
   std::atomic<std::size_t> quarantined_{0};
+  std::atomic<std::size_t> deduped_solves_{0};
 };
 
 }  // namespace sckl::store

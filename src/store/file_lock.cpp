@@ -1,0 +1,146 @@
+#include "store/file_lock.h"
+
+#include "common/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCKL_HAVE_FLOCK 1
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#else
+#define SCKL_HAVE_FLOCK 0
+#endif
+
+namespace sckl::store {
+
+namespace {
+
+#if SCKL_HAVE_FLOCK
+
+int open_lock_file(const std::filesystem::path& path) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0)
+    throw Error("FileLock: cannot open lock file '" + path.string() + "'",
+                ErrorCode::kIoTransient);
+  return fd;
+}
+
+/// flock with EINTR retry; `nonblock` adds LOCK_NB. Returns false only for
+/// EWOULDBLOCK; other failures throw.
+bool flock_retry(int fd, int operation, bool nonblock,
+                 const std::filesystem::path& path) {
+  if (nonblock) operation |= LOCK_NB;
+  int rc = -1;
+  do {
+    rc = ::flock(fd, operation);
+  } while (rc != 0 && errno == EINTR);
+  if (rc == 0) return true;
+  if (nonblock && errno == EWOULDBLOCK) return false;
+  throw Error("FileLock: flock failed on '" + path.string() + "'",
+              ErrorCode::kIoTransient);
+}
+
+#endif  // SCKL_HAVE_FLOCK
+
+}  // namespace
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_), held_(other.held_) {
+  other.fd_ = -1;
+  other.held_ = false;
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    held_ = other.held_;
+    other.fd_ = -1;
+    other.held_ = false;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() { release(); }
+
+void FileLock::release() {
+#if SCKL_HAVE_FLOCK
+  if (fd_ >= 0) {
+    // Closing the descriptor releases the flock; no explicit LOCK_UN needed.
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  held_ = false;
+}
+
+FileLock FileLock::acquire(const std::filesystem::path& path, Mode mode) {
+#if SCKL_HAVE_FLOCK
+  const int fd = open_lock_file(path);
+  try {
+    flock_retry(fd, mode == Mode::kShared ? LOCK_SH : LOCK_EX,
+                /*nonblock=*/false, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return FileLock(path, fd, true);
+#else
+  (void)mode;
+  return FileLock(path, -1, true);  // no-op degradation, see header
+#endif
+}
+
+std::optional<FileLock> FileLock::try_acquire(
+    const std::filesystem::path& path, Mode mode) {
+#if SCKL_HAVE_FLOCK
+  const int fd = open_lock_file(path);
+  bool got = false;
+  try {
+    got = flock_retry(fd, mode == Mode::kShared ? LOCK_SH : LOCK_EX,
+                      /*nonblock=*/true, path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (!got) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  return FileLock(path, fd, true);
+#else
+  (void)mode;
+  return FileLock(path, -1, true);
+#endif
+}
+
+bool lock_is_held(const std::filesystem::path& path) {
+#if SCKL_HAVE_FLOCK
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return false;
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;  // vanished or unreadable: nobody we can observe
+  bool held = false;
+  try {
+    held = !flock_retry(fd, LOCK_EX, /*nonblock=*/true, path);
+  } catch (...) {
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return held;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+}  // namespace sckl::store

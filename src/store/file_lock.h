@@ -1,0 +1,84 @@
+// Advisory flock(2)-based file locking for the artifact repository.
+//
+// A store root is shared by every process that points at it (the ROADMAP
+// north-star is many concurrent SSTA jobs over one repository), so the store
+// needs a cross-process mutual-exclusion primitive that (a) dies with its
+// holder — a `kill -9`'d writer must never leave the repository wedged — and
+// (b) costs nothing on the fast path. BSD flock gives exactly that: the lock
+// is attached to the open file description, so the kernel releases it the
+// instant the process exits, crashed or not. A *stale lock file* left behind
+// is therefore just an empty unheld file, never a stuck lock; fsck/gc reap
+// them by probing.
+//
+// Two lock files structure the repository (see artifact_store.cpp):
+//
+//   <root>/store.lock   shared by every reader/writer operation, exclusive
+//                       for gc()/fsck() — so sweeps never race in-flight
+//                       publications or key-lock acquisitions.
+//   <root>/<key>.lock   exclusive around the solve+publish of one artifact —
+//                       N processes (or threads; each acquisition opens its
+//                       own descriptor) requesting the same cold key serialize
+//                       here, re-check the disk, and N-1 of them load the
+//                       winner's file instead of re-running the eigensolve.
+//
+// Lock ordering: store.lock first, then at most one <key>.lock — a cycle is
+// impossible. On platforms without flock the lock degrades to a no-op
+// (held() still reports true) so single-process use keeps working.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+namespace sckl::store {
+
+/// Move-only RAII holder of one advisory lock. Default-constructed (or
+/// moved-from) instances hold nothing.
+class FileLock {
+ public:
+  enum class Mode {
+    kShared,     // many concurrent holders (readers, writers of other keys)
+    kExclusive,  // sole holder (per-key solve, gc, fsck)
+  };
+
+  FileLock() = default;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock();
+
+  /// Blocks until the lock on `path` is acquired, creating the file if
+  /// needed. Throws sckl::Error (kIoTransient) when the file cannot be
+  /// opened. EINTR is retried.
+  static FileLock acquire(const std::filesystem::path& path, Mode mode);
+
+  /// Non-blocking acquire; nullopt when another holder has a conflicting
+  /// lock right now.
+  static std::optional<FileLock> try_acquire(const std::filesystem::path& path,
+                                             Mode mode);
+
+  /// True while this object holds the lock (always true on platforms where
+  /// flock degrades to a no-op).
+  bool held() const { return held_; }
+
+  /// Drops the lock early (idempotent; the destructor calls it too).
+  void release();
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  FileLock(std::filesystem::path path, int fd, bool held)
+      : path_(std::move(path)), fd_(fd), held_(held) {}
+
+  std::filesystem::path path_;
+  int fd_ = -1;
+  bool held_ = false;
+};
+
+/// Probes whether any process currently holds `path` (shared or exclusive):
+/// tries a non-blocking exclusive lock and releases it immediately on
+/// success. A missing file counts as unheld. Used by `kle_store_tool
+/// lock-status` and by fsck/gc to tell a stale lock file from a live one.
+bool lock_is_held(const std::filesystem::path& path);
+
+}  // namespace sckl::store

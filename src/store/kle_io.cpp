@@ -5,6 +5,11 @@
 #include <cstdio>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/error.h"
 #include "robust/fault_injection.h"
 
@@ -312,10 +317,28 @@ void write_kle_file(const std::string& path, const StoredKleResult& stored) {
     throw Error("kle_io: cannot open '" + path + "' for writing",
                 ErrorCode::kIoTransient);
   const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (written != bytes.size() || !flushed)
+  bool durable = std::fflush(f) == 0;
+  // A crash here leaves the bytes in the page cache only; after a real power
+  // loss the tmp file may be empty, torn, or absent — never the final name.
+  robust::crash_point(robust::FaultSite::kStoreWritePreFsync);
+#if defined(__unix__) || defined(__APPLE__)
+  durable = durable && ::fsync(::fileno(f)) == 0;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !durable || !closed)
     throw Error("kle_io: short write to '" + path + "'",
                 ErrorCode::kIoTransient);
+}
+
+void fsync_directory(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)dir;
+#endif
 }
 
 StoredKleResult read_kle_file(const std::string& path) {

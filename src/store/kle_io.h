@@ -83,11 +83,21 @@ std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored);
 /// unsupported version, or checksum mismatch.
 StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes);
 
-/// Writes `stored` to `path` (not atomic — the artifact store wraps this in
-/// a tmp-file + rename dance; direct callers get plain semantics). I/O
-/// failures throw sckl::Error with code kIoTransient (the store retries
-/// these); the deterministic fault site `store_write` injects here.
+/// Writes `stored` to `path` durably: the bytes are flushed *and fsync'd*
+/// before the call returns, so a subsequent rename of `path` publishes a
+/// file whose content survives power loss. Not atomic by itself — the
+/// artifact store wraps this in a tmp-file + rename + directory-fsync dance;
+/// direct callers get plain (but durable) semantics. I/O failures throw
+/// sckl::Error with code kIoTransient (the store retries these); the
+/// deterministic fault site `store_write` injects here, and the crash point
+/// `store_write_pre_fsync` kills the process between write and fsync.
 void write_kle_file(const std::string& path, const StoredKleResult& stored);
+
+/// fsyncs the directory `dir` so a just-renamed entry in it is durable (on
+/// POSIX, rename durability requires syncing the containing directory).
+/// Failures are swallowed: by this point the artifact is already published
+/// and readable, only its crash-durability is weakened.
+void fsync_directory(const std::string& dir);
 
 /// Reads and validates an artifact file. I/O failures throw with code
 /// kIoTransient (retryable); decode/validation failures with code

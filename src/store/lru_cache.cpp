@@ -5,13 +5,14 @@
 namespace sckl::store {
 
 std::string to_string(const CacheStats& stats) {
-  char buffer[160];
+  char buffer[200];
   std::snprintf(buffer, sizeof(buffer),
-                "hits=%llu misses=%llu evictions=%llu entries=%zu "
-                "bytes=%zu/%zu hit_rate=%.1f%%",
+                "hits=%llu misses=%llu evictions=%llu oversized=%llu "
+                "entries=%zu bytes=%zu/%zu hit_rate=%.1f%%",
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses),
                 static_cast<unsigned long long>(stats.evictions),
+                static_cast<unsigned long long>(stats.oversized_rejects),
                 stats.entries, stats.bytes, stats.byte_budget,
                 100.0 * stats.hit_rate());
   return buffer;

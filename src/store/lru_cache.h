@@ -26,6 +26,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t insertions = 0;
+  std::uint64_t oversized_rejects = 0;  // puts larger than the whole budget
   std::size_t entries = 0;      // current resident entry count
   std::size_t bytes = 0;        // current resident byte charge
   std::size_t byte_budget = 0;  // configured capacity
@@ -66,7 +67,10 @@ class LruCache {
 
   /// Inserts (or replaces) `value` with the given byte charge, then evicts
   /// least-recently-used entries until the budget holds. An entry larger
-  /// than the whole budget is not cached at all.
+  /// than the whole budget passes through uncached — flushing every resident
+  /// entry to make room for something that still wouldn't fit would only
+  /// trade one guaranteed miss for many; the rejection is counted in
+  /// CacheStats::oversized_rejects.
   void put(const Key& key, std::shared_ptr<const Value> value,
            std::size_t bytes) {
     require(value != nullptr, "LruCache::put: value must not be null");
@@ -77,7 +81,10 @@ class LruCache {
       order_.erase(it->second);
       index_.erase(it);
     }
-    if (bytes > byte_budget_) return;  // would evict everything else anyway
+    if (bytes > byte_budget_) {
+      ++oversized_rejects_;
+      return;
+    }
     order_.push_front(Entry{key, std::move(value), bytes});
     index_[key] = order_.begin();
     bytes_ += bytes;
@@ -106,6 +113,7 @@ class LruCache {
     s.misses = misses_;
     s.evictions = evictions_;
     s.insertions = insertions_;
+    s.oversized_rejects = oversized_rejects_;
     s.entries = order_.size();
     s.bytes = bytes_;
     s.byte_budget = byte_budget_;
@@ -128,6 +136,7 @@ class LruCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t insertions_ = 0;
+  std::uint64_t oversized_rejects_ = 0;
 };
 
 }  // namespace sckl::store

@@ -1,0 +1,103 @@
+// Startup / on-demand recovery pass ("fsck") for an artifact repository.
+//
+// A store root shared by many processes accumulates debris whenever one of
+// them dies mid-operation: orphaned `<key>.sckl.<pid>.<seq>.tmp` files from
+// interrupted publications, empty `<key>.lock` files whose flock died with
+// its holder, CRC-invalid artifacts from torn writes on non-atomic
+// filesystems, and `.sckl.bad` quarantine evidence awaiting post-mortem.
+// None of this debris is ever *served* — readers only trust complete,
+// checksummed files under final names — but it wastes disk and hides real
+// problems, so fsck() classifies every file in the root and (in repair mode)
+// fixes what it safely can:
+//
+//   orphaned tmp          reaped once older than FsckOptions::tmp_max_age
+//   stale lock file       unlinked when no process holds its flock
+//   CRC-invalid artifact  quarantined to <name>.bad (evidence preserved)
+//   hash-mismatched file  quarantined (content disagrees with its key name)
+//   unreadable (EIO)      reported, never touched — a transient error proves
+//                         nothing about the bytes
+//   quarantine evidence   reported; deleted only with purge_quarantine
+//
+// fsck holds the repository's exclusive store lock for the whole pass, so it
+// never races an in-flight publication (writers hold the shared lock); lock
+// liveness is probed through flock itself, which dies with its holder, so a
+// "stale" verdict is authoritative. Every decision lands in a severity-
+// graded robust::HealthReport whose findings name the sckl::ErrorCode that
+// motivated them, plus hard counters in FsckStats for tests and tools.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+
+#include "robust/health.h"
+
+namespace sckl::store {
+
+/// Tuning of one fsck() pass.
+struct FsckOptions {
+  bool repair = true;               // false = classify and report only
+  double tmp_max_age_seconds = 0;   // orphaned tmp younger than this is kept
+  bool purge_quarantine = false;    // also delete .sckl.bad evidence files
+};
+
+/// Hard counters of one fsck() pass. With repair on, every counted problem
+/// except `unreadable` (and `quarantined` without purge_quarantine) has been
+/// fixed by the time fsck returns.
+struct FsckStats {
+  std::size_t scanned = 0;       // regular files examined
+  std::size_t healthy = 0;       // artifacts that validated under their name
+  std::size_t orphaned_tmp = 0;  // interrupted-publication leftovers
+  std::size_t stale_locks = 0;   // lock files with no living holder
+  std::size_t live_locks = 0;    // lock files currently flock'd (left alone)
+  std::size_t corrupt = 0;       // CRC/format-invalid artifacts
+  std::size_t mismatched = 0;    // valid content under the wrong key name
+  std::size_t quarantined = 0;   // .sckl.bad evidence files present
+  std::size_t unreadable = 0;    // transient I/O errors; never touched
+  std::size_t repaired = 0;      // filesystem actions actually taken
+
+  /// True when the root contained nothing but healthy artifacts.
+  bool clean() const {
+    return orphaned_tmp + stale_locks + corrupt + mismatched + quarantined +
+               unreadable ==
+           0;
+  }
+};
+
+/// Counters plus the per-file findings that explain them.
+struct FsckResult {
+  FsckStats stats;
+  robust::HealthReport report;
+};
+
+/// Scans (and in repair mode fixes) the repository rooted at `root`.
+/// Blocks until the exclusive store lock is available. Throws sckl::Error
+/// only when the root itself is unusable; per-file problems are findings,
+/// not exceptions.
+FsckResult fsck(const std::filesystem::path& root,
+                const FsckOptions& options = {});
+
+// --- repository file taxonomy (shared by fsck, gc, and ls) -----------------
+
+/// Final artifact name: `<16 hex>.sckl`.
+bool is_artifact_file(const std::filesystem::path& path);
+
+/// Quarantine evidence: `<anything>.sckl.bad`.
+bool is_quarantine_file(const std::filesystem::path& path);
+
+/// In-flight publication leftover: a name containing `.sckl.` with a `.tmp`
+/// component after it (matches both the current `<key>.sckl.<pid>.<seq>.tmp`
+/// scheme and historical `<key>.sckl.tmpN` names).
+bool is_tmp_file(const std::filesystem::path& path);
+
+/// Advisory lock file: `store.lock` or `<key>.lock`.
+bool is_lock_file(const std::filesystem::path& path);
+
+/// Seconds since `path` was last written; 0 when the timestamp cannot be
+/// read (an unstat-able tmp file is treated as old enough to reap under the
+/// default max age).
+double file_age_seconds(const std::filesystem::path& path);
+
+/// Name of the repository-wide lock file inside a store root.
+inline constexpr const char* kStoreLockName = "store.lock";
+
+}  // namespace sckl::store

@@ -1,0 +1,324 @@
+// Subprocess crash-injection harness for the artifact store.
+//
+// `drive` mode is the kill-loop: for every store crash point
+// (store_write_pre_fsync, store_write_pre_rename, store_write_post_rename,
+// store_gc_mid_sweep) it repeatedly forks a child that arms the site and
+// runs the real store code until the armed crash_point() _Exit()s it —
+// simulating `kill -9` at the worst instants of the publish/sweep
+// protocols. After every kill the parent asserts the crash-consistency
+// invariant the store promises:
+//
+//   * every previously committed artifact is still readable and CRC-valid;
+//   * no partial file is ever visible under a final <key>.sckl name
+//     (pre-rename crashes leave at most an orphaned tmp, post-rename
+//     crashes leave a complete committed artifact);
+//   * one fsck() pass returns the repository to a provably clean state.
+//
+// `stampede` mode is the multi-process solve-dedup check: N forked children
+// call get_or_compute on the same cold key concurrently; the per-key
+// advisory lock must reduce that to exactly one eigensolve (one child
+// reports source=solved, all others source=disk).
+//
+// Exit status: 0 when every iteration upholds the invariants, 1 otherwise.
+// Registered with ctest at a small iteration count; the CI crash-injection
+// job runs >= 50 iterations per site under ASan/UBSan.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "kernels/kernel_library.h"
+#include "robust/fault_injection.h"
+#include "store/artifact_store.h"
+#include "store/file_lock.h"
+#include "store/kle_io.h"
+#include "store/recovery.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCKL_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SCKL_HAVE_FORK 0
+#endif
+
+namespace {
+
+using namespace sckl;
+namespace fs = std::filesystem;
+
+/// Small-but-real artifact configuration; `variant` perturbs the kernel
+/// parameter so every iteration works on a fresh (cold) content key at
+/// identical solve cost.
+store::KleArtifactConfig variant_config(std::uint64_t variant) {
+  store::KleArtifactConfig config;
+  config.kernel_id = "gaussian";
+  config.kernel_params = {2.0 + 1e-9 * static_cast<double>(variant)};
+  config.mesh.kind = store::MeshSpec::Kind::kStructuredCross;
+  config.mesh.target_triangles = 100;
+  config.num_eigenpairs = 12;
+  return config;
+}
+
+kernels::GaussianKernel variant_kernel(std::uint64_t variant) {
+  return kernels::GaussianKernel(2.0 + 1e-9 * static_cast<double>(variant));
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+#if SCKL_HAVE_FORK
+
+/// Forks and runs `body` in the child; returns the child's exit status.
+/// The child never returns from this function.
+template <typename Body>
+int run_child(Body&& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    int status = 1;
+    try {
+      status = body();
+    } catch (...) {
+      status = 3;
+    }
+    std::_Exit(status);
+  }
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0) {
+  }
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 128 + WTERMSIG(wstatus);
+}
+
+/// Reads every committed path; any failure breaks the durability promise.
+void check_committed_survive(const std::vector<fs::path>& committed,
+                             const std::string& context) {
+  for (const fs::path& path : committed) {
+    try {
+      store::read_kle_file(path.string());
+    } catch (const Error& e) {
+      check(false, context + ": committed artifact lost: " + path.string() +
+                       " (" + e.what() + ")");
+    }
+  }
+}
+
+/// Asserts that every *.sckl file under a final name decodes cleanly — a
+/// reader must never observe a torn artifact, crash or no crash.
+void check_no_torn_final_files(const fs::path& root,
+                               const std::string& context) {
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (!entry.is_regular_file() || !store::is_artifact_file(entry.path()))
+      continue;
+    try {
+      store::read_kle_file(entry.path().string());
+    } catch (const Error& e) {
+      check(false, context + ": torn file under final key name: " +
+                       entry.path().string() + " (" + e.what() + ")");
+    }
+  }
+}
+
+int drive_kill_loop(const fs::path& root, int iterations) {
+  const std::vector<robust::FaultSite> sites = {
+      robust::FaultSite::kStoreWritePreFsync,
+      robust::FaultSite::kStoreWritePreRename,
+      robust::FaultSite::kStoreWritePostRename,
+      robust::FaultSite::kStoreGcMidSweep,
+  };
+
+  fs::remove_all(root);
+  std::vector<fs::path> committed;
+  std::uint64_t variant = 0;
+
+  {
+    // Baseline committed artifacts the kill-loop must never lose.
+    store::KleArtifactStore store(root);
+    for (int i = 0; i < 2; ++i) {
+      const store::KleArtifactConfig config = variant_config(variant);
+      store.get_or_compute(config, variant_kernel(variant));
+      committed.push_back(store.path_for(config));
+      ++variant;
+    }
+  }
+
+  for (const robust::FaultSite site : sites) {
+    const std::string site_name = robust::to_string(site);
+    for (int iter = 0; iter < iterations; ++iter) {
+      const std::string context =
+          site_name + " iteration " + std::to_string(iter);
+      const std::uint64_t v = variant++;
+
+      int status = 0;
+      if (site == robust::FaultSite::kStoreGcMidSweep) {
+        // Plant debris, then kill a child mid-gc-sweep.
+        std::ofstream(root / ("feedfacefeedface.sckl." +
+                              std::to_string(iter) + ".77.tmp"))
+            << "partial";
+        std::ofstream(root / "deadbeefdeadbeef.sckl.bad") << "evidence";
+        status = run_child([&] {
+          robust::FaultInjector::instance().arm(site, 1);
+          store::KleArtifactStore store(root);
+          store.gc();
+          return 0;  // unreachable when the crash fires
+        });
+      } else {
+        // Kill a writer child mid-publish of a cold key.
+        status = run_child([&] {
+          robust::FaultInjector::instance().arm(site, 1);
+          store::KleArtifactStore store(root);
+          store.get_or_compute(variant_config(v), variant_kernel(v));
+          return 0;  // unreachable when the crash fires
+        });
+      }
+      check(status == robust::kCrashExitCode,
+            context + ": child exited " + std::to_string(status) +
+                ", expected the armed crash point to kill it");
+
+      // Invariant 1+2: nothing committed is lost, nothing torn is visible.
+      check_committed_survive(committed, context);
+      check_no_torn_final_files(root, context);
+      const fs::path crashed_path =
+          root / (store::key_string(store::artifact_key(variant_config(v))) +
+                  ".sckl");
+      if (site == robust::FaultSite::kStoreWritePostRename) {
+        // The rename happened before the kill: the artifact IS committed.
+        try {
+          store::read_kle_file(crashed_path.string());
+          committed.push_back(crashed_path);
+        } catch (const Error& e) {
+          check(false, context + ": post-rename artifact unreadable: " +
+                           std::string(e.what()));
+        }
+      } else if (site != robust::FaultSite::kStoreGcMidSweep) {
+        check(!fs::exists(crashed_path),
+              context + ": pre-rename crash left a file under the final key");
+      }
+
+      // Invariant 3: one recovery pass returns the store to a clean state.
+      store::FsckOptions repair;
+      repair.purge_quarantine = true;
+      store::fsck(root, repair);
+      store::FsckOptions audit;
+      audit.repair = false;
+      const store::FsckResult after = store::fsck(root, audit);
+      check(after.stats.clean(),
+            context + ": store not clean after recovery:\n" +
+                after.report.to_string());
+      check(after.stats.healthy == committed.size(),
+            context + ": fsck sees " + std::to_string(after.stats.healthy) +
+                " healthy artifacts, expected " +
+                std::to_string(committed.size()));
+    }
+    std::printf("site %-24s %d crash iterations clean\n", site_name.c_str(),
+                iterations);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int drive_stampede(const fs::path& root, int num_procs) {
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const fs::path outcome_dir = root / "outcomes";
+  fs::create_directories(outcome_dir);
+  const std::uint64_t v = 424242;
+
+  std::vector<pid_t> children;
+  for (int i = 0; i < num_procs; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    if (pid == 0) {
+      int status = 1;
+      try {
+        store::KleArtifactStore store(root / "repo");
+        const store::FetchResult fetch =
+            store.get_or_compute(variant_config(v), variant_kernel(v));
+        std::ofstream(outcome_dir / ("child." + std::to_string(i) + ".txt"))
+            << to_string(fetch.source);
+        status = 0;
+      } catch (...) {
+        status = 3;
+      }
+      std::_Exit(status);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0) {
+    }
+    check(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0,
+          "stampede child did not exit cleanly");
+  }
+
+  int solved = 0, disk = 0, other = 0;
+  for (int i = 0; i < num_procs; ++i) {
+    std::ifstream in(outcome_dir / ("child." + std::to_string(i) + ".txt"));
+    std::string source;
+    in >> source;
+    if (source == "solved") ++solved;
+    else if (source == "disk") ++disk;
+    else ++other;
+  }
+  std::printf("stampede: %d processes on one cold key -> %d solved, %d disk "
+              "loads, %d other\n",
+              num_procs, solved, disk, other);
+  check(solved == 1, "expected exactly one solve across the stampede, got " +
+                         std::to_string(solved));
+  check(disk == num_procs - 1,
+        "expected every non-winner to load from disk, got " +
+            std::to_string(disk));
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // SCKL_HAVE_FORK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: kill_loop_harness <drive|stampede> [--root=DIR] "
+                 "[--iters=N] [--procs=N]\n");
+    return 2;
+  }
+#if !SCKL_HAVE_FORK
+  std::printf("kill_loop_harness: fork() unavailable on this platform, "
+              "skipping\n");
+  return 0;
+#else
+  const std::string command = flags.positional().front();
+  const fs::path root = flags.get_string(
+      "root", (fs::temp_directory_path() / "sckl_kill_loop").string());
+  robust::FaultInjector::instance().disarm();  // the parent never crashes
+  try {
+    if (command == "drive")
+      return drive_kill_loop(root,
+                             static_cast<int>(flags.get_int("iters", 5)));
+    if (command == "stampede")
+      return drive_stampede(root, static_cast<int>(flags.get_int("procs", 6)));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "kill_loop_harness: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "kill_loop_harness: unknown command '%s'\n",
+               command.c_str());
+  return 2;
+#endif
+}

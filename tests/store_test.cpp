@@ -1,18 +1,23 @@
 // Tests for the src/store/ artifact subsystem: binary round-trips, format
-// rejection, content-hash keying, LRU behaviour, and get_or_compute.
+// rejection, content-hash keying, LRU behaviour, get_or_compute, advisory
+// file locking, fsck recovery, and solve-stampede dedup.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "field/kle_sampler.h"
 #include "kernels/kernel_library.h"
 #include "store/artifact_store.h"
+#include "store/file_lock.h"
 #include "store/key_hash.h"
 #include "store/kle_io.h"
+#include "store/recovery.h"
 
 namespace {
 
@@ -260,6 +265,27 @@ TEST(LruCacheTest, OversizedEntryIsNotCached) {
   cache.put(1, std::make_shared<const int>(1), 101);
   EXPECT_EQ(cache.get(1), nullptr);
   EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().oversized_rejects, 1u);
+}
+
+TEST(LruCacheTest, OversizedEntryDoesNotFlushResidents) {
+  // An artifact larger than the whole budget must pass through without
+  // evicting everything that does fit — flushing residents would trade one
+  // guaranteed miss for many.
+  store::LruCache<int, int> cache(100);
+  cache.put(1, std::make_shared<const int>(10), 40);
+  cache.put(2, std::make_shared<const int>(20), 40);
+  cache.put(3, std::make_shared<const int>(30), 5000);  // oversized
+
+  EXPECT_EQ(cache.get(3), nullptr);
+  ASSERT_NE(cache.get(1), nullptr);
+  ASSERT_NE(cache.get(2), nullptr);
+  const store::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 80u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.oversized_rejects, 1u);
+  EXPECT_EQ(stats.insertions, 2u);  // the oversized put never inserted
 }
 
 TEST(LruCacheTest, ReplacingAKeyUpdatesByteCharge) {
@@ -372,13 +398,44 @@ TEST(ArtifactStoreTest, LsAndGcCleanBadFiles) {
   ASSERT_EQ(store.ls().size(), 1u);
 
   // Plant an orphaned tmp file, a truncated artifact, and a renamed one.
+  // Together with the stale <key>.lock the cold solve left behind, that is
+  // four pieces of debris.
   std::ofstream(root / "deadbeef00000000.sckl.tmp3") << "partial";
   std::ofstream(root / "0123456789abcdef.sckl") << "SCKLgarbage";
   fs::copy_file(root / (store.ls()[0].key + ".sckl"),
                 root / "aaaaaaaaaaaaaaaa.sckl");
 
-  EXPECT_EQ(store.gc(), 3u);
+  EXPECT_EQ(store.gc(), 4u);
+  EXPECT_FALSE(fs::exists(store.lock_path_for(small_config())));
   EXPECT_EQ(store.ls().size(), 1u);
+  EXPECT_TRUE(store.contains(small_config()));
+}
+
+TEST(ArtifactStoreTest, GcDryRunPlansWithoutDeleting) {
+  const fs::path root = scratch_dir("store_gc_dry");
+  const kernels::GaussianKernel kernel(2.0);
+  store::KleArtifactStore store(root);
+  store.get_or_compute(small_config(), kernel);
+
+  std::ofstream(root / "deadbeef00000000.sckl.424242.0.tmp") << "partial";
+  std::ofstream(root / "cafecafecafecafe.sckl.bad") << "evidence";
+
+  store::GcOptions dry;
+  dry.dry_run = true;
+  const store::GcReport plan = store.gc(dry);
+  EXPECT_EQ(plan.removed, 0u);
+  // Candidates: the tmp file, the quarantine evidence, and the stale solve
+  // lock — the healthy artifact is never on the list.
+  ASSERT_EQ(plan.candidates.size(), 3u);
+  for (const auto& candidate : plan.candidates) {
+    EXPECT_TRUE(fs::exists(candidate.path))
+        << candidate.path << " (" << candidate.reason << ") was deleted";
+    EXPECT_NE(candidate.path, store.path_for(small_config()));
+    EXPECT_FALSE(candidate.reason.empty());
+  }
+
+  // The real sweep then removes exactly the planned set.
+  EXPECT_EQ(store.gc(), plan.candidates.size());
   EXPECT_TRUE(store.contains(small_config()));
 }
 
@@ -401,6 +458,236 @@ TEST(ArtifactStoreTest, DifferentConfigsGetDifferentFiles) {
   const auto got_b = reopened.get_or_compute(b, k3);
   EXPECT_EQ(got_b.source, store::FetchSource::kDisk);
   EXPECT_EQ(got_b.artifact->config().kernel_params, std::vector<double>{3.0});
+}
+
+// --- FileLock --------------------------------------------------------------
+// flock attaches the lock to the open file description, so two acquisitions
+// in one process conflict exactly like two processes would — these tests
+// exercise the real cross-process semantics without forking.
+
+TEST(FileLockTest, ExclusiveExcludesEveryOtherAcquisition) {
+  const fs::path path = scratch_dir("lock_excl") / "a.lock";
+  const store::FileLock held =
+      store::FileLock::acquire(path, store::FileLock::Mode::kExclusive);
+  EXPECT_TRUE(held.held());
+  EXPECT_EQ(held.path(), path);
+  EXPECT_FALSE(
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kExclusive)
+          .has_value());
+  EXPECT_FALSE(
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kShared)
+          .has_value());
+}
+
+TEST(FileLockTest, SharedHoldersCoexistButBlockExclusive) {
+  const fs::path path = scratch_dir("lock_shared") / "a.lock";
+  const store::FileLock reader1 =
+      store::FileLock::acquire(path, store::FileLock::Mode::kShared);
+  auto reader2 =
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kShared);
+  ASSERT_TRUE(reader2.has_value());
+  EXPECT_TRUE(reader2->held());
+  EXPECT_FALSE(
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kExclusive)
+          .has_value());
+}
+
+TEST(FileLockTest, ReleaseReopensTheDoorAndIsIdempotent) {
+  const fs::path path = scratch_dir("lock_release") / "a.lock";
+  store::FileLock lock =
+      store::FileLock::acquire(path, store::FileLock::Mode::kExclusive);
+  lock.release();
+  EXPECT_FALSE(lock.held());
+  lock.release();  // idempotent
+  auto next =
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kExclusive);
+  EXPECT_TRUE(next.has_value());
+}
+
+TEST(FileLockTest, MoveTransfersOwnership) {
+  const fs::path path = scratch_dir("lock_move") / "a.lock";
+  store::FileLock first =
+      store::FileLock::acquire(path, store::FileLock::Mode::kExclusive);
+  store::FileLock second = std::move(first);
+  EXPECT_FALSE(first.held());
+  EXPECT_TRUE(second.held());
+  EXPECT_FALSE(
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kExclusive)
+          .has_value());
+  second.release();
+  EXPECT_TRUE(
+      store::FileLock::try_acquire(path, store::FileLock::Mode::kExclusive)
+          .has_value());
+}
+
+TEST(FileLockTest, LockIsHeldProbesLiveness) {
+  const fs::path dir = scratch_dir("lock_probe");
+  EXPECT_FALSE(store::lock_is_held(dir / "missing.lock"));
+  {
+    const store::FileLock lock = store::FileLock::acquire(
+        dir / "live.lock", store::FileLock::Mode::kExclusive);
+    EXPECT_TRUE(store::lock_is_held(dir / "live.lock"));
+  }
+  // Holder gone: the leftover file is stale, not stuck.
+  EXPECT_FALSE(store::lock_is_held(dir / "live.lock"));
+}
+
+// --- recovery / fsck -------------------------------------------------------
+
+TEST(RecoveryTest, FileTaxonomyClassifiesEveryRepositoryName) {
+  EXPECT_TRUE(store::is_artifact_file("0123456789abcdef.sckl"));
+  EXPECT_FALSE(store::is_artifact_file("0123456789abcdef.sckl.bad"));
+  EXPECT_FALSE(store::is_artifact_file("store.lock"));
+
+  EXPECT_TRUE(store::is_quarantine_file("0123456789abcdef.sckl.bad"));
+  EXPECT_FALSE(store::is_quarantine_file("0123456789abcdef.sckl"));
+
+  // Both the current <key>.sckl.<pid>.<seq>.tmp scheme and historical
+  // <key>.sckl.tmpN names count as in-flight leftovers.
+  EXPECT_TRUE(store::is_tmp_file("0123456789abcdef.sckl.12345.7.tmp"));
+  EXPECT_TRUE(store::is_tmp_file("0123456789abcdef.sckl.tmp3"));
+  EXPECT_FALSE(store::is_tmp_file("0123456789abcdef.sckl"));
+  EXPECT_FALSE(store::is_tmp_file("0123456789abcdef.sckl.bad"));
+
+  EXPECT_TRUE(store::is_lock_file("store.lock"));
+  EXPECT_TRUE(store::is_lock_file("0123456789abcdef.lock"));
+  EXPECT_FALSE(store::is_lock_file("0123456789abcdef.sckl"));
+}
+
+TEST(RecoveryTest, ReportOnlyFsckCountsButTouchesNothing) {
+  const fs::path root = scratch_dir("fsck_report");
+  const kernels::GaussianKernel kernel(2.0);
+  store::KleArtifactStore store(root);
+  store.get_or_compute(small_config(), kernel);
+
+  std::ofstream(root / "deadbeef00000000.sckl.999.0.tmp") << "partial";
+  std::ofstream(root / "0123456789abcdef.sckl") << "SCKLgarbage";
+  std::ofstream(root / "cafecafecafecafe.sckl.bad") << "evidence";
+  // The cold solve also left a stale <key>.lock behind.
+
+  store::FsckOptions audit;
+  audit.repair = false;
+  const store::FsckResult result = store::fsck(root, audit);
+  EXPECT_EQ(result.stats.healthy, 1u);
+  EXPECT_EQ(result.stats.orphaned_tmp, 1u);
+  EXPECT_EQ(result.stats.corrupt, 1u);
+  EXPECT_EQ(result.stats.quarantined, 1u);
+  EXPECT_EQ(result.stats.stale_locks, 1u);
+  EXPECT_EQ(result.stats.repaired, 0u);
+  EXPECT_FALSE(result.stats.clean());
+
+  // Report-only means exactly that: every planted file is still there.
+  EXPECT_TRUE(fs::exists(root / "deadbeef00000000.sckl.999.0.tmp"));
+  EXPECT_TRUE(fs::exists(root / "0123456789abcdef.sckl"));
+  EXPECT_TRUE(fs::exists(root / "cafecafecafecafe.sckl.bad"));
+}
+
+TEST(RecoveryTest, RepairReapsDebrisAndQuarantinesBrokenArtifacts) {
+  const fs::path root = scratch_dir("fsck_repair");
+  const kernels::GaussianKernel kernel(2.0);
+  store::KleArtifactStore store(root);
+  store.get_or_compute(small_config(), kernel);
+  const fs::path healthy = store.path_for(small_config());
+
+  std::ofstream(root / "deadbeef00000000.sckl.999.0.tmp") << "partial";
+  std::ofstream(root / "0123456789abcdef.sckl") << "SCKLgarbage";
+  fs::copy_file(healthy, root / "aaaaaaaaaaaaaaaa.sckl");  // key mismatch
+
+  const store::FsckResult result = store::fsck(root);
+  EXPECT_EQ(result.stats.healthy, 1u);
+  EXPECT_EQ(result.stats.orphaned_tmp, 1u);
+  EXPECT_EQ(result.stats.corrupt, 1u);
+  EXPECT_EQ(result.stats.mismatched, 1u);
+  EXPECT_GE(result.stats.repaired, 4u);  // tmp + lock + 2 quarantines
+
+  // Repair is conservative: broken artifacts become .bad evidence instead of
+  // disappearing, and the healthy artifact is untouched.
+  EXPECT_FALSE(fs::exists(root / "deadbeef00000000.sckl.999.0.tmp"));
+  EXPECT_FALSE(fs::exists(root / "0123456789abcdef.sckl"));
+  EXPECT_TRUE(fs::exists(root / "0123456789abcdef.sckl.bad"));
+  EXPECT_TRUE(fs::exists(root / "aaaaaaaaaaaaaaaa.sckl.bad"));
+  EXPECT_TRUE(fs::exists(healthy));
+
+  // Second pass: only the quarantine evidence remains; purging it yields a
+  // provably clean repository.
+  store::FsckOptions purge;
+  purge.purge_quarantine = true;
+  store::fsck(root, purge);
+  store::FsckOptions audit;
+  audit.repair = false;
+  const store::FsckResult after = store::fsck(root, audit);
+  EXPECT_TRUE(after.stats.clean());
+  EXPECT_EQ(after.stats.healthy, 1u);
+}
+
+TEST(RecoveryTest, YoungTmpFilesAreKeptUntilMaxAge) {
+  const fs::path root = scratch_dir("fsck_age");
+  fs::create_directories(root);
+  std::ofstream(root / "deadbeef00000000.sckl.999.0.tmp") << "in flight?";
+
+  store::FsckOptions patient;
+  patient.tmp_max_age_seconds = 3600.0;  // anything written this hour is young
+  const store::FsckResult kept = store::fsck(root, patient);
+  EXPECT_EQ(kept.stats.orphaned_tmp, 1u);
+  EXPECT_EQ(kept.stats.repaired, 0u);
+  EXPECT_TRUE(fs::exists(root / "deadbeef00000000.sckl.999.0.tmp"));
+
+  const store::FsckResult reaped = store::fsck(root);  // default age 0
+  EXPECT_EQ(reaped.stats.repaired, 1u);
+  EXPECT_FALSE(fs::exists(root / "deadbeef00000000.sckl.999.0.tmp"));
+}
+
+TEST(RecoveryTest, FsckOnOpenRepairsAtConstruction) {
+  const fs::path root = scratch_dir("fsck_on_open");
+  fs::create_directories(root);
+  std::ofstream(root / "deadbeef00000000.sckl.999.0.tmp") << "partial";
+  std::ofstream(root / "0123456789abcdef.lock") << "";
+
+  store::StoreOptions options;
+  options.fsck_on_open = true;
+  store::KleArtifactStore store(root, options);
+  EXPECT_FALSE(fs::exists(root / "deadbeef00000000.sckl.999.0.tmp"));
+  EXPECT_FALSE(fs::exists(root / "0123456789abcdef.lock"));
+}
+
+// --- solve-stampede dedup --------------------------------------------------
+
+TEST(ArtifactStoreTest, ThreadStampedeRunsExactlyOneSolve) {
+  const fs::path root = scratch_dir("stampede_threads");
+  const kernels::GaussianKernel kernel(2.0);
+  const store::KleArtifactConfig config = small_config();
+  store::KleArtifactStore store(root);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> ready{0};
+  std::atomic<int> solved{0};
+  std::vector<store::FetchSource> sources(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Barrier: every thread hits the cold key as simultaneously as the
+      // scheduler allows.
+      ++ready;
+      while (ready.load() < kThreads) std::this_thread::yield();
+      const store::FetchResult fetch = store.get_or_compute(config, kernel);
+      sources[t] = fetch.source;
+      if (fetch.source == store::FetchSource::kSolved) ++solved;
+      EXPECT_NE(fetch.artifact, nullptr);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // The per-key lock reduces the stampede to exactly one eigensolve; every
+  // loser re-checks after the winner publishes and is served a cached or
+  // on-disk copy.
+  EXPECT_EQ(solved.load(), 1);
+  int from_cache_or_disk = 0;
+  for (int t = 0; t < kThreads; ++t)
+    if (sources[t] != store::FetchSource::kSolved) ++from_cache_or_disk;
+  EXPECT_EQ(from_cache_or_disk, kThreads - 1);
+  const store::StoreHealth health = store.health();
+  EXPECT_GE(health.deduped_solves, 1u);
+  EXPECT_LE(health.deduped_solves, static_cast<std::size_t>(kThreads - 1));
 }
 
 }  // namespace
