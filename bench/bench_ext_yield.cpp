@@ -88,11 +88,10 @@ int main(int argc, char** argv) {
   RunningStats plain_sigmas;
   RunningStats lhs_sigmas;
   for (int rep = 0; rep < reps; ++rep) {
-    Rng rng_a(500 + rep);
-    Rng rng_b(500 + rep);
+    const StreamKey key{500 + static_cast<std::uint64_t>(rep), 0};
     // Plain: sampler's own normal draws.
     linalg::Matrix block;
-    sampler.sample_block(n_rep, rng_a, block);
+    sampler.sample_block(field::SampleRange{0, n_rep}, key, block);
     RunningStats plain_stat;
     for (std::size_t i = 0; i < n_rep; ++i) {
       timing::ParameterView view{block.row_ptr(i), block.row_ptr(i),
@@ -100,9 +99,11 @@ int main(int argc, char** argv) {
       plain_stat.add(engine.run(view).worst_delay);
     }
     plain_sigmas.add(plain_stat.stddev());
-    // LHS: stratified xi, same reconstruction.
+    // LHS: stratified xi, same reconstruction (parameter_id 1 keeps the
+    // stream distinct from the plain draw above).
     linalg::Matrix xi;
-    field::latin_hypercube_normal(n_rep, r, rng_b, xi);
+    field::latin_hypercube_normal(
+        n_rep, r, StreamKey{500 + static_cast<std::uint64_t>(rep), 1}, xi);
     const linalg::Matrix lhs_block = sampler.field().reconstruct_block(xi);
     RunningStats lhs_stat;
     for (std::size_t i = 0; i < n_rep; ++i) {

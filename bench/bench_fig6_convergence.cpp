@@ -6,7 +6,7 @@
 // The reference is the Cholesky Monte Carlo STA (Algorithm 1) with the
 // same sample budget.
 //
-// Flags: --circuit=c1908 --samples=800 --r-max=25 --seed=1
+// Flags: --circuit=c1908 --samples=1500 --r-max=25 --seed=1 --threads=K
 //        (paper: 100K samples; scale down for a single-core run)
 #include <cstdio>
 
@@ -38,12 +38,11 @@ int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
   ssta::ExperimentConfig config;
-  config.circuit = flags.get_string("circuit", "c1908");
+  config.circuit = "c1908";
   // Noise floor of a sigma-vs-sigma comparison is ~1/sqrt(N); 2000 samples
   // put it at ~2.2% (the paper's 100K reference sat at ~0.3%).
-  config.num_samples =
-      static_cast<std::size_t>(flags.get_int("samples", 1500));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.num_samples = 1500;
+  ssta::add_experiment_flags(flags, config);
   const auto r_max = static_cast<std::size_t>(flags.get_int("r-max", 25));
 
   ssta::ExperimentPipeline pipeline(config);
@@ -64,8 +63,11 @@ int main(int argc, char** argv) {
   by_r.set_header({"r", "avg sigma_d error (%)"});
   for (std::size_t r : {1u, 2u, 4u, 6u, 9u, 12u, 16u, 20u, 25u}) {
     if (r > r_max) break;
-    const ssta::McSstaResult result =
-        pipeline.run_kle(paper, r, std::max<std::size_t>(2 * r, 30), nullptr);
+    ssta::KleRunRequest request;
+    request.r = r;
+    request.num_eigenpairs = std::max<std::size_t>(2 * r, 30);
+    request.mesh = &paper;
+    const ssta::McSstaResult result = pipeline.run_kle(request).ssta;
     by_r.add_row({std::to_string(r),
                   format_double(100.0 * endpoint_error(reference, result), 3)});
   }
@@ -79,9 +81,11 @@ int main(int argc, char** argv) {
     const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
         geometry::BoundingBox::unit_die(), target,
         mesh::StructuredPattern::kCross);
-    const ssta::McSstaResult result = pipeline.run_kle(
-        mesh, std::min(r_max, mesh.num_triangles()),
-        std::max<std::size_t>(2 * r_max, 50), nullptr);
+    ssta::KleRunRequest request;
+    request.r = std::min(r_max, mesh.num_triangles());
+    request.num_eigenpairs = std::max<std::size_t>(2 * r_max, 50);
+    request.mesh = &mesh;
+    const ssta::McSstaResult result = pipeline.run_kle(request).ssta;
     by_n.add_row({std::to_string(mesh.num_triangles()),
                   format_double(100.0 * endpoint_error(reference, result), 3)});
   }

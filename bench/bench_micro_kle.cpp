@@ -20,6 +20,7 @@
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/kle_solver.h"
 #include "field/cholesky_sampler.h"
 #include "field/kle_sampler.h"
@@ -113,10 +114,12 @@ SamplerFixture& fixture_for(std::size_t gates) {
 
 void BM_SampleBlockCholesky(benchmark::State& state) {
   SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
-  Rng rng(5);
+  const StreamKey key{5, 0};
+  std::uint64_t first = 0;
   linalg::Matrix block;
   for (auto _ : state) {
-    fx.cholesky.sample_block(64, rng, block);
+    fx.cholesky.sample_block(field::SampleRange{first, 64}, key, block);
+    first += 64;  // walk the stream like a real MC run would
     benchmark::DoNotOptimize(block.data());
   }
   state.SetItemsProcessed(state.iterations() * 64);
@@ -126,10 +129,12 @@ BENCHMARK(BM_SampleBlockCholesky)->Arg(383)->Arg(880)->Arg(1669)
 
 void BM_SampleBlockKle(benchmark::State& state) {
   SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
-  Rng rng(5);
+  const StreamKey key{5, 0};
+  std::uint64_t first = 0;
   linalg::Matrix block;
   for (auto _ : state) {
-    fx.reduced.sample_block(64, rng, block);
+    fx.reduced.sample_block(field::SampleRange{first, 64}, key, block);
+    first += 64;
     benchmark::DoNotOptimize(block.data());
   }
   state.SetItemsProcessed(state.iterations() * 64);
@@ -141,9 +146,8 @@ void BM_StaEvaluation(benchmark::State& state) {
   SamplerFixture& fx = fixture_for(static_cast<std::size_t>(state.range(0)));
   const timing::CellLibrary library = timing::CellLibrary::default_90nm();
   const timing::StaEngine engine(fx.netlist, fx.placement, library);
-  Rng rng(6);
   linalg::Matrix block;
-  fx.reduced.sample_block(1, rng, block);
+  fx.reduced.sample_block(field::SampleRange{0, 1}, StreamKey{6, 0}, block);
   const timing::ParameterView view{block.row_ptr(0), block.row_ptr(0),
                                    block.row_ptr(0), block.row_ptr(0)};
   for (auto _ : state) {
@@ -229,15 +233,109 @@ bool emit_store_json(const std::string& json_path) {
          memory.source == store::FetchSource::kMemory && speedup >= 50.0;
 }
 
+/// Appends Monte Carlo SSTA thread-scaling records to `json_path`: wall
+/// time and throughput at 1/2/8 worker threads on the largest sampler
+/// fixture, plus a bit-equality check of the retained worst-delay samples
+/// against the serial run (the determinism contract of the parallel block
+/// pipeline). Throughput scaling depends on the machine's core count —
+/// records are honest measurements, not asserted; only determinism is.
+bool emit_mc_parallel_json(const std::string& json_path) {
+  SamplerFixture& fx = fixture_for(1669);
+  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
+  const timing::StaEngine engine(fx.netlist, fx.placement, library);
+  const ssta::ParameterSamplers samplers{&fx.reduced, &fx.reduced,
+                                         &fx.reduced, &fx.reduced};
+
+  std::FILE* f = std::fopen(json_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_kle: cannot open %s\n",
+                 json_path.c_str());
+    return false;
+  }
+
+  // Pure sampling throughput of the two block generators (no STA), the
+  // quantity the counter-based redesign is not allowed to regress.
+  {
+    const std::size_t n = 2048;
+    linalg::Matrix block;
+    Stopwatch t_chol;
+    fx.cholesky.sample_block(field::SampleRange{0, n}, StreamKey{5, 0}, block);
+    const double chol_s = t_chol.seconds();
+    Stopwatch t_kle;
+    fx.reduced.sample_block(field::SampleRange{0, n}, StreamKey{5, 0}, block);
+    const double kle_s = t_kle.seconds();
+    std::fprintf(f,
+                 "{\"bench\": \"sample_block_cholesky_1669\", \"wall_ms\": "
+                 "%.6f, \"samples_per_sec\": %.1f}\n",
+                 chol_s * 1e3, static_cast<double>(n) / chol_s);
+    std::fprintf(f,
+                 "{\"bench\": \"sample_block_kle_1669\", \"wall_ms\": %.6f, "
+                 "\"samples_per_sec\": %.1f}\n",
+                 kle_s * 1e3, static_cast<double>(n) / kle_s);
+    std::printf("sampling @ 1669 gates: cholesky %.0f samples/s, kle (r=25) "
+                "%.0f samples/s\n",
+                static_cast<double>(n) / chol_s,
+                static_cast<double>(n) / kle_s);
+  }
+
+  ssta::McSstaOptions options;
+  options.num_samples = 768;
+  options.block_size = 64;
+  options.seed = 99;
+  options.keep_samples = true;
+
+  bool deterministic = true;
+  ssta::McSstaResult serial;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    options.num_threads = threads;
+    const ssta::McSstaResult result =
+        run_monte_carlo_ssta(engine, samplers, options);
+    bool bit_identical = true;
+    if (threads == 1) {
+      serial = result;
+    } else {
+      bit_identical =
+          result.worst_delay_samples == serial.worst_delay_samples &&
+          result.worst_delay.mean() == serial.worst_delay.mean() &&
+          result.worst_delay.stddev() == serial.worst_delay.stddev();
+      deterministic = deterministic && bit_identical;
+    }
+    const double rate =
+        static_cast<double>(options.num_samples) / result.total_seconds;
+    std::fprintf(f,
+                 "{\"bench\": \"mc_ssta_threads_%zu\", \"wall_ms\": %.6f, "
+                 "\"samples_per_sec\": %.1f, \"threads\": %zu, "
+                 "\"speedup_vs_serial\": %.3f, \"bit_identical\": %s}\n",
+                 threads, result.total_seconds * 1e3, rate,
+                 result.threads_used,
+                 serial.total_seconds / std::max(result.total_seconds, 1e-12),
+                 bit_identical ? "true" : "false");
+    std::printf("mc_ssta @ 1669 gates, %zu samples, threads=%zu: %.3fs "
+                "(%.0f samples/s)%s\n",
+                options.num_samples, threads, result.total_seconds, rate,
+                threads == 1 ? "" : (bit_identical ? " [bit-identical]"
+                                                   : " [MISMATCH]"));
+  }
+  std::fclose(f);
+  if (!deterministic)
+    std::fprintf(stderr, "bench_micro_kle: parallel MC results are NOT "
+                         "bit-identical to the serial run\n");
+  return deterministic;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract our --json=PATH flag before google-benchmark sees the argv.
+  // Extract our --json=PATH / --json-mc=PATH flags before google-benchmark
+  // sees the argv.
   std::string json_path;
+  std::string json_mc_path;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--json-mc=", 10) == 0) {
+      json_mc_path = argv[i] + 10;
     } else {
       argv[kept++] = argv[i];
     }
@@ -246,6 +344,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!json_path.empty() && !emit_store_json(json_path)) return 1;
+  if (!json_mc_path.empty() && !emit_mc_parallel_json(json_mc_path)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

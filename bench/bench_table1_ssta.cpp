@@ -14,8 +14,8 @@
 // every later run loads from disk/memory and the KLEsetup column collapses
 // to the file-load time — warm-vs-cold timing in one flag.
 //
-// Flags: --samples=400 --r=25 --max-gates=6000 --all --circuits=c880,c1355
-//        --store=/path/to/repo
+// Flags: --samples=400 --r=25 --seed=1 --threads=K --max-gates=6000 --all
+//        --circuits=c880,c1355 --store=/path/to/repo
 #include <cstdio>
 #include <sstream>
 
@@ -27,33 +27,35 @@
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
-  const auto samples = static_cast<std::size_t>(flags.get_int("samples", 400));
-  const auto r = static_cast<std::size_t>(flags.get_int("r", 25));
+  // The shared experiment flag vocabulary (--samples, --r, --seed,
+  // --threads, --store, ...) plus this bench's own sweep controls.
+  ssta::ExperimentConfig base;
+  base.num_samples = 400;
+  base.r = 25;
+  base.seed = 1;
+  ssta::add_experiment_flags(flags, base);
   const bool all = flags.get_bool("all", false);
   const auto max_gates = static_cast<std::size_t>(
       flags.get_int("max-gates", all ? 25000 : 6000));
   const std::string only = flags.get_string("circuits", "");
-  const std::string store_root = flags.get_string("store", "");
 
   std::printf("# Table 1: MC STA (Algorithm 1) vs covariance-kernel STA "
               "(Algorithm 2), %zu samples each, r = %zu\n",
-              samples, r);
+              base.num_samples, base.r);
   TextTable table;
   table.set_header({"Circuit", "Ng", "e_mu(%)", "e_sigma(%)", "Speedup",
                     "MCsetup(s)", "KLEsetup(s)", "MCrun(s)", "KLErun(s)",
                     "KLEsrc"});
 
+  std::size_t threads_used = 0;
   for (const auto& info : circuit::paper_circuit_table()) {
     if (info.num_gates > max_gates) continue;
     if (!only.empty() && only.find(info.name) == std::string::npos) continue;
 
-    ssta::ExperimentConfig config;
+    ssta::ExperimentConfig config = base;
     config.circuit = info.name;
-    config.num_samples = samples;
-    config.r = r;
-    config.seed = 1;
-    config.store_root = store_root;
     const ssta::ExperimentResult result = ssta::run_experiment(config);
+    threads_used = result.threads_used;
     table.add_row({result.circuit, std::to_string(result.num_gates),
                    format_double(result.e_mu_percent, 3),
                    format_double(result.e_sigma_percent, 3),
@@ -68,6 +70,8 @@ int main(int argc, char** argv) {
     std::printf("...\n");
   }
   std::printf("\n# final:\n%s", table.to_string().c_str());
+  if (threads_used > 0)
+    std::printf("# Monte Carlo worker threads: %zu\n", threads_used);
   std::printf("# paper (100K samples): e_mu <= 0.109%%, e_sigma <= 5.7%%, "
               "speedup 0.29 -> 10.65 growing with Ng\n");
   return 0;

@@ -128,12 +128,14 @@ void print_artifact(const store::StoredKleResult& artifact) {
               static_cast<double>(artifact.approximate_bytes()) / (1 << 20));
 }
 
-/// Shared --validate/--strict handling: prints the health report and, in
-/// strict mode, throws (exit 1 via main's catch) on warnings or worse.
+/// Shared --validate/--strict handling (the common ExperimentFlagSet
+/// vocabulary): prints the health report and, in strict mode, throws
+/// (exit 1 via main's catch) on warnings or worse.
 void validate_artifact(const CliFlags& flags,
                        const store::StoredKleResult& artifact) {
-  const bool strict = flags.get_bool("strict", false);
-  if (!strict && !flags.get_bool("validate", false)) return;
+  const ExperimentFlagSet shared = parse_experiment_flags(flags);
+  const bool strict = shared.strict;
+  if (!strict && !shared.validate) return;
   const robust::HealthReport report = core::check_kle_health(artifact.kle());
   std::printf("health (worst: %s):\n%s", to_string(report.worst()),
               report.to_string().c_str());

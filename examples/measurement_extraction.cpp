@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   }
   const field::CholeskyFieldSampler fab(truth, sites);
   linalg::Matrix measurements;
-  fab.sample_block(dies, rng, measurements);
+  fab.sample_block(field::SampleRange{0, dies}, StreamKey{2026, 0},
+                   measurements);
   for (std::size_t d = 0; d < dies; ++d)  // metrology noise
     for (std::size_t s = 0; s < num_sites; ++s)
       measurements(d, s) += noise * rng.normal();

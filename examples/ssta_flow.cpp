@@ -14,51 +14,40 @@
 // --strict additionally escalates warnings (solver fallback, out-of-mesh
 // gates, health findings) to a non-zero exit instead of recovering silently.
 //
-// Usage: ./examples/ssta_flow [--circuit=c880] [--samples=500] [--r=25]
+// Usage: ./examples/ssta_flow [--circuit=c880] [--samples=1000] [--r=25]
+//                             [--seed=1] [--threads=K]
 //                             [--store=/path/to/repo] [--fsck]
 //                             [--validate] [--strict]
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
-#include "circuit/synthetic.h"
 #include "common/cli.h"
-#include "common/stopwatch.h"
-#include "core/kle_health.h"
-#include "core/kle_solver.h"
-#include "field/cholesky_sampler.h"
-#include "field/kle_sampler.h"
-#include "kernels/kernel_fit.h"
-#include "kernels/kernel_library.h"
 #include "mesh/refine.h"
-#include "placer/recursive_placer.h"
 #include "placer/wireload.h"
-#include "ssta/mc_ssta.h"
+#include "ssta/experiment.h"
 #include "store/artifact_store.h"
 #include "timing/critical_path.h"
-#include "timing/sta.h"
 
 namespace {
 
 int run(const sckl::CliFlags& flags) {
   using namespace sckl;
-  const std::string name = flags.get_string("circuit", "c880");
-  const std::string store_root = flags.get_string("store", "");
+  ssta::ExperimentConfig config;
+  config.circuit = "c880";
   // Sigma-vs-sigma comparisons have a ~1/sqrt(N) noise floor; 1000 samples
   // put it at ~3%.
-  const auto samples =
-      static_cast<std::size_t>(flags.get_int("samples", 1000));
-  const auto r = static_cast<std::size_t>(flags.get_int("r", 25));
-  const bool strict = flags.get_bool("strict", false);
-  const bool validate = strict || flags.get_bool("validate", false);
+  config.num_samples = 1000;
+  ssta::add_experiment_flags(flags, config);
+  const bool validate = config.validate_kle || config.strict;
 
-  // Netlist + placement + timer.
-  const circuit::Netlist netlist = circuit::make_paper_circuit(name);
-  const placer::Placement placement = placer::place(netlist);
-  const timing::CellLibrary library = timing::CellLibrary::default_90nm();
-  const timing::StaEngine engine(netlist, placement, library);
+  ssta::ExperimentPipeline pipeline(config);
+  const timing::StaEngine& engine = pipeline.engine();
+  const circuit::Netlist& netlist = engine.netlist();
   std::printf("circuit %s: %zu gates, depth %zu, %zu endpoints, HPWL %.1f\n",
-              name.c_str(), netlist.num_physical_gates(), engine.depth(),
-              engine.num_endpoints(), placer::total_hpwl(netlist, placement));
+              config.circuit.c_str(), netlist.num_physical_gates(),
+              engine.depth(), engine.num_endpoints(),
+              placer::total_hpwl(netlist, pipeline.placement()));
   timing::StaTrace trace;
   const timing::StaResult nominal = engine.run_nominal(&trace);
   std::printf("nominal worst delay: %.1f ps\n", nominal.worst_delay);
@@ -68,85 +57,63 @@ int run(const sckl::CliFlags& flags) {
               critical.steps.size(),
               netlist.gate(critical.steps.front().gate).name.c_str());
 
-  // Spatial correlation model + the two samplers.
-  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
-  const auto locations = placement.physical_locations(netlist);
-  const field::CholeskyFieldSampler dense(kernel, locations);
-
-  const std::size_t num_eigenpairs = std::max<std::size_t>(2 * r, 50);
-  std::unique_ptr<field::KleFieldSampler> reduced_ptr;
-  std::shared_ptr<const store::StoredKleResult> artifact;  // keeps mesh alive
+  // Algorithm 2 run: fresh KLE solve, or fetch through the artifact store.
+  // --fsck first runs the crash-recovery pass over the repository, reaping
+  // debris a previously killed writer may have left.
+  ssta::KleRunRequest request;
+  request.r = config.r;
+  request.num_eigenpairs = config.num_eigenpairs != 0
+                               ? config.num_eigenpairs
+                               : std::max<std::size_t>(2 * config.r, 50);
+  request.validate = validate;
+  std::unique_ptr<store::KleArtifactStore> store;
   std::unique_ptr<mesh::TriMesh> owned_mesh;
-  std::size_t num_triangles = 0;
-  robust::HealthReport health;
-  core::KleSolveInfo solve_info;
-  if (!store_root.empty()) {
-    // Warm path: memory -> <store>/<hash>.sckl -> solve-and-persist.
-    // --fsck first runs the crash-recovery pass over the repository, reaping
-    // debris a previously killed writer may have left.
+  if (!config.store_root.empty()) {
     store::StoreOptions store_options;
     store_options.fsck_on_open = flags.get_bool("fsck", false);
-    store::KleArtifactStore store(store_root, store_options);
-    store::KleArtifactConfig config;
-    store::describe_kernel(kernel, config.kernel_id, config.kernel_params);
-    config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
-    config.num_eigenpairs = num_eigenpairs;
-    const store::FetchResult fetch = store.get_or_compute(config, kernel);
-    artifact = fetch.artifact;
-    num_triangles = artifact->mesh().num_triangles();
-    reduced_ptr =
-        std::make_unique<field::KleFieldSampler>(*artifact, r, locations);
-    std::printf("KLE artifact %s: source=%s fetch=%.3fs (%s)\n",
-                store.path_for(config).c_str(), to_string(fetch.source),
-                fetch.seconds, to_string(store.cache_stats()).c_str());
-    const store::StoreHealth store_health = store.health();
+    store = std::make_unique<store::KleArtifactStore>(config.store_root,
+                                                      store_options);
+    request.store = store.get();
+  } else {
+    owned_mesh = std::make_unique<mesh::TriMesh>(
+        mesh::paper_mesh(geometry::BoundingBox::unit_die(),
+                         config.mesh_area_fraction, config.seed + 7));
+    request.mesh = owned_mesh.get();
+  }
+  const ssta::KleRunOutcome outcome = pipeline.run_kle(request);
+  if (outcome.from_store) {
+    std::printf("KLE artifact: source=%s fetch=%.3fs (%s)\n",
+                to_string(outcome.source), outcome.setup_seconds,
+                to_string(store->cache_stats()).c_str());
+    const store::StoreHealth store_health = store->health();
     if (store_health.total() > 0)
       std::printf("store faults: %s\n", to_string(store_health).c_str());
-    if (validate) health = core::check_kle_health(artifact->kle());
   } else {
-    Stopwatch solve;
-    owned_mesh = std::make_unique<mesh::TriMesh>(mesh::paper_mesh());
-    core::KleOptions kle_options;
-    kle_options.num_eigenpairs = num_eigenpairs;
-    const core::KleResult kle =
-        core::solve_kle(*owned_mesh, kernel, kle_options, &solve_info);
-    num_triangles = owned_mesh->num_triangles();
-    reduced_ptr = std::make_unique<field::KleFieldSampler>(kle, r, locations);
     std::printf("KLE solved fresh in %.3fs (pass --store=DIR to persist)\n",
-                solve.seconds());
-    if (validate) health = core::check_kle_health(kle);
+                outcome.setup_seconds);
   }
-  const field::KleFieldSampler& reduced = *reduced_ptr;
-  if (solve_info.fallback)
-    std::printf("KLE solver fallback: %s\n", solve_info.fallback_reason.c_str());
-  if (reduced.out_of_mesh_count() > 0)
+  if (outcome.info.solve.fallback)
+    std::printf("KLE solver fallback: %s\n",
+                outcome.info.solve.fallback_reason.c_str());
+  if (outcome.info.out_of_mesh_gates > 0)
     std::printf("out-of-mesh gates: %zu resolved to the nearest triangle\n",
-                reduced.out_of_mesh_count());
+                outcome.info.out_of_mesh_gates);
   if (validate) {
-    if (solve_info.fallback)
-      health.add(robust::Severity::kWarning, "solver_fallback",
-                 solve_info.fallback_reason);
-    if (reduced.out_of_mesh_count() > 0)
-      health.add(robust::Severity::kWarning, "out_of_mesh",
-                 std::to_string(reduced.out_of_mesh_count()) +
-                     " gate(s) resolved to the nearest mesh triangle");
+    const robust::HealthReport health = ssta::fold_kle_health(outcome.info);
     std::printf("KLE health (worst: %s):\n%s", to_string(health.worst()),
                 health.to_string().c_str());
-    if (strict) health.throw_if_fatal(robust::Severity::kWarning);
+    if (config.strict) health.throw_if_fatal(robust::Severity::kWarning);
   }
   std::printf("samplers: Algorithm 1 latent dim %zu | Algorithm 2 latent "
               "dim %zu (n = %zu triangles)\n\n",
-              dense.latent_dimension(), reduced.latent_dimension(),
-              num_triangles);
+              pipeline.num_gates(), config.r, outcome.mesh_triangles);
 
-  // Monte Carlo SSTA, both ways, same timer.
-  ssta::McSstaOptions options;
-  options.num_samples = samples;
-  const ssta::McSstaResult mc = run_monte_carlo_ssta(
-      engine, {&dense, &dense, &dense, &dense}, options);
-  const ssta::McSstaResult kl = run_monte_carlo_ssta(
-      engine, {&reduced, &reduced, &reduced, &reduced}, options);
-
+  // Both runs shared the same engine and timer; the reference (Algorithm 1)
+  // is computed on demand and cached by the pipeline.
+  const ssta::McSstaResult& mc = pipeline.reference();
+  const ssta::McSstaResult& kl = outcome.ssta;
+  std::printf("Monte Carlo: %zu samples on %zu thread(s)\n", config.num_samples,
+              kl.threads_used);
   std::printf("%-28s %14s %14s\n", "", "Algorithm 1", "Algorithm 2 (KLE)");
   std::printf("%-28s %14.2f %14.2f\n", "worst delay mean (ps)",
               mc.worst_delay.mean(), kl.worst_delay.mean());

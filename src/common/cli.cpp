@@ -53,6 +53,36 @@ double CliFlags::get_double(const std::string& name, double fallback) const {
   return value;
 }
 
+namespace {
+
+std::size_t get_size(const CliFlags& flags, const std::string& name,
+                     std::size_t fallback) {
+  const long value = flags.get_int(name, static_cast<long>(fallback));
+  require(value >= 0, "CliFlags: --" + name + " must be non-negative");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+void ExperimentFlagSet::apply(const CliFlags& flags) {
+  circuit = flags.get_string("circuit", circuit);
+  num_samples = get_size(flags, "samples", num_samples);
+  r = get_size(flags, "r", r);
+  seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<long>(seed)));
+  num_threads = get_size(flags, "threads", num_threads);
+  store_root = flags.get_string("store", store_root);
+  validate = flags.get_bool("validate", validate);
+  strict = flags.get_bool("strict", strict);
+  fsck = flags.get_bool("fsck", fsck);
+}
+
+ExperimentFlagSet parse_experiment_flags(const CliFlags& flags,
+                                         ExperimentFlagSet defaults) {
+  defaults.apply(flags);
+  return defaults;
+}
+
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;

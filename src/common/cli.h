@@ -6,6 +6,8 @@
 // tolerated (benches accept google-benchmark's own flags alongside ours).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,5 +42,36 @@ class CliFlags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// The flag vocabulary shared by the experiment binaries (ssta_flow,
+/// kle_store_tool, bench_table1_ssta, bench_fig6_convergence):
+///
+///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
+///   --store=DIR     --validate   --strict  --fsck
+///
+/// Registered in one place so a new option (e.g. --threads) lands in every
+/// binary at once instead of being hand-rolled per main(). Construct with
+/// the binary's defaults, then apply() overrides the fields whose flags are
+/// present on the command line. ssta::add_experiment_flags() maps a parsed
+/// set onto an ExperimentConfig (the ssta layer owns that type).
+struct ExperimentFlagSet {
+  std::string circuit = "c880";
+  std::size_t num_samples = 1000;
+  std::size_t r = 25;
+  std::uint64_t seed = 1;
+  /// 0 = auto (SCKL_THREADS env, else hardware concurrency), 1 = serial.
+  std::size_t num_threads = 0;
+  std::string store_root;  // empty = no artifact store
+  bool validate = false;
+  bool strict = false;  // implies validate at the consumer
+  bool fsck = false;    // run store crash recovery on open
+
+  /// Overrides fields from the flags present in `flags`.
+  void apply(const CliFlags& flags);
+};
+
+/// Parses the shared experiment flags over `defaults`.
+ExperimentFlagSet parse_experiment_flags(const CliFlags& flags,
+                                         ExperimentFlagSet defaults = {});
 
 }  // namespace sckl

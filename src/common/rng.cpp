@@ -7,12 +7,25 @@
 namespace sckl {
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9E3779B97F4A7C15ull;
-  std::uint64_t z = x;
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+// SplitMix64 finalizer: full-avalanche 64-bit mixer.
+std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += kGolden;
+  return mix64(x);
+}
+
+// Absorbs one word into a digest: offset by the golden ratio (so absorbing
+// zero still perturbs), then re-avalanche. Sequential absorption — not a
+// linear xor of the words — keeps (a, b) and (b, a) on unrelated streams.
+std::uint64_t absorb(std::uint64_t digest, std::uint64_t word) {
+  return mix64(digest ^ (word + kGolden));
 }
 
 std::uint64_t rotl(std::uint64_t x, int k) {
@@ -20,6 +33,41 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 
 }  // namespace
+
+double standard_normal_quantile(double p) {
+  require(p > 0.0 && p < 1.0,
+          "standard_normal_quantile: p must be in (0, 1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
@@ -117,6 +165,23 @@ Rng Rng::split() {
   state_[2] = s2;
   state_[3] = s3;
   return child;
+}
+
+CounterRng::CounterRng(const StreamKey& key)
+    : digest_(absorb(absorb(0, key.seed), key.parameter_id)) {}
+
+std::uint64_t CounterRng::bits(std::uint64_t index, std::uint64_t lane) const {
+  return absorb(absorb(digest_, index), lane);
+}
+
+double CounterRng::uniform(std::uint64_t index, std::uint64_t lane) const {
+  // Center each of the 2^53 representable mantissa buckets: the result is
+  // strictly inside (0, 1), so the normal quantile below never sees 0 or 1.
+  return (static_cast<double>(bits(index, lane) >> 11) + 0.5) * 0x1.0p-53;
+}
+
+double CounterRng::normal(std::uint64_t index, std::uint64_t lane) const {
+  return standard_normal_quantile(uniform(index, lane));
 }
 
 }  // namespace sckl

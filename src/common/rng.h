@@ -1,17 +1,48 @@
 // Deterministic random number generation.
 //
-// Rng wraps the xoshiro256++ generator (Blackman & Vigna). We implement the
-// generator directly (rather than using std::mt19937_64) so that sampled
-// streams are bit-reproducible across standard libraries, which keeps the
-// Monte Carlo regression tests and experiment tables stable. Normal variates
-// are produced by the Marsaglia polar method for the same reason:
-// std::normal_distribution is implementation-defined.
+// Two generators live here, for two different jobs:
+//
+//  - Rng wraps the xoshiro256++ generator (Blackman & Vigna): a fast
+//    *sequential* stream for code whose draw order is inherently serial
+//    (mesh jitter, synthetic netlists, PCE regression sampling). We
+//    implement the generator directly (rather than using std::mt19937_64)
+//    so that sampled streams are bit-reproducible across standard
+//    libraries. Normal variates use the Marsaglia polar method for the same
+//    reason: std::normal_distribution is implementation-defined.
+//
+//  - CounterRng is a *counter-based* (stateless) generator in the
+//    Philox/SplitMix tradition: every output is a pure function of
+//    (StreamKey, sample index, lane). Nothing is mutated between draws, so
+//    draw i is bit-identical no matter which thread produces it, in which
+//    order, or how the sample range is partitioned into blocks. This is the
+//    generator behind the index-addressed FieldSampler API and the parallel
+//    Monte Carlo SSTA engine.
+//
+// Stream-derivation scheme (the contract the SSTA engine relies on):
+//   * One Monte Carlo run seeded S gives statistical parameter j (0 = L,
+//     1 = W, 2 = Vt, 3 = tox) the stream StreamKey{S, j}. Auxiliary
+//     consumers (LHS designs, validation sweeps) use parameter_id values
+//     disjoint from the parameter indices of the same run, or a different
+//     seed.
+//   * Within a stream, the draw for global sample index i, latent lane c
+//     (column of the independent-normal matrix: c < N_g for the Cholesky
+//     sampler, c < r for the KLE sampler) is normal(i, c).
+//   * Derivation: a 64-bit stream digest is computed by absorbing seed and
+//     parameter_id through the SplitMix64 finalizer; each draw then
+//     hash-combines (index, lane) into the digest with two more finalizer
+//     rounds and maps the 64-bit result to a normal variate through the
+//     inverse normal CDF. The finalizer's avalanche makes neighboring
+//     (index, lane) pairs statistically independent.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 namespace sckl {
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Requires p in (0, 1).
+double standard_normal_quantile(double p);
 
 /// Reproducible uniform/normal random number generator (xoshiro256++ core).
 class Rng {
@@ -48,15 +79,52 @@ class Rng {
   /// Returns n independent standard normal variates.
   std::vector<double> normal_vector(std::size_t n);
 
-  /// Creates an independent generator stream by jumping the state; useful for
-  /// giving each statistical parameter its own stream as the paper's samplers
-  /// require (the P_j matrices are mutually independent).
+  /// Creates an independent generator stream by jumping the state. NOTE:
+  /// the child stream depends on how many draws and splits preceded the
+  /// call, so split() is unsuitable wherever reproducibility across code
+  /// paths matters — the Monte Carlo pipeline instead derives its four
+  /// parameter streams from StreamKey{seed, parameter_id} via CounterRng,
+  /// which has no call-order dependence at all.
   Rng split();
 
  private:
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
+};
+
+/// Identifies one logical random stream: all draws for one statistical
+/// parameter of one Monte Carlo run (see the stream-derivation scheme in
+/// the file comment). Equal keys produce bit-identical streams.
+struct StreamKey {
+  std::uint64_t seed = 0;
+  std::uint64_t parameter_id = 0;
+
+  friend bool operator==(const StreamKey& a, const StreamKey& b) {
+    return a.seed == b.seed && a.parameter_id == b.parameter_id;
+  }
+};
+
+/// Counter-based stateless generator: output = f(key, index, lane). All
+/// methods are const and the object is freely shared across threads.
+class CounterRng {
+ public:
+  /// Precomputes the stream digest for `key`; cheap enough to construct
+  /// per block.
+  explicit CounterRng(const StreamKey& key);
+
+  /// Raw 64-bit output for (index, lane).
+  std::uint64_t bits(std::uint64_t index, std::uint64_t lane) const;
+
+  /// Uniform double strictly inside (0, 1) with 53 bits of randomness.
+  double uniform(std::uint64_t index, std::uint64_t lane) const;
+
+  /// Standard normal variate (mean 0, variance 1) via the inverse CDF —
+  /// one draw per (index, lane), no rejection, no carried state.
+  double normal(std::uint64_t index, std::uint64_t lane) const;
+
+ private:
+  std::uint64_t digest_;
 };
 
 }  // namespace sckl

@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sckl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  require(num_threads >= 1, "ThreadPool: need at least one thread");
+  errors_.assign(num_threads, nullptr);
+  workers_.reserve(num_threads - 1);
+  for (std::size_t w = 1; w < num_threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(worker_index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[worker_index] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    in_flight_ = workers_.size();
+    ++generation_;
+    for (auto& slot : errors_) slot = nullptr;
+  }
+  wake_.notify_all();
+
+  // Worker 0 is the calling thread: a 1-thread pool spawns nothing and
+  // never touches the condition variables on the hot path.
+  try {
+    job(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_[0] = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return in_flight_ == 0; });
+    job_ = nullptr;
+  }
+  for (const auto& error : errors_)
+    if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::resolve_num_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SCKL_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && value > 0)
+      return static_cast<std::size_t>(value);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<std::size_t>(hardware) : 1;
+}
+
+}  // namespace sckl

@@ -1,0 +1,68 @@
+// Minimal fixed-size thread pool for the parallel Monte Carlo engines.
+//
+// The pool owns its workers for its whole lifetime; `run` dispatches one
+// job to every worker simultaneously and blocks until all of them return.
+// Work division is the *caller's* job — the intended pattern is dynamic
+// (work-stealing style) block claiming through a shared std::atomic
+// counter inside the job, which balances load without any per-task queue
+// overhead. Determinism is likewise the caller's job: with the
+// counter-based samplers every block's content is a pure function of its
+// index, so it does not matter which worker claims which block.
+//
+// Thread-count resolution honors the SCKL_THREADS environment variable so
+// CI can force the whole test suite through the parallel paths without
+// touching call sites (see resolve_num_threads).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sckl {
+
+/// Fixed set of worker threads with barrier-style job dispatch.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (must be >= 1; pass the result of
+  /// resolve_num_threads for the user-facing 0 = auto convention).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers. Must not be called while run() is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs job(worker_index) on every worker — worker 0 is the calling
+  /// thread, so a 1-thread pool executes entirely inline — and returns when
+  /// all invocations have finished. If any invocation throws, the first
+  /// exception (in worker order) is rethrown after the barrier.
+  void run(const std::function<void(std::size_t)>& job);
+
+  /// Maps the user-facing thread-count convention to a concrete count:
+  /// `requested` > 0 is taken verbatim; 0 means auto — the SCKL_THREADS
+  /// environment variable when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (minimum 1).
+  static std::size_t resolve_num_threads(std::size_t requested);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;  // current job
+  std::uint64_t generation_ = 0;   // bumped per run() to wake the workers
+  std::size_t in_flight_ = 0;      // workers still inside the current job
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;  // per worker slot, current job
+};
+
+}  // namespace sckl

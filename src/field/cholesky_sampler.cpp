@@ -23,14 +23,11 @@ CholeskyFieldSampler::CholeskyFieldSampler(
   jitter_ = result.jitter;
 }
 
-void CholeskyFieldSampler::sample_block(std::size_t n, Rng& rng,
+void CholeskyFieldSampler::sample_block(const SampleRange& range,
+                                        const StreamKey& key,
                                         linalg::Matrix& out) const {
-  require(n > 0, "CholeskyFieldSampler::sample_block: n must be positive");
-  linalg::Matrix z(n, n_);
-  for (std::size_t r = 0; r < n; ++r) {
-    double* row = z.row_ptr(r);
-    for (std::size_t c = 0; c < n_; ++c) row[c] = rng.normal();
-  }
+  linalg::Matrix z;
+  fill_latent_normals(range, key, n_, z);
   // P = Z L^T: row p of P is L applied to the standard-normal row, giving
   // covariance L L^T = K.
   out = linalg::gemm_bt(z, factor_.lower);

@@ -29,7 +29,7 @@ class CholeskyFieldSampler final : public FieldSampler {
 
   std::size_t num_locations() const override { return n_; }
   std::size_t latent_dimension() const override { return n_; }
-  void sample_block(std::size_t n, Rng& rng,
+  void sample_block(const SampleRange& range, const StreamKey& key,
                     linalg::Matrix& out) const override;
 
   /// Jitter that was required to make the Gram matrix factorizable.

@@ -8,11 +8,12 @@
 namespace sckl::field {
 
 linalg::Matrix empirical_covariance(const FieldSampler& sampler,
-                                    std::size_t num_samples, Rng& rng) {
+                                    std::size_t num_samples,
+                                    const StreamKey& key) {
   require(num_samples >= 2, "empirical_covariance: need at least two samples");
   const std::size_t g = sampler.num_locations();
   linalg::Matrix block;
-  sampler.sample_block(num_samples, rng, block);
+  sampler.sample_block(SampleRange{0, num_samples}, key, block);
 
   linalg::Vector mean(g, 0.0);
   for (std::size_t s = 0; s < num_samples; ++s) {

@@ -17,9 +17,11 @@
 namespace sckl::field {
 
 /// Empirical covariance matrix (num_locations x num_locations) from
-/// `num_samples` draws of the sampler.
+/// `num_samples` draws of the sampler (global indices 0..num_samples-1 of
+/// the stream identified by `key`).
 linalg::Matrix empirical_covariance(const FieldSampler& sampler,
-                                    std::size_t num_samples, Rng& rng);
+                                    std::size_t num_samples,
+                                    const StreamKey& key);
 
 /// Summary of an empirical-vs-analytic covariance comparison.
 struct CovarianceErrorSummary {

@@ -1,0 +1,20 @@
+#include "field/field_sampler.h"
+
+#include "common/error.h"
+
+namespace sckl::field {
+
+void fill_latent_normals(const SampleRange& range, const StreamKey& key,
+                         std::size_t dimension, linalg::Matrix& xi) {
+  require(range.count > 0, "fill_latent_normals: empty sample range");
+  require(dimension > 0, "fill_latent_normals: zero latent dimension");
+  const CounterRng rng(key);
+  xi = linalg::Matrix(range.count, dimension);
+  for (std::size_t i = 0; i < range.count; ++i) {
+    double* row = xi.row_ptr(i);
+    const std::uint64_t index = range.first + i;
+    for (std::size_t c = 0; c < dimension; ++c) row[c] = rng.normal(index, c);
+  }
+}
+
+}  // namespace sckl::field

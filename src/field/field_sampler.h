@@ -7,14 +7,30 @@
 // This interface abstracts the two so the SSTA harness is sampler-agnostic,
 // which is precisely the experimental control the paper wants (identical
 // timer, different sample generators).
+//
+// Sampling is *index-addressed and stateless*: a block is requested as a
+// half-open range [first, first + count) of global sample indices plus the
+// StreamKey of the parameter's random stream, and every latent draw is
+// derived through the counter-based generator as
+// CounterRng(key).normal(global_index, lane). No RNG state threads through
+// the calls, so sample i is bit-identical regardless of block size, request
+// order, or which thread produced it — the property the parallel MC-SSTA
+// engine's determinism guarantee rests on.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/rng.h"
 #include "linalg/matrix.h"
 
 namespace sckl::field {
+
+/// Half-open range [first, first + count) of global sample indices.
+struct SampleRange {
+  std::uint64_t first = 0;
+  std::size_t count = 0;
+};
 
 /// Generates blocks of correlated field samples at fixed locations.
 class FieldSampler {
@@ -28,10 +44,19 @@ class FieldSampler {
   /// (N_g for Cholesky, r for KLE) — the paper's headline reduction.
   virtual std::size_t latent_dimension() const = 0;
 
-  /// Fills `out` (N x num_locations; resized if needed) with N samples of
-  /// the normalized field at the locations. Rows are independent samples.
-  virtual void sample_block(std::size_t n, Rng& rng,
+  /// Fills `out` (range.count x num_locations; resized if needed) with the
+  /// samples of the normalized field whose global indices fall in `range`,
+  /// drawn from the stream identified by `key`. Row i of `out` is global
+  /// sample range.first + i; rows are independent samples.
+  virtual void sample_block(const SampleRange& range, const StreamKey& key,
                             linalg::Matrix& out) const = 0;
 };
+
+/// Fills `xi` (range.count x dimension) with the independent standard
+/// normal latent draws for `range` under `key`: xi(i, c) =
+/// CounterRng(key).normal(range.first + i, c). Shared by every sampler so
+/// all of them agree on the draw-addressing scheme.
+void fill_latent_normals(const SampleRange& range, const StreamKey& key,
+                         std::size_t dimension, linalg::Matrix& xi);
 
 }  // namespace sckl::field

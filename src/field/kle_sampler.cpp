@@ -17,14 +17,11 @@ std::size_t KleFieldSampler::num_locations() const {
   return field_.num_locations();
 }
 
-void KleFieldSampler::sample_block(std::size_t n, Rng& rng,
+void KleFieldSampler::sample_block(const SampleRange& range,
+                                   const StreamKey& key,
                                    linalg::Matrix& out) const {
-  require(n > 0, "KleFieldSampler::sample_block: n must be positive");
-  linalg::Matrix xi(n, r_);
-  for (std::size_t row = 0; row < n; ++row) {
-    double* values = xi.row_ptr(row);
-    for (std::size_t c = 0; c < r_; ++c) values[c] = rng.normal();
-  }
+  linalg::Matrix xi;
+  fill_latent_normals(range, key, r_, xi);
   out = field_.reconstruct_block(xi);
 }
 

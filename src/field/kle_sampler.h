@@ -30,7 +30,7 @@ class KleFieldSampler final : public FieldSampler {
 
   std::size_t num_locations() const override;
   std::size_t latent_dimension() const override { return r_; }
-  void sample_block(std::size_t n, Rng& rng,
+  void sample_block(const SampleRange& range, const StreamKey& key,
                     linalg::Matrix& out) const override;
 
   const core::KleField& field() const { return field_; }

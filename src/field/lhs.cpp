@@ -1,7 +1,6 @@
 #include "field/lhs.h"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 #include <vector>
 
@@ -9,58 +8,34 @@
 
 namespace sckl::field {
 
-double inverse_normal_cdf(double p) {
-  require(p > 0.0 && p < 1.0, "inverse_normal_cdf: p must be in (0, 1)");
-  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
-                                 -2.759285104469687e+02, 1.383577518672690e+02,
-                                 -3.066479806614716e+01, 2.506628277459239e+00};
-  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
-                                 -1.556989798598866e+02, 6.680131188771972e+01,
-                                 -1.328068155288572e+01};
-  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
-                                 -2.400758277161838e+00, -2.549732539343734e+00,
-                                 4.374664141464968e+00,  2.938163982698783e+00};
-  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
-                                 2.445134137142996e+00, 3.754408661907416e+00};
-  constexpr double p_low = 0.02425;
-  if (p < p_low) {
-    const double q = std::sqrt(-2.0 * std::log(p));
-    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
-            c[5]) /
-           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-  }
-  if (p > 1.0 - p_low) {
-    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
-    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
-             c[5]) /
-           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
-  }
-  const double q = p - 0.5;
-  const double r = q * q;
-  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
-          a[5]) *
-         q /
-         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
-}
+double inverse_normal_cdf(double p) { return standard_normal_quantile(p); }
 
-void latin_hypercube_normal(std::size_t n, std::size_t dims, Rng& rng,
-                            linalg::Matrix& out) {
+void latin_hypercube_normal(std::size_t n, std::size_t dims,
+                            const StreamKey& key, linalg::Matrix& out) {
   require(n > 0 && dims > 0, "latin_hypercube_normal: empty request");
+  const CounterRng rng(key);
   out = linalg::Matrix(n, dims);
   std::vector<std::size_t> permutation(n);
+  // Draw addressing within the key's stream: dimension d uses counter index
+  // d for its permutation draws (lane = shuffle position) and counter index
+  // dims + d for the within-stratum jitter (lane = row). The two index
+  // ranges are disjoint, so every draw in the design is distinct.
   for (std::size_t d = 0; d < dims; ++d) {
     std::iota(permutation.begin(), permutation.end(), 0);
-    // Fisher-Yates with the caller's RNG (deterministic per seed).
-    for (std::size_t i = n; i > 1; --i)
-      std::swap(permutation[i - 1], permutation[rng.uniform_index(i)]);
+    // Fisher-Yates; the floor(u * i) index has O(2^-53) selection bias,
+    // negligible against the sampling noise this design suppresses.
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(d, i) * static_cast<double>(i));
+      std::swap(permutation[i - 1], permutation[std::min(j, i - 1)]);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       // Stratum `permutation[i]`, uniform within the stratum, mapped to a
       // normal through the inverse CDF.
       const double u =
-          (static_cast<double>(permutation[i]) + rng.uniform()) /
+          (static_cast<double>(permutation[i]) + rng.uniform(dims + d, i)) /
           static_cast<double>(n);
-      out(i, d) = inverse_normal_cdf(
-          std::clamp(u, 1e-12, 1.0 - 1e-12));
+      out(i, d) = standard_normal_quantile(std::clamp(u, 1e-12, 1.0 - 1e-12));
     }
   }
 }

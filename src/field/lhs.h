@@ -7,6 +7,13 @@
 // and strata matched across dimensions by independent random permutations.
 // Means and variances of smooth functionals converge visibly faster than
 // plain MC at identical cost — quantified in the sampling-scheme bench.
+//
+// Like the FieldSampler API, the design is a stateless function of a
+// StreamKey: the same key always yields the same design. Unlike the plain
+// samplers an LHS design is *coupled across its N rows* (the permutations
+// tie every stratum to exactly one sample), so it is generated as a whole
+// block rather than addressed row-by-row — partial ranges of a stratified
+// design would not be stratified.
 #pragma once
 
 #include "common/rng.h"
@@ -14,13 +21,14 @@
 
 namespace sckl::field {
 
-/// Inverse standard normal CDF (Acklam), exposed for tests.
+/// Inverse standard normal CDF (Acklam), exposed for tests and the yield
+/// helpers. Thin wrapper over sckl::standard_normal_quantile.
 double inverse_normal_cdf(double p);
 
-/// Fills `out` (n x dims) with a Latin hypercube sample of N(0, I_dims):
-/// every column is a stratified standard normal sample, rows are the joint
-/// draws.
-void latin_hypercube_normal(std::size_t n, std::size_t dims, Rng& rng,
-                            linalg::Matrix& out);
+/// Fills `out` (n x dims) with the Latin hypercube sample of N(0, I_dims)
+/// identified by `key`: every column is a stratified standard normal
+/// sample, rows are the joint draws. Deterministic per key.
+void latin_hypercube_normal(std::size_t n, std::size_t dims,
+                            const StreamKey& key, linalg::Matrix& out);
 
 }  // namespace sckl::field

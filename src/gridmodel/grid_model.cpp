@@ -89,14 +89,11 @@ GridPcaSampler::GridPcaSampler(const GridCorrelationModel& model,
   }
 }
 
-void GridPcaSampler::sample_block(std::size_t n, Rng& rng,
+void GridPcaSampler::sample_block(const field::SampleRange& range,
+                                  const StreamKey& key,
                                   linalg::Matrix& out) const {
-  require(n > 0, "GridPcaSampler::sample_block: n must be positive");
-  linalg::Matrix xi(n, r_);
-  for (std::size_t row = 0; row < n; ++row) {
-    double* values = xi.row_ptr(row);
-    for (std::size_t c = 0; c < r_; ++c) values[c] = rng.normal();
-  }
+  linalg::Matrix xi;
+  field::fill_latent_normals(range, key, r_, xi);
   out = linalg::gemm_bt(xi, rows_);
 }
 

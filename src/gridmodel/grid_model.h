@@ -74,7 +74,7 @@ class GridPcaSampler final : public field::FieldSampler {
 
   std::size_t num_locations() const override { return rows_.rows(); }
   std::size_t latent_dimension() const override { return r_; }
-  void sample_block(std::size_t n, Rng& rng,
+  void sample_block(const field::SampleRange& range, const StreamKey& key,
                     linalg::Matrix& out) const override;
 
  private:

@@ -20,6 +20,39 @@ double ExperimentResult::mean_endpoint_sigma_error() const {
   return mean_of(endpoint_sigma_error);
 }
 
+void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
+  ExperimentFlagSet set;
+  set.circuit = config.circuit;
+  set.num_samples = config.num_samples;
+  set.r = config.r;
+  set.seed = config.seed;
+  set.num_threads = config.num_threads;
+  set.store_root = config.store_root;
+  set.validate = config.validate_kle;
+  set.strict = config.strict;
+  set.apply(flags);
+  config.circuit = set.circuit;
+  config.num_samples = set.num_samples;
+  config.r = set.r;
+  config.seed = set.seed;
+  config.num_threads = set.num_threads;
+  config.store_root = set.store_root;
+  config.validate_kle = set.validate;
+  config.strict = set.strict;
+}
+
+robust::HealthReport fold_kle_health(const KleRunInfo& info) {
+  robust::HealthReport report = info.health;
+  if (info.solve.fallback)
+    report.add(robust::Severity::kWarning, "solver_fallback",
+               info.solve.fallback_reason);
+  if (info.out_of_mesh_gates > 0)
+    report.add(robust::Severity::kWarning, "out_of_mesh",
+               std::to_string(info.out_of_mesh_gates) +
+                   " gate(s) resolved to the nearest mesh triangle");
+  return report;
+}
+
 ExperimentPipeline::ExperimentPipeline(const ExperimentConfig& config)
     : config_(config) {
   netlist_ = std::make_unique<circuit::Netlist>(
@@ -39,17 +72,25 @@ ExperimentPipeline::ExperimentPipeline(const ExperimentConfig& config)
   kernel_ = std::make_unique<kernels::GaussianKernel>(c);
 }
 
+McSstaOptions ExperimentPipeline::mc_options() const {
+  McSstaOptions options;
+  options.num_samples = config_.num_samples;
+  // Same base seed for reference and KLE runs: the samplers map their
+  // latent draws through different bases, and sharing draws (common random
+  // numbers) tightens the e_mu / e_sigma comparison.
+  options.seed = config_.seed + 1000;
+  options.num_threads = config_.num_threads;
+  return options;
+}
+
 const McSstaResult& ExperimentPipeline::reference() {
   if (!reference_) {
     Stopwatch setup;
     const field::CholeskyFieldSampler sampler(*kernel_, locations_);
     reference_setup_seconds_ = setup.seconds();
     const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
-    McSstaOptions options;
-    options.num_samples = config_.num_samples;
-    options.seed = config_.seed + 1000;
     reference_ = std::make_unique<McSstaResult>(
-        run_monte_carlo_ssta(*engine_, samplers, options));
+        run_monte_carlo_ssta(*engine_, samplers, mc_options()));
   }
   return *reference_;
 }
@@ -72,61 +113,46 @@ store::KleArtifactConfig ExperimentPipeline::artifact_config(
   return config;
 }
 
-McSstaResult ExperimentPipeline::run_kle_stored(
-    store::KleArtifactStore& store, std::size_t r, std::size_t num_eigenpairs,
-    double* fetch_seconds, store::FetchSource* source,
-    std::size_t* mesh_triangles, KleRunInfo* info, bool validate) {
+KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
+  require((request.mesh != nullptr) != (request.store != nullptr),
+          "ExperimentPipeline::run_kle: set exactly one of mesh / store");
+  KleRunOutcome outcome;
+  outcome.from_store = request.store != nullptr;
+
   Stopwatch setup;
-  const store::FetchResult fetch =
-      store.get_or_compute(artifact_config(num_eigenpairs), *kernel_);
-  const field::KleFieldSampler sampler(*fetch.artifact, r, locations_);
-  if (fetch_seconds != nullptr) *fetch_seconds = setup.seconds();
-  if (source != nullptr) *source = fetch.source;
-  if (mesh_triangles != nullptr)
-    *mesh_triangles = fetch.artifact->mesh().num_triangles();
-  if (info != nullptr) {
-    info->out_of_mesh_gates = sampler.out_of_mesh_count();
-    if (validate) {
-      info->validated = true;
-      info->health = core::check_kle_health(fetch.artifact->kle());
+  std::unique_ptr<field::KleFieldSampler> sampler;
+  if (request.store != nullptr) {
+    const store::FetchResult fetch = request.store->get_or_compute(
+        artifact_config(request.num_eigenpairs), *kernel_);
+    sampler = std::make_unique<field::KleFieldSampler>(
+        *fetch.artifact, request.r, locations_);
+    outcome.source = fetch.source;
+    outcome.mesh_triangles = fetch.artifact->mesh().num_triangles();
+    if (request.validate) {
+      outcome.info.validated = true;
+      outcome.info.health = core::check_kle_health(fetch.artifact->kle());
+    }
+  } else {
+    core::KleOptions kle_options;
+    kle_options.num_eigenpairs = std::min<std::size_t>(
+        request.num_eigenpairs, request.mesh->num_triangles());
+    const core::KleResult kle = core::solve_kle(
+        *request.mesh, *kernel_, kle_options, &outcome.info.solve);
+    sampler = std::make_unique<field::KleFieldSampler>(kle, request.r,
+                                                       locations_);
+    outcome.mesh_triangles = request.mesh->num_triangles();
+    if (request.validate) {
+      outcome.info.validated = true;
+      outcome.info.health = core::check_kle_health(kle);
     }
   }
+  outcome.setup_seconds = setup.seconds();
+  outcome.info.out_of_mesh_gates = sampler->out_of_mesh_count();
 
-  const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
-  McSstaOptions options;
-  options.num_samples = config_.num_samples;
-  options.seed = config_.seed + 1000;
-  return run_monte_carlo_ssta(*engine_, samplers, options);
-}
-
-McSstaResult ExperimentPipeline::run_kle(const mesh::TriMesh& mesh,
-                                         std::size_t r,
-                                         std::size_t num_eigenpairs,
-                                         double* solve_seconds,
-                                         KleRunInfo* info, bool validate) {
-  Stopwatch setup;
-  core::KleOptions kle_options;
-  kle_options.num_eigenpairs =
-      std::min<std::size_t>(num_eigenpairs, mesh.num_triangles());
-  const core::KleResult kle = core::solve_kle(
-      mesh, *kernel_, kle_options, info != nullptr ? &info->solve : nullptr);
-  const field::KleFieldSampler sampler(kle, r, locations_);
-  if (solve_seconds != nullptr) *solve_seconds = setup.seconds();
-  if (info != nullptr) {
-    info->out_of_mesh_gates = sampler.out_of_mesh_count();
-    if (validate) {
-      info->validated = true;
-      info->health = core::check_kle_health(kle);
-    }
-  }
-
-  const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
-  McSstaOptions options;
-  options.num_samples = config_.num_samples;
-  // Same seed as the reference: both runs see equally-sized, independent
-  // sample sets, mirroring the paper's "100K samples each".
-  options.seed = config_.seed + 1000;
-  return run_monte_carlo_ssta(*engine_, samplers, options);
+  const ParameterSamplers samplers{sampler.get(), sampler.get(),
+                                   sampler.get(), sampler.get()};
+  outcome.ssta = run_monte_carlo_ssta(*engine_, samplers, mc_options());
+  return outcome;
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
@@ -138,51 +164,45 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.r = config.r;
 
   const McSstaResult& mc = pipeline.reference();
+  result.threads_used = mc.threads_used;
   result.mc_setup_seconds = pipeline.reference_setup_seconds();
   result.mc_run_seconds = mc.sampling_seconds + mc.sta_seconds;
   result.mc_mean = mc.worst_delay.mean();
   result.mc_sigma = mc.worst_delay.stddev();
 
-  const std::size_t pairs =
-      config.num_eigenpairs != 0
-          ? config.num_eigenpairs
-          : std::max<std::size_t>(2 * config.r, 50);
-  const bool validate = config.validate_kle || config.strict;
-  KleRunInfo info;
-  McSstaResult kle;
+  KleRunRequest request;
+  request.r = config.r;
+  request.num_eigenpairs = config.num_eigenpairs != 0
+                               ? config.num_eigenpairs
+                               : std::max<std::size_t>(2 * config.r, 50);
+  request.validate = config.validate_kle || config.strict;
+
+  std::unique_ptr<store::KleArtifactStore> store;
+  std::unique_ptr<mesh::TriMesh> mesh;
   if (!config.store_root.empty()) {
-    store::KleArtifactStore store(config.store_root);
-    store::FetchSource source = store::FetchSource::kSolved;
-    kle = pipeline.run_kle_stored(store, config.r, pairs,
-                                  &result.kle_setup_seconds, &source,
-                                  &result.mesh_triangles, &info, validate);
-    result.kle_source = store::to_string(source);
+    store = std::make_unique<store::KleArtifactStore>(config.store_root);
+    request.store = store.get();
   } else {
-    const mesh::TriMesh mesh = mesh::paper_mesh(
-        geometry::BoundingBox::unit_die(), config.mesh_area_fraction,
-        config.seed + 7);
-    result.mesh_triangles = mesh.num_triangles();
-    kle = pipeline.run_kle(mesh, config.r, pairs, &result.kle_setup_seconds,
-                           &info, validate);
+    mesh = std::make_unique<mesh::TriMesh>(
+        mesh::paper_mesh(geometry::BoundingBox::unit_die(),
+                         config.mesh_area_fraction, config.seed + 7));
+    request.mesh = mesh.get();
   }
-  result.out_of_mesh_gates = info.out_of_mesh_gates;
-  if (info.solve.fallback) result.kle_fallback_reason = info.solve.fallback_reason;
-  if (validate) {
-    // Fold the pipeline-level recoveries into the health report so one
-    // artifact carries the whole resilience story (and strict mode can
-    // escalate all of it at once).
-    robust::HealthReport report = std::move(info.health);
-    if (info.solve.fallback)
-      report.add(robust::Severity::kWarning, "solver_fallback",
-                 info.solve.fallback_reason);
-    if (info.out_of_mesh_gates > 0)
-      report.add(robust::Severity::kWarning, "out_of_mesh",
-                 std::to_string(info.out_of_mesh_gates) +
-                     " gate(s) resolved to the nearest mesh triangle");
+
+  KleRunOutcome outcome = pipeline.run_kle(request);
+  result.mesh_triangles = outcome.mesh_triangles;
+  if (outcome.from_store) result.kle_source = store::to_string(outcome.source);
+  result.kle_setup_seconds = outcome.setup_seconds;
+  result.out_of_mesh_gates = outcome.info.out_of_mesh_gates;
+  if (outcome.info.solve.fallback)
+    result.kle_fallback_reason = outcome.info.solve.fallback_reason;
+  if (request.validate) {
+    const robust::HealthReport report = fold_kle_health(outcome.info);
     result.health_ok = report.ok();
     result.health_summary = report.to_string();
     if (config.strict) report.throw_if_fatal(robust::Severity::kWarning);
   }
+  const McSstaResult& kle = outcome.ssta;
   result.kle_run_seconds = kle.sampling_seconds + kle.sta_seconds;
   result.kle_mean = kle.worst_delay.mean();
   result.kle_sigma = kle.worst_delay.stddev();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "core/kle_health.h"
 #include "core/kle_solver.h"
 #include "ssta/mc_ssta.h"
@@ -33,6 +34,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   bool reuse_kle = true;           // share one KLE across the 4 parameters
 
+  /// Worker threads for the Monte Carlo block pipeline: 0 = auto (the
+  /// SCKL_THREADS environment variable when set, else hardware
+  /// concurrency), 1 = serial, k = exactly k workers. Results are
+  /// bit-identical for every value (see ssta/mc_ssta.h).
+  std::size_t num_threads = 0;
+
   /// When non-empty, the KLE is fetched through a KleArtifactStore rooted
   /// here (memory -> disk -> solve) instead of always solving fresh, and
   /// kle_setup_seconds becomes the fetch time. Repeated runs on the same
@@ -47,12 +54,19 @@ struct ExperimentConfig {
   bool strict = false;
 };
 
+/// Maps the shared command-line flag vocabulary (sckl::ExperimentFlagSet,
+/// parsed in common/cli) onto an ExperimentConfig. Lives in the ssta layer
+/// because common cannot depend on ssta types. Fields without a flag
+/// (mesh_area_fraction, kernel_c, ...) keep the values already in `config`.
+void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config);
+
 /// Everything the benches report about one circuit.
 struct ExperimentResult {
   std::string circuit;
   std::size_t num_gates = 0;   // N_g
   std::size_t mesh_triangles = 0;  // n
   std::size_t r = 0;
+  std::size_t threads_used = 0;  // resolved Monte Carlo worker count
 
   double mc_mean = 0.0;
   double mc_sigma = 0.0;
@@ -98,6 +112,33 @@ struct KleRunInfo {
   robust::HealthReport health;
 };
 
+/// Folds the pipeline-level recoveries of one KLE run (solver fallback,
+/// out-of-mesh gates) into its health report, so one artifact carries the
+/// whole resilience story and strict mode can escalate all of it at once.
+robust::HealthReport fold_kle_health(const KleRunInfo& info);
+
+/// What to run for one Algorithm 2 (reduced-dimension) SSTA pass. Exactly
+/// one KLE provenance must be set: a mesh to solve fresh on, or an artifact
+/// store to fetch through (solving only on a cold miss).
+struct KleRunRequest {
+  std::size_t r = 25;              // KLE truncation
+  std::size_t num_eigenpairs = 50; // computed pairs m (clamped to the mesh)
+  const mesh::TriMesh* mesh = nullptr;       // fresh-solve path
+  store::KleArtifactStore* store = nullptr;  // store-fetch path
+  /// Additionally run core::check_kle_health into the outcome's info.
+  bool validate = false;
+};
+
+/// Statistics + provenance + telemetry of one Algorithm 2 run.
+struct KleRunOutcome {
+  McSstaResult ssta;            // the Monte Carlo statistics
+  double setup_seconds = 0.0;   // KLE solve — or store fetch — wall time
+  bool from_store = false;      // request went through the artifact store
+  store::FetchSource source = store::FetchSource::kSolved;  // store path only
+  std::size_t mesh_triangles = 0;  // n of the KLE actually used
+  KleRunInfo info;              // fallback / out-of-mesh / health telemetry
+};
+
 /// Reusable pieces for sweep benches (Fig. 6 varies r and n on one circuit
 /// without rebuilding the netlist/placement/reference run each time).
 class ExperimentPipeline {
@@ -105,6 +146,7 @@ class ExperimentPipeline {
   explicit ExperimentPipeline(const ExperimentConfig& config);
 
   const timing::StaEngine& engine() const { return *engine_; }
+  const placer::Placement& placement() const { return *placement_; }
   const std::vector<geometry::Point2>& gate_locations() const {
     return locations_;
   }
@@ -115,31 +157,19 @@ class ExperimentPipeline {
   const McSstaResult& reference();
   double reference_setup_seconds();
 
-  /// Runs Algorithm 2 with a KLE built on `mesh` truncated at r. Pass
-  /// `info` to collect solver fallback/out-of-mesh telemetry; `validate`
-  /// additionally runs core::check_kle_health into info->health.
-  McSstaResult run_kle(const mesh::TriMesh& mesh, std::size_t r,
-                       std::size_t num_eigenpairs, double* solve_seconds,
-                       KleRunInfo* info = nullptr, bool validate = false);
+  /// Runs Algorithm 2 with the KLE described by the request (fresh solve on
+  /// request.mesh, or fetched through request.store).
+  KleRunOutcome run_kle(const KleRunRequest& request);
 
   /// The artifact configuration this pipeline's KLE is keyed under (paper
   /// mesh on the unit die, this pipeline's kernel, centroid quadrature).
   store::KleArtifactConfig artifact_config(std::size_t num_eigenpairs) const;
 
-  /// Runs Algorithm 2 with the KLE fetched through `store` (solving only on
-  /// a cold miss). Reports fetch provenance/time and the mesh size through
-  /// the out-parameters when non-null.
-  McSstaResult run_kle_stored(store::KleArtifactStore& store, std::size_t r,
-                              std::size_t num_eigenpairs,
-                              double* fetch_seconds,
-                              store::FetchSource* source,
-                              std::size_t* mesh_triangles,
-                              KleRunInfo* info = nullptr,
-                              bool validate = false);
-
   const ExperimentConfig& config() const { return config_; }
 
  private:
+  McSstaOptions mc_options() const;
+
   ExperimentConfig config_;
   std::unique_ptr<circuit::Netlist> netlist_;
   std::unique_ptr<placer::Placement> placement_;

@@ -1,12 +1,26 @@
 #include "ssta/mc_ssta.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace sckl::ssta {
+namespace {
+
+/// Statistics of one sample block, filled by whichever worker claimed it.
+/// Kept per block (not per worker) so the final merge runs in block order —
+/// the floating-point accumulation is then independent of the thread count.
+struct BlockPartial {
+  RunningStats worst_delay;
+  std::vector<RunningStats> endpoint;
+  double sampling_seconds = 0.0;
+  double sta_seconds = 0.0;
+};
+
+}  // namespace
 
 McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
                                   const ParameterSamplers& samplers,
@@ -21,38 +35,76 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
             "run_monte_carlo_ssta: sampler/netlist gate count mismatch");
   }
 
-  McSstaResult result;
-  result.endpoint.resize(engine.num_endpoints());
-
   Stopwatch total;
-  Rng master(options.seed);
-  std::array<Rng, timing::kNumStatParameters> streams = {
-      master.split(), master.split(), master.split(), master.split()};
+  const std::size_t num_blocks =
+      (options.num_samples + options.block_size - 1) / options.block_size;
+  const std::size_t num_threads = std::min(
+      ThreadPool::resolve_num_threads(options.num_threads), num_blocks);
 
-  std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
-  std::size_t remaining = options.num_samples;
-  while (remaining > 0) {
-    const std::size_t n = std::min(options.block_size, remaining);
-    remaining -= n;
+  McSstaResult result;
+  result.threads_used = num_threads;
+  const std::size_t num_endpoints = engine.num_endpoints();
+  std::vector<BlockPartial> partials(num_blocks);
+  if (options.keep_samples)
+    result.worst_delay_samples.assign(options.num_samples, 0.0);
 
-    Stopwatch sampling;
-    for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
-      samplers[j]->sample_block(n, streams[j], blocks[j]);
-    result.sampling_seconds += sampling.seconds();
+  // Work-stealing block pipeline: workers claim the next unprocessed block
+  // off the shared counter, so a slow block (cache miss, scheduler hiccup)
+  // never stalls the others. Each worker owns its scratch matrices; the
+  // StaEngine is const and allocation-local, so one engine serves all
+  // workers. Writes are disjoint: block b's partial and its sample range.
+  std::atomic<std::size_t> next_block{0};
+  const auto worker = [&](std::size_t /*worker_index*/) {
+    std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
+    for (;;) {
+      const std::size_t b = next_block.fetch_add(1);
+      if (b >= num_blocks) break;
+      const std::uint64_t first =
+          static_cast<std::uint64_t>(b) * options.block_size;
+      const std::size_t n = std::min<std::size_t>(
+          options.block_size, options.num_samples - first);
+      BlockPartial& partial = partials[b];
+      partial.endpoint.resize(num_endpoints);
 
-    Stopwatch sta;
-    for (std::size_t i = 0; i < n; ++i) {
-      timing::ParameterView view;
+      Stopwatch sampling;
+      const field::SampleRange range{first, n};
       for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
-        view[j] = blocks[j].row_ptr(i);
-      const timing::StaResult timing_result = engine.run(view);
-      result.worst_delay.add(timing_result.worst_delay);
-      if (options.keep_samples)
-        result.worst_delay_samples.push_back(timing_result.worst_delay);
-      for (std::size_t e = 0; e < timing_result.endpoint_arrival.size(); ++e)
-        result.endpoint[e].add(timing_result.endpoint_arrival[e]);
+        samplers[j]->sample_block(range, StreamKey{options.seed, j},
+                                  blocks[j]);
+      partial.sampling_seconds = sampling.seconds();
+
+      Stopwatch sta;
+      for (std::size_t i = 0; i < n; ++i) {
+        timing::ParameterView view;
+        for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
+          view[j] = blocks[j].row_ptr(i);
+        const timing::StaResult timing_result = engine.run(view);
+        partial.worst_delay.add(timing_result.worst_delay);
+        if (options.keep_samples)
+          result.worst_delay_samples[first + i] = timing_result.worst_delay;
+        for (std::size_t e = 0; e < timing_result.endpoint_arrival.size(); ++e)
+          partial.endpoint[e].add(timing_result.endpoint_arrival[e]);
+      }
+      partial.sta_seconds = sta.seconds();
     }
-    result.sta_seconds += sta.seconds();
+  };
+
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    ThreadPool pool(num_threads);
+    pool.run(worker);
+  }
+
+  // Ordered merge: block 0, 1, 2, ... regardless of which worker produced
+  // which block, so mean/sigma are bit-identical for every thread count.
+  result.endpoint.resize(num_endpoints);
+  for (const BlockPartial& partial : partials) {
+    result.worst_delay.merge(partial.worst_delay);
+    for (std::size_t e = 0; e < num_endpoints; ++e)
+      result.endpoint[e].merge(partial.endpoint[e]);
+    result.sampling_seconds += partial.sampling_seconds;
+    result.sta_seconds += partial.sta_seconds;
   }
   result.total_seconds = total.seconds();
   return result;

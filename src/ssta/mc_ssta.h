@@ -2,10 +2,20 @@
 //
 // Runs N STA evaluations, drawing per-gate values of the four statistical
 // parameters from one FieldSampler per parameter (the P_j matrices of
-// Algorithms 1/2 are mutually independent, so each parameter gets its own
-// RNG stream). Samples are generated in blocks to bound memory, and the
-// harness separately times sample generation and STA so Table 1's speedup
-// decomposition can be reported.
+// Algorithms 1/2 are mutually independent, so parameter j reads the
+// counter-based stream StreamKey{seed, j} — see common/rng.h for the
+// derivation scheme). Samples are generated in blocks to bound memory, and
+// the harness separately times sample generation and STA so Table 1's
+// speedup decomposition can be reported.
+//
+// The block loop is parallel: workers claim blocks dynamically off a shared
+// counter, draw their block's index range for all four parameters, run STA
+// with per-worker scratch state, and record per-block partial statistics
+// that are merged in block order after the join. Because every sample is
+// index-addressed (the samplers are stateless) and the merge order is
+// fixed, the result — including every retained worst-delay sample and the
+// accumulated mean/sigma — is bit-identical for any thread count and any
+// block size partition.
 #pragma once
 
 #include <array>
@@ -24,6 +34,11 @@ struct McSstaOptions {
   std::size_t block_size = 256;  // samples per generated block
   std::uint64_t seed = 12345;
   bool keep_samples = false;  // retain per-sample worst delays (yield curves)
+  /// Worker threads for the block pipeline: 0 = auto (the SCKL_THREADS
+  /// environment variable when set, else hardware concurrency), 1 = serial
+  /// on the calling thread, k = exactly k workers. Statistics are
+  /// bit-identical for every value.
+  std::size_t num_threads = 0;
 };
 
 /// Statistics collected over one run.
@@ -31,19 +46,21 @@ struct McSstaResult {
   RunningStats worst_delay;                // circuit delay across samples
   std::vector<RunningStats> endpoint;      // per-endpoint delay statistics
   std::vector<double> worst_delay_samples; // only with keep_samples
-  double sampling_seconds = 0.0;           // parameter-sample generation
-  double sta_seconds = 0.0;                // timer evaluation
-  double total_seconds = 0.0;              // end-to-end (incl. bookkeeping)
+  double sampling_seconds = 0.0;           // parameter-sample generation,
+  double sta_seconds = 0.0;                //   summed across workers (CPU s)
+  double total_seconds = 0.0;              // end-to-end wall time
+  std::size_t threads_used = 0;            // resolved worker count
 };
 
 /// One sampler per statistical parameter (L, W, Vt, tox), in that order.
 /// The same sampler object may back several parameters; streams stay
-/// independent because each parameter splits its own RNG.
+/// independent because parameter j draws from StreamKey{seed, j}.
 using ParameterSamplers =
     std::array<const field::FieldSampler*, timing::kNumStatParameters>;
 
 /// Runs Monte Carlo SSTA. All samplers must cover exactly the engine's
-/// physical gate count.
+/// physical gate count and be safe for concurrent const use (every sampler
+/// in this codebase is: sample_block is a pure function of its arguments).
 McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
                                   const ParameterSamplers& samplers,
                                   const McSstaOptions& options = {});

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "field/field_sampler.h"
 #include "field/lhs.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
@@ -126,19 +127,15 @@ PceAnalysis fit_worst_delay_pce(const timing::StaEngine& engine,
           "fit_worst_delay_pce: need at least 2x basis-size samples");
 
   Stopwatch timer;
-  Rng rng(options.seed);
+  const StreamKey key{options.seed, 0};
   const std::size_t n = options.num_samples;
 
   // Sample the full latent space once.
   linalg::Matrix xi;
   if (options.use_latin_hypercube) {
-    field::latin_hypercube_normal(n, total_dims, rng, xi);
+    field::latin_hypercube_normal(n, total_dims, key, xi);
   } else {
-    xi = linalg::Matrix(n, total_dims);
-    for (std::size_t i = 0; i < n; ++i) {
-      double* row = xi.row_ptr(i);
-      for (std::size_t d = 0; d < total_dims; ++d) row[d] = rng.normal();
-    }
+    field::fill_latent_normals(field::SampleRange{0, n}, key, total_dims, xi);
   }
 
   // Reconstruct per-parameter gate values: P_j = Xi_j G_j^T.

@@ -128,9 +128,8 @@ TEST(InverseNormalCdf, RoundTripsWithCdf) {
 }
 
 TEST(LatinHypercube, MarginalsAreStandardNormal) {
-  Rng rng(5);
   linalg::Matrix sample;
-  field::latin_hypercube_normal(2000, 3, rng, sample);
+  field::latin_hypercube_normal(2000, 3, StreamKey{5, 0}, sample);
   for (std::size_t d = 0; d < 3; ++d) {
     RunningStats stats;
     for (std::size_t i = 0; i < 2000; ++i) stats.add(sample(i, d));
@@ -141,10 +140,9 @@ TEST(LatinHypercube, MarginalsAreStandardNormal) {
 }
 
 TEST(LatinHypercube, StratificationCoversEveryStratum) {
-  Rng rng(6);
   const std::size_t n = 64;
   linalg::Matrix sample;
-  field::latin_hypercube_normal(n, 2, rng, sample);
+  field::latin_hypercube_normal(n, 2, StreamKey{6, 0}, sample);
   // Exactly one sample per probability stratum per dimension.
   for (std::size_t d = 0; d < 2; ++d) {
     std::vector<int> hits(n, 0);
@@ -167,7 +165,6 @@ TEST(LatinHypercube, ReducesMeanEstimatorVariance) {
   RunningStats lhs_spread;
   for (int rep = 0; rep < 60; ++rep) {
     Rng rng_a(100 + rep);
-    Rng rng_b(100 + rep);
     double plain = 0.0;
     for (std::size_t i = 0; i < n * dims; ++i) {
       const double x = rng_a.normal();
@@ -175,7 +172,8 @@ TEST(LatinHypercube, ReducesMeanEstimatorVariance) {
     }
     plain_spread.add(plain / static_cast<double>(n));
     linalg::Matrix sample;
-    field::latin_hypercube_normal(n, dims, rng_b, sample);
+    field::latin_hypercube_normal(
+        n, dims, StreamKey{100 + static_cast<std::uint64_t>(rep), 0}, sample);
     double lhs = 0.0;
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t d = 0; d < dims; ++d)

@@ -2,7 +2,10 @@
 // statistics, table formatting, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/cli.h"
@@ -11,6 +14,7 @@
 #include "common/statistics.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace sckl {
 namespace {
@@ -123,6 +127,76 @@ TEST(Rng, NormalVectorHasRequestedLength) {
   EXPECT_EQ(rng.normal_vector(17).size(), 17u);
 }
 
+TEST(CounterRng, PureFunctionOfKeyIndexAndLane) {
+  const CounterRng a(StreamKey{42, 3});
+  const CounterRng b(StreamKey{42, 3});
+  for (std::uint64_t i = 0; i < 64; ++i)
+    for (std::uint64_t lane = 0; lane < 4; ++lane) {
+      EXPECT_EQ(a.bits(i, lane), b.bits(i, lane));
+      EXPECT_EQ(a.normal(i, lane), b.normal(i, lane));
+    }
+}
+
+TEST(CounterRng, DistinctKeysIndicesAndLanesDecorrelate) {
+  const CounterRng base(StreamKey{1, 0});
+  const CounterRng other_seed(StreamKey{2, 0});
+  const CounterRng other_param(StreamKey{1, 1});
+  int seed_same = 0;
+  int param_same = 0;
+  int lane_same = 0;
+  int index_same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seed_same += base.bits(i, 0) == other_seed.bits(i, 0);
+    param_same += base.bits(i, 0) == other_param.bits(i, 0);
+    lane_same += base.bits(i, 0) == base.bits(i, 1);
+    index_same += base.bits(i, 0) == base.bits(i + 1, 0);
+  }
+  EXPECT_EQ(seed_same, 0);
+  EXPECT_EQ(param_same, 0);
+  EXPECT_EQ(lane_same, 0);
+  EXPECT_EQ(index_same, 0);
+}
+
+TEST(CounterRng, UniformStrictlyInsideUnitInterval) {
+  const CounterRng rng(StreamKey{7, 0});
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const double u = rng.uniform(i, 0);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, NormalMomentsMatchStandardNormal) {
+  const CounterRng rng(StreamKey{11, 2});
+  RunningStats stats;
+  double sum_cubed = 0.0;
+  const std::uint64_t n = 200000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double x = rng.normal(i, 0);
+    stats.add(x);
+    sum_cubed += x * x * x;
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.02);
+  EXPECT_NEAR(sum_cubed / static_cast<double>(n), 0.0, 0.03);
+}
+
+TEST(StandardNormalQuantile, RoundTripsAndRejectsEndpoints) {
+  // Acklam's approximation is accurate to ~1.2e-9 relative; the erfc-based
+  // CDF closes the loop.
+  const auto normal_cdf = [](double z) {
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+  };
+  for (double p : {1e-9, 1e-4, 0.02425, 0.3, 0.5, 0.8, 0.97575, 0.9999}) {
+    EXPECT_NEAR(normal_cdf(standard_normal_quantile(p)), p,
+                1e-8 + 1e-7 * p)
+        << "p=" << p;
+  }
+  EXPECT_THROW(standard_normal_quantile(0.0), Error);
+  EXPECT_THROW(standard_normal_quantile(1.0), Error);
+  EXPECT_THROW(standard_normal_quantile(-0.5), Error);
+}
+
 TEST(RunningStats, MatchesDirectComputation) {
   const std::vector<double> data = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
   RunningStats stats;
@@ -176,6 +250,33 @@ TEST(RunningStats, MergeWithEmptyIsIdentity) {
   b.merge(a);
   EXPECT_EQ(b.count(), 2u);
   EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, MergeIsAssociativeUpToRounding) {
+  // Property: for random partitions into three chunks, (a+b)+c and a+(b+c)
+  // agree on count/min/max exactly and on mean/variance to tight tolerance.
+  // (The parallel MC engine relies on a fixed merge order for bit-equality;
+  // this pins down that any order is still statistically equivalent.)
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    Rng rng(900 + trial);
+    RunningStats chunk[3];
+    for (int i = 0; i < 600; ++i)
+      chunk[rng.uniform_index(3)].add(rng.normal(10.0, 3.0));
+
+    RunningStats left_first = chunk[0];
+    left_first.merge(chunk[1]);
+    left_first.merge(chunk[2]);
+    RunningStats right_first = chunk[1];
+    right_first.merge(chunk[2]);
+    RunningStats a = chunk[0];
+    a.merge(right_first);
+
+    EXPECT_EQ(left_first.count(), a.count());
+    EXPECT_EQ(left_first.min(), a.min());
+    EXPECT_EQ(left_first.max(), a.max());
+    EXPECT_NEAR(left_first.mean(), a.mean(), 1e-12);
+    EXPECT_NEAR(left_first.variance(), a.variance(), 1e-10);
+  }
 }
 
 TEST(Covariance, RecoverKnownLinearRelation) {
@@ -273,6 +374,61 @@ TEST(CliFlags, RejectsMalformedValues) {
   EXPECT_THROW(flags.get_int("x", 0), Error);
   EXPECT_THROW(flags.get_double("x", 0.0), Error);
   EXPECT_THROW(flags.get_bool("x", false), Error);
+}
+
+TEST(ExperimentFlagSet, AppliesOnlyPresentFlags) {
+  const char* argv[] = {"prog", "--circuit=c1355", "--threads=4", "--strict"};
+  CliFlags flags(static_cast<int>(std::size(argv)), argv);
+  ExperimentFlagSet defaults;
+  defaults.num_samples = 250;  // binary-specific default
+  const ExperimentFlagSet set = parse_experiment_flags(flags, defaults);
+  EXPECT_EQ(set.circuit, "c1355");
+  EXPECT_EQ(set.num_threads, 4u);
+  EXPECT_TRUE(set.strict);
+  EXPECT_FALSE(set.validate);
+  EXPECT_EQ(set.num_samples, 250u);  // untouched: no --samples flag
+  EXPECT_EQ(set.seed, 1u);
+}
+
+TEST(ExperimentFlagSet, RejectsNegativeCounts) {
+  const char* argv[] = {"prog", "--threads=-2"};
+  CliFlags flags(2, argv);
+  EXPECT_THROW(parse_experiment_flags(flags), Error);
+}
+
+TEST(ThreadPool, ExplicitRequestIsVerbatim) {
+  EXPECT_EQ(ThreadPool::resolve_num_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(6), 6u);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);  // auto >= 1
+}
+
+TEST(ThreadPool, AutoModeHonorsEnvOverride) {
+  const char* saved = std::getenv("SCKL_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+  setenv("SCKL_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(0), 3u);
+  EXPECT_EQ(ThreadPool::resolve_num_threads(2), 2u);  // explicit wins
+  setenv("SCKL_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::resolve_num_threads(0), 1u);  // malformed -> auto
+  if (saved != nullptr)
+    setenv("SCKL_THREADS", restore.c_str(), 1);
+  else
+    unsetenv("SCKL_THREADS");
+}
+
+TEST(ThreadPool, RunsJobOnEveryWorkerAndStaysUsableAfterThrow) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> total{0};
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+  EXPECT_THROW(pool.run([&](std::size_t worker) {
+                 if (worker == 2) throw Error("boom");
+               }),
+               Error);
+  total = 0;
+  pool.run([&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
 }
 
 }  // namespace

@@ -31,7 +31,8 @@ TEST(Correlogram, RecoversKernelShape) {
   const auto sites = random_sites(60, rng);
   const field::CholeskyFieldSampler sampler(truth, sites);
   linalg::Matrix measurements;
-  sampler.sample_block(4000, rng, measurements);  // 4000 "dies"
+  sampler.sample_block(field::SampleRange{0, 4000}, StreamKey{5, 0},
+                       measurements);  // 4000 "dies"
 
   const auto bins = empirical_correlogram(measurements, sites, 12, 2.0);
   ASSERT_GT(bins.size(), 6u);
@@ -61,7 +62,8 @@ TEST(CorrelogramFit, RecoversDecayParameter) {
   const auto sites = random_sites(80, rng);
   const field::CholeskyFieldSampler sampler(truth, sites);
   linalg::Matrix measurements;
-  sampler.sample_block(6000, rng, measurements);
+  sampler.sample_block(field::SampleRange{0, 6000}, StreamKey{6, 0},
+                       measurements);
   const auto bins = empirical_correlogram(measurements, sites, 14, 2.2);
 
   const auto gaussian_family = [](double c) {
@@ -81,7 +83,8 @@ TEST(CorrelogramFit, PrefersTheTrueFamily) {
   const auto sites = random_sites(70, rng);
   const field::CholeskyFieldSampler sampler(truth, sites);
   linalg::Matrix measurements;
-  sampler.sample_block(6000, rng, measurements);
+  sampler.sample_block(field::SampleRange{0, 6000}, StreamKey{7, 0},
+                       measurements);
   const auto bins = empirical_correlogram(measurements, sites, 14, 2.2);
 
   const auto gaussian_family = [](double c) {

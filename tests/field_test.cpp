@@ -1,6 +1,7 @@
 // Tests for src/field: both samplers must reproduce the kernel's covariance
 // empirically (Algorithm 1 exactly, Algorithm 2 up to truncation error),
-// and the latent-dimension bookkeeping that drives the paper's speedup.
+// the latent-dimension bookkeeping that drives the paper's speedup, and the
+// index-addressed draw contract (sample i depends only on (key, i)).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -38,8 +39,8 @@ TEST(CholeskySampler, EmpiricalCovarianceMatchesKernel) {
   const kernels::GaussianKernel kernel(2.33);
   const auto locations = test_locations();
   const CholeskyFieldSampler sampler(kernel, locations);
-  Rng rng(21);
-  const linalg::Matrix cov = empirical_covariance(sampler, 60000, rng);
+  const linalg::Matrix cov =
+      empirical_covariance(sampler, 60000, StreamKey{21, 0});
   const CovarianceErrorSummary s =
       compare_covariance(cov, kernel, locations);
   // Monte Carlo noise at 60K samples: ~1/sqrt(N) ~ 0.004; allow 4x.
@@ -53,9 +54,8 @@ TEST(CholeskySampler, HandlesNearSingularGram) {
   std::vector<Point2> locations = {{0.0, 0.0}, {1e-9, 0.0}, {0.5, 0.5}};
   const kernels::GaussianKernel kernel(2.0);
   const CholeskyFieldSampler sampler(kernel, locations);
-  Rng rng(22);
   linalg::Matrix block;
-  sampler.sample_block(100, rng, block);
+  sampler.sample_block(SampleRange{0, 100}, StreamKey{22, 0}, block);
   // Coincident points get (essentially) identical samples.
   for (std::size_t i = 0; i < 100; ++i)
     EXPECT_NEAR(block(i, 0), block(i, 1), 1e-3);
@@ -94,8 +94,8 @@ TEST_F(KleSamplerTest, EmpiricalCovarianceMatchesKernelUpToTruncation) {
   const core::KleResult kle = solve(40);
   const auto locations = test_locations();
   const KleFieldSampler sampler(kle, 40, locations);
-  Rng rng(23);
-  const linalg::Matrix cov = empirical_covariance(sampler, 60000, rng);
+  const linalg::Matrix cov =
+      empirical_covariance(sampler, 60000, StreamKey{23, 0});
   const CovarianceErrorSummary s =
       compare_covariance(cov, kernel_, locations);
   // Truncation (r=40 on a coarse mesh) + the piecewise-constant basis error
@@ -107,27 +107,52 @@ TEST_F(KleSamplerTest, EmpiricalCovarianceMatchesKernelUpToTruncation) {
 TEST_F(KleSamplerTest, TruncationErrorDecreasesWithR) {
   const core::KleResult kle = solve(40);
   const auto locations = test_locations();
-  Rng rng_small(24);
-  Rng rng_large(24);
   const KleFieldSampler small(kle, 4, locations);
   const KleFieldSampler large(kle, 40, locations);
   const auto err_small = compare_covariance(
-      empirical_covariance(small, 40000, rng_small), kernel_, locations);
+      empirical_covariance(small, 40000, StreamKey{24, 0}), kernel_,
+      locations);
   const auto err_large = compare_covariance(
-      empirical_covariance(large, 40000, rng_large), kernel_, locations);
+      empirical_covariance(large, 40000, StreamKey{24, 0}), kernel_,
+      locations);
   EXPECT_GT(err_small.max_abs_error, err_large.max_abs_error);
 }
 
-TEST_F(KleSamplerTest, SampleBlockIsDeterministicInRng) {
+TEST_F(KleSamplerTest, SampleBlockIsDeterministicInKey) {
   const core::KleResult kle = solve(20);
   const KleFieldSampler sampler(kle, 10, test_locations());
-  Rng rng1(25);
-  Rng rng2(25);
   linalg::Matrix a;
   linalg::Matrix b;
-  sampler.sample_block(16, rng1, a);
-  sampler.sample_block(16, rng2, b);
+  sampler.sample_block(SampleRange{0, 16}, StreamKey{25, 0}, a);
+  sampler.sample_block(SampleRange{0, 16}, StreamKey{25, 0}, b);
   EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST_F(KleSamplerTest, SampleIsIndexAddressedAcrossBlockBoundaries) {
+  // The core stateless-draw contract: row i of the stream depends only on
+  // (key, i), never on where the block containing it started.
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  linalg::Matrix whole;
+  linalg::Matrix tail;
+  sampler.sample_block(SampleRange{0, 16}, StreamKey{25, 3}, whole);
+  sampler.sample_block(SampleRange{8, 8}, StreamKey{25, 3}, tail);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t c = 0; c < sampler.num_locations(); ++c)
+      EXPECT_EQ(tail(i, c), whole(8 + i, c)) << "row " << i << " col " << c;
+}
+
+TEST_F(KleSamplerTest, DistinctKeysGiveDistinctStreams) {
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  linalg::Matrix a;
+  linalg::Matrix b;
+  linalg::Matrix c;
+  sampler.sample_block(SampleRange{0, 4}, StreamKey{25, 0}, a);
+  sampler.sample_block(SampleRange{0, 4}, StreamKey{25, 1}, b);
+  sampler.sample_block(SampleRange{0, 4}, StreamKey{26, 0}, c);
+  EXPECT_GT(a.max_abs_diff(b), 0.0);
+  EXPECT_GT(a.max_abs_diff(c), 0.0);
 }
 
 TEST_F(KleSamplerTest, NearbyLocationsAreStronglyCorrelated) {
@@ -135,9 +160,8 @@ TEST_F(KleSamplerTest, NearbyLocationsAreStronglyCorrelated) {
   const std::vector<Point2> locations = {
       {0.0, 0.0}, {0.05, 0.0}, {0.9, 0.9}};  // two close, one far
   const KleFieldSampler sampler(kle, 40, locations);
-  Rng rng(26);
   linalg::Matrix block;
-  sampler.sample_block(20000, rng, block);
+  sampler.sample_block(SampleRange{0, 20000}, StreamKey{26, 0}, block);
   CovarianceAccumulator close_pair;
   CovarianceAccumulator far_pair;
   for (std::size_t i = 0; i < 20000; ++i) {
@@ -151,8 +175,7 @@ TEST_F(KleSamplerTest, NearbyLocationsAreStronglyCorrelated) {
 TEST(CovarianceEstimate, RejectsTooFewSamples) {
   const kernels::GaussianKernel kernel(2.0);
   const CholeskyFieldSampler sampler(kernel, test_locations());
-  Rng rng(27);
-  EXPECT_THROW(empirical_covariance(sampler, 1, rng), Error);
+  EXPECT_THROW(empirical_covariance(sampler, 1, StreamKey{27, 0}), Error);
 }
 
 TEST(CovarianceEstimate, CompareRejectsShapeMismatch) {

@@ -66,9 +66,8 @@ TEST(GridPcaSampler, ReproducesCellCorrelations) {
   for (std::size_t c = 0; c < model.num_cells(); c += 6)
     locations.push_back(model.cell_center(c));
   const GridPcaSampler sampler(model, model.num_cells(), locations);
-  Rng rng(9);
   const linalg::Matrix cov =
-      field::empirical_covariance(sampler, 40000, rng);
+      field::empirical_covariance(sampler, 40000, StreamKey{9, 0});
   const auto summary = field::compare_covariance(cov, kernel, locations);
   EXPECT_LT(summary.max_abs_error, 0.04);  // MC noise only
 }
@@ -80,9 +79,8 @@ TEST(GridPcaSampler, SameCellMeansPerfectCorrelation) {
   const std::vector<Point2> locations = {{0.55, 0.55}, {0.9, 0.9}};
   ASSERT_EQ(model.cell_of(locations[0]), model.cell_of(locations[1]));
   const GridPcaSampler sampler(model, 16, locations);
-  Rng rng(10);
   linalg::Matrix block;
-  sampler.sample_block(200, rng, block);
+  sampler.sample_block(field::SampleRange{0, 200}, StreamKey{10, 0}, block);
   for (std::size_t i = 0; i < 200; ++i)
     EXPECT_DOUBLE_EQ(block(i, 0), block(i, 1));
 }
@@ -106,12 +104,10 @@ TEST(GridVsKle, KleTracksIntraCellDecorrelationGridCannot) {
   const core::KleResult kle = core::solve_kle(mesh, kernel, options);
   const field::KleFieldSampler kle_sampler(kle, 40, locations);
 
-  Rng rng_a(11);
-  Rng rng_b(11);
   const auto grid_cov =
-      field::empirical_covariance(grid_sampler, 30000, rng_a);
+      field::empirical_covariance(grid_sampler, 30000, StreamKey{11, 0});
   const auto kle_cov =
-      field::empirical_covariance(kle_sampler, 30000, rng_b);
+      field::empirical_covariance(kle_sampler, 30000, StreamKey{11, 0});
   EXPECT_GT(grid_cov(0, 1), 0.97);                 // wrongly ~1
   EXPECT_NEAR(kle_cov(0, 1), truth, 0.06);          // right
 }

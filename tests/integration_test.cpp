@@ -131,14 +131,14 @@ TEST(Integration, SpeedAdvantageGrowsWithGateCount) {
     const field::CholeskyFieldSampler dense(kernel, locations);
     const field::KleFieldSampler reduced(kle, 25, locations);
 
-    Rng rng_a(7);
-    Rng rng_b(7);
+    const field::SampleRange range{0, 200};
+    const StreamKey key{7, 0};
     linalg::Matrix block;
     Stopwatch t_dense;
-    for (int rep = 0; rep < 3; ++rep) dense.sample_block(200, rng_a, block);
+    for (int rep = 0; rep < 3; ++rep) dense.sample_block(range, key, block);
     const double dense_time = t_dense.seconds();
     Stopwatch t_reduced;
-    for (int rep = 0; rep < 3; ++rep) reduced.sample_block(200, rng_b, block);
+    for (int rep = 0; rep < 3; ++rep) reduced.sample_block(range, key, block);
     const double reduced_time = t_reduced.seconds();
     const double ratio = dense_time / std::max(reduced_time, 1e-9);
     EXPECT_GT(ratio, previous_ratio);

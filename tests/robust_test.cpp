@@ -515,9 +515,8 @@ TEST(KleFieldTest, OutOfMeshGatesResolveToNearestAndAreCounted) {
   EXPECT_EQ(sampler.num_locations(), locations.size());
 
   // Sampling still works and produces finite values for every location.
-  Rng rng(7);
   linalg::Matrix block;
-  sampler.sample_block(8, rng, block);
+  sampler.sample_block(field::SampleRange{0, 8}, StreamKey{7, 0}, block);
   ASSERT_EQ(block.rows(), 8u);
   ASSERT_EQ(block.cols(), locations.size());
   for (std::size_t i = 0; i < block.rows(); ++i)

@@ -128,10 +128,87 @@ TEST(Experiment, PipelineReusesReference) {
 
   const mesh::TriMesh mesh = mesh::structured_mesh_for_count(
       geometry::BoundingBox::unit_die(), 400);
-  double solve_seconds = -1.0;
-  const McSstaResult kle = pipeline.run_kle(mesh, 10, 20, &solve_seconds);
-  EXPECT_EQ(kle.worst_delay.count(), 120u);
-  EXPECT_GE(solve_seconds, 0.0);
+  KleRunRequest request;
+  request.r = 10;
+  request.num_eigenpairs = 20;
+  request.mesh = &mesh;
+  const KleRunOutcome outcome = pipeline.run_kle(request);
+  EXPECT_EQ(outcome.ssta.worst_delay.count(), 120u);
+  EXPECT_GE(outcome.setup_seconds, 0.0);
+  EXPECT_FALSE(outcome.from_store);
+  EXPECT_EQ(outcome.mesh_triangles, mesh.num_triangles());
+}
+
+TEST(Experiment, RunKleRejectsAmbiguousProvenance) {
+  ExperimentConfig config;
+  config.circuit = "c880";
+  config.num_samples = 8;
+  ExperimentPipeline pipeline(config);
+  KleRunRequest neither;  // no mesh, no store
+  EXPECT_THROW(pipeline.run_kle(neither), Error);
+}
+
+// --- determinism of the parallel block pipeline ----------------------------
+
+class ParallelDeterminismTest : public McSstaTest {
+ protected:
+  McSstaResult run_with(std::size_t threads, std::size_t block_size) {
+    const ParameterSamplers samplers{&sampler_, &sampler_, &sampler_,
+                                     &sampler_};
+    McSstaOptions options;
+    options.num_samples = 300;
+    options.block_size = block_size;
+    options.seed = 42;
+    options.keep_samples = true;
+    options.num_threads = threads;
+    return run_monte_carlo_ssta(engine_, samplers, options);
+  }
+};
+
+TEST_F(ParallelDeterminismTest, ThreadCountDoesNotChangeAnyBit) {
+  const McSstaResult serial = run_with(1, 32);
+  EXPECT_EQ(serial.threads_used, 1u);
+  for (const std::size_t threads : {2u, 8u}) {
+    const McSstaResult parallel = run_with(threads, 32);
+    EXPECT_GT(parallel.threads_used, 1u);
+    // Bit-equality, not tolerance: every retained sample and the merged
+    // moments must be identical to the serial run.
+    ASSERT_EQ(parallel.worst_delay_samples.size(),
+              serial.worst_delay_samples.size());
+    for (std::size_t i = 0; i < serial.worst_delay_samples.size(); ++i)
+      ASSERT_EQ(parallel.worst_delay_samples[i],
+                serial.worst_delay_samples[i])
+          << "sample " << i << " at " << threads << " threads";
+    EXPECT_EQ(parallel.worst_delay.mean(), serial.worst_delay.mean());
+    EXPECT_EQ(parallel.worst_delay.stddev(), serial.worst_delay.stddev());
+    ASSERT_EQ(parallel.endpoint.size(), serial.endpoint.size());
+    for (std::size_t e = 0; e < serial.endpoint.size(); ++e) {
+      EXPECT_EQ(parallel.endpoint[e].mean(), serial.endpoint[e].mean());
+      EXPECT_EQ(parallel.endpoint[e].stddev(), serial.endpoint[e].stddev());
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RetainedSamplesAreBlockSizeInvariant) {
+  // Index-addressed draws: sample i never depends on how the run was cut
+  // into blocks. (Merged moments are accumulated per block, so they are
+  // guaranteed invariant across thread counts, not across block sizes.)
+  const McSstaResult small_blocks = run_with(1, 32);
+  const McSstaResult large_blocks = run_with(1, 256);
+  ASSERT_EQ(small_blocks.worst_delay_samples.size(),
+            large_blocks.worst_delay_samples.size());
+  for (std::size_t i = 0; i < small_blocks.worst_delay_samples.size(); ++i)
+    ASSERT_EQ(small_blocks.worst_delay_samples[i],
+              large_blocks.worst_delay_samples[i])
+        << "sample " << i;
+}
+
+TEST_F(ParallelDeterminismTest, ThreadCapIsNumBlocks) {
+  // 300 samples at block_size 256 = 2 blocks; asking for 8 threads must
+  // resolve to at most 2 workers.
+  const McSstaResult r = run_with(8, 256);
+  EXPECT_LE(r.threads_used, 2u);
+  EXPECT_EQ(r.worst_delay.count(), 300u);
 }
 
 }  // namespace

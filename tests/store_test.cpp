@@ -154,11 +154,10 @@ TEST(KleIoTest, StoredResultOwnsItsMesh) {
   }
   EXPECT_GT(copy->kle().eigenvalue(0), 0.0);
   EXPECT_GE(copy->kle().eigenfunction_value(0, {0.1, -0.2}), -1e9);
-  Rng rng(7);
   const std::vector<geometry::Point2> gates{{0.0, 0.0}, {0.5, 0.5}};
   const field::KleFieldSampler sampler(*copy, 8, gates);
   linalg::Matrix block;
-  sampler.sample_block(4, rng, block);
+  sampler.sample_block(field::SampleRange{0, 4}, StreamKey{7, 0}, block);
   EXPECT_EQ(block.rows(), 4u);
   EXPECT_EQ(block.cols(), gates.size());
 }
