@@ -15,7 +15,8 @@
 #include <cstdio>
 
 #include "common/cli.h"
-#include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/stopwatch.h"
 #include "common/table.h"
 #include "core/analytic_kle.h"
 #include "core/kle_solver.h"
@@ -26,6 +27,8 @@
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
   const auto n = static_cast<std::size_t>(flags.get_int("n", 576));
   const auto modes = static_cast<std::size_t>(flags.get_int("modes", 8));
   const double c = flags.get_double("c", 1.0);
@@ -58,7 +61,7 @@ int main(int argc, char** argv) {
        {std::pair{core::QuadratureRule::kCentroid1, "centroid-1 (paper)"},
         std::pair{core::QuadratureRule::kSymmetric3, "symmetric-3"},
         std::pair{core::QuadratureRule::kSymmetric7, "symmetric-7"}}) {
-    Stopwatch sw;
+    obs::Stopwatch sw;
     const double error = max_eigenvalue_error(base, rule);
     quad.add_row({name, format_scientific(error),
                   format_double(sw.seconds(), 2) + "s"});
@@ -99,7 +102,7 @@ int main(int argc, char** argv) {
     core::KleOptions options;
     options.num_eigenpairs = 25;
     options.backend = kind;
-    Stopwatch sw;
+    obs::Stopwatch sw;
     const core::KleResult kle = core::solve_kle(base, gauss, options);
     backend.add_row({name, format_scientific(kle.eigenvalue(0)),
                      format_scientific(kle.eigenvalue(24)),

@@ -13,8 +13,9 @@
 #include <cstdio>
 
 #include "common/cli.h"
+#include "obs/export.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "common/table.h"
 #include "core/analytic_kle.h"
 #include "core/kle_solver.h"
@@ -25,6 +26,8 @@
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
   const auto modes = static_cast<std::size_t>(flags.get_int("modes", 6));
   const double c = flags.get_double("c", 1.0);
 
@@ -41,14 +44,14 @@ int main(int argc, char** argv) {
     const mesh::TriMesh mesh =
         mesh::structured_mesh(geometry::BoundingBox::unit_die(), grid, grid,
                               mesh::StructuredPattern::kCross);
-    Stopwatch t0;
+    obs::Stopwatch t0;
     core::KleOptions p0_options;
     p0_options.num_eigenpairs = modes;
     p0_options.backend = core::KleBackend::kDense;
     const core::KleResult p0 = core::solve_kle(mesh, kernel, p0_options);
     const double p0_time = t0.seconds();
 
-    Stopwatch t1;
+    obs::Stopwatch t1;
     core::P1KleOptions p1_options;
     p1_options.num_eigenpairs = modes;
     const core::P1KleResult p1 = core::solve_p1_kle(mesh, kernel, p1_options);

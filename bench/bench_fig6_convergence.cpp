@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/cli.h"
+#include "obs/export.h"
 #include "common/statistics.h"
 #include "common/table.h"
 #include "mesh/refine.h"
@@ -37,6 +38,8 @@ double endpoint_error(const sckl::ssta::McSstaResult& reference,
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
   ssta::ExperimentConfig config;
   config.circuit = "c1908";
   // Noise floor of a sigma-vs-sigma comparison is ~1/sqrt(N); 2000 samples

@@ -12,6 +12,11 @@
 // appends one {"bench": ..., "wall_ms": ...} JSON record per measurement to
 // PATH — the input of the BENCH_*.json perf trajectory. Combine with
 // --benchmark_filter=NONE to emit only the JSON records.
+//
+// --trace / --trace-json=PATH / SCKL_TRACE=1 arm the observability layer;
+// when tracing is active each --json/--json-mc payload also gains one
+// {"bench": "...", "trace": <sckl-trace-v1>} record so the per-phase
+// breakdown travels with the perf numbers.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -20,7 +25,9 @@
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "core/kle_solver.h"
 #include "field/cholesky_sampler.h"
 #include "field/kle_sampler.h"
@@ -39,6 +46,16 @@ using namespace sckl;
 const kernels::GaussianKernel& paper_kernel() {
   static const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
   return kernel;
+}
+
+/// One JSON-lines record per line: flatten the pretty-printed trace document
+/// so the embedding record stays single-line.
+std::string compact_trace_json() {
+  std::string doc = obs::trace_json_string();
+  for (char& c : doc) {
+    if (c == '\n') c = ' ';
+  }
+  return doc;
 }
 
 mesh::TriMesh mesh_of(std::size_t n) {
@@ -219,6 +236,9 @@ bool emit_store_json(const std::string& json_path) {
   record("kle_cold_solve_and_persist", cold.seconds * 1e3);
   record("kle_store_warm_disk_load", disk.seconds * 1e3);
   record("kle_store_warm_memory_hit", memory.seconds * 1e3);
+  if (obs::trace_enabled())
+    std::fprintf(f, "{\"bench\": \"store_trace\", \"trace\": %s}\n",
+                 compact_trace_json().c_str());
   std::fclose(f);
 
   const double speedup = cold.seconds / std::max(disk.seconds, 1e-12);
@@ -258,10 +278,10 @@ bool emit_mc_parallel_json(const std::string& json_path) {
   {
     const std::size_t n = 2048;
     linalg::Matrix block;
-    Stopwatch t_chol;
+    obs::Stopwatch t_chol;
     fx.cholesky.sample_block(field::SampleRange{0, n}, StreamKey{5, 0}, block);
     const double chol_s = t_chol.seconds();
-    Stopwatch t_kle;
+    obs::Stopwatch t_kle;
     fx.reduced.sample_block(field::SampleRange{0, n}, StreamKey{5, 0}, block);
     const double kle_s = t_kle.seconds();
     std::fprintf(f,
@@ -316,6 +336,9 @@ bool emit_mc_parallel_json(const std::string& json_path) {
                 threads == 1 ? "" : (bit_identical ? " [bit-identical]"
                                                    : " [MISMATCH]"));
   }
+  if (obs::trace_enabled())
+    std::fprintf(f, "{\"bench\": \"mc_parallel_trace\", \"trace\": %s}\n",
+                 compact_trace_json().c_str());
   std::fclose(f);
   if (!deterministic)
     std::fprintf(stderr, "bench_micro_kle: parallel MC results are NOT "
@@ -326,21 +349,28 @@ bool emit_mc_parallel_json(const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract our --json=PATH / --json-mc=PATH flags before google-benchmark
-  // sees the argv.
+  // Extract our --json=PATH / --json-mc=PATH / --trace / --trace-json=PATH
+  // flags before google-benchmark sees the argv.
   std::string json_path;
   std::string json_mc_path;
+  std::string trace_json_path;
+  bool trace_flag = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--json-mc=", 10) == 0) {
       json_mc_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_flag = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  sckl::obs::TraceSession trace_session(trace_flag, trace_json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (!json_path.empty() && !emit_store_json(json_path)) return 1;

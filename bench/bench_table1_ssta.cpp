@@ -21,12 +21,15 @@
 
 #include "circuit/synthetic.h"
 #include "common/cli.h"
+#include "obs/export.h"
 #include "common/table.h"
 #include "ssta/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
   // The shared experiment flag vocabulary (--samples, --r, --seed,
   // --threads, --store, ...) plus this bench's own sweep controls.
   ssta::ExperimentConfig base;

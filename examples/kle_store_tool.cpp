@@ -36,8 +36,9 @@
 #include <string>
 
 #include "common/cli.h"
+#include "obs/export.h"
 #include "common/error.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "core/kle_health.h"
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
@@ -272,6 +273,8 @@ int cmd_lock_status(const std::string& root) {
 int main(int argc, char** argv) {
   using namespace sckl;
   const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: kle_store_tool <build|inspect|ls|gc|fsck|lock-status> "

@@ -14,16 +14,23 @@
 // --strict additionally escalates warnings (solver fallback, out-of-mesh
 // gates, health findings) to a non-zero exit instead of recovering silently.
 //
+// SCKL_TRACE=1 (or --trace) prints a span tree + metrics table on stderr at
+// exit; --trace-json=PATH additionally writes the sckl-trace-v1 JSON.
+//
 // Usage: ./examples/ssta_flow [--circuit=c880] [--samples=1000] [--r=25]
 //                             [--seed=1] [--threads=K]
 //                             [--store=/path/to/repo] [--fsck]
 //                             [--validate] [--strict]
+//                             [--trace] [--trace-json=PATH]
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "common/cli.h"
 #include "mesh/refine.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "placer/wireload.h"
 #include "ssta/experiment.h"
 #include "store/artifact_store.h"
@@ -33,6 +40,7 @@ namespace {
 
 int run(const sckl::CliFlags& flags) {
   using namespace sckl;
+  obs::Span root("ssta_flow");
   ssta::ExperimentConfig config;
   config.circuit = "c880";
   // Sigma-vs-sigma comparisons have a ~1/sqrt(N) noise floor; 1000 samples
@@ -49,10 +57,13 @@ int run(const sckl::CliFlags& flags) {
               engine.depth(), engine.num_endpoints(),
               placer::total_hpwl(netlist, pipeline.placement()));
   timing::StaTrace trace;
-  const timing::StaResult nominal = engine.run_nominal(&trace);
+  const auto [nominal, critical] = [&] {
+    obs::Span nominal_span("ssta_flow.nominal_sta");
+    const timing::StaResult result = engine.run_nominal(&trace);
+    return std::make_pair(result,
+                          timing::extract_critical_path(engine, result, trace));
+  }();
   std::printf("nominal worst delay: %.1f ps\n", nominal.worst_delay);
-  const timing::CriticalPath critical =
-      timing::extract_critical_path(engine, nominal, trace);
   std::printf("nominal critical path: %zu stages from '%s'\n\n",
               critical.steps.size(),
               netlist.gate(critical.steps.front().gate).name.c_str());
@@ -140,6 +151,10 @@ int run(const sckl::CliFlags& flags) {
 
 int main(int argc, char** argv) {
   const sckl::CliFlags flags(argc, argv);
+  const sckl::ExperimentFlagSet set = sckl::parse_experiment_flags(flags);
+  // Constructed before run() so every span (including the root) closes
+  // before the session exports at scope exit.
+  sckl::obs::TraceSession session(set.trace, set.trace_json);
   try {
     return run(flags);
   } catch (const sckl::Error& e) {

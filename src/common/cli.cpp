@@ -75,6 +75,8 @@ void ExperimentFlagSet::apply(const CliFlags& flags) {
   validate = flags.get_bool("validate", validate);
   strict = flags.get_bool("strict", strict);
   fsck = flags.get_bool("fsck", fsck);
+  trace = flags.get_bool("trace", trace);
+  trace_json = flags.get_string("trace-json", trace_json);
 }
 
 ExperimentFlagSet parse_experiment_flags(const CliFlags& flags,

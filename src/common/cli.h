@@ -48,6 +48,7 @@ class CliFlags {
 ///
 ///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
 ///   --store=DIR     --validate   --strict  --fsck
+///   --trace         --trace-json=PATH
 ///
 /// Registered in one place so a new option (e.g. --threads) lands in every
 /// binary at once instead of being hand-rolled per main(). Construct with
@@ -65,6 +66,10 @@ struct ExperimentFlagSet {
   bool validate = false;
   bool strict = false;  // implies validate at the consumer
   bool fsck = false;    // run store crash recovery on open
+  /// Observability (obs::TraceSession reads both; a non-empty trace_json
+  /// implies tracing, as does the SCKL_TRACE environment variable).
+  bool trace = false;
+  std::string trace_json;  // empty = no JSON export
 
   /// Overrides fields from the flags present in `flags`.
   void apply(const CliFlags& flags);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace sckl::core {
 
@@ -24,6 +25,7 @@ linalg::Matrix assemble_galerkin_matrix(const mesh::TriMesh& mesh,
                                         const kernels::CovarianceKernel& kernel,
                                         QuadratureRule rule) {
   const std::size_t n = mesh.num_triangles();
+  obs::Span span("core.galerkin_assembly");
   linalg::Matrix b(n, n);
 
   std::vector<double> sqrt_area(n);

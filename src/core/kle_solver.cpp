@@ -7,6 +7,8 @@
 #include "linalg/blas.h"
 #include "linalg/lanczos.h"
 #include "linalg/symmetric_eigen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sckl::core {
 
@@ -97,6 +99,8 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
   const std::size_t n = mesh.num_triangles();
   const std::size_t m = std::min(options.num_eigenpairs, n);
   require(m > 0, "solve_kle: need at least one eigenpair");
+  obs::Span span("core.solve_kle");
+  obs::counter("sckl.core.kle_solves").add(1);
 
   const linalg::Matrix b =
       assemble_galerkin_matrix(mesh, kernel, options.quadrature);
@@ -123,32 +127,40 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
   }
 
   linalg::SymmetricEigenResult eigen;
-  if (backend == KleBackend::kLanczos) {
-    linalg::LanczosOptions lanczos;
-    lanczos.num_eigenpairs = m;
-    lanczos.seed = options.lanczos_seed;
-    // Clustered trailing eigenvalues of smooth kernels converge slowly;
-    // give the subspace generous room.
-    lanczos.max_subspace = std::min(n, 2 * m + 160);
-    lanczos.tolerance = 1e-9;
-    linalg::LanczosInfo lanczos_info;
-    try {
-      eigen = linalg::lanczos_largest(b, lanczos, &lanczos_info);
-      if (info != nullptr) info->lanczos = lanczos_info;
-    } catch (const Error& e) {
-      // Fallback chain: a non-convergent Lanczos costs us the fast path,
-      // not the result — rerun with the O(n^3) dense solver and record why.
-      if (e.code() != ErrorCode::kNoConvergence) throw;
-      if (info != nullptr) {
-        info->lanczos = lanczos_info;
-        info->used = KleBackend::kDense;
-        info->fallback = true;
-        info->fallback_reason = e.what();
+  {
+    obs::Span eigensolve_span("core.eigensolve");
+    if (backend == KleBackend::kLanczos) {
+      linalg::LanczosOptions lanczos;
+      lanczos.num_eigenpairs = m;
+      lanczos.seed = options.lanczos_seed;
+      // Clustered trailing eigenvalues of smooth kernels converge slowly;
+      // give the subspace generous room.
+      lanczos.max_subspace = std::min(n, 2 * m + 160);
+      lanczos.tolerance = 1e-9;
+      linalg::LanczosInfo lanczos_info;
+      try {
+        eigen = linalg::lanczos_largest(b, lanczos, &lanczos_info);
+        if (info != nullptr) info->lanczos = lanczos_info;
+      } catch (const Error& e) {
+        // Fallback chain: a non-convergent Lanczos costs us the fast path,
+        // not the result — rerun with the O(n^3) dense solver and record why.
+        if (e.code() != ErrorCode::kNoConvergence) throw;
+        if (info != nullptr) {
+          info->lanczos = lanczos_info;
+          info->used = KleBackend::kDense;
+          info->fallback = true;
+          info->fallback_reason = e.what();
+        }
+        obs::counter("sckl.core.kle_fallbacks").add(1);
+        obs::Span dense_span("linalg.dense_eigen");
+        obs::counter("sckl.linalg.dense_eigen.solves").add(1);
+        eigen = linalg::symmetric_eigen(b);
       }
+    } else {
+      obs::Span dense_span("linalg.dense_eigen");
+      obs::counter("sckl.linalg.dense_eigen.solves").add(1);
       eigen = linalg::symmetric_eigen(b);
     }
-  } else {
-    eigen = linalg::symmetric_eigen(b);
   }
 
   // Un-scale: d = Phi^{-1/2} u, i.e. d_i = u_i / sqrt(a_i).
@@ -160,6 +172,8 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
   }
   linalg::Vector values(eigen.values.begin(), eigen.values.begin() + m);
   KleResult result(mesh, std::move(values), std::move(coefficients));
+  if (result.clamped_count() > 0)
+    obs::counter("sckl.core.clamped_eigenvalues").add(result.clamped_count());
   if (info != nullptr) {
     info->clamped_eigenvalues = result.clamped_count();
     info->clamped_magnitude = result.clamped_magnitude();

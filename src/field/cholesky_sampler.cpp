@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "linalg/blas.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sckl::field {
 
@@ -10,6 +12,7 @@ CholeskyFieldSampler::CholeskyFieldSampler(
     const std::vector<geometry::Point2>& locations)
     : n_(locations.size()), factor_{}, jitter_(0.0) {
   require(n_ > 0, "CholeskyFieldSampler: no locations");
+  obs::Span span("field.cholesky_setup");
   linalg::Matrix gram(n_, n_);
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t j = i; j < n_; ++j) {
@@ -26,6 +29,9 @@ CholeskyFieldSampler::CholeskyFieldSampler(
 void CholeskyFieldSampler::sample_block(const SampleRange& range,
                                         const StreamKey& key,
                                         linalg::Matrix& out) const {
+  obs::Span span("field.sample_block.cholesky");
+  static obs::Counter& samples = obs::counter("sckl.field.samples.cholesky");
+  samples.add(range.count);
   linalg::Matrix z;
   fill_latent_normals(range, key, n_, z);
   // P = Z L^T: row p of P is L applied to the standard-normal row, giving

@@ -1,6 +1,8 @@
 #include "field/kle_sampler.h"
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sckl::field {
 
@@ -20,6 +22,9 @@ std::size_t KleFieldSampler::num_locations() const {
 void KleFieldSampler::sample_block(const SampleRange& range,
                                    const StreamKey& key,
                                    linalg::Matrix& out) const {
+  obs::Span span("field.sample_block.kle");
+  static obs::Counter& samples = obs::counter("sckl.field.samples.kle");
+  samples.add(range.count);
   linalg::Matrix xi;
   fill_latent_normals(range, key, r_, xi);
   out = field_.reconstruct_block(xi);

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 
 namespace sckl::linalg {
@@ -89,6 +91,8 @@ std::optional<CholeskyFactor> try_cholesky(const Matrix& k,
     if (failure != nullptr) *failure = {0, std::nan("")};
     return std::nullopt;
   }
+  obs::Span span("linalg.cholesky");
+  obs::counter("sckl.linalg.cholesky.factorizations").add(1);
   Matrix a = k;
   if (!factor_in_place(a, failure)) return std::nullopt;
   return CholeskyFactor{std::move(a)};
@@ -98,13 +102,16 @@ JitteredCholesky cholesky_with_jitter(Matrix k, double initial_jitter,
                                       int max_attempts) {
   require(k.rows() == k.cols(), "cholesky_with_jitter: matrix must be square");
   const std::size_t n = k.rows();
+  obs::Span span("linalg.cholesky");
   double jitter = 0.0;
   double next = initial_jitter;
   CholeskyFailure failure;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) obs::counter("sckl.linalg.cholesky.jitter_retries").add(1);
     if (robust::fault_injected(robust::FaultSite::kCholeskyPivot)) {
       failure = {0, std::nan("")};
     } else {
+      obs::counter("sckl.linalg.cholesky.factorizations").add(1);
       Matrix a = k;
       for (std::size_t i = 0; i < n; ++i) a(i, i) += jitter;
       if (factor_in_place(a, &failure))

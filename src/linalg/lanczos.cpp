@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "linalg/blas.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 
 namespace sckl::linalg {
@@ -45,6 +47,7 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
   require(n > 0, "lanczos: dimension must be positive");
   const std::size_t k = std::min(options.num_eigenpairs, n);
   require(k > 0, "lanczos: need at least one eigenpair");
+  obs::Span span("linalg.lanczos");
   std::size_t max_m = options.max_subspace == 0
                           ? std::min(n, 2 * k + 80)
                           : std::min(options.max_subspace, n);
@@ -67,6 +70,7 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
 
   SymmetricEigenResult tri;
   std::size_t m = 0;
+  std::size_t restarts = 0;
   bool converged = false;
   double last_beta = 0.0;  // residual scale of the latest Ritz extraction
   while (basis.size() <= max_m) {
@@ -104,6 +108,7 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
 
     if (b <= 1e-14) {
       // Invariant subspace found; restart with a fresh orthogonal direction.
+      ++restarts;
       basis.push_back(random_unit_vector(n, rng, basis));
       beta.push_back(0.0);
       continue;
@@ -114,6 +119,19 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
   }
 
   ensure(m >= k, "lanczos: subspace smaller than requested eigenpair count");
+  {
+    // Counted before the convergence verdict so failed solves (which throw
+    // below and fall back to the dense path) still show up in the totals.
+    static obs::Counter& solves = obs::counter("sckl.linalg.lanczos.solves");
+    static obs::Counter& iters = obs::counter("sckl.linalg.lanczos.iterations");
+    static obs::Counter& matvecs = obs::counter("sckl.linalg.lanczos.matvecs");
+    static obs::Counter& restart_count =
+        obs::counter("sckl.linalg.lanczos.restarts");
+    solves.add(1);
+    iters.add(m);
+    matvecs.add(alpha.size());  // exactly one apply() per basis growth step
+    restart_count.add(restarts);
+  }
   if (!converged) {
     // Final Ritz extraction at the subspace limit.
     Vector sub(beta.begin(), beta.end());

@@ -9,6 +9,8 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "mesh/delaunay.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sckl::mesh {
 namespace {
@@ -207,6 +209,7 @@ bool insert_steiner(DelaunayTriangulator& builder, BoundaryTracker& tracker,
 TriMesh refined_delaunay_mesh(geometry::BoundingBox bounds,
                               const RefinementOptions& options) {
   require(options.max_area > 0.0, "refined_delaunay_mesh: max_area <= 0");
+  obs::Span span("mesh.refine");
   Rng rng(options.seed);
   DelaunayTriangulator builder(bounds);
   BoundaryTracker tracker(bounds);
@@ -276,6 +279,9 @@ TriMesh refined_delaunay_mesh(geometry::BoundingBox bounds,
   // exactly once, so any Bowyer-Watson corruption shows up here.
   ensure(std::abs(q.total_area - bounds.area()) < 1e-6 * bounds.area(),
          "refined_delaunay_mesh: mesh does not tile the domain");
+  obs::counter("sckl.mesh.refine.meshes").add(1);
+  obs::gauge("sckl.mesh.refine.triangles")
+      .set(static_cast<double>(mesh.num_triangles()));
   return mesh;
 }
 

@@ -1,0 +1,110 @@
+// Process-wide metrics registry: counters, gauges, log2-bucket histograms.
+//
+// Naming convention: `sckl.<module>.<name>` (e.g. sckl.store.cache.hits,
+// sckl.linalg.lanczos.matvecs). Metrics are always on — unlike spans they
+// are cheap enough to leave armed — but exporters only print them when a
+// trace session is active, so quiet binaries stay quiet.
+//
+// Fast path: Counter::add hashes the calling thread onto one of a fixed set
+// of cache-line-padded atomic shards and does a single relaxed fetch_add; no
+// locks, no false sharing between pool workers. value() folds the shards.
+// Gauges are one relaxed atomic. Histograms bucket by log2(value) with a
+// relaxed fetch_add per record, plus CAS-maintained sum/min/max.
+//
+// Handle lookup (counter("...")) takes a registry mutex; call sites on hot
+// paths cache the handle in a function-local static so the name is resolved
+// once per process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sckl::obs {
+
+/// Monotonic counter with per-thread-sharded storage.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1);
+  std::uint64_t value() const;  ///< Folds all shards. Racy-but-atomic reads.
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Summary of a histogram at snapshot time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Upper-bound estimate of the p-quantile from the log2 buckets.
+  double quantile(double p) const;
+  /// Bucket 0 holds v <= 0; bucket i >= 1 holds v in (2^(i-2), 2^(i-1)]
+  /// (values below 0.5 clamp into bucket 1, huge values into bucket 63).
+  std::uint64_t buckets[64] = {0};
+};
+
+/// Log2-bucketed histogram for non-negative samples (latencies, sizes).
+class Histogram {
+ public:
+  void record(double v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[64] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double bits, CAS-accumulated
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+
+ public:
+  Histogram();
+};
+
+/// Returns the process-wide metric with this name, creating it on first use.
+/// Pointers are stable for the life of the process — cache them in
+/// function-local statics on hot paths.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// One row of metrics_snapshot().
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;        ///< counter value, or histogram count
+  double value = 0.0;             ///< gauge value, or histogram mean
+  HistogramSnapshot histogram{};  ///< populated for kHistogram only
+};
+
+/// All registered metrics, sorted by name.
+std::vector<MetricRow> metrics_snapshot();
+
+/// Resets every registered metric to zero (for tests and bench sessions).
+void metrics_reset();
+
+/// Pre-registers the standard metric names used across the pipeline so
+/// exports always show the full vocabulary (zero-valued when untouched) —
+/// e.g. a run that never consults the store still reports
+/// sckl.store.cache.hits = 0 rather than omitting the row.
+void register_standard_metrics();
+
+}  // namespace sckl::obs

@@ -1,10 +1,16 @@
-// Wall-clock stopwatch used for the speedup measurements in Table 1 and the
-// bench harness. Monotonic (steady_clock) so results are immune to NTP jumps.
+// The one wall-clock timing primitive of the codebase.
+//
+// Formerly common/stopwatch.h; it lives in the observability library now so
+// raw duration measurement and trace spans (obs/trace.h, which is built on
+// exactly this clock) cannot drift apart. Use a Span when the measurement
+// should appear in the trace tree; use a Stopwatch when the caller only
+// needs a number (result fields like McSstaResult::sampling_seconds).
+// Monotonic (steady_clock) so results are immune to NTP jumps.
 #pragma once
 
 #include <chrono>
 
-namespace sckl {
+namespace sckl::obs {
 
 /// Simple monotonic stopwatch; starts on construction.
 class Stopwatch {
@@ -27,4 +33,4 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-}  // namespace sckl
+}  // namespace sckl::obs

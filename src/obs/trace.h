@@ -1,0 +1,90 @@
+// Hierarchical RAII trace spans with wall + CPU time.
+//
+// A Span measures one phase of work. Spans nest: each thread keeps a stack of
+// open spans, and a new Span parents itself under the innermost open span on
+// the *same* thread. Cross-thread parenting (e.g. thread-pool workers that
+// logically run "inside" the dispatching span) is explicit: the dispatcher
+// captures `Span::current_id()` before handing work out, and each worker
+// constructs its root span with that id as parent. This keeps sckl_common
+// free of any obs dependency — the pool never touches the tracer; call sites
+// thread the parent id through their own closures.
+//
+// Overhead policy: tracing is off by default. Every Span constructor starts
+// with a single relaxed atomic load; when tracing is disabled that load is
+// the whole cost — no clock reads, no allocation, no locks. Span names must
+// be string literals (const char*), so even enabled spans never copy or
+// allocate for the name. Finished spans are appended to a per-thread shard
+// (amortised vector push under a shard-local mutex that is only ever
+// contended by snapshot()); there is no global lock on the hot path.
+//
+// Enable with `SCKL_TRACE=1` in the environment, `--trace` on any binary
+// that takes experiment flags, or programmatically via trace_enable().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sckl::obs {
+
+/// One finished span, as reported by trace_snapshot().
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< Unique, process-wide, never 0 for a real span.
+  std::uint64_t parent = 0;  ///< 0 = root.
+  const char* name = "";     ///< String literal supplied by the call site.
+  std::uint32_t thread = 0;  ///< Sequential tracer thread index (0 = first seen).
+  std::int64_t start_ns = 0; ///< Wall-clock start, ns since trace_reset()/enable.
+  std::int64_t wall_ns = 0;  ///< Wall-clock duration.
+  std::int64_t cpu_ns = 0;   ///< Thread CPU time consumed between ctor and dtor.
+};
+
+/// Turns span collection on or off. Enabling does not clear prior records;
+/// call trace_reset() for a fresh session. Safe to call from any thread.
+void trace_enable(bool on);
+
+/// True when spans are being collected. Single relaxed atomic load.
+bool trace_enabled();
+
+/// True if the SCKL_TRACE environment variable requests tracing ("1", "true",
+/// "on", case-insensitive; "0"/"false"/"off"/unset mean no).
+bool trace_env_requested();
+
+/// Drops all recorded spans and restarts the epoch clock at zero.
+void trace_reset();
+
+/// Folds every thread's shard into one list. Spans still open are not
+/// included. Safe to call while other threads keep recording.
+std::vector<SpanRecord> trace_snapshot();
+
+/// RAII span. Construct to open, destroy to close. The name pointer is
+/// stored, not copied: pass string literals only.
+class Span {
+ public:
+  /// Opens a span parented under this thread's innermost open span.
+  explicit Span(const char* name);
+
+  /// Opens a span with an explicit parent (use Span::current_id() captured on
+  /// another thread to stitch worker spans under a dispatching span).
+  Span(const char* name, std::uint64_t parent_id);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Id of this span; 0 when tracing was disabled at construction.
+  std::uint64_t id() const { return id_; }
+
+  /// Innermost open span id on the calling thread (0 if none / disabled).
+  static std::uint64_t current_id();
+
+ private:
+  void open(const char* name, std::uint64_t parent_id);
+
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  const char* name_ = "";
+  std::int64_t start_wall_ns_ = 0;
+  std::int64_t start_cpu_ns_ = 0;
+};
+
+}  // namespace sckl::obs

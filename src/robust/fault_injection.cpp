@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace sckl::robust {
 
@@ -89,11 +90,16 @@ void FaultInjector::disarm() {
 
 bool FaultInjector::should_inject(FaultSite site) {
   const auto index = static_cast<std::size_t>(site);
+  // Only armed sites reach this slow path (fault_injected() short-circuits
+  // when disarmed), so the metric counts hits on armed sites, mirroring the
+  // per-site stats_ table the tests read back.
+  obs::counter("sckl.robust.faults.hits").add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_[index].hits;
   if (budget_[index] == 0) return false;
   --budget_[index];
   ++stats_[index].injected;
+  obs::counter("sckl.robust.faults.injected").add(1);
   if (budget_[index] == 0) {
     bool any = false;
     for (std::uint64_t b : budget_) any = any || b > 0;

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "timing/rc_tree.h"
 
 namespace sckl::ssta {
@@ -156,7 +156,7 @@ CanonicalSstaResult run_canonical_ssta(const timing::StaEngine& engine,
     basis_size += op->cols();
   }
 
-  Stopwatch timer;
+  obs::Stopwatch timer;
   // Linearization point: the nominal corner.
   timing::StaTrace nominal;
   engine.run_nominal(&nominal);

@@ -6,7 +6,8 @@
 #include "circuit/synthetic.h"
 #include "common/error.h"
 #include "common/statistics.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "field/cholesky_sampler.h"
 #include "field/kle_sampler.h"
 #include "kernels/kernel_fit.h"
@@ -55,6 +56,7 @@ robust::HealthReport fold_kle_health(const KleRunInfo& info) {
 
 ExperimentPipeline::ExperimentPipeline(const ExperimentConfig& config)
     : config_(config) {
+  obs::Span span("ssta.pipeline_build");
   netlist_ = std::make_unique<circuit::Netlist>(
       circuit::make_paper_circuit(config.circuit, config.seed));
   placer::PlacerOptions placer_options;
@@ -85,7 +87,8 @@ McSstaOptions ExperimentPipeline::mc_options() const {
 
 const McSstaResult& ExperimentPipeline::reference() {
   if (!reference_) {
-    Stopwatch setup;
+    obs::Span span("ssta.reference");
+    obs::Stopwatch setup;
     const field::CholeskyFieldSampler sampler(*kernel_, locations_);
     reference_setup_seconds_ = setup.seconds();
     const ParameterSamplers samplers{&sampler, &sampler, &sampler, &sampler};
@@ -119,7 +122,9 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
   KleRunOutcome outcome;
   outcome.from_store = request.store != nullptr;
 
-  Stopwatch setup;
+  obs::Span span("ssta.run_kle");
+  obs::Stopwatch setup;
+  auto setup_span = std::make_unique<obs::Span>("ssta.kle_setup");
   std::unique_ptr<field::KleFieldSampler> sampler;
   if (request.store != nullptr) {
     const store::FetchResult fetch = request.store->get_or_compute(
@@ -146,6 +151,7 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
       outcome.info.health = core::check_kle_health(kle);
     }
   }
+  setup_span.reset();
   outcome.setup_seconds = setup.seconds();
   outcome.info.out_of_mesh_gates = sampler->out_of_mesh_count();
 

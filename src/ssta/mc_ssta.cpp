@@ -4,8 +4,10 @@
 #include <atomic>
 
 #include "common/error.h"
-#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace sckl::ssta {
 namespace {
@@ -35,7 +37,9 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
             "run_monte_carlo_ssta: sampler/netlist gate count mismatch");
   }
 
-  Stopwatch total;
+  obs::Span mc_span("ssta.mc");
+  obs::counter("sckl.ssta.mc.runs").add(1);
+  obs::Stopwatch total;
   const std::size_t num_blocks =
       (options.num_samples + options.block_size - 1) / options.block_size;
   const std::size_t num_threads = std::min(
@@ -54,11 +58,24 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
   // StaEngine is const and allocation-local, so one engine serves all
   // workers. Writes are disjoint: block b's partial and its sample range.
   std::atomic<std::size_t> next_block{0};
+  // Pool workers run on their own threads, so the implicit thread-local
+  // parenting cannot see `mc_span`; capture its id and parent each worker's
+  // span under it explicitly. The steal-latency histogram measures the time
+  // a worker spends claiming its next block off the shared counter.
+  const std::uint64_t mc_span_id = obs::Span::current_id();
+  static obs::Counter& blocks_claimed = obs::counter("sckl.ssta.mc.blocks");
+  static obs::Histogram& steal_ns = obs::histogram("sckl.ssta.mc.steal_ns");
+  static obs::Histogram& busy_us = obs::histogram("sckl.ssta.mc.worker_busy_us");
   const auto worker = [&](std::size_t /*worker_index*/) {
+    obs::Span worker_span("ssta.mc.worker", mc_span_id);
+    obs::Stopwatch busy;
     std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
     for (;;) {
+      obs::Stopwatch steal;
       const std::size_t b = next_block.fetch_add(1);
+      if (obs::trace_enabled()) steal_ns.record(steal.seconds() * 1e9);
       if (b >= num_blocks) break;
+      blocks_claimed.add(1);
       const std::uint64_t first =
           static_cast<std::uint64_t>(b) * options.block_size;
       const std::size_t n = std::min<std::size_t>(
@@ -66,14 +83,14 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
       BlockPartial& partial = partials[b];
       partial.endpoint.resize(num_endpoints);
 
-      Stopwatch sampling;
+      obs::Stopwatch sampling;
       const field::SampleRange range{first, n};
       for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
         samplers[j]->sample_block(range, StreamKey{options.seed, j},
                                   blocks[j]);
       partial.sampling_seconds = sampling.seconds();
 
-      Stopwatch sta;
+      obs::Stopwatch sta;
       for (std::size_t i = 0; i < n; ++i) {
         timing::ParameterView view;
         for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
@@ -87,6 +104,7 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
       }
       partial.sta_seconds = sta.seconds();
     }
+    if (obs::trace_enabled()) busy_us.record(busy.seconds() * 1e6);
   };
 
   if (num_threads == 1) {

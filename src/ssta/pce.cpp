@@ -5,7 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "field/field_sampler.h"
 #include "field/lhs.h"
 #include "linalg/blas.h"
@@ -126,7 +126,7 @@ PceAnalysis fit_worst_delay_pce(const timing::StaEngine& engine,
   require(options.num_samples >= 2 * b,
           "fit_worst_delay_pce: need at least 2x basis-size samples");
 
-  Stopwatch timer;
+  obs::Stopwatch timer;
   const StreamKey key{options.seed, 0};
   const std::size_t n = options.num_samples;
 

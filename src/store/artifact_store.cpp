@@ -4,7 +4,9 @@
 #include <cstdio>
 
 #include "common/error.h"
-#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 #include "store/file_lock.h"
 
@@ -87,6 +89,7 @@ std::shared_ptr<const StoredKleResult> KleArtifactStore::load_from_disk(
     std::uint64_t key, const fs::path& path) {
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) return nullptr;
+  obs::Span span("store.disk_load");
   robust::RetryStats stats;
   try {
     // Transient read failures (EIO, injected store_read faults) are retried
@@ -95,6 +98,8 @@ std::shared_ptr<const StoredKleResult> KleArtifactStore::load_from_disk(
         options_.retry, [&] { return read_kle_file(path.string()); },
         is_transient, &stats));
     read_retries_ += static_cast<std::size_t>(stats.retried);
+    obs::counter("sckl.store.read_retries")
+        .add(static_cast<std::uint64_t>(stats.retried));
     // Defend against renamed/colliding files: the stored config must hash
     // back to the file's own key.
     if (artifact_key(loaded->config()) == key) {
@@ -106,7 +111,10 @@ std::shared_ptr<const StoredKleResult> KleArtifactStore::load_from_disk(
     quarantine(path);
   } catch (const Error& e) {
     read_retries_ += static_cast<std::size_t>(stats.retried);
+    obs::counter("sckl.store.read_retries")
+        .add(static_cast<std::uint64_t>(stats.retried));
     ++failed_reads_;
+    obs::counter("sckl.store.failed_reads").add(1);
     if (e.code() == ErrorCode::kCorruptArtifact)
       quarantine(path);  // keep the broken bytes for post-mortem
     // Either way: the caller falls through to a fresh solve, which rewrites
@@ -117,6 +125,7 @@ std::shared_ptr<const StoredKleResult> KleArtifactStore::load_from_disk(
 
 void KleArtifactStore::publish(const fs::path& path,
                                const StoredKleResult& solved) {
+  obs::Span span("store.publish");
   const fs::path tmp = path.string() + unique_tmp_suffix();
   // write_kle_file fsyncs the tmp bytes (and hosts the store_write fault
   // site plus the store_write_pre_fsync crash point).
@@ -140,25 +149,34 @@ void KleArtifactStore::publish(const fs::path& path,
 
 FetchResult KleArtifactStore::get_or_compute(
     const KleArtifactConfig& config, const kernels::CovarianceKernel& kernel) {
-  Stopwatch watch;
+  obs::Span span("store.fetch");
+  static obs::Counter& cache_hits = obs::counter("sckl.store.cache.hits");
+  static obs::Counter& cache_misses = obs::counter("sckl.store.cache.misses");
+  obs::Stopwatch watch;
   const std::uint64_t key = artifact_key(config);
 
   FetchResult result;
   if (auto cached = cache_.get(key)) {
+    cache_hits.add(1);
+    obs::counter("sckl.store.fetch.memory").add(1);
     result.artifact = std::move(cached);
     result.source = FetchSource::kMemory;
     result.seconds = watch.seconds();
     return result;
   }
+  cache_misses.add(1);
 
   // Shared store lock for the rest of the fetch: publications and key-lock
   // acquisitions never overlap a gc()/fsck() sweep (which holds it
   // exclusively). Lock order is always store.lock, then one <key>.lock.
-  const FileLock store_lock =
-      FileLock::acquire(root_ / kStoreLockName, FileLock::Mode::kShared);
+  const FileLock store_lock = [&] {
+    obs::Span lock_span("store.lock_wait");
+    return FileLock::acquire(root_ / kStoreLockName, FileLock::Mode::kShared);
+  }();
 
   const fs::path path = root_ / (key_string(key) + ".sckl");
   if (auto loaded = load_from_disk(key, path)) {
+    obs::counter("sckl.store.fetch.disk").add(1);
     result.artifact = std::move(loaded);
     result.source = FetchSource::kDisk;
     result.seconds = watch.seconds();
@@ -168,10 +186,15 @@ FetchResult KleArtifactStore::get_or_compute(
   // Cold key: take the per-key solve lock, then re-check both tiers — if we
   // blocked behind another thread or process solving the same key, its
   // result is there now and the expensive eigensolve is skipped entirely.
-  const FileLock key_lock = FileLock::acquire(
-      root_ / (key_string(key) + ".lock"), FileLock::Mode::kExclusive);
+  const FileLock key_lock = [&] {
+    obs::Span lock_span("store.lock_wait");
+    return FileLock::acquire(root_ / (key_string(key) + ".lock"),
+                             FileLock::Mode::kExclusive);
+  }();
   if (auto cached = cache_.get(key)) {
     ++deduped_solves_;
+    obs::counter("sckl.store.deduped_solves").add(1);
+    obs::counter("sckl.store.fetch.memory").add(1);
     result.artifact = std::move(cached);
     result.source = FetchSource::kMemory;
     result.seconds = watch.seconds();
@@ -179,14 +202,19 @@ FetchResult KleArtifactStore::get_or_compute(
   }
   if (auto loaded = load_from_disk(key, path)) {
     ++deduped_solves_;
+    obs::counter("sckl.store.deduped_solves").add(1);
+    obs::counter("sckl.store.fetch.disk").add(1);
     result.artifact = std::move(loaded);
     result.source = FetchSource::kDisk;
     result.seconds = watch.seconds();
     return result;
   }
 
-  auto solved =
-      std::make_shared<const StoredKleResult>(StoredKleResult::solve(config, kernel));
+  auto solved = [&] {
+    obs::Span solve_span("store.solve");
+    return std::make_shared<const StoredKleResult>(
+        StoredKleResult::solve(config, kernel));
+  }();
   if (options_.write_through) {
     robust::RetryStats stats;
     try {
@@ -194,15 +222,21 @@ FetchResult KleArtifactStore::get_or_compute(
           options_.retry, [&] { publish(path, *solved); }, is_transient,
           &stats);
       write_retries_ += static_cast<std::size_t>(stats.retried);
+      obs::counter("sckl.store.write_retries")
+          .add(static_cast<std::uint64_t>(stats.retried));
     } catch (const Error& e) {
       if (!is_transient(e)) throw;
       // Persistence failed even after retries; the solved artifact is still
       // perfectly usable — degrade to memory-only and count the loss.
       write_retries_ += static_cast<std::size_t>(stats.retried);
+      obs::counter("sckl.store.write_retries")
+          .add(static_cast<std::uint64_t>(stats.retried));
       ++failed_writes_;
+      obs::counter("sckl.store.failed_writes").add(1);
     }
   }
   cache_.put(key, solved, solved->approximate_bytes());
+  obs::counter("sckl.store.fetch.solved").add(1);
   result.artifact = std::move(solved);
   result.source = FetchSource::kSolved;
   result.seconds = watch.seconds();
@@ -220,6 +254,7 @@ void KleArtifactStore::quarantine(const fs::path& path) {
     fs::remove(path, ec);
   }
   ++quarantined_;
+  obs::counter("sckl.store.quarantined").add(1);
 }
 
 StoreHealth KleArtifactStore::health() const {
@@ -269,6 +304,7 @@ std::vector<StoreEntry> KleArtifactStore::ls() const {
 }
 
 GcReport KleArtifactStore::gc(const GcOptions& options) {
+  obs::Span span("store.gc");
   // Exclusive store lock: no publication or solve is in flight, so every
   // tmp file is orphaned and every unheld lock file is stale by definition.
   const fs::path store_lock_path = root_ / kStoreLockName;
@@ -315,6 +351,7 @@ GcReport KleArtifactStore::gc(const GcOptions& options) {
     std::error_code ec;
     if (fs::remove(candidate.path, ec) && !ec) ++report.removed;
   }
+  obs::counter("sckl.store.gc.removed").add(report.removed);
   return report;
 }
 

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robust/fault_injection.h"
 #include "store/file_lock.h"
 #include "store/key_hash.h"
@@ -63,6 +65,8 @@ double file_age_seconds(const fs::path& path) {
 }
 
 FsckResult fsck(const fs::path& root, const FsckOptions& options) {
+  obs::Span span("store.fsck");
+  obs::counter("sckl.store.fsck.runs").add(1);
   std::error_code ec;
   require(fs::is_directory(root, ec) && !ec,
           "fsck: store root '" + root.string() + "' is not a directory");

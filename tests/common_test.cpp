@@ -12,7 +12,6 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/statistics.h"
-#include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 
@@ -317,19 +316,6 @@ TEST(VectorStats, MeanAndStddev) {
   EXPECT_NEAR(stddev_of({2.0, 4.0}), std::sqrt(2.0), 1e-12);
   EXPECT_THROW(mean_of({}), Error);
   EXPECT_THROW(stddev_of({1.0}), Error);
-}
-
-TEST(Stopwatch, MeasuresElapsedTime) {
-  Stopwatch sw;
-  double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
-  EXPECT_GT(sink, 0.0);
-  EXPECT_GE(sw.seconds(), 0.0);
-  const double first = sw.seconds();
-  const double second = sw.seconds();
-  EXPECT_LE(first, second);  // monotone across calls
-  sw.reset();
-  EXPECT_LT(sw.seconds(), 1.0);
 }
 
 TEST(TextTable, AlignsColumnsAndFormatsCsv) {

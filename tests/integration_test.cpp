@@ -7,7 +7,7 @@
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "obs/stopwatch.h"
 #include "core/kle_solver.h"
 #include "core/truncation.h"
 #include "field/cholesky_sampler.h"
@@ -134,10 +134,10 @@ TEST(Integration, SpeedAdvantageGrowsWithGateCount) {
     const field::SampleRange range{0, 200};
     const StreamKey key{7, 0};
     linalg::Matrix block;
-    Stopwatch t_dense;
+    obs::Stopwatch t_dense;
     for (int rep = 0; rep < 3; ++rep) dense.sample_block(range, key, block);
     const double dense_time = t_dense.seconds();
-    Stopwatch t_reduced;
+    obs::Stopwatch t_reduced;
     for (int rep = 0; rep < 3; ++rep) reduced.sample_block(range, key, block);
     const double reduced_time = t_reduced.seconds();
     const double ratio = dense_time / std::max(reduced_time, 1e-9);

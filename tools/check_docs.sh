@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Documentation gate, run by ctest (docs_check) and the CI docs job:
+#   1. every relative markdown link in the top-level docs resolves to a file
+#      or directory in the repository;
+#   2. every src/*/ module directory appears in DESIGN.md's module inventory
+#      (section 2) — adding a library without documenting it fails CI.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 1
+
+status=0
+docs="README.md DESIGN.md EXPERIMENTS.md CHANGES.md ROADMAP.md"
+
+# --- 1. relative link checker -------------------------------------------
+# Matches [text](target) capturing the target; external (scheme://) and
+# intra-document (#anchor) links are skipped. Targets may carry an anchor
+# suffix, which is stripped before the existence check.
+for doc in $docs; do
+  [ -f "$doc" ] || continue
+  # shellcheck disable=SC2013
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "check_docs: $doc links to missing path '$path'" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 2. DESIGN.md module inventory gate ---------------------------------
+for dir in src/*/; do
+  module="$(basename "$dir")"
+  if ! grep -q "src/$module" DESIGN.md; then
+    echo "check_docs: src/$module is not documented in DESIGN.md's module inventory" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: all links resolve and every src/ module is documented"
+fi
+exit "$status"
