@@ -19,12 +19,15 @@
 // breakdown travels with the perf numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "obs/export.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
@@ -271,6 +274,19 @@ bool emit_mc_parallel_json(const std::string& json_path) {
     std::fprintf(stderr, "bench_micro_kle: cannot open %s\n",
                  json_path.c_str());
     return false;
+  }
+
+  // Machine context first: thread-scaling numbers are meaningless without
+  // knowing how many cores the run actually had available.
+  {
+    const char* env_threads = std::getenv("SCKL_THREADS");
+    std::fprintf(f,
+                 "{\"bench\": \"mc_parallel_machine\", "
+                 "\"hardware_threads\": %u, \"sckl_threads\": \"%s\", "
+                 "\"resolved_auto_threads\": %zu}\n",
+                 std::thread::hardware_concurrency(),
+                 env_threads != nullptr ? env_threads : "",
+                 ThreadPool::resolve_num_threads(0));
   }
 
   // Pure sampling throughput of the two block generators (no STA), the

@@ -1,0 +1,220 @@
+// Load generator for the sckl_serve daemon: N concurrent clients issuing
+// SampleBlock requests at an open-loop arrival rate (requests are scheduled
+// on a fixed clock, not after the previous reply — queueing delay shows up
+// as latency instead of silently throttling the offered load).
+//
+//   bench_serve [--socket=PATH] [--clients=8] [--qps=2000] [--seconds=2]
+//               [--rows=16] [--locations=128] [--r=10] [--smoke]
+//               [--json=BENCH_serve.json]
+//
+// Without --socket an in-process server is started on a private unix
+// socket backed by a throwaway store root, the workload KLE is pre-solved,
+// and the server is torn down afterwards — the default mode used by CI.
+// --smoke shrinks the run to a correctness-sized load.
+//
+// Reported: achieved QPS, latency p50/p99/p99.9 (microseconds), error
+// count, and the server's sampler-cache hit rate; --json appends one
+// JSON-lines record of the same plus machine context (hardware threads,
+// SCKL_THREADS) to the given path.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "kernels/kernel_fit.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace sckl;
+using Clock = std::chrono::steady_clock;
+
+store::KleArtifactConfig workload_config() {
+  store::KleArtifactConfig config;
+  config.kernel_id = "gaussian";
+  config.kernel_params = {kernels::paper_gaussian_c()};
+  config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+  config.mesh.area_fraction = 0.01;  // ~200 triangles: solve in milliseconds
+  config.mesh.mesher_seed = 8;
+  config.num_eigenpairs = 20;
+  return config;
+}
+
+serve::SampleBlockRequest workload_request(std::size_t rows,
+                                           std::size_t locations,
+                                           std::uint64_t r) {
+  serve::SampleBlockRequest request;
+  request.config = workload_config();
+  request.r = r;
+  request.locations.reserve(locations);
+  // Deterministic pseudo-grid of sample locations on the unit die.
+  for (std::size_t i = 0; i < locations; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(locations);
+    request.locations.push_back({0.5 + 0.45 * std::cos(6.28318 * t) * (1.0 - t),
+                                 0.5 + 0.45 * std::sin(6.28318 * t) * (1.0 - t)});
+  }
+  request.range = {0, rows};
+  request.stream = {42, 0};
+  return request;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_us.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] * (1.0 - frac) + sorted_us[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false);
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.get_int("clients", smoke ? 4 : 8));
+  const double qps = flags.get_double("qps", smoke ? 400.0 : 2000.0);
+  const double seconds = flags.get_double("seconds", smoke ? 0.5 : 2.0);
+  const std::size_t rows =
+      static_cast<std::size_t>(flags.get_int("rows", 16));
+  const std::size_t locations =
+      static_cast<std::size_t>(flags.get_int("locations", 128));
+  const std::uint64_t r = static_cast<std::uint64_t>(flags.get_int("r", 10));
+  const std::string json_path = flags.get_string("json", "");
+  std::string socket_path = flags.get_string("socket", "");
+
+  // In-process server unless pointed at an external one.
+  std::unique_ptr<serve::Server> server;
+  std::filesystem::path scratch;
+  if (socket_path.empty()) {
+    scratch = std::filesystem::temp_directory_path() / "sckl_bench_serve";
+    std::filesystem::remove_all(scratch);
+    std::filesystem::create_directories(scratch);
+    serve::ServerOptions options;
+    options.unix_path = (scratch / "bench.sock").string();
+    options.store_root = (scratch / "store").string();
+    options.max_queue = 4096;  // measure latency, not admission control
+    server = std::make_unique<serve::Server>(options);
+    server->start();
+    socket_path = options.unix_path;
+  }
+
+  try {
+    // Pre-solve the workload KLE so the measured section is pure serving.
+    serve::Client warmup = serve::Client::connect_unix(socket_path);
+    serve::SolveKleRequest solve;
+    solve.config = workload_config();
+    warmup.solve_kle(solve);
+    const serve::SampleBlockRequest request =
+        workload_request(rows, locations, r);
+    warmup.sample_block(request);  // constructs + caches the sampler
+
+    // Open-loop schedule: request i fires at start + i/qps, client
+    // k owns the indices i = k (mod clients).
+    const std::size_t total =
+        static_cast<std::size_t>(qps * seconds);
+    const double interval_s = 1.0 / qps;
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<std::size_t> errors{0};
+    std::vector<std::thread> threads;
+    const Clock::time_point start =
+        Clock::now() + std::chrono::milliseconds(50);  // connect headroom
+    for (std::size_t k = 0; k < clients; ++k) {
+      threads.emplace_back([&, k] {
+        try {
+          serve::Client client = serve::Client::connect_unix(socket_path);
+          for (std::size_t i = k; i < total; i += clients) {
+            const Clock::time_point fire =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(interval_s *
+                                                          static_cast<double>(i)));
+            std::this_thread::sleep_until(fire);
+            try {
+              client.sample_block(request);
+              const double us =
+                  std::chrono::duration<double, std::micro>(Clock::now() - fire)
+                      .count();
+              latencies[k].push_back(us);
+            } catch (const Error&) {
+              errors.fetch_add(1);
+            }
+          }
+        } catch (const Error&) {
+          errors.fetch_add(1);  // connect failure: this client sits out
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies)
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    std::sort(all.begin(), all.end());
+    const double achieved_qps = static_cast<double>(all.size()) / elapsed;
+    const double p50 = percentile(all, 0.50);
+    const double p99 = percentile(all, 0.99);
+    const double p999 = percentile(all, 0.999);
+
+    double hit_rate = -1.0;
+    if (server != nullptr)
+      hit_rate = server->sampler_cache_stats().hit_rate();
+
+    std::printf("bench_serve: clients=%zu offered=%.0f qps over %.2fs "
+                "(rows=%zu locations=%zu r=%llu)\n",
+                clients, qps, seconds, rows, locations,
+                static_cast<unsigned long long>(r));
+    std::printf("  completed %zu requests (%zu errors): %.0f qps achieved\n",
+                all.size(), errors.load(), achieved_qps);
+    std::printf("  latency us: p50=%.1f p99=%.1f p99.9=%.1f\n", p50, p99, p999);
+
+    if (!json_path.empty()) {
+      std::FILE* f = std::fopen(json_path.c_str(), "a");
+      if (f == nullptr) {
+        std::fprintf(stderr, "bench_serve: cannot open %s\n",
+                     json_path.c_str());
+        return 1;
+      }
+      const char* env_threads = std::getenv("SCKL_THREADS");
+      std::fprintf(
+          f,
+          "{\"bench\": \"serve_sample_block_load\", \"clients\": %zu, "
+          "\"offered_qps\": %.1f, \"seconds\": %.2f, \"rows\": %zu, "
+          "\"locations\": %zu, \"r\": %llu, \"completed\": %zu, "
+          "\"errors\": %zu, \"qps\": %.1f, \"p50_us\": %.1f, "
+          "\"p99_us\": %.1f, \"p999_us\": %.1f, "
+          "\"sampler_cache_hit_rate\": %.4f, \"hardware_threads\": %u, "
+          "\"sckl_threads\": \"%s\"}\n",
+          clients, qps, seconds, rows, locations,
+          static_cast<unsigned long long>(r), all.size(), errors.load(),
+          achieved_qps, p50, p99, p999, hit_rate,
+          std::thread::hardware_concurrency(),
+          env_threads != nullptr ? env_threads : "");
+      std::fclose(f);
+    }
+
+    // Correctness floor even in smoke mode: the bench fails when a
+    // meaningful fraction of the offered load errored out.
+    const bool ok = errors.load() * 10 < total && !all.empty();
+    if (server != nullptr) {
+      server->stop();
+      server.reset();
+      std::filesystem::remove_all(scratch);
+    }
+    return ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    if (server != nullptr) server->stop();
+    return 1;
+  }
+}

@@ -1,0 +1,141 @@
+// The sckl_serve daemon and its command-line client.
+//
+//   sckl_serve serve    --socket=PATH [--tcp] [--port=0] --root=DIR
+//                       [--threads=0] [--max-queue=64] [--deadline-ms=0]
+//                       [--batch-limit=8] [--batch-window-ms=0]
+//                       [--drain-ms=2000]
+//       Runs the daemon until SIGTERM/SIGINT or a shutdown request, then
+//       drains gracefully and exits 0.
+//   sckl_serve ping     --socket=PATH | --port=P
+//       Hello round-trip; prints the server identification.
+//   sckl_serve stats    --socket=PATH | --port=P
+//       Prints the server's sckl-serve-stats-v1 JSON document.
+//   sckl_serve solve    --socket=PATH | --port=P [--kernel=gaussian]
+//                       [--c=VALUE] [--pairs=50] [--area-fraction=0.001]
+//                       [--mesh-seed=8]
+//       Asks the server to solve (or re-serve) one KLE; prints provenance.
+//   sckl_serve shutdown --socket=PATH | --port=P
+//       Asks the server to shut down gracefully.
+//
+// The serve subcommand participates in tracing like every other binary
+// (--trace / --trace-json=PATH / SCKL_TRACE); the trace report flushes
+// after the drain completes, so a SIGTERM still produces the exports.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "kernels/kernel_fit.h"
+#include "obs/export.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+
+namespace {
+
+using namespace sckl;
+
+serve::Client connect(const CliFlags& flags) {
+  if (flags.has("port"))
+    return serve::Client::connect_tcp(
+        static_cast<std::uint16_t>(flags.get_int("port", 0)));
+  return serve::Client::connect_unix(
+      flags.get_string("socket", "/tmp/sckl_serve.sock"));
+}
+
+store::KleArtifactConfig solve_config(const CliFlags& flags) {
+  store::KleArtifactConfig config;
+  config.kernel_id = flags.get_string("kernel", "gaussian");
+  const double c = flags.get_double("c", 0.0);
+  config.kernel_params = {c > 0.0 ? c : kernels::paper_gaussian_c()};
+  config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+  config.mesh.area_fraction = flags.get_double("area-fraction", 0.001);
+  config.mesh.mesher_seed =
+      static_cast<std::uint64_t>(flags.get_int("mesh-seed", 8));
+  config.num_eigenpairs =
+      static_cast<std::uint64_t>(flags.get_int("pairs", 50));
+  return config;
+}
+
+int cmd_serve(const CliFlags& flags) {
+  serve::ServerOptions options;
+  options.unix_path = flags.get_string("socket", "/tmp/sckl_serve.sock");
+  options.tcp = flags.get_bool("tcp", false) || flags.has("port");
+  options.tcp_port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  options.store_root = flags.get_string("root", ".sckl-store");
+  options.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 64));
+  options.default_deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+  options.batch_limit =
+      static_cast<std::size_t>(flags.get_int("batch-limit", 8));
+  options.batch_window_ms =
+      static_cast<int>(flags.get_int("batch-window-ms", 0));
+  options.drain_ms = static_cast<int>(flags.get_int("drain-ms", 2000));
+  return serve::run_daemon(options);
+}
+
+int cmd_ping(const CliFlags& flags) {
+  serve::Client client = connect(flags);
+  const serve::HelloReply hello = client.hello();
+  std::printf("%s (protocol v%u)\n", hello.server.c_str(),
+              hello.protocol_version);
+  return 0;
+}
+
+int cmd_stats(const CliFlags& flags) {
+  serve::Client client = connect(flags);
+  std::printf("%s", client.stats().json.c_str());
+  return 0;
+}
+
+int cmd_solve(const CliFlags& flags) {
+  serve::Client client = connect(flags);
+  serve::SolveKleRequest request;
+  request.config = solve_config(flags);
+  const serve::SolveKleReply reply = client.solve_kle(request);
+  std::printf("solve: key=%s source=%s wall=%.4fs triangles=%llu "
+              "eigenpairs=%llu\n",
+              store::key_string(reply.key).c_str(),
+              to_string(static_cast<store::FetchSource>(reply.source)),
+              reply.seconds,
+              static_cast<unsigned long long>(reply.mesh_triangles),
+              static_cast<unsigned long long>(reply.num_eigenpairs));
+  return 0;
+}
+
+int cmd_shutdown(const CliFlags& flags) {
+  serve::Client client = connect(flags);
+  client.shutdown_server();
+  std::printf("shutdown acknowledged\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sckl;
+  const CliFlags flags(argc, argv);
+  const ExperimentFlagSet fset = parse_experiment_flags(flags);
+  obs::TraceSession trace_session(fset.trace, fset.trace_json);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: sckl_serve <serve|ping|stats|solve|shutdown> "
+                 "[--socket=PATH | --port=P] [options]\n");
+    return 2;
+  }
+  const std::string command = flags.positional().front();
+  try {
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "ping") return cmd_ping(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "shutdown") return cmd_shutdown(flags);
+    std::fprintf(stderr, "sckl_serve: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sckl_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -13,6 +13,10 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kNoConvergence: return "no_convergence";
     case ErrorCode::kNonFinite: return "non_finite";
     case ErrorCode::kHealthCheckFailed: return "health_check_failed";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kVersionMismatch: return "version_mismatch";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -34,6 +34,10 @@ enum class ErrorCode : int {
   kNoConvergence,        // iterative solver exhausted its budget
   kNonFinite,            // NaN/Inf reached a numeric entry point
   kHealthCheckFailed,    // robust::HealthReport::throw_if_fatal tripped
+  kProtocol,             // malformed wire frame/payload — peer bug, drop it
+  kVersionMismatch,      // peer speaks an unsupported protocol version
+  kOverloaded,           // admission control rejected the request; back off
+  kDeadlineExceeded,     // request deadline expired before completion
 };
 
 /// Short stable name of a code ("io_transient", "no_convergence", ...).

@@ -1,0 +1,64 @@
+#include "common/frame.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "common/socket.h"
+#include "common/wire.h"
+
+namespace sckl::wire {
+
+void write_frame(int fd, const FrameHeader& header,
+                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size() + 4);
+  put_u32(bytes, kFrameMagic);
+  put_u32(bytes, header.version);
+  put_u32(bytes, header.type);
+  put_u32(bytes, header.deadline_ms);
+  put_u64(bytes, header.request_id);
+  put_u64(bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  put_u32(bytes, crc32(payload.data(), payload.size()));
+  net::write_all(fd, bytes.data(), bytes.size());
+}
+
+bool read_frame(int fd, std::size_t max_payload, FrameHeader& header,
+                std::vector<std::uint8_t>& payload) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!net::read_exact(fd, raw, sizeof(raw))) return false;
+
+  ByteReader r(raw, sizeof(raw), ErrorCode::kProtocol, "frame header");
+  if (r.u32() != kFrameMagic)
+    throw Error("frame: bad magic (not a sckl_serve frame)",
+                ErrorCode::kProtocol);
+  header.version = r.u32();
+  header.type = r.u32();
+  header.deadline_ms = r.u32();
+  header.request_id = r.u64();
+  header.payload_size = r.u64();
+  if (header.payload_size > max_payload)
+    throw Error("frame: declared payload of " +
+                    std::to_string(header.payload_size) +
+                    " bytes exceeds the limit of " +
+                    std::to_string(max_payload),
+                ErrorCode::kProtocol);
+
+  payload.resize(static_cast<std::size_t>(header.payload_size));
+  if (header.payload_size > 0 &&
+      !net::read_exact(fd, payload.data(), payload.size()))
+    throw Error("frame: connection closed before the payload",
+                ErrorCode::kIoTransient);
+
+  std::uint8_t crc_raw[4];
+  if (!net::read_exact(fd, crc_raw, sizeof(crc_raw)))
+    throw Error("frame: connection closed before the checksum",
+                ErrorCode::kIoTransient);
+  ByteReader crc_reader(crc_raw, sizeof(crc_raw), ErrorCode::kProtocol,
+                        "frame checksum");
+  if (crc_reader.u32() != crc32(payload.data(), payload.size()))
+    throw Error("frame: payload checksum mismatch", ErrorCode::kProtocol);
+  return true;
+}
+
+}  // namespace sckl::wire

@@ -1,0 +1,185 @@
+#include "common/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace sckl::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw Error("socket: " + what + ": " + std::strerror(errno),
+              ErrorCode::kIoTransient);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("socket: unix path too long: " + path,
+                ErrorCode::kPrecondition);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) raise_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // the daemon owns its socket path
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    raise_errno("bind('" + path + "')");
+  if (::listen(fd.get(), 64) != 0) raise_errno("listen('" + path + "')");
+  return fd;
+}
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) raise_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    raise_errno("bind(tcp:" + std::to_string(port) + ")");
+  if (::listen(fd.get(), 64) != 0) raise_errno("listen(tcp)");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    raise_errno("getsockname");
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("socket: unix path too long: " + path,
+                ErrorCode::kPrecondition);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) raise_errno("socket(AF_UNIX)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    raise_errno("connect('" + path + "')");
+  return fd;
+}
+
+Fd connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) raise_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    raise_errno("connect(tcp:" + std::to_string(port) + ")");
+  return fd;
+}
+
+Fd accept_with_timeout(int listen_fd, int timeout_ms) {
+  pollfd p{listen_fd, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll(listen)");
+    }
+    if (ready == 0) return Fd();  // timeout
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      raise_errno("accept");
+    }
+    return Fd(client);
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  for (;;) {
+    const int ready = ::poll(&p, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll(read)");
+    }
+    return ready > 0;
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, bytes + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("read");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw Error("socket: connection closed mid-message (" +
+                      std::to_string(got) + " of " + std::to_string(size) +
+                      " bytes)",
+                  ErrorCode::kIoTransient);
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the process
+    // with SIGPIPE — the daemon must survive any client disconnect.
+    const ssize_t n =
+        ::send(fd, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace sckl::net

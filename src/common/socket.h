@@ -1,0 +1,73 @@
+// Thin POSIX socket helpers for the serve daemon and its clients.
+//
+// Everything here is blocking-I/O with explicit EINTR handling; readiness
+// waits go through poll() with a timeout so accept/read loops can observe
+// shutdown flags instead of parking forever in the kernel. Failures throw
+// sckl::Error with code kIoTransient (the caller decides whether to retry,
+// drop the connection, or give up). No buffering is done at this layer —
+// framing (common/frame.h) reads and writes exact byte counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sckl::net {
+
+/// RAII file-descriptor owner. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+  /// Releases ownership without closing.
+  int release();
+  /// shutdown(SHUT_RDWR): unblocks any thread inside read/write on this fd
+  /// without racing the close (used to force-drain stuck connections).
+  void shutdown_both() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds, and listens on a unix-domain stream socket at `path`.
+/// An existing socket file at `path` is unlinked first (the daemon owns its
+/// socket path). Throws on failure, including paths longer than sun_path.
+Fd listen_unix(const std::string& path);
+
+/// Creates, binds, and listens on a loopback TCP socket. `port` 0 picks an
+/// ephemeral port; the bound port is written to `bound_port`.
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port);
+
+/// Connects to a unix-domain socket. Throws on failure.
+Fd connect_unix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`. Throws on failure.
+Fd connect_tcp(std::uint16_t port);
+
+/// Accepts one connection. Returns an invalid Fd on timeout (nothing
+/// arrived within `timeout_ms`) so callers can poll a shutdown flag.
+Fd accept_with_timeout(int listen_fd, int timeout_ms);
+
+/// True when `fd` has readable data (or EOF) within `timeout_ms`.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Reads exactly `size` bytes. Returns false on clean EOF before the first
+/// byte; throws kIoTransient on errors or EOF mid-buffer.
+bool read_exact(int fd, void* data, std::size_t size);
+
+/// Writes all `size` bytes, retrying partial writes. Throws kIoTransient on
+/// failure (including EPIPE from a peer that went away).
+void write_all(int fd, const void* data, std::size_t size);
+
+}  // namespace sckl::net

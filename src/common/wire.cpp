@@ -1,0 +1,111 @@
+#include "common/wire.h"
+
+#include <array>
+#include <bit>
+
+namespace sckl::wire {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_blob(std::vector<std::uint8_t>& out,
+              const std::vector<std::uint8_t>& bytes) {
+  put_u64(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void ByteReader::need(std::size_t n, const char* what) {
+  if (size_ - pos_ < n)
+    throw Error(std::string(context_) + ": truncated input (while reading " +
+                    what + ")",
+                code_);
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1, "u8");
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4, "u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::string() {
+  const std::uint32_t len = u32();
+  need(len, "string body");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+std::vector<std::uint8_t> ByteReader::blob() {
+  const std::uint64_t len = u64();
+  need(static_cast<std::size_t>(len), "blob body");
+  std::vector<std::uint8_t> bytes(data_ + pos_,
+                                  data_ + pos_ + static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return bytes;
+}
+
+}  // namespace sckl::wire

@@ -1,0 +1,74 @@
+// Little-endian byte-stream primitives shared by every binary codec in the
+// repository: the on-disk KLE artifact format (store/kle_io) and the serve
+// daemon's request/response protocol (serve/protocol) encode with the same
+// put_* writers and decode with the same bounds-checked ByteReader, so the
+// two formats can never drift apart on endianness or double representation
+// (doubles always travel as their IEEE-754 bit patterns in a u64).
+//
+// ByteReader throws sckl::Error on any read past the end of the buffer; the
+// error *code* is chosen by the owner (kCorruptArtifact for artifact files,
+// kProtocol for network frames) so the existing reaction machinery — store
+// quarantine, serve typed error replies — keeps dispatching on codes alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sckl::wire {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+// --- little-endian appenders ----------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+/// Stored as the IEEE-754 bit pattern in a u64 — bit-exact round trips.
+void put_f64(std::vector<std::uint8_t>& out, double v);
+/// u32 length prefix + raw bytes.
+void put_string(std::vector<std::uint8_t>& out, const std::string& s);
+/// u64 length prefix + raw bytes (for opaque payloads such as artifacts).
+void put_blob(std::vector<std::uint8_t>& out,
+              const std::vector<std::uint8_t>& bytes);
+
+// --- bounds-checked little-endian reader ----------------------------------
+
+/// Sequential reader over a fixed buffer. Every accessor validates that the
+/// requested bytes exist and throws sckl::Error(code) otherwise, with the
+/// owning format's context string in the message.
+class ByteReader {
+ public:
+  /// `context` must outlive the reader (pass a string literal).
+  ByteReader(const std::uint8_t* data, std::size_t size, ErrorCode code,
+             const char* context)
+      : data_(data), size_(size), code_(code), context_(context) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string string();                 ///< u32 length prefix + bytes
+  std::vector<std::uint8_t> blob();     ///< u64 length prefix + bytes
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// The error code this reader throws with (lets shared decode helpers
+  /// raise their own validation errors under the owning format's code).
+  ErrorCode code() const { return code_; }
+
+  /// Throws unless exactly `n` more bytes exist (used before bulk copies).
+  void need(std::size_t n, const char* what);
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  ErrorCode code_;
+  const char* context_;
+};
+
+}  // namespace sckl::wire

@@ -145,13 +145,21 @@ std::string trace_json_string() {
     append_json_escaped(out, r.name);
     std::snprintf(buf, sizeof buf,
                   "\", \"thread\": %u, \"start_ns\": %" PRId64
-                  ", \"wall_ns\": %" PRId64 ", \"cpu_ns\": %" PRId64 "}",
-                  r.thread, r.start_ns, r.wall_ns, r.cpu_ns);
+                  ", \"wall_ns\": %" PRId64 ", \"cpu_ns\": %" PRId64
+                  ", \"tag\": %" PRIu64 "}",
+                  r.thread, r.start_ns, r.wall_ns, r.cpu_ns, r.tag);
     out += buf;
   }
   out += spans.empty() ? "],\n" : "\n  ],\n";
-  out += "  \"metrics\": [";
+  out += "  \"metrics\": ";
+  out += metrics_json_array();
+  out += "\n}\n";
+  return out;
+}
+
+std::string metrics_json_array() {
   const std::vector<MetricRow> rows = metrics_snapshot();
+  std::string out = "[";
   for (size_t i = 0; i < rows.size(); ++i) {
     const MetricRow& row = rows[i];
     out += i == 0 ? "\n" : ",\n";
@@ -182,7 +190,7 @@ std::string trace_json_string() {
     }
     out += "}";
   }
-  out += rows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  out += rows.empty() ? "]" : "\n  ]";
   return out;
 }
 

@@ -8,7 +8,7 @@
 //      {
 //        "schema": "sckl-trace-v1",
 //        "spans":   [{"id","parent","name","thread",
-//                     "start_ns","wall_ns","cpu_ns"} ...],
+//                     "start_ns","wall_ns","cpu_ns","tag"} ...],
 //        "metrics": [{"name","kind","count","value",          (all kinds)
 //                     "sum","min","max","p50","p99"} ...]     (histograms)
 //      }
@@ -31,6 +31,12 @@ bool write_trace_json(const std::string& path);
 /// write_trace_json would produce) — used by benches to splice trace data
 /// into their own JSON output, and by tests for round-trip checks.
 std::string trace_json_string();
+
+/// Returns just the metrics portion of the snapshot as a JSON array
+/// ("[{...}, ...]", "[]" when empty) — the same objects trace_json_string
+/// places under "metrics". The serve daemon's Stats reply embeds this so
+/// remote clients see the identical schema the local exporters produce.
+std::string metrics_json_array();
 
 /// RAII session: arms tracing at construction if requested, and at
 /// destruction emits the stderr report and optional JSON file.

@@ -246,6 +246,20 @@ void register_standard_metrics() {
   // Fault injection.
   counter("sckl.robust.faults.hits");
   counter("sckl.robust.faults.injected");
+  // Serve layer.
+  counter("sckl.serve.requests");
+  counter("sckl.serve.replies.ok");
+  counter("sckl.serve.replies.error");
+  counter("sckl.serve.rejected.overloaded");
+  counter("sckl.serve.rejected.deadline");
+  counter("sckl.serve.rejected.protocol");
+  counter("sckl.serve.connections");
+  counter("sckl.serve.batches");
+  counter("sckl.serve.batched_requests");
+  counter("sckl.serve.sampler_cache.hits");
+  counter("sckl.serve.sampler_cache.misses");
+  gauge("sckl.serve.queue_depth");
+  histogram("sckl.serve.request_us");
 }
 
 }  // namespace sckl::obs

@@ -158,6 +158,7 @@ Span::~Span() {
   rec.id = id_;
   rec.parent = parent_;
   rec.name = name_;
+  rec.tag = tag_;
   rec.wall_ns = now_wall_ns() - start_wall_ns_;
   rec.cpu_ns = thread_cpu_ns() - start_cpu_ns_;
   rec.start_ns = start_wall_ns_;

@@ -35,6 +35,8 @@ struct SpanRecord {
   std::int64_t start_ns = 0; ///< Wall-clock start, ns since trace_reset()/enable.
   std::int64_t wall_ns = 0;  ///< Wall-clock duration.
   std::int64_t cpu_ns = 0;   ///< Thread CPU time consumed between ctor and dtor.
+  std::uint64_t tag = 0;     ///< Caller-defined correlation id (0 = untagged);
+                             ///< the serve daemon stamps the request id here.
 };
 
 /// Turns span collection on or off. Enabling does not clear prior records;
@@ -74,6 +76,11 @@ class Span {
   /// Id of this span; 0 when tracing was disabled at construction.
   std::uint64_t id() const { return id_; }
 
+  /// Attaches a numeric correlation id recorded with the span (e.g. the
+  /// serve request id, so spans from one request can be grepped out of a
+  /// trace). No-op overhead when tracing is disabled.
+  void set_tag(std::uint64_t tag) { tag_ = tag; }
+
   /// Innermost open span id on the calling thread (0 if none / disabled).
   static std::uint64_t current_id();
 
@@ -82,6 +89,7 @@ class Span {
 
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
+  std::uint64_t tag_ = 0;
   const char* name_ = "";
   std::int64_t start_wall_ns_ = 0;
   std::int64_t start_cpu_ns_ = 0;

@@ -18,6 +18,9 @@ constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
     "store_write_pre_rename",
     "store_write_post_rename",
     "store_gc_mid_sweep",
+    "serve_accept",
+    "serve_read",
+    "serve_deadline",
 };
 
 }  // namespace

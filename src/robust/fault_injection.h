@@ -48,8 +48,11 @@ enum class FaultSite : int {
   kStoreWritePreRename,    // crash: tmp durable, rename not yet issued
   kStoreWritePostRename,   // crash: renamed, directory not yet fsync'd
   kStoreGcMidSweep,        // crash: gc/fsck halfway through its delete list
+  kServeAccept,            // serve: accept loop drops an incoming connection
+  kServeRead,              // serve: reading a request frame fails transiently
+  kServeDeadline,          // serve: request deadline treated as already past
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 11;
 
 /// Exit status of a process killed by an armed crash point; the kill-loop
 /// harness asserts it to distinguish an intended crash from a real failure.

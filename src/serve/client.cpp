@@ -1,0 +1,110 @@
+#include "serve/client.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace sckl::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(net::connect_unix(path));
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  return Client(net::connect_tcp(port));
+}
+
+std::vector<std::uint8_t> Client::roundtrip_raw(
+    wire::FrameHeader header, const std::vector<std::uint8_t>& payload) {
+  wire::write_frame(fd_.get(), header, payload);
+  wire::FrameHeader reply_header;
+  std::vector<std::uint8_t> reply;
+  if (!wire::read_frame(fd_.get(), max_payload_bytes_, reply_header, reply))
+    throw Error("serve client: connection closed before the reply",
+                ErrorCode::kIoTransient);
+  return reply;
+}
+
+std::vector<std::uint8_t> Client::roundtrip(
+    MessageType type, const std::vector<std::uint8_t>& payload) {
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint32_t>(type);
+  header.deadline_ms = deadline_ms_;
+  header.request_id = next_request_id_++;
+
+  wire::write_frame(fd_.get(), header, payload);
+
+  wire::FrameHeader reply_header;
+  std::vector<std::uint8_t> reply;
+  if (!wire::read_frame(fd_.get(), max_payload_bytes_, reply_header, reply))
+    throw Error("serve client: connection closed before the reply",
+                ErrorCode::kIoTransient);
+  if (reply_header.request_id != header.request_id)
+    throw Error("serve client: reply correlates to request " +
+                    std::to_string(reply_header.request_id) + ", expected " +
+                    std::to_string(header.request_id),
+                ErrorCode::kProtocol);
+  return reply;
+}
+
+HelloReply Client::hello() {
+  const std::vector<std::uint8_t> reply = roundtrip(MessageType::kHello, {});
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "hello reply");
+  return decode_hello_reply(r);
+}
+
+SolveKleReply Client::solve_kle(const SolveKleRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kSolveKle, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "solve_kle reply");
+  return decode_solve_kle_reply(r);
+}
+
+SampleBlockReply Client::sample_block(const SampleBlockRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kSampleBlock, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "sample_block reply");
+  return decode_sample_block_reply(r);
+}
+
+linalg::Matrix Client::sample_matrix(const SampleBlockRequest& request) {
+  const SampleBlockReply reply = sample_block(request);
+  linalg::Matrix out(static_cast<std::size_t>(reply.rows),
+                     static_cast<std::size_t>(reply.cols));
+  std::memcpy(out.data(), reply.values.data(),
+              reply.values.size() * sizeof(double));
+  return out;
+}
+
+RunSstaReply Client::run_ssta(const RunSstaRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kRunSsta, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "run_ssta reply");
+  return decode_run_ssta_reply(r);
+}
+
+StatsReply Client::stats() {
+  const std::vector<std::uint8_t> reply = roundtrip(MessageType::kStats, {});
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "stats reply");
+  return decode_stats_reply(r);
+}
+
+void Client::shutdown_server() {
+  const std::vector<std::uint8_t> reply = roundtrip(MessageType::kShutdown, {});
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "shutdown reply");
+  check_reply_status(r);
+}
+
+}  // namespace sckl::serve

@@ -1,0 +1,106 @@
+#include "serve/daemon.h"
+
+#include <csignal>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+#include "common/error.h"
+
+namespace sckl::serve {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+// Write end of the self-pipe; volatile sig_atomic_t is not needed because
+// write() is async-signal-safe and the fd is set once before handlers are
+// installed.
+int g_signal_pipe_write = -1;
+
+void handle_signal(int) {
+  const char byte = 1;
+  // The return value is deliberately ignored: a full pipe still means a
+  // byte is already in flight, which is all the event loop needs.
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe_write, &byte, 1);
+}
+
+}  // namespace
+
+int run_daemon(const ServerOptions& options, bool announce) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::fprintf(stderr, "sckl_serve: cannot create signal pipe\n");
+    return 1;
+  }
+  net::Fd pipe_read(pipe_fds[0]);
+  net::Fd pipe_write(pipe_fds[1]);
+  g_signal_pipe_write = pipe_write.get();
+
+  Server server(options);
+  try {
+    server.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sckl_serve: startup failed: %s\n", e.what());
+    return 1;
+  }
+
+  struct sigaction action = {};
+  action.sa_handler = handle_signal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  // write_all already passes MSG_NOSIGNAL, but plain write() on a dead pipe
+  // would still raise SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (announce) {
+    if (!options.unix_path.empty())
+      std::printf("sckl_serve: listening on unix:%s\n",
+                  options.unix_path.c_str());
+    if (options.tcp)
+      std::printf("sckl_serve: listening on tcp:127.0.0.1:%u\n",
+                  static_cast<unsigned>(server.tcp_port()));
+    std::fflush(stdout);
+  }
+
+  for (;;) {
+    struct pollfd pfd = {};
+    pfd.fd = pipe_read.get();
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) break;
+    // A kShutdown request flips the flag without touching the pipe.
+    if (server.stop_requested()) break;
+  }
+
+  server.stop();
+  return 0;
+}
+
+#else  // non-POSIX fallback: no signals, run until a kShutdown request.
+
+int run_daemon(const ServerOptions& options, bool announce) {
+  Server server(options);
+  try {
+    server.start();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "sckl_serve: startup failed: %s\n", e.what());
+    return 1;
+  }
+  if (announce) {
+    std::printf("sckl_serve: listening\n");
+    std::fflush(stdout);
+  }
+  while (!server.wait_for_stop_request(200)) {
+  }
+  server.stop();
+  return 0;
+}
+
+#endif
+
+}  // namespace sckl::serve

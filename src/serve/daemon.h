@@ -1,0 +1,22 @@
+// Daemon entry point: runs a Server until SIGTERM/SIGINT or a kShutdown
+// request, then drains it gracefully.
+//
+// Signal handling uses the self-pipe idiom: the handler writes one byte to
+// a pipe (the only async-signal-safe action taken) and the event loop polls
+// that pipe alongside the server's stop_requested flag. Receiving either
+// trigger runs Server::stop() — stop accepting, drain in-flight work
+// bounded by ServerOptions::drain_ms, flush exporters — and returns 0, so
+// an orchestrator's TERM during load still observes a clean exit.
+#pragma once
+
+#include "serve/server.h"
+
+namespace sckl::serve {
+
+/// Runs a server until shutdown is requested. Returns the process exit
+/// code: 0 on a graceful shutdown, nonzero when startup failed.
+/// `announce` (optional) prints a "listening on ..." line to stdout once
+/// the listeners are bound — the restart-under-load test keys off it.
+int run_daemon(const ServerOptions& options, bool announce = true);
+
+}  // namespace sckl::serve

@@ -1,0 +1,245 @@
+#include "serve/protocol.h"
+
+#include "common/error.h"
+#include "store/kle_io.h"
+
+namespace sckl::serve {
+
+namespace {
+
+using wire::put_blob;
+using wire::put_f64;
+using wire::put_string;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
+
+// Guard for count-prefixed vector bodies: a hostile count must fail the
+// bounds check before any allocation sized by it.
+void need_f64s(wire::ByteReader& r, std::uint64_t count, const char* what) {
+  r.need(static_cast<std::size_t>(count) * 8, what);
+}
+
+}  // namespace
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "hello";
+    case MessageType::kSolveKle: return "solve_kle";
+    case MessageType::kSampleBlock: return "sample_block";
+    case MessageType::kRunSsta: return "run_ssta";
+    case MessageType::kStats: return "stats";
+    case MessageType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+bool known_message_type(std::uint32_t type) {
+  return type >= static_cast<std::uint32_t>(MessageType::kHello) &&
+         type <= static_cast<std::uint32_t>(MessageType::kShutdown);
+}
+
+// --- requests --------------------------------------------------------------
+
+void encode(std::vector<std::uint8_t>& out, const SolveKleRequest& request) {
+  store::append_artifact_config(out, request.config);
+  put_u8(out, request.want_artifact ? 1 : 0);
+}
+
+SolveKleRequest decode_solve_kle_request(wire::ByteReader& r) {
+  SolveKleRequest request;
+  request.config = store::read_artifact_config(r);
+  request.want_artifact = r.u8() != 0;
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out, const SampleBlockRequest& request) {
+  store::append_artifact_config(out, request.config);
+  put_u64(out, request.r);
+  put_u64(out, request.locations.size());
+  for (const geometry::Point2& p : request.locations) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+  }
+  put_u64(out, request.range.first);
+  put_u64(out, request.range.count);
+  put_u64(out, request.stream.seed);
+  put_u64(out, request.stream.parameter_id);
+}
+
+SampleBlockRequest decode_sample_block_request(wire::ByteReader& r) {
+  SampleBlockRequest request;
+  request.config = store::read_artifact_config(r);
+  request.r = r.u64();
+  const std::uint64_t n = r.u64();
+  need_f64s(r, n * 2, "sample locations");
+  request.locations.resize(static_cast<std::size_t>(n));
+  for (geometry::Point2& p : request.locations) {
+    p.x = r.f64();
+    p.y = r.f64();
+  }
+  request.range.first = r.u64();
+  request.range.count = static_cast<std::size_t>(r.u64());
+  request.stream.seed = r.u64();
+  request.stream.parameter_id = r.u64();
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out, const RunSstaRequest& request) {
+  put_string(out, request.circuit);
+  put_u64(out, request.num_samples);
+  put_u64(out, request.r);
+  put_u64(out, request.num_eigenpairs);
+  put_f64(out, request.mesh_area_fraction);
+  put_f64(out, request.kernel_c);
+  put_u64(out, request.seed);
+  put_u64(out, request.num_threads);
+}
+
+RunSstaRequest decode_run_ssta_request(wire::ByteReader& r) {
+  RunSstaRequest request;
+  request.circuit = r.string();
+  request.num_samples = r.u64();
+  request.r = r.u64();
+  request.num_eigenpairs = r.u64();
+  request.mesh_area_fraction = r.f64();
+  request.kernel_c = r.f64();
+  request.seed = r.u64();
+  request.num_threads = r.u64();
+  return request;
+}
+
+// --- replies ---------------------------------------------------------------
+
+std::vector<std::uint8_t> make_error_reply(ErrorCode code,
+                                           const std::string& message) {
+  std::vector<std::uint8_t> out;
+  // kGeneric is 0, which would collide with the success status word; shift
+  // a genuinely-generic failure onto an out-of-enum value the client maps
+  // back to kGeneric in check_reply_status().
+  const auto status = static_cast<std::uint32_t>(code);
+  put_u32(out, status != 0 ? status : 1000);
+  put_string(out, message);
+  return out;
+}
+
+std::vector<std::uint8_t> make_ok_reply() {
+  std::vector<std::uint8_t> out;
+  put_u32(out, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const HelloReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u32(out, reply.protocol_version);
+  put_string(out, reply.server);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const SolveKleReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u64(out, reply.key);
+  put_u32(out, reply.source);
+  put_f64(out, reply.seconds);
+  put_u64(out, reply.mesh_triangles);
+  put_u64(out, reply.num_eigenpairs);
+  put_blob(out, reply.artifact);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const SampleBlockReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  out.reserve(out.size() + 16 + reply.values.size() * 8);
+  put_u64(out, reply.rows);
+  put_u64(out, reply.cols);
+  for (double v : reply.values) put_f64(out, v);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_f64(out, reply.mean);
+  put_f64(out, reply.sigma);
+  put_f64(out, reply.setup_seconds);
+  put_f64(out, reply.sampling_seconds);
+  put_f64(out, reply.sta_seconds);
+  put_f64(out, reply.total_seconds);
+  put_u32(out, reply.source);
+  put_u64(out, reply.mesh_triangles);
+  put_u64(out, reply.threads_used);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const StatsReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_string(out, reply.json);
+  return out;
+}
+
+void check_reply_status(wire::ByteReader& r) {
+  const std::uint32_t status = r.u32();
+  if (status == 0) return;
+  const std::string message = r.string();
+  // Statuses outside our enum (the shifted-generic sentinel, or codes from
+  // a newer server) map back to kGeneric.
+  ErrorCode code = ErrorCode::kGeneric;
+  if (status <= static_cast<std::uint32_t>(ErrorCode::kDeadlineExceeded))
+    code = static_cast<ErrorCode>(status);
+  throw Error("serve: remote error: " + message, code);
+}
+
+HelloReply decode_hello_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  HelloReply reply;
+  reply.protocol_version = r.u32();
+  reply.server = r.string();
+  return reply;
+}
+
+SolveKleReply decode_solve_kle_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  SolveKleReply reply;
+  reply.key = r.u64();
+  reply.source = r.u32();
+  reply.seconds = r.f64();
+  reply.mesh_triangles = r.u64();
+  reply.num_eigenpairs = r.u64();
+  reply.artifact = r.blob();
+  return reply;
+}
+
+SampleBlockReply decode_sample_block_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  SampleBlockReply reply;
+  reply.rows = r.u64();
+  reply.cols = r.u64();
+  const std::uint64_t total = reply.rows * reply.cols;
+  need_f64s(r, total, "sample values");
+  reply.values.resize(static_cast<std::size_t>(total));
+  for (double& v : reply.values) v = r.f64();
+  return reply;
+}
+
+RunSstaReply decode_run_ssta_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  RunSstaReply reply;
+  reply.mean = r.f64();
+  reply.sigma = r.f64();
+  reply.setup_seconds = r.f64();
+  reply.sampling_seconds = r.f64();
+  reply.sta_seconds = r.f64();
+  reply.total_seconds = r.f64();
+  reply.source = r.u32();
+  reply.mesh_triangles = r.u64();
+  reply.threads_used = r.u64();
+  return reply;
+}
+
+StatsReply decode_stats_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  StatsReply reply;
+  reply.json = r.string();
+  return reply;
+}
+
+}  // namespace sckl::serve

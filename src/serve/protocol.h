@@ -1,0 +1,168 @@
+// Message schemas of the sckl_serve wire protocol (version 1).
+//
+// Transport: every message is one frame (common/frame.h — "SCKF" magic,
+// version, type, deadline, request id, payload, CRC). This header defines
+// what goes *inside* the payload for each MessageType, using the same
+// little-endian primitives as the on-disk artifact format (common/wire.h)
+// and reusing store/kle_io's KleArtifactConfig codec verbatim, so a config
+// is encoded identically on disk and on the wire.
+//
+// Request/reply pairing: a reply frame echoes the request's type and
+// request id. Every reply payload starts with a u32 status — 0 for success
+// followed by the type-specific body below, otherwise the sckl::ErrorCode
+// of the failure followed by a diagnostic string. check_reply_status()
+// rethrows such an error client-side with the original code, so a remote
+// failure is indistinguishable from a local one to reaction code.
+//
+//   kHello        -> (empty)            <- u32 protocol version, string build
+//   kSolveKle     -> artifact config, u8 want_artifact
+//                 <- u64 key, u32 fetch source, f64 seconds, u64 triangles,
+//                    u64 eigenpairs, blob artifact (empty unless requested)
+//   kSampleBlock  -> artifact config, u64 r, locations (u64 n + 2n f64),
+//                    range (u64 first, u64 count), stream (u64 seed, u64 id)
+//                 <- u64 rows, u64 cols, rows*cols f64 row-major — the exact
+//                    bits KleFieldSampler::sample_block produces locally
+//   kRunSsta      -> string circuit, u64 num_samples, u64 r, u64 eigenpairs,
+//                    f64 mesh_area_fraction, f64 kernel_c, u64 seed,
+//                    u64 num_threads
+//                 <- f64 mean/sigma/setup/sampling/sta/total, u32 source,
+//                    u64 triangles, u64 threads_used
+//   kStats        -> (empty)            <- string JSON (sckl-serve-stats-v1)
+//   kShutdown     -> (empty)            <- (empty); server then drains
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/frame.h"
+#include "common/rng.h"
+#include "common/wire.h"
+#include "field/field_sampler.h"
+#include "geometry/point2.h"
+#include "store/key_hash.h"
+
+namespace sckl::serve {
+
+/// Frame type of every protocol message. Requests and replies share the
+/// value; direction disambiguates.
+enum class MessageType : std::uint32_t {
+  kHello = 1,
+  kSolveKle = 2,
+  kSampleBlock = 3,
+  kRunSsta = 4,
+  kStats = 5,
+  kShutdown = 6,
+};
+
+/// Stable lowercase name ("hello", "solve_kle", ...); "unknown" otherwise.
+const char* to_string(MessageType type);
+
+/// True for the message types this build understands.
+bool known_message_type(std::uint32_t type);
+
+// --- requests --------------------------------------------------------------
+
+struct SolveKleRequest {
+  store::KleArtifactConfig config;
+  bool want_artifact = false;  // return the full encoded .sckl artifact
+};
+
+struct SampleBlockRequest {
+  store::KleArtifactConfig config;           // which KLE to sample from
+  std::uint64_t r = 25;                      // truncation
+  std::vector<geometry::Point2> locations;   // sample locations on the die
+  field::SampleRange range;                  // global sample index range
+  StreamKey stream;                          // parameter stream
+};
+
+struct RunSstaRequest {
+  std::string circuit = "c880";
+  std::uint64_t num_samples = 200;
+  std::uint64_t r = 25;
+  std::uint64_t num_eigenpairs = 0;       // 0 = max(2r, 50), as ExperimentConfig
+  double mesh_area_fraction = 0.001;
+  double kernel_c = 0.0;                  // 0 = the paper's fitted value
+  std::uint64_t seed = 1;
+  std::uint64_t num_threads = 0;          // 0 = server default
+};
+
+// --- replies ---------------------------------------------------------------
+
+struct HelloReply {
+  std::uint32_t protocol_version = wire::kProtocolVersion;
+  std::string server;  // human-readable build identification
+};
+
+struct SolveKleReply {
+  std::uint64_t key = 0;              // content-hash key of the artifact
+  std::uint32_t source = 0;           // store::FetchSource as u32
+  double seconds = 0.0;               // server-side fetch wall time
+  std::uint64_t mesh_triangles = 0;
+  std::uint64_t num_eigenpairs = 0;
+  std::vector<std::uint8_t> artifact; // encode_kle bytes; empty unless asked
+};
+
+struct SampleBlockReply {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::vector<double> values;  // row-major, rows*cols entries
+};
+
+struct RunSstaReply {
+  double mean = 0.0;
+  double sigma = 0.0;
+  double setup_seconds = 0.0;
+  double sampling_seconds = 0.0;
+  double sta_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint32_t source = 0;      // store::FetchSource as u32
+  std::uint64_t mesh_triangles = 0;
+  std::uint64_t threads_used = 0;
+};
+
+struct StatsReply {
+  std::string json;  // sckl-serve-stats-v1 document
+};
+
+// --- request codecs --------------------------------------------------------
+// encode_* append the payload body to `out`; decode_* consume a ByteReader
+// (construct it with ErrorCode::kProtocol so malformed payloads surface as
+// typed protocol errors, never as crashes).
+
+void encode(std::vector<std::uint8_t>& out, const SolveKleRequest& request);
+void encode(std::vector<std::uint8_t>& out, const SampleBlockRequest& request);
+void encode(std::vector<std::uint8_t>& out, const RunSstaRequest& request);
+
+SolveKleRequest decode_solve_kle_request(wire::ByteReader& r);
+SampleBlockRequest decode_sample_block_request(wire::ByteReader& r);
+RunSstaRequest decode_run_ssta_request(wire::ByteReader& r);
+
+// --- reply codecs ----------------------------------------------------------
+// Success payloads carry the leading status word; build with make_ok_reply /
+// the typed encoders, or make_error_reply for failures.
+
+/// Payload of a failure reply: nonzero status (the ErrorCode) + message.
+std::vector<std::uint8_t> make_error_reply(ErrorCode code,
+                                           const std::string& message);
+
+/// Payload of an empty success reply (hello body appended separately, etc.).
+std::vector<std::uint8_t> make_ok_reply();
+
+std::vector<std::uint8_t> encode_reply(const HelloReply& reply);
+std::vector<std::uint8_t> encode_reply(const SolveKleReply& reply);
+std::vector<std::uint8_t> encode_reply(const SampleBlockReply& reply);
+std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply);
+std::vector<std::uint8_t> encode_reply(const StatsReply& reply);
+
+/// Reads the status word; on a nonzero status reads the message and throws
+/// sckl::Error carrying the server's original ErrorCode.
+void check_reply_status(wire::ByteReader& r);
+
+HelloReply decode_hello_reply(wire::ByteReader& r);
+SolveKleReply decode_solve_kle_reply(wire::ByteReader& r);
+SampleBlockReply decode_sample_block_reply(wire::ByteReader& r);
+RunSstaReply decode_run_ssta_reply(wire::ByteReader& r);
+StatsReply decode_stats_reply(wire::ByteReader& r);
+
+}  // namespace sckl::serve

@@ -1,0 +1,668 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+#include "robust/fault_injection.h"
+#include "store/kle_io.h"
+
+namespace sckl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::optional<Clock::time_point> deadline_from(std::uint32_t deadline_ms,
+                                               std::uint32_t default_ms,
+                                               Clock::time_point received) {
+  const std::uint32_t ms = deadline_ms != 0 ? deadline_ms : default_ms;
+  if (ms == 0) return std::nullopt;
+  return received + std::chrono::milliseconds(ms);
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool comma = true) {
+  out += "    \"";
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+  out += comma ? ",\n" : "\n";
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options), sampler_cache_(options.sampler_cache_bytes) {
+  require(!options_.store_root.empty(), "Server: store_root is required");
+  require(!options_.unix_path.empty() || options_.tcp,
+          "Server: configure a unix socket path and/or TCP");
+  require(options_.batch_limit >= 1, "Server: batch_limit must be >= 1");
+  require(options_.sample_chunk_rows >= 1,
+          "Server: sample_chunk_rows must be >= 1");
+  store::StoreOptions store_options;
+  store_options.cache_bytes = options_.store_cache_bytes;
+  store_ = std::make_unique<store::KleArtifactStore>(options_.store_root,
+                                                     store_options);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  require(!started_.load(), "Server: already started");
+  obs::register_standard_metrics();
+  if (!options_.unix_path.empty())
+    unix_listener_ = net::listen_unix(options_.unix_path);
+  if (options_.tcp)
+    tcp_listener_ = net::listen_tcp(options_.tcp_port, bound_tcp_port_);
+  started_.store(true);
+
+  if (unix_listener_.valid())
+    accept_threads_.emplace_back(
+        [this, fd = unix_listener_.get()] { accept_loop(fd); });
+  if (tcp_listener_.valid())
+    accept_threads_.emplace_back(
+        [this, fd = tcp_listener_.get()] { accept_loop(fd); });
+
+  const std::size_t workers =
+      ThreadPool::resolve_num_threads(options_.num_threads);
+  dispatcher_ = std::thread([this, workers] {
+    // The worker pool IS the existing common/ThreadPool: one barrier-style
+    // run() whose job loops popping requests until shutdown.
+    ThreadPool pool(workers);
+    pool.run([this](std::size_t) { worker_loop(); });
+  });
+}
+
+void Server::stop() {
+  if (!started_.load()) return;
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+
+  // 1. Stop accepting. Accept loops poll with a short timeout, so they
+  //    notice the flag promptly; the listeners are closed only after the
+  //    join so no loop ever polls a dead fd.
+  stop_accepting_.store(true);
+  for (std::thread& t : accept_threads_)
+    if (t.joinable()) t.join();
+  accept_threads_.clear();
+  unix_listener_.reset();
+  tcp_listener_.reset();
+
+  // 2. Drain: no new work is admitted (enqueue rejects while draining), and
+  //    we give queued + in-flight requests up to drain_ms to finish.
+  draining_.store(true);
+  std::deque<Request> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_ms),
+                         [&] { return queue_.empty() && in_flight_ == 0; });
+    leftovers.swap(queue_);
+  }
+  for (Request& request : leftovers)
+    reply_error(request, ErrorCode::kOverloaded,
+                "server shutting down before this request could run");
+
+  // 3. Stop the workers (any request already executing completes first —
+  //    its own deadline bounds how long that can take).
+  stop_workers_.store(true);
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+
+  // 4. Unblock and join the connection readers.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const std::shared_ptr<Connection>& conn : connections_)
+      conn->fd.shutdown_both();
+  }
+  for (std::thread& t : connection_threads_)
+    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connection_threads_.clear();
+    connections_.clear();
+  }
+
+  if (!options_.unix_path.empty()) std::remove(options_.unix_path.c_str());
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_.store(true);
+  }
+  stop_cv_.notify_all();
+}
+
+bool Server::wait_for_stop_request(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  return stop_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return stop_requested_.load(); });
+}
+
+void Server::accept_loop(int listen_fd) {
+  while (!stop_accepting_.load()) {
+    try {
+      net::Fd client = net::accept_with_timeout(listen_fd, 100);
+      if (!client.valid()) continue;  // timeout tick: re-check the flag
+      obs::counter("sckl.serve.connections").add(1);
+      if (robust::fault_injected(robust::FaultSite::kServeAccept)) {
+        // Injected accept failure: the connection is dropped on the floor;
+        // the client observes EOF and may retry.
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = std::move(client);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(conn);
+      connection_threads_.emplace_back(
+          [this, conn] { connection_loop(conn); });
+    } catch (const Error& e) {
+      if (stop_accepting_.load()) break;
+      std::fprintf(stderr, "sckl_serve: accept error: %s\n", e.what());
+    }
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  // Sends an error frame echoing whatever of the request header we managed
+  // to parse; swallows write failures (the peer may already be gone).
+  const auto send_error = [&](const wire::FrameHeader& echo, ErrorCode code,
+                              const std::string& message) {
+    try {
+      wire::FrameHeader header;
+      header.type = echo.type;
+      header.request_id = echo.request_id;
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      wire::write_frame(conn->fd.get(), header, make_error_reply(code, message));
+    } catch (const Error&) {
+    }
+  };
+
+  // On exit the socket is shut down (not closed: a worker may still be
+  // writing a reply for an admitted request, and the fd must not be reused
+  // under it) so the peer observes EOF; the fd itself closes in stop().
+  struct ShutdownOnExit {
+    Connection* conn;
+    ~ShutdownOnExit() { conn->fd.shutdown_both(); }
+  } shutdown_on_exit{conn.get()};
+
+  for (;;) {
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> payload;
+    try {
+      if (!wire::read_frame(conn->fd.get(), options_.max_payload_bytes, header,
+                            payload))
+        return;  // clean EOF at a frame boundary
+    } catch (const Error& e) {
+      // Structural garbage (bad magic, hostile length, CRC mismatch) or a
+      // mid-frame disconnect: reply with the typed error if anything is
+      // still listening, then drop the connection — the byte stream cannot
+      // be resynchronized.
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, e.code(), e.what());
+      return;
+    }
+
+    if (header.version != wire::kProtocolVersion) {
+      // The frame itself parsed (the header layout is version-stable), so
+      // the stream stays in sync: answer and keep serving.
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, ErrorCode::kVersionMismatch,
+                 "unsupported protocol version " +
+                     std::to_string(header.version) + " (this server speaks " +
+                     std::to_string(wire::kProtocolVersion) + ")");
+      continue;
+    }
+    if (!known_message_type(header.type)) {
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, ErrorCode::kProtocol,
+                 "unknown message type " + std::to_string(header.type));
+      continue;
+    }
+    if (robust::fault_injected(robust::FaultSite::kServeRead)) {
+      send_error(header, ErrorCode::kIoTransient,
+                 "request read failure injected at fault site 'serve_read'");
+      continue;
+    }
+
+    Request request;
+    request.conn = conn;
+    request.header = header;
+    request.type = static_cast<MessageType>(header.type);
+    request.deadline = deadline_from(header.deadline_ms,
+                                     options_.default_deadline_ms, Clock::now());
+    try {
+      wire::ByteReader r(payload.data(), payload.size(), ErrorCode::kProtocol,
+                         "serve request");
+      switch (request.type) {
+        case MessageType::kHello:
+        case MessageType::kStats:
+        case MessageType::kShutdown:
+          break;  // empty body
+        case MessageType::kSolveKle:
+          request.solve = decode_solve_kle_request(r);
+          break;
+        case MessageType::kSampleBlock: {
+          request.sample = decode_sample_block_request(r);
+          // Sampler identity: requests agreeing on this key can share one
+          // constructed sampler (the batching unit).
+          store::ContentHasher h;
+          h.update_u64(store::artifact_key(request.sample->config));
+          h.update_u64(request.sample->r);
+          h.update_u64(request.sample->locations.size());
+          for (const geometry::Point2& p : request.sample->locations) {
+            h.update_double(p.x);
+            h.update_double(p.y);
+          }
+          request.batch_key = h.digest();
+          break;
+        }
+        case MessageType::kRunSsta:
+          request.ssta = decode_run_ssta_request(r);
+          break;
+      }
+      if (r.remaining() != 0)
+        throw Error("serve request: trailing bytes after payload",
+                    ErrorCode::kProtocol);
+    } catch (const Error& e) {
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, e.code(), e.what());
+      continue;  // the payload was fully consumed; the stream is in sync
+    }
+
+    obs::counter("sckl.serve.requests").add(1);
+    if (!enqueue(std::move(request))) {
+      obs::counter("sckl.serve.rejected.overloaded").add(1);
+      send_error(header, ErrorCode::kOverloaded,
+                 draining_.load() ? "server is shutting down"
+                                  : "request queue is full; back off");
+    }
+  }
+}
+
+bool Server::enqueue(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_.load() || stop_workers_.load()) return false;
+    if (queue_.size() >= options_.max_queue) return false;
+    queue_.push_back(std::move(request));
+    obs::gauge("sckl.serve.queue_depth")
+        .set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_all();
+  return true;
+}
+
+bool Server::deadline_expired(const Request& request) {
+  if (robust::fault_injected(robust::FaultSite::kServeDeadline)) return true;
+  return request.deadline && Clock::now() > *request.deadline;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_workers_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // only reachable when stopping
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+
+      Request& head = batch.front();
+      if (head.type == MessageType::kSampleBlock && options_.batch_limit > 1) {
+        const auto collect = [&] {
+          for (auto it = queue_.begin();
+               it != queue_.end() && batch.size() < options_.batch_limit;) {
+            if (it->type == MessageType::kSampleBlock &&
+                it->batch_key == head.batch_key) {
+              batch.push_back(std::move(*it));
+              it = queue_.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        };
+        collect();
+        if (options_.batch_window_ms > 0 &&
+            batch.size() < options_.batch_limit) {
+          // Hold the batch open briefly so concurrent clients hitting the
+          // same KLE land in one sampler pass instead of N.
+          const auto window_end =
+              Clock::now() + std::chrono::milliseconds(options_.batch_window_ms);
+          while (batch.size() < options_.batch_limit &&
+                 !stop_workers_.load()) {
+            if (queue_cv_.wait_until(lock, window_end) ==
+                std::cv_status::timeout) {
+              collect();
+              break;
+            }
+            collect();
+          }
+        }
+      }
+      in_flight_ += batch.size();
+      obs::gauge("sckl.serve.queue_depth")
+          .set(static_cast<double>(queue_.size()));
+    }
+
+    if (batch.size() > 1) {
+      obs::counter("sckl.serve.batches").add(1);
+      obs::counter("sckl.serve.batched_requests").add(batch.size());
+    }
+    try {
+      if (batch.front().type == MessageType::kSampleBlock)
+        execute_sample_batch(batch);
+      else
+        execute(batch.front());
+    } catch (...) {
+      // execute() handles per-request errors; this is a last-resort guard
+      // so no exception can escape into the pool barrier.
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      in_flight_ -= batch.size();
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+void Server::execute(Request& request) {
+  obs::Span span("serve.request");
+  span.set_tag(request.header.request_id);
+  obs::Stopwatch watch;
+  if (deadline_expired(request)) {
+    obs::counter("sckl.serve.rejected.deadline").add(1);
+    reply_error(request, ErrorCode::kDeadlineExceeded,
+                "deadline expired before the request was scheduled");
+    return;
+  }
+  try {
+    switch (request.type) {
+      case MessageType::kHello: {
+        HelloReply reply;
+        reply.server = options_.server_name;
+        send_payload(request, encode_reply(reply), /*is_error=*/false);
+        break;
+      }
+      case MessageType::kSolveKle:
+        send_payload(request, encode_reply(do_solve(*request.solve)),
+                     /*is_error=*/false);
+        break;
+      case MessageType::kRunSsta:
+        send_payload(request, encode_reply(do_run_ssta(*request.ssta, request)),
+                     /*is_error=*/false);
+        break;
+      case MessageType::kStats: {
+        StatsReply reply;
+        reply.json = stats_json();
+        send_payload(request, encode_reply(reply), /*is_error=*/false);
+        break;
+      }
+      case MessageType::kShutdown:
+        send_payload(request, make_ok_reply(), /*is_error=*/false);
+        request_stop();
+        break;
+      case MessageType::kSampleBlock:
+        break;  // handled by execute_sample_batch
+    }
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kDeadlineExceeded)
+      obs::counter("sckl.serve.rejected.deadline").add(1);
+    reply_error(request, e.code(), e.what());
+  } catch (const std::exception& e) {
+    reply_error(request, ErrorCode::kGeneric, e.what());
+  }
+  obs::histogram("sckl.serve.request_us").record(watch.seconds() * 1e6);
+}
+
+void Server::execute_sample_batch(std::vector<Request>& batch) {
+  // One sampler lookup/construction serves the whole batch.
+  std::shared_ptr<const field::KleFieldSampler> sampler;
+  try {
+    sampler = sampler_for(*batch.front().sample);
+  } catch (const Error& e) {
+    for (Request& request : batch) reply_error(request, e.code(), e.what());
+    return;
+  } catch (const std::exception& e) {
+    for (Request& request : batch)
+      reply_error(request, ErrorCode::kGeneric, e.what());
+    return;
+  }
+
+  for (Request& request : batch) {
+    obs::Span span("serve.sample_block");
+    span.set_tag(request.header.request_id);
+    obs::Stopwatch watch;
+    const SampleBlockRequest& body = *request.sample;
+    try {
+      SampleBlockReply reply;
+      reply.rows = body.range.count;
+      reply.cols = sampler->num_locations();
+      reply.values.reserve(static_cast<std::size_t>(reply.rows) *
+                           static_cast<std::size_t>(reply.cols));
+      linalg::Matrix chunk;
+      std::size_t done = 0;
+      while (done < body.range.count) {
+        // Deadlines cancel between chunks, so one giant request cannot pin
+        // a worker past its budget.
+        if (deadline_expired(request))
+          throw Error("sample_block: deadline expired mid-generation",
+                      ErrorCode::kDeadlineExceeded);
+        const std::size_t n = std::min(options_.sample_chunk_rows,
+                                       body.range.count - done);
+        // Chunking cannot change the bits: every sample row is a pure
+        // function of its global index (stateless index-addressed draws).
+        const field::SampleRange range{body.range.first + done, n};
+        sampler->sample_block(range, body.stream, chunk);
+        reply.values.insert(reply.values.end(), chunk.data(),
+                            chunk.data() + n * sampler->num_locations());
+        done += n;
+      }
+      send_payload(request, encode_reply(reply), /*is_error=*/false);
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::kDeadlineExceeded)
+        obs::counter("sckl.serve.rejected.deadline").add(1);
+      reply_error(request, e.code(), e.what());
+    } catch (const std::exception& e) {
+      reply_error(request, ErrorCode::kGeneric, e.what());
+    }
+    obs::histogram("sckl.serve.request_us").record(watch.seconds() * 1e6);
+  }
+}
+
+SolveKleReply Server::do_solve(const SolveKleRequest& request) {
+  const auto kernel =
+      store::make_kernel(request.config.kernel_id, request.config.kernel_params);
+  // Concurrent cold solves of the same key dedup through the store's
+  // per-key lock: exactly one caller runs the eigensolve, the rest load the
+  // winner's artifact (StoreHealth::deduped_solves counts them).
+  const store::FetchResult fetch = store_->get_or_compute(request.config, *kernel);
+  SolveKleReply reply;
+  reply.key = store::artifact_key(request.config);
+  reply.source = static_cast<std::uint32_t>(fetch.source);
+  reply.seconds = fetch.seconds;
+  reply.mesh_triangles = fetch.artifact->mesh().num_triangles();
+  reply.num_eigenpairs = fetch.artifact->kle().eigenvalues().size();
+  if (request.want_artifact) reply.artifact = store::encode_kle(*fetch.artifact);
+  return reply;
+}
+
+std::shared_ptr<const field::KleFieldSampler> Server::sampler_for(
+    const SampleBlockRequest& request) {
+  store::ContentHasher h;
+  h.update_u64(store::artifact_key(request.config));
+  h.update_u64(request.r);
+  h.update_u64(request.locations.size());
+  for (const geometry::Point2& p : request.locations) {
+    h.update_double(p.x);
+    h.update_double(p.y);
+  }
+  const std::uint64_t key = h.digest();
+  if (auto cached = sampler_cache_.get(key)) {
+    obs::counter("sckl.serve.sampler_cache.hits").add(1);
+    return cached;
+  }
+  obs::counter("sckl.serve.sampler_cache.misses").add(1);
+  const auto kernel =
+      store::make_kernel(request.config.kernel_id, request.config.kernel_params);
+  const store::FetchResult fetch =
+      store_->get_or_compute(request.config, *kernel);
+  auto sampler = std::make_shared<const field::KleFieldSampler>(
+      *fetch.artifact, static_cast<std::size_t>(request.r), request.locations);
+  // Charge: the gathered per-location KLE rows dominate (n_locations x r
+  // doubles) plus per-location bookkeeping.
+  const std::size_t bytes =
+      request.locations.size() *
+          (static_cast<std::size_t>(request.r) * sizeof(double) + 32) +
+      1024;
+  sampler_cache_.put(key, sampler, bytes);
+  return sampler;
+}
+
+RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
+                                 const Request& envelope) {
+  ssta::ExperimentConfig config;
+  config.circuit = request.circuit;
+  config.num_samples = static_cast<std::size_t>(request.num_samples);
+  config.r = static_cast<std::size_t>(request.r);
+  config.num_eigenpairs = static_cast<std::size_t>(request.num_eigenpairs);
+  config.mesh_area_fraction = request.mesh_area_fraction;
+  config.kernel_c = request.kernel_c;
+  config.seed = request.seed;
+  config.num_threads = static_cast<std::size_t>(request.num_threads);
+  config.store_root = options_.store_root;
+
+  // One pipeline (netlist, placement, STA engine) per distinct construction
+  // config, shared across requests; run_kle calls are serialized per entry.
+  store::ContentHasher h;
+  h.update_string(config.circuit);
+  h.update_u64(config.num_samples);
+  h.update_double(config.mesh_area_fraction);
+  h.update_double(config.kernel_c);
+  h.update_u64(config.seed);
+  h.update_u64(config.num_threads);
+  const std::uint64_t key = h.digest();
+
+  std::shared_ptr<PipelineEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(pipeline_mu_);
+    if (pipelines_.size() > 8) pipelines_.clear();  // in-use entries survive
+    auto& slot = pipelines_[key];
+    if (!slot) slot = std::make_shared<PipelineEntry>();
+    entry = slot;
+  }
+
+  const std::size_t m =
+      config.num_eigenpairs != 0
+          ? config.num_eigenpairs
+          : std::max<std::size_t>(2 * config.r, 50);
+
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (!entry->pipeline)
+    entry->pipeline = std::make_unique<ssta::ExperimentPipeline>(config);
+
+  ssta::KleRunRequest run;
+  run.r = config.r;
+  run.num_eigenpairs = m;
+  run.store = store_.get();
+  const auto deadline = envelope.deadline;
+  run.cancelled = [deadline] {
+    if (robust::fault_injected(robust::FaultSite::kServeDeadline)) return true;
+    return deadline.has_value() && Clock::now() > *deadline;
+  };
+  const ssta::KleRunOutcome outcome = entry->pipeline->run_kle(run);
+
+  RunSstaReply reply;
+  reply.mean = outcome.ssta.worst_delay.mean();
+  reply.sigma = outcome.ssta.worst_delay.stddev();
+  reply.setup_seconds = outcome.setup_seconds;
+  reply.sampling_seconds = outcome.ssta.sampling_seconds;
+  reply.sta_seconds = outcome.ssta.sta_seconds;
+  reply.total_seconds = outcome.ssta.total_seconds;
+  reply.source = static_cast<std::uint32_t>(outcome.source);
+  reply.mesh_triangles = outcome.mesh_triangles;
+  reply.threads_used = outcome.ssta.threads_used;
+  return reply;
+}
+
+void Server::send_payload(const Request& request,
+                          const std::vector<std::uint8_t>& payload,
+                          bool is_error) {
+  obs::counter(is_error ? "sckl.serve.replies.error" : "sckl.serve.replies.ok")
+      .add(1);
+  try {
+    wire::FrameHeader header;
+    header.type = request.header.type;
+    header.request_id = request.header.request_id;
+    std::lock_guard<std::mutex> lock(request.conn->write_mu);
+    wire::write_frame(request.conn->fd.get(), header, payload);
+  } catch (const Error&) {
+    // The peer disconnected before its reply; nothing sensible to do.
+  }
+}
+
+void Server::reply_error(const Request& request, ErrorCode code,
+                         const std::string& message) {
+  send_payload(request, make_error_reply(code, message), /*is_error=*/true);
+}
+
+std::string Server::stats_json() {
+  const store::StoreHealth health = store_->health();
+  const store::CacheStats cache = store_->cache_stats();
+  const store::CacheStats samplers = sampler_cache_.stats();
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_depth = queue_.size();
+  }
+
+  std::string out = "{\n  \"schema\": \"sckl-serve-stats-v1\",\n";
+#if defined(__unix__) || defined(__APPLE__)
+  out += "  \"pid\": " + std::to_string(::getpid()) + ",\n";
+#else
+  out += "  \"pid\": 0,\n";
+#endif
+  out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
+  out += "  \"store_health\": {\n";
+  append_kv(out, "read_retries", health.read_retries);
+  append_kv(out, "write_retries", health.write_retries);
+  append_kv(out, "failed_reads", health.failed_reads);
+  append_kv(out, "failed_writes", health.failed_writes);
+  append_kv(out, "quarantined", health.quarantined);
+  append_kv(out, "deduped_solves", health.deduped_solves, /*comma=*/false);
+  out += "  },\n";
+  const auto cache_block = [&](const char* name, const store::CacheStats& s) {
+    out += "  \"";
+    out += name;
+    out += "\": {\n";
+    append_kv(out, "hits", s.hits);
+    append_kv(out, "misses", s.misses);
+    append_kv(out, "evictions", s.evictions);
+    append_kv(out, "insertions", s.insertions);
+    append_kv(out, "oversized_rejects", s.oversized_rejects);
+    append_kv(out, "entries", s.entries);
+    append_kv(out, "bytes", s.bytes);
+    append_kv(out, "byte_budget", s.byte_budget, /*comma=*/false);
+    out += "  },\n";
+  };
+  cache_block("store_cache", cache);
+  cache_block("sampler_cache", samplers);
+  out += "  \"metrics\": ";
+  out += obs::metrics_json_array();
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace sckl::serve

@@ -157,7 +157,9 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
 
   const ParameterSamplers samplers{sampler.get(), sampler.get(),
                                    sampler.get(), sampler.get()};
-  outcome.ssta = run_monte_carlo_ssta(*engine_, samplers, mc_options());
+  McSstaOptions options = mc_options();
+  options.cancelled = request.cancelled;
+  outcome.ssta = run_monte_carlo_ssta(*engine_, samplers, options);
   return outcome;
 }
 

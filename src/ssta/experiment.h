@@ -127,6 +127,10 @@ struct KleRunRequest {
   store::KleArtifactStore* store = nullptr;  // store-fetch path
   /// Additionally run core::check_kle_health into the outcome's info.
   bool validate = false;
+  /// Forwarded to McSstaOptions::cancelled: polled between Monte Carlo
+  /// block claims; a true return aborts the run with kDeadlineExceeded.
+  /// Empty = never cancelled. Must be thread-safe.
+  std::function<bool()> cancelled;
 };
 
 /// Statistics + provenance + telemetry of one Algorithm 2 run.

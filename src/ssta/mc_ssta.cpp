@@ -66,11 +66,19 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
   static obs::Counter& blocks_claimed = obs::counter("sckl.ssta.mc.blocks");
   static obs::Histogram& steal_ns = obs::histogram("sckl.ssta.mc.steal_ns");
   static obs::Histogram& busy_us = obs::histogram("sckl.ssta.mc.worker_busy_us");
+  std::atomic<bool> was_cancelled{false};
   const auto worker = [&](std::size_t /*worker_index*/) {
     obs::Span worker_span("ssta.mc.worker", mc_span_id);
     obs::Stopwatch busy;
     std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
     for (;;) {
+      // Cancellation is polled once per block claim: the already-claimed
+      // block always completes, so a cancelled run still leaves `partials`
+      // internally consistent (it is discarded by the throw below anyway).
+      if (options.cancelled && options.cancelled()) {
+        was_cancelled.store(true, std::memory_order_relaxed);
+        break;
+      }
       obs::Stopwatch steal;
       const std::size_t b = next_block.fetch_add(1);
       if (obs::trace_enabled()) steal_ns.record(steal.seconds() * 1e9);
@@ -113,6 +121,9 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
     ThreadPool pool(num_threads);
     pool.run(worker);
   }
+  if (was_cancelled.load(std::memory_order_relaxed))
+    throw Error("run_monte_carlo_ssta: cancelled before completion",
+                ErrorCode::kDeadlineExceeded);
 
   // Ordered merge: block 0, 1, 2, ... regardless of which worker produced
   // which block, so mean/sigma are bit-identical for every thread count.

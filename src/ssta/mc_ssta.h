@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/statistics.h"
@@ -39,6 +40,14 @@ struct McSstaOptions {
   /// on the calling thread, k = exactly k workers. Statistics are
   /// bit-identical for every value.
   std::size_t num_threads = 0;
+  /// Cooperative cancellation, polled between block claims (a block is the
+  /// unit of preemption — at most one block of work runs after this first
+  /// returns true). When the run is cancelled the harness finishes joining
+  /// its workers, then throws sckl::Error(kDeadlineExceeded). The serve
+  /// daemon passes a deadline check here so a slow RunSsta request stops
+  /// consuming pool threads soon after its deadline expires. Must be
+  /// thread-safe; empty = never cancelled.
+  std::function<bool()> cancelled;
 };
 
 /// Statistics collected over one run.

@@ -131,4 +131,44 @@ void describe_kernel(const kernels::CovarianceKernel& kernel,
   }
 }
 
+std::unique_ptr<kernels::CovarianceKernel> make_kernel(
+    const std::string& id, const std::vector<double>& params) {
+  using namespace kernels;
+  const auto want = [&](std::size_t n) {
+    require(params.size() == n,
+            "make_kernel: kernel '" + id + "' takes " + std::to_string(n) +
+                " parameter(s), got " + std::to_string(params.size()));
+  };
+  if (id == "gaussian") {
+    want(1);
+    return std::make_unique<GaussianKernel>(params[0]);
+  }
+  if (id == "exponential") {
+    want(1);
+    return std::make_unique<ExponentialKernel>(params[0]);
+  }
+  if (id == "separable_l1") {
+    want(1);
+    return std::make_unique<SeparableL1Kernel>(params[0]);
+  }
+  if (id == "matern") {
+    want(2);
+    return std::make_unique<MaternKernel>(params[0], params[1]);
+  }
+  if (id == "linear_cone") {
+    want(1);
+    return std::make_unique<LinearConeKernel>(params[0]);
+  }
+  if (id == "radial_magnitude") {
+    want(1);
+    return std::make_unique<RadialMagnitudeKernel>(params[0]);
+  }
+  if (id == "spherical") {
+    want(1);
+    return std::make_unique<SphericalKernel>(params[0]);
+  }
+  throw Error("make_kernel: unknown kernel id '" + id + "'",
+              ErrorCode::kPrecondition);
+}
+
 }  // namespace sckl::store

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,5 +83,14 @@ std::string key_string(std::uint64_t key);
 /// uniquely as long as name() encodes the parameters.
 void describe_kernel(const kernels::CovarianceKernel& kernel,
                      std::string& id, std::vector<double>& params);
+
+/// Inverse of describe_kernel for the structurally-described families
+/// ("gaussian", "exponential", "separable_l1", "matern", "linear_cone",
+/// "radial_magnitude", "spherical"). Lets a remote peer name a kernel by
+/// (id, params) alone — the serve daemon rebuilds it from a SolveKle
+/// request. Throws sckl::Error(kPrecondition) for an unknown id or a wrong
+/// parameter count, so a bad request yields a typed error, not a crash.
+std::unique_ptr<kernels::CovarianceKernel> make_kernel(
+    const std::string& id, const std::vector<double>& params);
 
 }  // namespace sckl::store

@@ -19,98 +19,17 @@ namespace {
 
 constexpr std::array<std::uint8_t, 4> kMagic = {'S', 'C', 'K', 'L'};
 
-// --- little-endian writers -------------------------------------------------
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-// --- little-endian readers -------------------------------------------------
-
-class Reader {
- public:
-  Reader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  std::uint32_t u32() {
-    need(4, "u32");
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
-           << (8 * i);
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t u64() {
-    need(8, "u64");
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
-           << (8 * i);
-    pos_ += 8;
-    return v;
-  }
-
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string string() {
-    const std::uint32_t len = u32();
-    need(len, "string body");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
-    pos_ += len;
-    return s;
-  }
-
-  std::size_t remaining() const { return size_ - pos_; }
-
- private:
-  void need(std::size_t n, const char* what) {
-    if (size_ - pos_ < n)
-      throw Error(std::string("kle_io: truncated artifact (while reading ") +
-                      what + ")",
-                  ErrorCode::kCorruptArtifact);
-  }
-
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
-    table[i] = c;
-  }
-  return table;
-}
+// The byte-level codec lives in common/wire.h so the serve protocol shares
+// it; this file keeps only the artifact-specific structure.
+using wire::put_f64;
+using wire::put_string;
+using wire::put_u32;
+using wire::put_u64;
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i)
-    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+  return wire::crc32(data, size);
 }
 
 StoredKleResult::StoredKleResult(KleArtifactConfig config,
@@ -151,6 +70,51 @@ std::size_t StoredKleResult::approximate_bytes() const {
   return mesh_bytes + spectrum_bytes + locator_bytes;
 }
 
+void append_artifact_config(std::vector<std::uint8_t>& out,
+                            const KleArtifactConfig& config) {
+  put_string(out, config.kernel_id);
+  put_u32(out, static_cast<std::uint32_t>(config.kernel_params.size()));
+  for (double p : config.kernel_params) put_f64(out, p);
+  put_f64(out, config.die.min.x);
+  put_f64(out, config.die.min.y);
+  put_f64(out, config.die.max.x);
+  put_f64(out, config.die.max.y);
+  put_u32(out, static_cast<std::uint32_t>(config.mesh.kind));
+  put_u64(out, config.mesh.target_triangles);
+  put_f64(out, config.mesh.area_fraction);
+  put_u64(out, config.mesh.mesher_seed);
+  put_u32(out, static_cast<std::uint32_t>(config.quadrature));
+  put_u64(out, config.num_eigenpairs);
+}
+
+KleArtifactConfig read_artifact_config(wire::ByteReader& r) {
+  KleArtifactConfig config;
+  config.kernel_id = r.string();
+  const std::uint32_t num_params = r.u32();
+  r.need(num_params * 8, "kernel params");
+  config.kernel_params.resize(num_params);
+  for (auto& p : config.kernel_params) p = r.f64();
+  config.die.min.x = r.f64();
+  config.die.min.y = r.f64();
+  config.die.max.x = r.f64();
+  config.die.max.y = r.f64();
+  const std::uint32_t mesh_kind = r.u32();
+  if (mesh_kind > static_cast<std::uint32_t>(MeshSpec::Kind::kPaperRefined))
+    throw Error("kle_io: unknown mesh spec kind " + std::to_string(mesh_kind),
+                r.code());
+  config.mesh.kind = static_cast<MeshSpec::Kind>(mesh_kind);
+  config.mesh.target_triangles = r.u64();
+  config.mesh.area_fraction = r.f64();
+  config.mesh.mesher_seed = r.u64();
+  const std::uint32_t quadrature = r.u32();
+  if (quadrature > static_cast<std::uint32_t>(core::QuadratureRule::kSymmetric7))
+    throw Error("kle_io: unknown quadrature rule " + std::to_string(quadrature),
+                r.code());
+  config.quadrature = static_cast<core::QuadratureRule>(quadrature);
+  config.num_eigenpairs = r.u64();
+  return config;
+}
+
 std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored) {
   std::vector<std::uint8_t> payload;
   const KleArtifactConfig& config = stored.config();
@@ -161,20 +125,7 @@ std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored) {
                   kle.eigenvalues().size() * 8 +
                   kle.coefficients().rows() * kle.coefficients().cols() * 8);
 
-  // Artifact config.
-  put_string(payload, config.kernel_id);
-  put_u32(payload, static_cast<std::uint32_t>(config.kernel_params.size()));
-  for (double p : config.kernel_params) put_f64(payload, p);
-  put_f64(payload, config.die.min.x);
-  put_f64(payload, config.die.min.y);
-  put_f64(payload, config.die.max.x);
-  put_f64(payload, config.die.max.y);
-  put_u32(payload, static_cast<std::uint32_t>(config.mesh.kind));
-  put_u64(payload, config.mesh.target_triangles);
-  put_f64(payload, config.mesh.area_fraction);
-  put_u64(payload, config.mesh.mesher_seed);
-  put_u32(payload, static_cast<std::uint32_t>(config.quadrature));
-  put_u64(payload, config.num_eigenpairs);
+  append_artifact_config(payload, config);
 
   // Mesh.
   put_u64(payload, mesh.num_vertices());
@@ -213,7 +164,8 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
     throw Error("kle_io: bad magic (not a .sckl artifact)",
                 ErrorCode::kCorruptArtifact);
 
-  Reader header(bytes.data() + 4, bytes.size() - 4);
+  wire::ByteReader header(bytes.data() + 4, bytes.size() - 4,
+                          ErrorCode::kCorruptArtifact, "kle artifact header");
   const std::uint32_t version = header.u32();
   if (version != kKleFormatVersion)
     throw Error("kle_io: unsupported format version " +
@@ -227,7 +179,8 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
                 ErrorCode::kCorruptArtifact);
   const std::uint8_t* payload = bytes.data() + 16;
 
-  Reader trailer(payload + payload_size, 4);
+  wire::ByteReader trailer(payload + payload_size, 4,
+                           ErrorCode::kCorruptArtifact, "kle artifact crc");
   const std::uint32_t stored_crc = trailer.u32();
   const std::uint32_t actual_crc =
       crc32(payload, static_cast<std::size_t>(payload_size));
@@ -235,31 +188,10 @@ StoredKleResult decode_kle(const std::vector<std::uint8_t>& bytes) {
     throw Error("kle_io: checksum mismatch (artifact is corrupted)",
                 ErrorCode::kCorruptArtifact);
 
-  Reader r(payload, static_cast<std::size_t>(payload_size));
+  wire::ByteReader r(payload, static_cast<std::size_t>(payload_size),
+                     ErrorCode::kCorruptArtifact, "kle artifact");
 
-  KleArtifactConfig config;
-  config.kernel_id = r.string();
-  const std::uint32_t num_params = r.u32();
-  config.kernel_params.resize(num_params);
-  for (auto& p : config.kernel_params) p = r.f64();
-  config.die.min.x = r.f64();
-  config.die.min.y = r.f64();
-  config.die.max.x = r.f64();
-  config.die.max.y = r.f64();
-  const std::uint32_t mesh_kind = r.u32();
-  if (mesh_kind > static_cast<std::uint32_t>(MeshSpec::Kind::kPaperRefined))
-    throw Error("kle_io: unknown mesh spec kind " + std::to_string(mesh_kind),
-                ErrorCode::kCorruptArtifact);
-  config.mesh.kind = static_cast<MeshSpec::Kind>(mesh_kind);
-  config.mesh.target_triangles = r.u64();
-  config.mesh.area_fraction = r.f64();
-  config.mesh.mesher_seed = r.u64();
-  const std::uint32_t quadrature = r.u32();
-  if (quadrature > static_cast<std::uint32_t>(core::QuadratureRule::kSymmetric7))
-    throw Error("kle_io: unknown quadrature rule " + std::to_string(quadrature),
-                ErrorCode::kCorruptArtifact);
-  config.quadrature = static_cast<core::QuadratureRule>(quadrature);
-  config.num_eigenpairs = r.u64();
+  KleArtifactConfig config = read_artifact_config(r);
 
   const std::uint64_t num_vertices = r.u64();
   const std::uint64_t num_triangles = r.u64();

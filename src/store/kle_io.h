@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/wire.h"
 #include "store/key_hash.h"
 
 namespace sckl::store {
@@ -75,6 +76,18 @@ class StoredKleResult {
   std::shared_ptr<const mesh::TriMesh> mesh_;
   core::KleResult kle_;  // views *mesh_, which this object keeps alive
 };
+
+/// Appends the artifact-config section of the payload (kernel id + params,
+/// die rectangle, mesh spec, quadrature, eigenpair count) to `out`. Shared
+/// with the serve protocol (serve/protocol.cpp), so a KleArtifactConfig is
+/// encoded identically on disk and on the wire.
+void append_artifact_config(std::vector<std::uint8_t>& out,
+                            const KleArtifactConfig& config);
+
+/// Inverse of append_artifact_config. Rejects unknown mesh-spec kinds and
+/// quadrature rules; all errors carry the reader's error code (corrupt
+/// artifact for files, protocol for network frames).
+KleArtifactConfig read_artifact_config(wire::ByteReader& r);
 
 /// Serializes to the format described above.
 std::vector<std::uint8_t> encode_kle(const StoredKleResult& stored);

@@ -1,0 +1,622 @@
+// Tests of the sckl_serve daemon: protocol robustness (hostile bytes give
+// typed errors, never crashes), SampleBlock bit-exactness vs local
+// sampling, cold-key solve dedup across concurrent clients, batching,
+// deadlines, admission control, fault sites, and graceful shutdown —
+// including a fork-based SIGTERM-under-load restart test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/error.h"
+#include "field/kle_sampler.h"
+#include "kernels/kernel_fit.h"
+#include "obs/metrics.h"
+#include "robust/fault_injection.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/server.h"
+#include "store/artifact_store.h"
+
+namespace sckl {
+namespace {
+
+// Unix socket paths are limited to ~100 chars: keep scratch under /tmp
+// regardless of where the build tree lives.
+std::filesystem::path fresh_scratch() {
+  static std::atomic<int> counter{0};
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("sckl_serve_test_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+store::KleArtifactConfig small_config() {
+  store::KleArtifactConfig config;
+  config.kernel_id = "gaussian";
+  config.kernel_params = {kernels::paper_gaussian_c()};
+  config.mesh.kind = store::MeshSpec::Kind::kPaperRefined;
+  config.mesh.area_fraction = 0.01;  // ~200 triangles
+  config.mesh.mesher_seed = 8;
+  config.num_eigenpairs = 16;
+  return config;
+}
+
+std::vector<geometry::Point2> test_locations(std::size_t n) {
+  std::vector<geometry::Point2> locations;
+  locations.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    locations.push_back({t, 1.0 - t * t});
+  }
+  return locations;
+}
+
+serve::SampleBlockRequest sample_request(std::uint64_t first,
+                                         std::size_t count) {
+  serve::SampleBlockRequest request;
+  request.config = small_config();
+  request.r = 8;
+  request.locations = test_locations(40);
+  request.range = {first, count};
+  request.stream = {1234, 2};
+  return request;
+}
+
+/// A server on a fresh socket + store root, torn down with the fixture.
+class ServeTest : public ::testing::Test {
+ protected:
+  void start(serve::ServerOptions options = {}) {
+    scratch_ = fresh_scratch();
+    options.unix_path = (scratch_ / "serve.sock").string();
+    options.store_root = (scratch_ / "store").string();
+    options_ = options;
+    server_ = std::make_unique<serve::Server>(options_);
+    server_->start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+    server_.reset();
+    if (!scratch_.empty()) std::filesystem::remove_all(scratch_);
+  }
+
+  serve::Client client() {
+    return serve::Client::connect_unix(options_.unix_path);
+  }
+
+  std::filesystem::path scratch_;
+  serve::ServerOptions options_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+ErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return ErrorCode::kGeneric;
+}
+
+// --- basic round trips -----------------------------------------------------
+
+TEST_F(ServeTest, HelloRoundTrip) {
+  start();
+  serve::Client c = client();
+  const serve::HelloReply hello = c.hello();
+  EXPECT_EQ(hello.protocol_version, wire::kProtocolVersion);
+  EXPECT_EQ(hello.server, options_.server_name);
+}
+
+TEST_F(ServeTest, StatsDocumentHasSchemaAndCounters) {
+  start();
+  serve::Client c = client();
+  const std::string json = c.stats().json;
+  EXPECT_NE(json.find("\"schema\": \"sckl-serve-stats-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"deduped_solves\""), std::string::npos);
+  EXPECT_NE(json.find("\"sampler_cache\""), std::string::npos);
+  EXPECT_NE(json.find("sckl.serve.requests"), std::string::npos);
+}
+
+TEST_F(ServeTest, SolveKleColdThenWarm) {
+  start();
+  serve::Client c = client();
+  serve::SolveKleRequest request;
+  request.config = small_config();
+  const serve::SolveKleReply cold = c.solve_kle(request);
+  EXPECT_EQ(cold.source, static_cast<std::uint32_t>(store::FetchSource::kSolved));
+  EXPECT_GT(cold.mesh_triangles, 0u);
+  EXPECT_EQ(cold.num_eigenpairs, 16u);
+  EXPECT_TRUE(cold.artifact.empty());
+
+  request.want_artifact = true;
+  const serve::SolveKleReply warm = c.solve_kle(request);
+  EXPECT_EQ(warm.source, static_cast<std::uint32_t>(store::FetchSource::kMemory));
+  EXPECT_EQ(warm.key, cold.key);
+  EXPECT_FALSE(warm.artifact.empty());
+}
+
+TEST_F(ServeTest, RunSstaReturnsStatistics) {
+  start();
+  serve::Client c = client();
+  serve::RunSstaRequest request;
+  request.circuit = "c880";
+  request.num_samples = 64;
+  request.r = 8;
+  request.mesh_area_fraction = 0.01;
+  request.seed = 3;
+  request.num_threads = 1;
+  const serve::RunSstaReply reply = c.run_ssta(request);
+  EXPECT_GT(reply.mean, 0.0);
+  EXPECT_GT(reply.sigma, 0.0);
+  EXPECT_GT(reply.mesh_triangles, 0u);
+  EXPECT_EQ(reply.threads_used, 1u);
+
+  // Same config again: the pipeline and artifact are cached server-side and
+  // the statistics are deterministic.
+  const serve::RunSstaReply again = c.run_ssta(request);
+  EXPECT_EQ(again.mean, reply.mean);
+  EXPECT_EQ(again.sigma, reply.sigma);
+  EXPECT_EQ(again.source,
+            static_cast<std::uint32_t>(store::FetchSource::kMemory));
+}
+
+// --- determinism: remote == local, byte for byte ---------------------------
+
+TEST_F(ServeTest, SampleBlockBitIdenticalToLocalSampler) {
+  start();
+  serve::Client c = client();
+  const serve::SampleBlockRequest request = sample_request(7, 33);
+  const linalg::Matrix remote = c.sample_matrix(request);
+
+  // Local reference: same artifact via a second store handle on the same
+  // root, same sampler construction, same index-addressed draw.
+  store::KleArtifactStore local(options_.store_root);
+  const auto kernel = store::make_kernel(request.config.kernel_id,
+                                         request.config.kernel_params);
+  const store::FetchResult fetch = local.get_or_compute(request.config, *kernel);
+  const field::KleFieldSampler sampler(*fetch.artifact, request.r,
+                                       request.locations);
+  linalg::Matrix expected;
+  sampler.sample_block(request.range, request.stream, expected);
+
+  ASSERT_EQ(remote.rows(), expected.rows());
+  ASSERT_EQ(remote.cols(), expected.cols());
+  EXPECT_EQ(std::memcmp(remote.data(), expected.data(),
+                        remote.rows() * remote.cols() * sizeof(double)),
+            0);
+}
+
+TEST_F(ServeTest, SampleBlockChunkingPreservesBits) {
+  // Server-side chunked generation (tiny sample_chunk_rows) must still be
+  // byte-identical: every row is a pure function of its global index.
+  serve::ServerOptions options;
+  options.sample_chunk_rows = 5;
+  start(options);
+  serve::Client c = client();
+  const serve::SampleBlockRequest request = sample_request(100, 23);
+  const linalg::Matrix chunked = c.sample_matrix(request);
+
+  store::KleArtifactStore local(options_.store_root);
+  const auto kernel = store::make_kernel(request.config.kernel_id,
+                                         request.config.kernel_params);
+  const store::FetchResult fetch = local.get_or_compute(request.config, *kernel);
+  const field::KleFieldSampler sampler(*fetch.artifact, request.r,
+                                       request.locations);
+  linalg::Matrix expected;
+  sampler.sample_block(request.range, request.stream, expected);
+  EXPECT_EQ(std::memcmp(chunked.data(), expected.data(),
+                        expected.rows() * expected.cols() * sizeof(double)),
+            0);
+}
+
+TEST_F(ServeTest, ConcurrentClientsEachGetExactBits) {
+  start();
+  {
+    serve::Client warm = client();
+    serve::SolveKleRequest solve;
+    solve.config = small_config();
+    warm.solve_kle(solve);
+  }
+
+  constexpr int kClients = 4;
+  std::vector<linalg::Matrix> results(kClients);
+  std::vector<std::thread> threads;
+  for (int k = 0; k < kClients; ++k) {
+    threads.emplace_back([this, k, &results] {
+      serve::Client c = client();
+      // Distinct, overlapping ranges: batching may fuse these requests;
+      // each must still get exactly its own rows.
+      results[k] = c.sample_matrix(sample_request(k * 10, 20));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  store::KleArtifactStore local(options_.store_root);
+  const serve::SampleBlockRequest proto = sample_request(0, 1);
+  const auto kernel =
+      store::make_kernel(proto.config.kernel_id, proto.config.kernel_params);
+  const store::FetchResult fetch = local.get_or_compute(proto.config, *kernel);
+  const field::KleFieldSampler sampler(*fetch.artifact, proto.r,
+                                       proto.locations);
+  for (int k = 0; k < kClients; ++k) {
+    linalg::Matrix expected;
+    sampler.sample_block({static_cast<std::uint64_t>(k) * 10, 20},
+                         proto.stream, expected);
+    EXPECT_EQ(std::memcmp(results[k].data(), expected.data(),
+                          expected.rows() * expected.cols() * sizeof(double)),
+              0)
+        << "client " << k;
+  }
+}
+
+// --- cold-key stampede: exactly one eigensolve -----------------------------
+
+TEST_F(ServeTest, ConcurrentColdSolvesDedupToOneEigensolve) {
+  start();
+  constexpr int kClients = 6;
+  std::vector<std::uint32_t> sources(kClients, 999);
+  std::vector<std::thread> threads;
+  for (int k = 0; k < kClients; ++k) {
+    threads.emplace_back([this, k, &sources] {
+      serve::Client c = client();
+      serve::SolveKleRequest request;
+      request.config = small_config();
+      sources[k] = c.solve_kle(request).source;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int solved = 0;
+  for (const std::uint32_t source : sources)
+    if (source == static_cast<std::uint32_t>(store::FetchSource::kSolved))
+      ++solved;
+  EXPECT_EQ(solved, 1) << "stampede must resolve to exactly one eigensolve";
+  // The losers that waited on the per-key lock are counted by the store.
+  EXPECT_GT(server_->store().health().deduped_solves +
+                server_->store().cache_stats().hits,
+            0u);
+}
+
+// --- batching --------------------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentSampleRequestsBatch) {
+  serve::ServerOptions options;
+  options.num_threads = 1;        // one worker: arrivals pile up in the queue
+  options.batch_limit = 8;
+  options.batch_window_ms = 200;  // hold the batch open for the stragglers
+  start(options);
+  {
+    serve::Client warm = client();
+    serve::SolveKleRequest solve;
+    solve.config = small_config();
+    warm.solve_kle(solve);
+    warm.sample_block(sample_request(0, 1));  // construct + cache the sampler
+  }
+
+  const std::uint64_t batched_before =
+      obs::counter("sckl.serve.batched_requests").value();
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int k = 0; k < kClients; ++k) {
+    threads.emplace_back([this, k, &ok] {
+      serve::Client c = client();
+      const linalg::Matrix m = c.sample_matrix(sample_request(k * 100, 8));
+      if (m.rows() == 8) ok.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_GE(obs::counter("sckl.serve.batched_requests").value(),
+            batched_before + 2)
+      << "at least one batch of >= 2 compatible requests should have formed";
+}
+
+// --- deadlines, admission control, fault sites -----------------------------
+
+TEST_F(ServeTest, ForcedDeadlineExpiryGivesTypedError) {
+  start();
+  serve::Client c = client();
+  c.hello();  // connection fully up before arming the fault
+  robust::ScopedFaultPlan plan("serve_deadline:1");
+  EXPECT_EQ(code_of([&] { c.sample_block(sample_request(0, 4)); }),
+            ErrorCode::kDeadlineExceeded);
+  // One-shot fault: the same request works afterwards.
+  EXPECT_NO_THROW(c.sample_block(sample_request(0, 4)));
+}
+
+TEST_F(ServeTest, ZeroQueueRejectsWithOverloaded) {
+  serve::ServerOptions options;
+  options.max_queue = 0;  // admission control rejects everything
+  start(options);
+  serve::Client c = client();
+  EXPECT_EQ(code_of([&] { c.hello(); }), ErrorCode::kOverloaded);
+}
+
+TEST_F(ServeTest, ReadFaultGivesTransientErrorAndConnectionSurvives) {
+  start();
+  serve::Client c = client();
+  c.hello();
+  robust::ScopedFaultPlan plan("serve_read:1");
+  EXPECT_EQ(code_of([&] { c.hello(); }), ErrorCode::kIoTransient);
+  // The frame was consumed before the injection: the stream is still in
+  // sync and the connection keeps working.
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, AcceptFaultDropsConnectionButServerSurvives) {
+  start();
+  robust::ScopedFaultPlan plan("serve_accept:1");
+  serve::Client dropped = client();  // accepted, then dropped by the fault
+  EXPECT_EQ(code_of([&] { dropped.hello(); }), ErrorCode::kIoTransient);
+  serve::Client ok = client();
+  EXPECT_NO_THROW(ok.hello());
+}
+
+// --- protocol robustness: hostile bytes ------------------------------------
+
+TEST_F(ServeTest, VersionMismatchGetsTypedReplyAndConnectionSurvives) {
+  start();
+  serve::Client c = client();
+  wire::FrameHeader header;
+  header.version = 99;
+  header.type = static_cast<std::uint32_t>(serve::MessageType::kHello);
+  header.request_id = 7;
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, {});
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kVersionMismatch);
+  EXPECT_NO_THROW(c.hello());  // header layout is version-stable: still in sync
+}
+
+TEST_F(ServeTest, UnknownMessageTypeGetsTypedReply) {
+  start();
+  serve::Client c = client();
+  wire::FrameHeader header;
+  header.type = 42;
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, {});
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, MalformedPayloadGetsTypedReplyAndConnectionSurvives) {
+  start();
+  serve::Client c = client();
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint32_t>(serve::MessageType::kSolveKle);
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, garbage);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, TrailingPayloadBytesRejected) {
+  start();
+  serve::Client c = client();
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint32_t>(serve::MessageType::kHello);
+  const std::vector<std::uint8_t> extra = {0};  // hello body must be empty
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, extra);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+}
+
+TEST_F(ServeTest, OversizedLengthPrefixRejectedWithoutAllocation) {
+  serve::ServerOptions options;
+  options.max_payload_bytes = 1024;
+  start(options);
+  net::Fd fd = net::connect_unix(options_.unix_path);
+
+  // Hand-encode a header declaring an absurd payload length.
+  std::vector<std::uint8_t> bytes;
+  wire::put_u32(bytes, wire::kFrameMagic);
+  wire::put_u32(bytes, wire::kProtocolVersion);
+  wire::put_u32(bytes, static_cast<std::uint32_t>(serve::MessageType::kHello));
+  wire::put_u32(bytes, 0);                        // deadline_ms
+  wire::put_u64(bytes, 77);                       // request id
+  wire::put_u64(bytes, std::uint64_t{1} << 60);   // hostile payload size
+  net::write_all(fd.get(), bytes.data(), bytes.size());
+
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(wire::read_frame(fd.get(), 1 << 20, header, reply));
+  EXPECT_EQ(header.request_id, 77u);  // parsed far enough to correlate
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  // The stream is beyond repair: the server closes it...
+  EXPECT_FALSE(wire::read_frame(fd.get(), 1 << 20, header, reply));
+  // ...but keeps serving new connections.
+  serve::Client c = client();
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, GarbageMagicDropsConnectionServerSurvives) {
+  start();
+  net::Fd fd = net::connect_unix(options_.unix_path);
+  const char garbage[64] = "this is definitely not a SCKF frame............";
+  net::write_all(fd.get(), garbage, sizeof(garbage));
+  // The server replies with a protocol error (or just closes, depending on
+  // how much it parsed) and drops the connection — it must not crash.
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> reply;
+  try {
+    while (wire::read_frame(fd.get(), 1 << 20, header, reply)) {
+    }
+  } catch (const Error&) {
+  }
+  serve::Client c = client();
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, TruncatedFrameMidHeaderServerSurvives) {
+  start();
+  {
+    net::Fd fd = net::connect_unix(options_.unix_path);
+    std::vector<std::uint8_t> bytes;
+    wire::put_u32(bytes, wire::kFrameMagic);
+    wire::put_u32(bytes, wire::kProtocolVersion);
+    net::write_all(fd.get(), bytes.data(), bytes.size());
+    // Close mid-header: the reader thread sees EOF inside the frame.
+  }
+  serve::Client c = client();
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, CrcMismatchRejected) {
+  start();
+  net::Fd fd = net::connect_unix(options_.unix_path);
+  const std::vector<std::uint8_t> payload = {9, 9, 9};
+  std::vector<std::uint8_t> bytes;
+  wire::put_u32(bytes, wire::kFrameMagic);
+  wire::put_u32(bytes, wire::kProtocolVersion);
+  wire::put_u32(bytes, static_cast<std::uint32_t>(serve::MessageType::kHello));
+  wire::put_u32(bytes, 0);
+  wire::put_u64(bytes, 5);
+  wire::put_u64(bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  wire::put_u32(bytes, 0xDEADBEEF);  // wrong CRC
+  net::write_all(fd.get(), bytes.data(), bytes.size());
+
+  wire::FrameHeader header;
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(wire::read_frame(fd.get(), 1 << 20, header, reply));
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  serve::Client c = client();
+  EXPECT_NO_THROW(c.hello());
+}
+
+// --- graceful shutdown -----------------------------------------------------
+
+TEST_F(ServeTest, ShutdownRequestIsAcknowledgedAndFlagged) {
+  start();
+  serve::Client c = client();
+  EXPECT_FALSE(server_->stop_requested());
+  c.shutdown_server();  // acknowledged before the drain begins
+  EXPECT_TRUE(server_->wait_for_stop_request(2000));
+  server_->stop();
+  // The socket is unlinked after a graceful stop.
+  EXPECT_FALSE(std::filesystem::exists(options_.unix_path));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// run_daemon in a forked child; SIGTERM mid-load must drain and exit 0,
+/// and the socket path must be immediately reusable by a restarted daemon.
+TEST(ServeDaemonTest, SigtermUnderLoadDrainsExitsZeroAndRestarts) {
+  const std::filesystem::path scratch = fresh_scratch();
+  const std::string socket = (scratch / "daemon.sock").string();
+  const std::string root = (scratch / "store").string();
+
+  const auto spawn_daemon = [&]() -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      serve::ServerOptions options;
+      options.unix_path = socket;
+      options.store_root = root;
+      options.drain_ms = 5000;
+      // _Exit: never run the parent's atexit/gtest teardown in the child.
+      ::_Exit(serve::run_daemon(options, /*announce=*/false));
+    }
+    return pid;
+  };
+
+  const auto wait_for_socket = [&] {
+    for (int i = 0; i < 200; ++i) {
+      try {
+        serve::Client::connect_unix(socket).hello();
+        return true;
+      } catch (const Error&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    return false;
+  };
+
+  const pid_t first = spawn_daemon();
+  ASSERT_GT(first, 0);
+  ASSERT_TRUE(wait_for_socket());
+
+  // Load: clients hammering the daemon when the SIGTERM lands. Errors are
+  // expected once the server drains; crashes of the *daemon* are not.
+  std::atomic<bool> stop_load{false};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> load;
+  for (int k = 0; k < 3; ++k) {
+    load.emplace_back([&] {
+      while (!stop_load.load()) {
+        try {
+          serve::Client c = serve::Client::connect_unix(socket);
+          serve::SolveKleRequest request;
+          request.config = small_config();
+          c.solve_kle(request);
+          completed.fetch_add(1);
+        } catch (const Error&) {
+          break;  // server is draining / gone
+        }
+      }
+    });
+  }
+  // Let the load actually arrive before the signal.
+  for (int i = 0; i < 100 && completed.load() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(completed.load(), 0);
+
+  ASSERT_EQ(::kill(first, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(first, &status, 0), first);
+  stop_load.store(true);
+  for (std::thread& t : load) t.join();
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon must exit, not crash";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "SIGTERM under load must exit 0";
+
+  // Restart on the same socket path: the graceful exit left it usable.
+  const pid_t second = spawn_daemon();
+  ASSERT_GT(second, 0);
+  ASSERT_TRUE(wait_for_socket());
+  {
+    serve::Client c = serve::Client::connect_unix(socket);
+    serve::SolveKleRequest request;
+    request.config = small_config();
+    // Warm start: the artifact persisted by the first daemon is reused.
+    EXPECT_NE(c.solve_kle(request).source,
+              static_cast<std::uint32_t>(store::FetchSource::kSolved));
+  }
+  ASSERT_EQ(::kill(second, SIGTERM), 0);
+  ASSERT_EQ(::waitpid(second, &status, 0), second);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::filesystem::remove_all(scratch);
+}
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace
+}  // namespace sckl
