@@ -1,9 +1,9 @@
 // The sckl_serve daemon and its command-line client.
 //
 //   sckl_serve serve    --socket=PATH [--tcp] [--port=0] --root=DIR
-//                       [--threads=0] [--max-queue=64] [--deadline-ms=0]
-//                       [--batch-limit=8] [--batch-window-ms=0]
-//                       [--drain-ms=2000]
+//                       [--threads=0] [--max-queue=64] [--deadline-ms=30000]
+//                       [--max-sample-rows=1048576] [--batch-limit=8]
+//                       [--batch-window-ms=0] [--drain-ms=2000]
 //       Runs the daemon until SIGTERM/SIGINT or a shutdown request, then
 //       drains gracefully and exits 0.
 //   sckl_serve ping     --socket=PATH | --port=P
@@ -65,8 +65,10 @@ int cmd_serve(const CliFlags& flags) {
   options.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   options.max_queue =
       static_cast<std::size_t>(flags.get_int("max-queue", 64));
-  options.default_deadline_ms =
-      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+  options.default_deadline_ms = static_cast<std::uint32_t>(flags.get_int(
+      "deadline-ms", static_cast<long>(options.default_deadline_ms)));
+  options.max_sample_rows = static_cast<std::size_t>(flags.get_int(
+      "max-sample-rows", static_cast<long>(options.max_sample_rows)));
   options.batch_limit =
       static_cast<std::size_t>(flags.get_int("batch-limit", 8));
   options.batch_window_ms =

@@ -56,7 +56,20 @@ Fd listen_unix(const std::string& path) {
 
   Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) raise_errno("socket(AF_UNIX)");
-  ::unlink(path.c_str());  // the daemon owns its socket path
+  // Only a *stale* socket file may be unlinked. If a peer accepts a probe
+  // connection the path belongs to a live daemon — silently unlinking it
+  // would steal the endpoint: existing clients keep talking to the orphaned
+  // listener while new ones reach the usurper.
+  {
+    Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (probe.valid() &&
+        ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw Error("socket: '" + path +
+                      "' is in use by a live listener; refusing to steal it",
+                  ErrorCode::kPrecondition);
+  }
+  ::unlink(path.c_str());  // stale (or absent): the daemon owns its path
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0)
     raise_errno("bind('" + path + "')");

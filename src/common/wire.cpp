@@ -64,6 +64,16 @@ void ByteReader::need(std::size_t n, const char* what) {
                 code_);
 }
 
+void ByteReader::need_count(std::uint64_t count, std::size_t elem_bytes,
+                            const char* what) {
+  if (elem_bytes == 0) return;
+  if (count > remaining() / elem_bytes)
+    throw Error(std::string(context_) + ": declared count " +
+                    std::to_string(count) + " of " + what + " exceeds the " +
+                    std::to_string(remaining()) + " bytes remaining",
+                code_);
+}
+
 std::uint8_t ByteReader::u8() {
   need(1, "u8");
   return data_[pos_++];

@@ -63,6 +63,14 @@ class ByteReader {
   /// Throws unless exactly `n` more bytes exist (used before bulk copies).
   void need(std::size_t n, const char* what);
 
+  /// Throws unless `count` elements of `elem_bytes` each fit in the
+  /// remaining buffer. Validates by division, never by multiplying the
+  /// attacker-controlled count — a hostile count near 2^64 must fail here,
+  /// not wrap `count * elem_bytes` to a small value that passes need() and
+  /// then feeds a giant resize(count).
+  void need_count(std::uint64_t count, std::size_t elem_bytes,
+                  const char* what);
+
  private:
   const std::uint8_t* data_;
   std::size_t size_;

@@ -14,12 +14,6 @@ using wire::put_u32;
 using wire::put_u64;
 using wire::put_u8;
 
-// Guard for count-prefixed vector bodies: a hostile count must fail the
-// bounds check before any allocation sized by it.
-void need_f64s(wire::ByteReader& r, std::uint64_t count, const char* what) {
-  r.need(static_cast<std::size_t>(count) * 8, what);
-}
-
 }  // namespace
 
 const char* to_string(MessageType type) {
@@ -72,7 +66,7 @@ SampleBlockRequest decode_sample_block_request(wire::ByteReader& r) {
   request.config = store::read_artifact_config(r);
   request.r = r.u64();
   const std::uint64_t n = r.u64();
-  need_f64s(r, n * 2, "sample locations");
+  r.need_count(n, 16, "sample locations");
   request.locations.resize(static_cast<std::size_t>(n));
   for (geometry::Point2& p : request.locations) {
     p.x = r.f64();
@@ -213,8 +207,14 @@ SampleBlockReply decode_sample_block_reply(wire::ByteReader& r) {
   SampleBlockReply reply;
   reply.rows = r.u64();
   reply.cols = r.u64();
-  const std::uint64_t total = reply.rows * reply.cols;
-  need_f64s(r, total, "sample values");
+  // Bound each dimension before forming the product: hostile header values
+  // must not wrap rows * cols past the bounds check. After cols passes,
+  // cols * 8 <= remaining(), so the second check cannot overflow either.
+  r.need_count(reply.cols, 8, "sample columns");
+  if (reply.cols != 0)
+    r.need_count(reply.rows, static_cast<std::size_t>(reply.cols) * 8,
+                 "sample values");
+  const std::uint64_t total = reply.cols != 0 ? reply.rows * reply.cols : 0;
   reply.values.resize(static_cast<std::size_t>(total));
   for (double& v : reply.values) v = r.f64();
   return reply;

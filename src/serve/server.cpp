@@ -118,17 +118,15 @@ void Server::stop() {
   queue_cv_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
 
-  // 4. Unblock and join the connection readers.
+  // 4. Unblock the connection readers and wait for them to deregister.
+  //    Readers are detached and reap themselves (see connection_loop); the
+  //    shutdown makes every blocked read return promptly, so this wait is
+  //    bounded by reader epilogue time, not client behaviour.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::unique_lock<std::mutex> lock(conn_mu_);
     for (const std::shared_ptr<Connection>& conn : connections_)
       conn->fd.shutdown_both();
-  }
-  for (std::thread& t : connection_threads_)
-    if (t.joinable()) t.join();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connection_threads_.clear();
+    readers_cv_.wait(lock, [&] { return active_readers_ == 0; });
     connections_.clear();
   }
 
@@ -162,11 +160,28 @@ void Server::accept_loop(int listen_fd) {
       }
       auto conn = std::make_shared<Connection>();
       conn->fd = std::move(client);
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      connections_.push_back(conn);
-      connection_threads_.emplace_back(
-          [this, conn] { connection_loop(conn); });
+      // Register before the thread starts so its exit-time deregistration
+      // always finds the entry; the reader is detached — it reaps itself,
+      // and stop() waits on active_readers_ instead of joining.
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        connections_.push_back(conn);
+        ++active_readers_;
+      }
+      try {
+        std::thread([this, conn] { connection_loop(conn); }).detach();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        connections_.erase(
+            std::remove(connections_.begin(), connections_.end(), conn),
+            connections_.end());
+        --active_readers_;
+        throw;
+      }
     } catch (const Error& e) {
+      if (stop_accepting_.load()) break;
+      std::fprintf(stderr, "sckl_serve: accept error: %s\n", e.what());
+    } catch (const std::exception& e) {
       if (stop_accepting_.load()) break;
       std::fprintf(stderr, "sckl_serve: accept error: %s\n", e.what());
     }
@@ -190,11 +205,24 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
 
   // On exit the socket is shut down (not closed: a worker may still be
   // writing a reply for an admitted request, and the fd must not be reused
-  // under it) so the peer observes EOF; the fd itself closes in stop().
-  struct ShutdownOnExit {
-    Connection* conn;
-    ~ShutdownOnExit() { conn->fd.shutdown_both(); }
-  } shutdown_on_exit{conn.get()};
+  // under it) so the peer observes EOF, and this reader deregisters
+  // itself: the Connection leaves connections_ immediately and the fd
+  // closes with the last shared_ptr — a disconnecting client frees its fd
+  // and slot right away instead of at stop(). The notify happens under
+  // conn_mu_ so stop()'s waiter cannot destroy the Server between our
+  // predicate update and the notify.
+  struct ReapOnExit {
+    Server* server;
+    const std::shared_ptr<Connection>& conn;
+    ~ReapOnExit() {
+      conn->fd.shutdown_both();
+      std::lock_guard<std::mutex> lock(server->conn_mu_);
+      auto& conns = server->connections_;
+      conns.erase(std::remove(conns.begin(), conns.end(), conn), conns.end());
+      --server->active_readers_;
+      server->readers_cv_.notify_all();
+    }
+  } reap_on_exit{this, conn};
 
   for (;;) {
     wire::FrameHeader header;
@@ -210,6 +238,10 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
       // be resynchronized.
       obs::counter("sckl.serve.rejected.protocol").add(1);
       send_error(header, e.code(), e.what());
+      return;
+    } catch (const std::exception& e) {
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, ErrorCode::kProtocol, e.what());
       return;
     }
 
@@ -254,6 +286,26 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
           break;
         case MessageType::kSampleBlock: {
           request.sample = decode_sample_block_request(r);
+          // Bound the work a single request can pin a worker with *before*
+          // admission: admission control only sees the queue, not a worker
+          // stuck generating an unbounded reply. The row check comes first
+          // so the byte product below cannot overflow.
+          if (request.sample->range.count > options_.max_sample_rows)
+            throw Error("sample_block: range.count " +
+                            std::to_string(request.sample->range.count) +
+                            " exceeds the server limit of " +
+                            std::to_string(options_.max_sample_rows) +
+                            " rows per request; split the draw",
+                        ErrorCode::kPrecondition);
+          const std::uint64_t reply_bytes =
+              static_cast<std::uint64_t>(request.sample->range.count) *
+              request.sample->locations.size() * 8;
+          if (reply_bytes > options_.max_payload_bytes)
+            throw Error("sample_block: reply would be " +
+                            std::to_string(reply_bytes) +
+                            " bytes, above the frame payload cap of " +
+                            std::to_string(options_.max_payload_bytes),
+                        ErrorCode::kPrecondition);
           // Sampler identity: requests agreeing on this key can share one
           // constructed sampler (the batching unit).
           store::ContentHasher h;
@@ -278,6 +330,13 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
       obs::counter("sckl.serve.rejected.protocol").add(1);
       send_error(header, e.code(), e.what());
       continue;  // the payload was fully consumed; the stream is in sync
+    } catch (const std::exception& e) {
+      // Defense in depth: decode raises sckl::Error by construction, but a
+      // std::length_error/bad_alloc escaping here would otherwise unwind a
+      // bare thread and std::terminate the daemon.
+      obs::counter("sckl.serve.rejected.protocol").add(1);
+      send_error(header, ErrorCode::kProtocol, e.what());
+      continue;
     }
 
     obs::counter("sckl.serve.requests").add(1);
@@ -635,6 +694,8 @@ std::string Server::stats_json() {
   out += "  \"pid\": 0,\n";
 #endif
   out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
+  out += "  \"open_connections\": " + std::to_string(open_connections()) +
+         ",\n";
   out += "  \"store_health\": {\n";
   append_kv(out, "read_retries", health.read_retries);
   append_kv(out, "write_retries", health.write_retries);

@@ -19,7 +19,11 @@
 //                    never crash the daemon or kill the connection), parses
 //                    the request body, and enqueues a work item. Fault site
 //                    `serve_read` turns the next successfully read frame
-//                    into a transient-I/O error reply.
+//                    into a transient-I/O error reply. Readers are detached
+//                    and reap themselves on disconnect: the Connection
+//                    leaves the registry immediately and its fd closes with
+//                    the last shared_ptr, so a daemon serving short-lived
+//                    connections never accumulates fds or thread handles.
 //   request queue    bounded (ServerOptions::max_queue): admission control.
 //                    A full queue rejects immediately with kOverloaded —
 //                    predictable backpressure instead of unbounded latency.
@@ -87,10 +91,19 @@ struct ServerOptions {
   /// kOverloaded instead of queueing unboundedly.
   std::size_t max_queue = 64;
   /// Largest request payload accepted; a bigger declared length is a
-  /// protocol error (and never a giant allocation).
+  /// protocol error (and never a giant allocation). Replies obey the same
+  /// bound: a SampleBlock whose reply would exceed it is rejected at
+  /// decode time.
   std::size_t max_payload_bytes = std::size_t{64} << 20;
+  /// Largest SampleBlock row count accepted per request; bigger requests
+  /// are rejected with kPrecondition at decode time, before a worker
+  /// reserves rows x locations x 8 bytes for the reply. Split larger
+  /// draws across requests (chunking is bit-transparent).
+  std::size_t max_sample_rows = std::size_t{1} << 20;
   /// Deadline applied to requests that do not carry one (0 = none).
-  std::uint32_t default_deadline_ms = 0;
+  /// Nonzero by default so a runaway request can never pin a worker
+  /// forever, which would also make stop() overshoot drain_ms.
+  std::uint32_t default_deadline_ms = 30'000;
 
   /// Max SampleBlock requests fused into one batch (1 = batching off).
   std::size_t batch_limit = 8;
@@ -150,6 +163,13 @@ class Server {
   /// Counters of the constructed-sampler LRU (bench/tests read hit_rate()).
   store::CacheStats sampler_cache_stats() const {
     return sampler_cache_.stats();
+  }
+
+  /// Currently registered client connections (disconnected clients leave
+  /// immediately; the leak test polls this toward zero).
+  std::size_t open_connections() const {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    return connections_.size();
   }
 
   /// The sckl-serve-stats-v1 document served by kStats: store health +
@@ -218,9 +238,14 @@ class Server {
   std::vector<std::thread> accept_threads_;
   std::thread dispatcher_;
 
-  std::mutex conn_mu_;
+  // Reader threads are detached and deregister themselves on exit
+  // (decrementing active_readers_ and notifying readers_cv_ under
+  // conn_mu_); stop() waits for the count to reach zero instead of
+  // joining, so per-connection state never outlives the connection.
+  mutable std::mutex conn_mu_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> connection_threads_;
+  std::size_t active_readers_ = 0;
+  std::condition_variable readers_cv_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;    // workers wait for arrivals

@@ -91,7 +91,9 @@ KleArtifactConfig read_artifact_config(wire::ByteReader& r) {
   KleArtifactConfig config;
   config.kernel_id = r.string();
   const std::uint32_t num_params = r.u32();
-  r.need(num_params * 8, "kernel params");
+  // need_count, not need(num_params * 8): the product wraps in u32
+  // arithmetic for num_params > 2^29 and would pass the check.
+  r.need_count(num_params, 8, "kernel params");
   config.kernel_params.resize(num_params);
   for (auto& p : config.kernel_params) p = r.f64();
   config.die.min.x = r.f64();

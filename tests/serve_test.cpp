@@ -26,6 +26,7 @@
 #include "serve/daemon.h"
 #include "serve/server.h"
 #include "store/artifact_store.h"
+#include "store/kle_io.h"
 
 namespace sckl {
 namespace {
@@ -510,6 +511,104 @@ TEST_F(ServeTest, CrcMismatchRejected) {
   EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
             ErrorCode::kProtocol);
   serve::Client c = client();
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, HostileLocationCountRejectedWithoutAllocation) {
+  // A location count near 2^64 once wrapped `count * 16` to a small value
+  // that passed the bounds check, and the subsequent resize(count) threw a
+  // non-sckl exception that killed the whole daemon. It must be a typed
+  // protocol error on a surviving server.
+  start();
+  serve::Client c = client();
+  std::vector<std::uint8_t> payload;
+  store::append_artifact_config(payload, small_config());
+  wire::put_u64(payload, 8);                             // r
+  wire::put_u64(payload, (std::uint64_t{1} << 62) + 1);  // hostile count
+  payload.resize(payload.size() + 32, 0);  // wrapped product would "fit"
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint32_t>(serve::MessageType::kSampleBlock);
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST_F(ServeTest, HostileKernelParamCountRejectedWithoutAllocation) {
+  // Same wrap in u32 arithmetic: num_params = 2^30 made `num_params * 8`
+  // wrap to 0, pass the check, and attempt a multi-GB resize.
+  start();
+  serve::Client c = client();
+  std::vector<std::uint8_t> payload;
+  wire::put_string(payload, "gaussian");
+  wire::put_u32(payload, std::uint32_t{1} << 30);  // hostile param count
+  payload.resize(payload.size() + 32, 0);
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint32_t>(serve::MessageType::kSolveKle);
+  const std::vector<std::uint8_t> reply = c.roundtrip_raw(header, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::check_reply_status(r); }),
+            ErrorCode::kProtocol);
+  EXPECT_NO_THROW(c.hello());
+}
+
+TEST(ServeProtocolTest, ClientRejectsHostileSampleReplyShape) {
+  // Client-side twin: a hostile reply header whose rows * cols * 8 wraps
+  // past the check must throw a typed error, not resize(2^61).
+  std::vector<std::uint8_t> reply;
+  wire::put_u32(reply, 0);                             // status: success
+  wire::put_u64(reply, (std::uint64_t{1} << 61) + 1);  // rows
+  wire::put_u64(reply, 1);                             // cols
+  reply.resize(reply.size() + 32, 0);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "reply");
+  EXPECT_EQ(code_of([&] { serve::decode_sample_block_reply(r); }),
+            ErrorCode::kProtocol);
+}
+
+TEST_F(ServeTest, SampleRowCountAboveServerLimitRejected) {
+  serve::ServerOptions options;
+  options.max_sample_rows = 16;
+  start(options);
+  serve::Client c = client();
+  EXPECT_EQ(code_of([&] { c.sample_block(sample_request(0, 17)); }),
+            ErrorCode::kPrecondition);
+  // At the limit the request runs normally (and the daemon survived).
+  EXPECT_NO_THROW(c.sample_block(sample_request(0, 16)));
+}
+
+// --- connection lifecycle --------------------------------------------------
+
+TEST_F(ServeTest, DisconnectedClientsAreReapedNotAccumulated) {
+  // A long-running daemon serving short-lived connections (each CLI call is
+  // one) must release the fd and registry slot at disconnect, not at
+  // stop() — otherwise accept() hits EMFILE after ~1000 clients.
+  start();
+  for (int i = 0; i < 16; ++i) {
+    serve::Client c = client();
+    c.hello();
+  }  // every client closed here
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    reaped = server_->open_connections() == 0;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reaped) << server_->open_connections()
+                      << " connections still registered after disconnect";
+  EXPECT_NE(server_->stats_json().find("\"open_connections\""),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, ListenUnixRefusesToStealALiveSocketPath) {
+  start();
+  // A second daemon on the same path must fail loudly instead of silently
+  // unlinking the live endpoint out from under this server.
+  EXPECT_EQ(code_of([&] { net::listen_unix(options_.unix_path); }),
+            ErrorCode::kPrecondition);
+  serve::Client c = client();  // the original listener is untouched
   EXPECT_NO_THROW(c.hello());
 }
 
