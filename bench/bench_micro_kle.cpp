@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "circuit/synthetic.h"
+#include "common/machine.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
@@ -277,16 +278,15 @@ bool emit_mc_parallel_json(const std::string& json_path) {
   }
 
   // Machine context first: thread-scaling numbers are meaningless without
-  // knowing how many cores the run actually had available.
+  // knowing how many cores the run actually had available (and whether the
+  // cpufreq governor was pinning or scaling them).
   {
-    const char* env_threads = std::getenv("SCKL_THREADS");
+    const std::string machine =
+        machine_context_json_fields(read_machine_context());
     std::fprintf(f,
-                 "{\"bench\": \"mc_parallel_machine\", "
-                 "\"hardware_threads\": %u, \"sckl_threads\": \"%s\", "
+                 "{\"bench\": \"mc_parallel_machine\", %s, "
                  "\"resolved_auto_threads\": %zu}\n",
-                 std::thread::hardware_concurrency(),
-                 env_threads != nullptr ? env_threads : "",
-                 ThreadPool::resolve_num_threads(0));
+                 machine.c_str(), ThreadPool::resolve_num_threads(0));
   }
 
   // Pure sampling throughput of the two block generators (no STA), the

@@ -28,6 +28,7 @@
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/machine.h"
 #include "kernels/kernel_fit.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -185,7 +186,11 @@ int main(int argc, char** argv) {
                      json_path.c_str());
         return 1;
       }
-      const char* env_threads = std::getenv("SCKL_THREADS");
+      // Machine context (hardware threads, SCKL_THREADS, cpufreq governor)
+      // travels with every record, as bench_micro_kle --json-mc does:
+      // latency percentiles are not comparable across unknown machines.
+      const std::string machine =
+          machine_context_json_fields(read_machine_context());
       std::fprintf(
           f,
           "{\"bench\": \"serve_sample_block_load\", \"clients\": %zu, "
@@ -193,13 +198,10 @@ int main(int argc, char** argv) {
           "\"locations\": %zu, \"r\": %llu, \"completed\": %zu, "
           "\"errors\": %zu, \"qps\": %.1f, \"p50_us\": %.1f, "
           "\"p99_us\": %.1f, \"p999_us\": %.1f, "
-          "\"sampler_cache_hit_rate\": %.4f, \"hardware_threads\": %u, "
-          "\"sckl_threads\": \"%s\"}\n",
+          "\"sampler_cache_hit_rate\": %.4f, %s}\n",
           clients, qps, seconds, rows, locations,
           static_cast<unsigned long long>(r), all.size(), errors.load(),
-          achieved_qps, p50, p99, p999, hit_rate,
-          std::thread::hardware_concurrency(),
-          env_threads != nullptr ? env_threads : "");
+          achieved_qps, p50, p99, p999, hit_rate, machine.c_str());
       std::fclose(f);
     }
 

@@ -75,6 +75,8 @@ void ExperimentFlagSet::apply(const CliFlags& flags) {
   validate = flags.get_bool("validate", validate);
   strict = flags.get_bool("strict", strict);
   fsck = flags.get_bool("fsck", fsck);
+  run_id = flags.get_string("run-id", run_id);
+  resume = flags.get_bool("resume", resume);
   trace = flags.get_bool("trace", trace);
   trace_json = flags.get_string("trace-json", trace_json);
 }

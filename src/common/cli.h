@@ -48,6 +48,7 @@ class CliFlags {
 ///
 ///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
 ///   --store=DIR     --validate   --strict  --fsck
+///   --run-id=NAME   --resume
 ///   --trace         --trace-json=PATH
 ///
 /// Registered in one place so a new option (e.g. --threads) lands in every
@@ -66,6 +67,12 @@ struct ExperimentFlagSet {
   bool validate = false;
   bool strict = false;  // implies validate at the consumer
   bool fsck = false;    // run store crash recovery on open
+  /// Checkpointed Monte Carlo (ssta/mc_run.h): a non-empty run_id selects
+  /// the crash-safe runner, writing the run ledger under <store>/mc_runs
+  /// (requires --store). resume continues a ledger that already holds
+  /// completed leases instead of rejecting it.
+  std::string run_id;
+  bool resume = false;
   /// Observability (obs::TraceSession reads both; a non-empty trace_json
   /// implies tracing, as does the SCKL_TRACE environment variable).
   bool trace = false;

@@ -30,7 +30,9 @@ namespace sckl::wire {
 inline constexpr std::uint32_t kFrameMagic = 0x464B4353u;
 
 /// Version of the serve wire protocol (header + payload schemas).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: RunSsta gained run_id/resume in the request and the tail quantiles
+/// (p99, p99.9) + resumed_leases in the reply.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Fixed size of the encoded header (magic through payload size).
 inline constexpr std::size_t kFrameHeaderBytes = 32;

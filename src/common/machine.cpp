@@ -1,0 +1,35 @@
+#include "common/machine.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+namespace sckl {
+
+MachineContext read_machine_context() {
+  MachineContext context;
+  context.hardware_threads = std::thread::hardware_concurrency();
+  const char* env = std::getenv("SCKL_THREADS");
+  if (env != nullptr) context.sckl_threads = env;
+  std::ifstream governor(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (governor) {
+    std::string value;
+    governor >> value;  // operator>> trims the trailing newline
+    context.governor = value;
+  }
+  return context;
+}
+
+std::string machine_context_json_fields(const MachineContext& context) {
+  std::string out = "\"hardware_threads\": ";
+  out += std::to_string(context.hardware_threads);
+  out += ", \"sckl_threads\": \"";
+  out += context.sckl_threads;  // env var contents; benches set it themselves
+  out += "\", \"governor\": \"";
+  out += context.governor;
+  out += "\"";
+  return out;
+}
+
+}  // namespace sckl

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/error.h"
 
@@ -21,6 +23,28 @@ void require_finite(const std::vector<double>& values, const char* who) {
                   ErrorCode::kNonFinite);
 }
 
+// std::min/max return the other operand when one side is NaN, which would
+// let a poisoned sample vanish from the extremes while the mean turns NaN —
+// an inconsistent summary. These propagate the NaN instead.
+double nan_aware_min(double a, double b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<double>::quiet_NaN();
+  return std::min(a, b);
+}
+
+double nan_aware_max(double a, double b) {
+  if (std::isnan(a) || std::isnan(b))
+    return std::numeric_limits<double>::quiet_NaN();
+  return std::max(a, b);
+}
+
+std::uint64_t bit_pattern(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
 
 RunningStats::RunningStats()
@@ -32,8 +56,8 @@ void RunningStats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
+  min_ = nan_aware_min(min_, x);
+  max_ = nan_aware_max(max_, x);
 }
 
 double RunningStats::variance() const {
@@ -56,8 +80,176 @@ void RunningStats::merge(const RunningStats& other) {
   mean_ += delta * nb / total;
   m2_ += other.m2_ + delta * delta * na * nb / total;
   count_ += other.count_;
+  min_ = nan_aware_min(min_, other.min_);
+  max_ = nan_aware_max(max_, other.max_);
+}
+
+void RunningStats::encode(std::vector<std::uint8_t>& out) const {
+  wire::put_u64(out, static_cast<std::uint64_t>(count_));
+  wire::put_f64(out, mean_);
+  wire::put_f64(out, m2_);
+  wire::put_f64(out, min_);
+  wire::put_f64(out, max_);
+}
+
+RunningStats RunningStats::decode(wire::ByteReader& r) {
+  RunningStats s;
+  s.count_ = static_cast<std::size_t>(r.u64());
+  s.mean_ = r.f64();
+  s.m2_ = r.f64();
+  s.min_ = r.f64();
+  s.max_ = r.f64();
+  return s;
+}
+
+bool RunningStats::state_equals(const RunningStats& other) const {
+  return count_ == other.count_ &&
+         bit_pattern(mean_) == bit_pattern(other.mean_) &&
+         bit_pattern(m2_) == bit_pattern(other.m2_) &&
+         bit_pattern(min_) == bit_pattern(other.min_) &&
+         bit_pattern(max_) == bit_pattern(other.max_);
+}
+
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(capacity),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      levels_(1),
+      compactions_(1, 0) {
+  require(capacity >= 8, "QuantileSketch: capacity must be >= 8");
+}
+
+void QuantileSketch::add(double x) {
+  if (!std::isfinite(x))
+    throw Error("QuantileSketch: observation is not finite",
+                ErrorCode::kNonFinite);
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  levels_[0].push_back(x);
+  if (levels_[0].size() >= capacity_) compact(0);
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  // Move the buffer out before touching levels_: emplacing the next level
+  // may reallocate the outer vector and invalidate any reference held here.
+  std::vector<double> buf = std::move(levels_[level]);
+  levels_[level].clear();
+  std::stable_sort(buf.begin(), buf.end());
+  if (levels_.size() <= level + 1) {
+    levels_.emplace_back();
+    compactions_.push_back(0);
+  }
+  // An odd buffer keeps its smallest item at this level so total weight is
+  // preserved exactly; the even remainder promotes every second item, the
+  // starting parity alternating with the compaction counter to cancel the
+  // selection bias over time.
+  std::size_t begin = 0;
+  if (buf.size() % 2 != 0) {
+    levels_[level].push_back(buf[0]);
+    begin = 1;
+  }
+  const std::size_t offset = begin + (compactions_[level] & 1u);
+  for (std::size_t i = offset; i < buf.size(); i += 2)
+    levels_[level + 1].push_back(buf[i]);
+  ++compactions_[level];
+  if (levels_[level + 1].size() >= capacity_) compact(level + 1);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  require(capacity_ == other.capacity_,
+          "QuantileSketch::merge: capacity mismatch");
+  if (other.count_ == 0) return;
+  count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
+  if (levels_.size() < other.levels_.size()) {
+    levels_.resize(other.levels_.size());
+    compactions_.resize(other.levels_.size(), 0);
+  }
+  for (std::size_t level = 0; level < other.levels_.size(); ++level)
+    levels_[level].insert(levels_[level].end(), other.levels_[level].begin(),
+                          other.levels_[level].end());
+  for (std::size_t level = 0; level < levels_.size(); ++level)
+    while (levels_[level].size() >= capacity_) compact(level);
+}
+
+double QuantileSketch::quantile(double q) const {
+  require(count_ > 0, "QuantileSketch::quantile: empty sketch");
+  require(q >= 0.0 && q <= 1.0, "QuantileSketch::quantile: q must be in [0, 1]");
+  if (q == 0.0) return min_;
+  if (q == 1.0) return max_;
+  std::vector<std::pair<double, std::uint64_t>> items;  // (value, weight)
+  for (std::size_t level = 0; level < levels_.size(); ++level)
+    for (double v : levels_[level])
+      items.emplace_back(v, std::uint64_t{1} << level);
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double threshold = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : items) {
+    cumulative += static_cast<double>(weight);
+    if (cumulative >= threshold) return value;
+  }
+  return max_;
+}
+
+bool QuantileSketch::state_equals(const QuantileSketch& other) const {
+  if (capacity_ != other.capacity_ || count_ != other.count_ ||
+      bit_pattern(min_) != bit_pattern(other.min_) ||
+      bit_pattern(max_) != bit_pattern(other.max_) ||
+      levels_.size() != other.levels_.size() ||
+      compactions_ != other.compactions_)
+    return false;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (levels_[level].size() != other.levels_[level].size()) return false;
+    for (std::size_t i = 0; i < levels_[level].size(); ++i)
+      if (bit_pattern(levels_[level][i]) !=
+          bit_pattern(other.levels_[level][i]))
+        return false;
+  }
+  return true;
+}
+
+void QuantileSketch::encode(std::vector<std::uint8_t>& out) const {
+  wire::put_u64(out, capacity_);
+  wire::put_u64(out, count_);
+  wire::put_f64(out, min_);
+  wire::put_f64(out, max_);
+  wire::put_u32(out, static_cast<std::uint32_t>(levels_.size()));
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    wire::put_u64(out, compactions_[level]);
+    wire::put_u64(out, levels_[level].size());
+    for (double v : levels_[level]) wire::put_f64(out, v);
+  }
+}
+
+QuantileSketch QuantileSketch::decode(wire::ByteReader& r) {
+  const std::uint64_t capacity = r.u64();
+  if (capacity < 8 || capacity > (std::uint64_t{1} << 20))
+    throw Error("QuantileSketch::decode: implausible capacity " +
+                    std::to_string(capacity),
+                r.code());
+  QuantileSketch sketch{static_cast<std::size_t>(capacity)};
+  sketch.count_ = r.u64();
+  sketch.min_ = r.f64();
+  sketch.max_ = r.f64();
+  const std::uint32_t num_levels = r.u32();
+  if (num_levels == 0 || num_levels > 64)
+    throw Error("QuantileSketch::decode: implausible level count " +
+                    std::to_string(num_levels),
+                r.code());
+  sketch.levels_.assign(num_levels, {});
+  sketch.compactions_.assign(num_levels, 0);
+  for (std::uint32_t level = 0; level < num_levels; ++level) {
+    sketch.compactions_[level] = r.u64();
+    const std::uint64_t size = r.u64();
+    r.need_count(size, 8, "QuantileSketch level items");
+    sketch.levels_[level].reserve(static_cast<std::size_t>(size));
+    for (std::uint64_t i = 0; i < size; ++i)
+      sketch.levels_[level].push_back(r.f64());
+  }
+  return sketch;
 }
 
 void CovarianceAccumulator::add(double x, double y) {

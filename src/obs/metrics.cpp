@@ -243,6 +243,13 @@ void register_standard_metrics() {
   counter("sckl.ssta.mc.blocks");
   histogram("sckl.ssta.mc.steal_ns");
   histogram("sckl.ssta.mc.worker_busy_us");
+  // Checkpointed MC (durable run ledger + lease coordinator).
+  counter("sckl.ssta.mc.checkpointed_runs");
+  counter("sckl.ssta.mc.ledger_appends");
+  counter("sckl.ssta.mc.leases_claimed");
+  counter("sckl.ssta.mc.leases_expired");
+  counter("sckl.ssta.mc.leases_recomputed");
+  counter("sckl.ssta.mc.leases_resumed");
   // Fault injection.
   counter("sckl.robust.faults.hits");
   counter("sckl.robust.faults.injected");
@@ -253,7 +260,10 @@ void register_standard_metrics() {
   counter("sckl.serve.rejected.overloaded");
   counter("sckl.serve.rejected.deadline");
   counter("sckl.serve.rejected.protocol");
+  counter("sckl.serve.rejected.row_limit");
+  counter("sckl.serve.rejected.reply_bytes");
   counter("sckl.serve.connections");
+  counter("sckl.serve.connections_reaped");
   counter("sckl.serve.batches");
   counter("sckl.serve.batched_requests");
   counter("sckl.serve.sampler_cache.hits");

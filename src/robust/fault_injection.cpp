@@ -21,7 +21,22 @@ constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
     "serve_accept",
     "serve_read",
     "serve_deadline",
+    "mc_lease_expire",
+    "mc_ledger_write",
+    "mc_worker_crash",
 };
+
+std::uint64_t parse_count(std::string_view text, const char* what) {
+  require(!text.empty(), std::string("FaultInjector: missing ") + what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    require(c >= '0' && c <= '9',
+            std::string("FaultInjector: ") + what +
+                " must be a non-negative integer");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
 
 }  // namespace
 
@@ -61,24 +76,25 @@ void FaultInjector::arm(const std::string& plan) {
     require(colon != std::string_view::npos,
             "FaultInjector: plan entry is not of the form site:count");
     const std::string_view name = entry.substr(0, colon);
-    const std::string_view count_text = entry.substr(colon + 1);
+    std::string_view count_text = entry.substr(colon + 1);
     const std::optional<FaultSite> site = fault_site_from_name(name);
     require(site.has_value(),
             "FaultInjector: unknown fault site '" + std::string(name) + "'");
-    require(!count_text.empty(), "FaultInjector: missing fault count");
-    std::uint64_t count = 0;
-    for (char c : count_text) {
-      require(c >= '0' && c <= '9',
-              "FaultInjector: fault count must be a non-negative integer");
-      count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    std::uint64_t skip = 0;
+    const std::size_t at = count_text.find('@');
+    if (at != std::string_view::npos) {
+      skip = parse_count(count_text.substr(at + 1), "fault skip");
+      count_text = count_text.substr(0, at);
     }
-    arm(*site, count);
+    arm(*site, parse_count(count_text, "fault count"), skip);
   }
 }
 
-void FaultInjector::arm(FaultSite site, std::uint64_t count) {
+void FaultInjector::arm(FaultSite site, std::uint64_t count,
+                        std::uint64_t skip) {
   std::lock_guard<std::mutex> lock(mutex_);
   budget_[static_cast<std::size_t>(site)] = count;
+  skip_[static_cast<std::size_t>(site)] = skip;
   bool any = false;
   for (std::uint64_t b : budget_) any = any || b > 0;
   armed_.store(any, std::memory_order_relaxed);
@@ -87,6 +103,7 @@ void FaultInjector::arm(FaultSite site, std::uint64_t count) {
 void FaultInjector::disarm() {
   std::lock_guard<std::mutex> lock(mutex_);
   budget_.fill(0);
+  skip_.fill(0);
   stats_.fill(FaultSiteStats{});
   armed_.store(false, std::memory_order_relaxed);
 }
@@ -100,6 +117,10 @@ bool FaultInjector::should_inject(FaultSite site) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_[index].hits;
   if (budget_[index] == 0) return false;
+  if (skip_[index] > 0) {
+    --skip_[index];
+    return false;
+  }
   --budget_[index];
   ++stats_[index].injected;
   obs::counter("sckl.robust.faults.injected").add(1);

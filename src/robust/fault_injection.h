@@ -51,8 +51,11 @@ enum class FaultSite : int {
   kServeAccept,            // serve: accept loop drops an incoming connection
   kServeRead,              // serve: reading a request frame fails transiently
   kServeDeadline,          // serve: request deadline treated as already past
+  kMcLeaseExpire,          // mc: a claimed block lease reports as expired
+  kMcLedgerWrite,          // crash: mid ledger append (torn tail record)
+  kMcWorkerCrash,          // crash: MC worker dies at a block boundary
 };
-inline constexpr int kNumFaultSites = 11;
+inline constexpr int kNumFaultSites = 14;
 
 /// Exit status of a process killed by an armed crash point; the kill-loop
 /// harness asserts it to distinguish an intended crash from a real failure.
@@ -80,12 +83,16 @@ class FaultInjector {
   static FaultInjector& instance();
 
   /// Arms the sites named in `plan`, a comma-separated list of
-  /// "site:count" entries (count > 0 = fail the next `count` hits).
-  /// Throws sckl::Error on a malformed plan or unknown site name.
+  /// "site:count" entries (count > 0 = fail the next `count` hits). An
+  /// entry may carry a skip suffix, "site:count@skip": the site behaves
+  /// normally for its first `skip` hits, then fails the next `count` — how
+  /// the kill-loop harness marches a crash point through a run, killing at
+  /// the k-th block instead of always the first. Throws sckl::Error on a
+  /// malformed plan or unknown site name.
   void arm(const std::string& plan);
 
-  /// Arms one site to fail its next `count` hits.
-  void arm(FaultSite site, std::uint64_t count);
+  /// Arms one site to fail `count` hits after ignoring its first `skip`.
+  void arm(FaultSite site, std::uint64_t count, std::uint64_t skip = 0);
 
   /// Clears every pending fault and all telemetry counters.
   void disarm();
@@ -107,6 +114,7 @@ class FaultInjector {
   std::atomic<bool> armed_{false};
   mutable std::mutex mutex_;
   std::array<std::uint64_t, kNumFaultSites> budget_{};
+  std::array<std::uint64_t, kNumFaultSites> skip_{};
   std::array<FaultSiteStats, kNumFaultSites> stats_{};
 };
 

@@ -88,6 +88,8 @@ void encode(std::vector<std::uint8_t>& out, const RunSstaRequest& request) {
   put_f64(out, request.kernel_c);
   put_u64(out, request.seed);
   put_u64(out, request.num_threads);
+  put_string(out, request.run_id);
+  put_u8(out, request.resume ? 1 : 0);
 }
 
 RunSstaRequest decode_run_ssta_request(wire::ByteReader& r) {
@@ -100,6 +102,8 @@ RunSstaRequest decode_run_ssta_request(wire::ByteReader& r) {
   request.kernel_c = r.f64();
   request.seed = r.u64();
   request.num_threads = r.u64();
+  request.run_id = r.string();
+  request.resume = r.u8() != 0;
   return request;
 }
 
@@ -154,6 +158,8 @@ std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply) {
   std::vector<std::uint8_t> out = make_ok_reply();
   put_f64(out, reply.mean);
   put_f64(out, reply.sigma);
+  put_f64(out, reply.p99);
+  put_f64(out, reply.p999);
   put_f64(out, reply.setup_seconds);
   put_f64(out, reply.sampling_seconds);
   put_f64(out, reply.sta_seconds);
@@ -161,6 +167,7 @@ std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply) {
   put_u32(out, reply.source);
   put_u64(out, reply.mesh_triangles);
   put_u64(out, reply.threads_used);
+  put_u64(out, reply.resumed_leases);
   return out;
 }
 
@@ -225,6 +232,8 @@ RunSstaReply decode_run_ssta_reply(wire::ByteReader& r) {
   RunSstaReply reply;
   reply.mean = r.f64();
   reply.sigma = r.f64();
+  reply.p99 = r.f64();
+  reply.p999 = r.f64();
   reply.setup_seconds = r.f64();
   reply.sampling_seconds = r.f64();
   reply.sta_seconds = r.f64();
@@ -232,6 +241,7 @@ RunSstaReply decode_run_ssta_reply(wire::ByteReader& r) {
   reply.source = r.u32();
   reply.mesh_triangles = r.u64();
   reply.threads_used = r.u64();
+  reply.resumed_leases = r.u64();
   return reply;
 }
 

@@ -1,4 +1,4 @@
-// Message schemas of the sckl_serve wire protocol (version 1).
+// Message schemas of the sckl_serve wire protocol (version 2).
 //
 // Transport: every message is one frame (common/frame.h — "SCKF" magic,
 // version, type, deadline, request id, payload, CRC). This header defines
@@ -24,9 +24,10 @@
 //                    bits KleFieldSampler::sample_block produces locally
 //   kRunSsta      -> string circuit, u64 num_samples, u64 r, u64 eigenpairs,
 //                    f64 mesh_area_fraction, f64 kernel_c, u64 seed,
-//                    u64 num_threads
-//                 <- f64 mean/sigma/setup/sampling/sta/total, u32 source,
-//                    u64 triangles, u64 threads_used
+//                    u64 num_threads, string run_id, u8 resume
+//                 <- f64 mean/sigma/p99/p999/setup/sampling/sta/total,
+//                    u32 source, u64 triangles, u64 threads_used,
+//                    u64 resumed_leases
 //   kStats        -> (empty)            <- string JSON (sckl-serve-stats-v1)
 //   kShutdown     -> (empty)            <- (empty); server then drains
 #pragma once
@@ -85,6 +86,11 @@ struct RunSstaRequest {
   double kernel_c = 0.0;                  // 0 = the paper's fitted value
   std::uint64_t seed = 1;
   std::uint64_t num_threads = 0;          // 0 = server default
+  /// Non-empty: run through the checkpointed Monte Carlo runner, keeping a
+  /// durable run ledger under the server's store root (requires the server
+  /// to have a store). resume continues an interrupted run's ledger.
+  std::string run_id;
+  bool resume = false;
 };
 
 // --- replies ---------------------------------------------------------------
@@ -112,6 +118,10 @@ struct SampleBlockReply {
 struct RunSstaReply {
   double mean = 0.0;
   double sigma = 0.0;
+  /// Tail quantiles of the worst-delay distribution, from the mergeable
+  /// quantile sketch (exact while num_samples <= the sketch capacity).
+  double p99 = 0.0;
+  double p999 = 0.0;
   double setup_seconds = 0.0;
   double sampling_seconds = 0.0;
   double sta_seconds = 0.0;
@@ -119,6 +129,7 @@ struct RunSstaReply {
   std::uint32_t source = 0;      // store::FetchSource as u32
   std::uint64_t mesh_triangles = 0;
   std::uint64_t threads_used = 0;
+  std::uint64_t resumed_leases = 0;  // checkpointed runs: leases from ledger
 };
 
 struct StatsReply {

@@ -215,6 +215,7 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
     Server* server;
     const std::shared_ptr<Connection>& conn;
     ~ReapOnExit() {
+      obs::counter("sckl.serve.connections_reaped").add(1);
       conn->fd.shutdown_both();
       std::lock_guard<std::mutex> lock(server->conn_mu_);
       auto& conns = server->connections_;
@@ -290,22 +291,26 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
           // admission: admission control only sees the queue, not a worker
           // stuck generating an unbounded reply. The row check comes first
           // so the byte product below cannot overflow.
-          if (request.sample->range.count > options_.max_sample_rows)
+          if (request.sample->range.count > options_.max_sample_rows) {
+            obs::counter("sckl.serve.rejected.row_limit").add(1);
             throw Error("sample_block: range.count " +
                             std::to_string(request.sample->range.count) +
                             " exceeds the server limit of " +
                             std::to_string(options_.max_sample_rows) +
                             " rows per request; split the draw",
                         ErrorCode::kPrecondition);
+          }
           const std::uint64_t reply_bytes =
               static_cast<std::uint64_t>(request.sample->range.count) *
               request.sample->locations.size() * 8;
-          if (reply_bytes > options_.max_payload_bytes)
+          if (reply_bytes > options_.max_payload_bytes) {
+            obs::counter("sckl.serve.rejected.reply_bytes").add(1);
             throw Error("sample_block: reply would be " +
                             std::to_string(reply_bytes) +
                             " bytes, above the frame payload cap of " +
                             std::to_string(options_.max_payload_bytes),
                         ErrorCode::kPrecondition);
+          }
           // Sampler identity: requests agreeing on this key can share one
           // constructed sampler (the batching unit).
           store::ContentHasher h;
@@ -636,6 +641,8 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
   run.r = config.r;
   run.num_eigenpairs = m;
   run.store = store_.get();
+  run.run_id = request.run_id;
+  run.resume = request.resume;
   const auto deadline = envelope.deadline;
   run.cancelled = [deadline] {
     if (robust::fault_injected(robust::FaultSite::kServeDeadline)) return true;
@@ -646,6 +653,11 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
   RunSstaReply reply;
   reply.mean = outcome.ssta.worst_delay.mean();
   reply.sigma = outcome.ssta.worst_delay.stddev();
+  if (outcome.ssta.worst_delay_sketch.count() > 0) {
+    reply.p99 = outcome.ssta.worst_delay_sketch.quantile(0.99);
+    reply.p999 = outcome.ssta.worst_delay_sketch.quantile(0.999);
+  }
+  reply.resumed_leases = outcome.mc_run.leases_resumed;
   reply.setup_seconds = outcome.setup_seconds;
   reply.sampling_seconds = outcome.ssta.sampling_seconds;
   reply.sta_seconds = outcome.ssta.sta_seconds;
@@ -696,6 +708,25 @@ std::string Server::stats_json() {
   out += "  \"queue_depth\": " + std::to_string(queue_depth) + ",\n";
   out += "  \"open_connections\": " + std::to_string(open_connections()) +
          ",\n";
+  // Admission / hardening counters: how often the request caps fired and
+  // how many connection readers have come and gone — the observable side of
+  // the row-limit, reply-size, and connection-reaping defenses.
+  out += "  \"admission\": {\n";
+  append_kv(out, "requests", obs::counter("sckl.serve.requests").value());
+  append_kv(out, "rejected_protocol",
+            obs::counter("sckl.serve.rejected.protocol").value());
+  append_kv(out, "rejected_overloaded",
+            obs::counter("sckl.serve.rejected.overloaded").value());
+  append_kv(out, "rejected_deadline",
+            obs::counter("sckl.serve.rejected.deadline").value());
+  append_kv(out, "rejected_row_limit",
+            obs::counter("sckl.serve.rejected.row_limit").value());
+  append_kv(out, "rejected_reply_bytes",
+            obs::counter("sckl.serve.rejected.reply_bytes").value());
+  append_kv(out, "connections_reaped",
+            obs::counter("sckl.serve.connections_reaped").value(),
+            /*comma=*/false);
+  out += "  },\n";
   out += "  \"store_health\": {\n";
   append_kv(out, "read_retries", health.read_retries);
   append_kv(out, "write_retries", health.write_retries);

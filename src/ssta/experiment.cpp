@@ -13,6 +13,7 @@
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
 #include "mesh/refine.h"
+#include "store/key_hash.h"
 
 namespace sckl::ssta {
 
@@ -31,6 +32,8 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   set.store_root = config.store_root;
   set.validate = config.validate_kle;
   set.strict = config.strict;
+  set.run_id = config.run_id;
+  set.resume = config.resume;
   set.apply(flags);
   config.circuit = set.circuit;
   config.num_samples = set.num_samples;
@@ -40,6 +43,8 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   config.store_root = set.store_root;
   config.validate_kle = set.validate;
   config.strict = set.strict;
+  config.run_id = set.run_id;
+  config.resume = set.resume;
 }
 
 robust::HealthReport fold_kle_health(const KleRunInfo& info) {
@@ -159,7 +164,36 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
                                    sampler.get(), sampler.get()};
   McSstaOptions options = mc_options();
   options.cancelled = request.cancelled;
-  outcome.ssta = run_monte_carlo_ssta(*engine_, samplers, options);
+  if (request.run_id.empty()) {
+    outcome.ssta = run_monte_carlo_ssta(*engine_, samplers, options);
+    return outcome;
+  }
+
+  // Checkpointed path: the run ledger lives next to the artifacts it
+  // depends on, under <store root>/mc_runs. The workload key binds the
+  // ledger to everything that determines a sample's value, so a resume
+  // against a different circuit/kernel/KLE rejects instead of silently
+  // folding foreign partials into the statistics.
+  require(request.store != nullptr,
+          "ExperimentPipeline::run_kle: a checkpointed run (run_id) needs "
+          "the artifact-store path — the ledger lives under the store root");
+  store::ContentHasher h;
+  h.update_string("sckl-mc-workload-v1");
+  h.update_string(config_.circuit);
+  h.update_u64(config_.seed);
+  h.update_u64(request.r);
+  h.update_u64(request.num_eigenpairs);
+  h.update_double(config_.mesh_area_fraction);
+  h.update_double(config_.kernel_c);
+
+  McRunOptions run;
+  run.run_id = request.run_id;
+  run.resume = request.resume;
+  run.ledger_dir = request.store->root() / "mc_runs";
+  run.workload_key = h.digest();
+  outcome.checkpointed = true;
+  outcome.ssta = run_checkpointed_monte_carlo_ssta(*engine_, samplers, options,
+                                                   run, &outcome.mc_run);
   return outcome;
 }
 
@@ -184,6 +218,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                ? config.num_eigenpairs
                                : std::max<std::size_t>(2 * config.r, 50);
   request.validate = config.validate_kle || config.strict;
+  request.run_id = config.run_id;
+  request.resume = config.resume;
 
   std::unique_ptr<store::KleArtifactStore> store;
   std::unique_ptr<mesh::TriMesh> mesh;

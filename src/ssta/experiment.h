@@ -18,6 +18,7 @@
 #include "common/cli.h"
 #include "core/kle_health.h"
 #include "core/kle_solver.h"
+#include "ssta/mc_run.h"
 #include "ssta/mc_ssta.h"
 #include "store/artifact_store.h"
 
@@ -52,6 +53,14 @@ struct ExperimentConfig {
   /// health findings of kWarning or worse) to a thrown sckl::Error instead
   /// of silently recovering. Implies validate_kle.
   bool strict = false;
+
+  /// Non-empty: the KLE-side Monte Carlo uses the checkpointed runner
+  /// (ssta/mc_run.h), keeping a durable run ledger under
+  /// <store_root>/mc_runs/<run_id>.ledger. Requires store_root.
+  std::string run_id;
+  /// Continue a ledger that already holds completed leases (a killed or
+  /// cancelled earlier run) instead of rejecting it.
+  bool resume = false;
 };
 
 /// Maps the shared command-line flag vocabulary (sckl::ExperimentFlagSet,
@@ -131,6 +140,11 @@ struct KleRunRequest {
   /// block claims; a true return aborts the run with kDeadlineExceeded.
   /// Empty = never cancelled. Must be thread-safe.
   std::function<bool()> cancelled;
+  /// Non-empty: run the Monte Carlo through the checkpointed runner with
+  /// this run id (requires the store path — the ledger lives under
+  /// <store root>/mc_runs). See ExperimentConfig::run_id.
+  std::string run_id;
+  bool resume = false;
 };
 
 /// Statistics + provenance + telemetry of one Algorithm 2 run.
@@ -141,6 +155,8 @@ struct KleRunOutcome {
   store::FetchSource source = store::FetchSource::kSolved;  // store path only
   std::size_t mesh_triangles = 0;  // n of the KLE actually used
   KleRunInfo info;              // fallback / out-of-mesh / health telemetry
+  bool checkpointed = false;    // ran through the durable-ledger runner
+  McRunStats mc_run;            // lease/ledger telemetry (checkpointed only)
 };
 
 /// Reusable pieces for sweep benches (Fig. 6 varies r and n on one circuit

@@ -1,0 +1,368 @@
+#include "ssta/mc_run.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+#include "robust/fault_injection.h"
+#include "store/file_lock.h"
+#include "store/record_log.h"
+
+namespace sckl::ssta {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint8_t kHeaderTag = 1;
+constexpr std::uint8_t kLeaseTag = 2;
+
+bool valid_run_id(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return id != "." && id != "..";
+}
+
+/// The sampling-geometry fields a ledger is bound to. Everything here must
+/// match between the run that wrote a ledger and the run resuming it —
+/// sample indices, block boundaries, and the fold nesting all derive from
+/// these values.
+struct LedgerHeader {
+  std::uint64_t workload_key = 0;
+  std::uint64_t num_samples = 0;
+  std::uint64_t block_size = 0;
+  std::uint64_t lease_blocks = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t sketch_capacity = 0;
+  std::uint64_t num_endpoints = 0;
+
+  void encode(std::vector<std::uint8_t>& out) const {
+    wire::put_u8(out, kHeaderTag);
+    wire::put_u64(out, workload_key);
+    wire::put_u64(out, num_samples);
+    wire::put_u64(out, block_size);
+    wire::put_u64(out, lease_blocks);
+    wire::put_u64(out, seed);
+    wire::put_u64(out, sketch_capacity);
+    wire::put_u64(out, num_endpoints);
+  }
+
+  static LedgerHeader decode(wire::ByteReader& r) {  // tag already consumed
+    LedgerHeader h;
+    h.workload_key = r.u64();
+    h.num_samples = r.u64();
+    h.block_size = r.u64();
+    h.lease_blocks = r.u64();
+    h.seed = r.u64();
+    h.sketch_capacity = r.u64();
+    h.num_endpoints = r.u64();
+    return h;
+  }
+
+  bool operator==(const LedgerHeader& other) const {
+    return workload_key == other.workload_key &&
+           num_samples == other.num_samples &&
+           block_size == other.block_size &&
+           lease_blocks == other.lease_blocks && seed == other.seed &&
+           sketch_capacity == other.sketch_capacity &&
+           num_endpoints == other.num_endpoints;
+  }
+};
+
+enum class LeaseState { kAvailable, kClaimed, kComplete };
+
+struct Lease {
+  std::size_t first_block = 0;
+  std::size_t num_blocks = 0;
+  LeaseState state = LeaseState::kAvailable;
+  Clock::time_point expiry{};
+  bool was_reclaimed = false;        // a prior claim on it expired
+  detail::BlockPartial partial;      // valid once kComplete
+};
+
+/// Tracks lease states and owns the ledger appends. One mutex covers the
+/// lease table, the ledger, and the stats — publishing a lease is a single
+/// critical section, so the ledger order always matches completion order.
+class LeaseCoordinator {
+ public:
+  LeaseCoordinator(std::vector<Lease> leases, store::RecordLog log,
+                   double timeout_seconds, McRunStats& stats)
+      : leases_(std::move(leases)),
+        log_(std::move(log)),
+        timeout_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(timeout_seconds))),
+        stats_(stats) {}
+
+  /// Claims the next available lease (reclaiming any time-expired claim on
+  /// the way); returns its index or npos when nothing remains claimable.
+  std::size_t claim() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = Clock::now();
+    for (std::size_t l = 0; l < leases_.size(); ++l) {
+      Lease& lease = leases_[l];
+      if (lease.state == LeaseState::kClaimed && now >= lease.expiry)
+        expire_locked(lease);
+      if (lease.state == LeaseState::kAvailable) {
+        lease.state = LeaseState::kClaimed;
+        lease.expiry = now + timeout_;
+        ++stats_.leases_claimed;
+        obs::counter("sckl.ssta.mc.leases_claimed").add(1);
+        return l;
+      }
+    }
+    return npos;
+  }
+
+  /// Publishes a finished lease: appends its record durably, then marks it
+  /// complete. Returns false when the claim had expired (deadline passed,
+  /// or the mc_lease_expire fault fired) — the lease goes back to
+  /// Available and the completion is discarded, exactly what happens to a
+  /// worker whose lease a coordinator already gave away. A lease someone
+  /// else already completed is silently discarded too (same bits).
+  bool publish(std::size_t index, const detail::BlockPartial& partial,
+               std::uint64_t parent_span_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Lease& lease = leases_[index];
+    if (lease.state == LeaseState::kComplete) return true;
+    if (robust::fault_injected(robust::FaultSite::kMcLeaseExpire) ||
+        Clock::now() >= lease.expiry) {
+      expire_locked(lease);
+      return false;
+    }
+    obs::Span append_span("ssta.mc.ledger_append", parent_span_id);
+    std::vector<std::uint8_t> payload;
+    wire::put_u8(payload, kLeaseTag);
+    wire::put_u64(payload, lease.first_block);
+    wire::put_u64(payload, lease.num_blocks);
+    partial.encode(payload);
+    log_.append(payload);  // durable (or _Exit under mc_ledger_write)
+    ++stats_.ledger_appends;
+    obs::counter("sckl.ssta.mc.ledger_appends").add(1);
+    lease.partial = partial;
+    lease.state = LeaseState::kComplete;
+    if (lease.was_reclaimed) {
+      ++stats_.leases_recomputed;
+      obs::counter("sckl.ssta.mc.leases_recomputed").add(1);
+    }
+    return true;
+  }
+
+  const std::vector<Lease>& leases() const { return leases_; }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void expire_locked(Lease& lease) {
+    lease.state = LeaseState::kAvailable;
+    lease.was_reclaimed = true;
+    ++stats_.leases_expired;
+    obs::counter("sckl.ssta.mc.leases_expired").add(1);
+  }
+
+  std::mutex mutex_;
+  std::vector<Lease> leases_;
+  store::RecordLog log_;
+  Clock::duration timeout_;
+  McRunStats& stats_;
+};
+
+}  // namespace
+
+McSstaResult run_checkpointed_monte_carlo_ssta(
+    const timing::StaEngine& engine, const ParameterSamplers& samplers,
+    const McSstaOptions& options, const McRunOptions& run,
+    McRunStats* stats_out) {
+  require(options.num_samples > 0, "checkpointed mc: no samples");
+  require(options.block_size > 0, "checkpointed mc: empty block");
+  require(!options.keep_samples,
+          "checkpointed mc: keep_samples is not supported (resumed leases "
+          "do not retain per-sample delays)");
+  require(valid_run_id(run.run_id),
+          "checkpointed mc: run_id must be non-empty [A-Za-z0-9._-]");
+  require(!run.ledger_dir.empty(), "checkpointed mc: ledger_dir is required");
+  require(run.lease_blocks > 0, "checkpointed mc: lease_blocks must be > 0");
+  const std::size_t num_gates = engine.netlist().num_physical_gates();
+  for (const auto* sampler : samplers) {
+    require(sampler != nullptr, "checkpointed mc: missing sampler");
+    require(sampler->num_locations() == num_gates,
+            "checkpointed mc: sampler/netlist gate count mismatch");
+  }
+
+  obs::Span mc_span("ssta.mc.checkpointed");
+  obs::counter("sckl.ssta.mc.checkpointed_runs").add(1);
+  obs::Stopwatch total;
+
+  std::filesystem::create_directories(run.ledger_dir);
+  std::optional<store::FileLock> lock = store::FileLock::try_acquire(
+      run.ledger_dir / (run.run_id + ".lock"), store::FileLock::Mode::kExclusive);
+  if (!lock.has_value())
+    throw Error("checkpointed mc: run '" + run.run_id +
+                    "' is locked by another live process",
+                ErrorCode::kOverloaded);
+
+  store::RecordLog log =
+      store::RecordLog::open(run.ledger_dir / (run.run_id + ".ledger"));
+  log.set_crash_site(robust::FaultSite::kMcLedgerWrite);
+
+  McRunStats stats;
+  stats.recovered_torn_tail = log.recovered_torn_tail();
+
+  const std::size_t num_blocks = detail::num_blocks_for(options);
+  const std::size_t num_leases =
+      (num_blocks + run.lease_blocks - 1) / run.lease_blocks;
+  const std::size_t num_endpoints = engine.num_endpoints();
+  stats.leases_total = num_leases;
+
+  const LedgerHeader header{run.workload_key, options.num_samples,
+                            options.block_size, run.lease_blocks, options.seed,
+                            options.sketch_capacity, num_endpoints};
+
+  // Replay the ledger: validate the header binds this exact workload and
+  // geometry, then collect completed leases (first record per lease wins —
+  // later duplicates are identical bits from a slow pre-crash claimer).
+  std::vector<Lease> leases(num_leases);
+  for (std::size_t l = 0; l < num_leases; ++l) {
+    leases[l].first_block = l * run.lease_blocks;
+    leases[l].num_blocks =
+        std::min(run.lease_blocks, num_blocks - leases[l].first_block);
+  }
+  const auto& records = log.records();
+  if (records.empty()) {
+    std::vector<std::uint8_t> payload;
+    header.encode(payload);
+    log.append(payload);
+    ++stats.ledger_appends;
+    obs::counter("sckl.ssta.mc.ledger_appends").add(1);
+  } else {
+    // ByteReader raises kCorruptArtifact on any truncated field — a CRC'd
+    // record that fails to decode is a writer bug, not a torn write.
+    wire::ByteReader first(records[0].data(), records[0].size(),
+                           ErrorCode::kCorruptArtifact, "mc run ledger");
+    if (first.u8() != kHeaderTag)
+      throw Error("checkpointed mc: ledger does not start with a header",
+                  ErrorCode::kCorruptArtifact);
+    const LedgerHeader on_disk = LedgerHeader::decode(first);
+    if (!(on_disk == header))
+      throw Error(
+          "checkpointed mc: ledger '" + run.run_id +
+              "' was written for a different workload or sampling "
+              "geometry (workload_key / num_samples / block_size / "
+              "lease_blocks / seed / sketch_capacity must all match)",
+          ErrorCode::kPrecondition);
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      wire::ByteReader r(records[i].data(), records[i].size(),
+                         ErrorCode::kCorruptArtifact, "mc run ledger");
+      if (r.u8() != kLeaseTag)
+        throw Error("checkpointed mc: unexpected ledger record tag",
+                    ErrorCode::kCorruptArtifact);
+      const std::uint64_t first_block = r.u64();
+      const std::uint64_t lease_blocks = r.u64();
+      if (first_block % run.lease_blocks != 0 ||
+          first_block / run.lease_blocks >= num_leases)
+        throw Error("checkpointed mc: lease record outside the run",
+                    ErrorCode::kCorruptArtifact);
+      Lease& lease = leases[first_block / run.lease_blocks];
+      if (lease_blocks != lease.num_blocks)
+        throw Error("checkpointed mc: lease record geometry mismatch",
+                    ErrorCode::kCorruptArtifact);
+      if (lease.state == LeaseState::kComplete) continue;  // dedup
+      lease.partial = detail::BlockPartial::decode(r);
+      lease.state = LeaseState::kComplete;
+    }
+    std::size_t complete = 0;
+    for (const Lease& lease : leases)
+      if (lease.state == LeaseState::kComplete) ++complete;
+    if (!run.resume && complete > 0)
+      throw Error("checkpointed mc: ledger for run '" + run.run_id +
+                      "' already holds " + std::to_string(complete) +
+                      " completed lease(s); pass resume to continue it",
+                  ErrorCode::kPrecondition);
+    stats.leases_resumed = complete;
+    if (complete > 0)
+      obs::counter("sckl.ssta.mc.leases_resumed").add(
+          static_cast<std::uint64_t>(complete));
+  }
+
+  const std::size_t remaining = num_leases - stats.leases_resumed;
+  const std::size_t num_threads = std::max<std::size_t>(
+      1, std::min(ThreadPool::resolve_num_threads(options.num_threads),
+                  std::max<std::size_t>(remaining, 1)));
+
+  LeaseCoordinator coordinator(std::move(leases), std::move(log),
+                               run.lease_timeout_seconds, stats);
+
+  const std::uint64_t mc_span_id = obs::Span::current_id();
+  std::atomic<bool> was_cancelled{false};
+  const auto worker = [&](std::size_t /*worker_index*/) {
+    obs::Span worker_span("ssta.mc.worker", mc_span_id);
+    detail::BlockScratch scratch;
+    for (;;) {
+      if (options.cancelled && options.cancelled()) {
+        was_cancelled.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::size_t l = coordinator.claim();
+      if (l == LeaseCoordinator::npos) break;
+      const Lease& lease = coordinator.leases()[l];
+      // Lease partial = fold of its blocks in block order (invariant #1).
+      detail::BlockPartial lease_partial;
+      lease_partial.worst_delay_sketch =
+          QuantileSketch(options.sketch_capacity);
+      detail::BlockPartial block_partial;
+      for (std::size_t b = 0; b < lease.num_blocks; ++b) {
+        robust::crash_point(robust::FaultSite::kMcWorkerCrash);
+        block_partial = detail::BlockPartial{};
+        detail::compute_block_partial(engine, samplers, options,
+                                      lease.first_block + b, num_endpoints,
+                                      scratch, block_partial, nullptr);
+        lease_partial.merge(block_partial);
+      }
+      coordinator.publish(l, lease_partial, mc_span_id);
+    }
+  };
+
+  if (remaining > 0) {
+    if (num_threads == 1) {
+      worker(0);
+    } else {
+      ThreadPool pool(num_threads);
+      pool.run(worker);
+    }
+  }
+  if (was_cancelled.load(std::memory_order_relaxed))
+    throw Error("checkpointed mc: cancelled before completion (completed "
+                "leases are durable; resume to continue)",
+                ErrorCode::kDeadlineExceeded);
+  for (const Lease& lease : coordinator.leases())
+    ensure(lease.state == LeaseState::kComplete,
+           "checkpointed mc: worker pool exited with an incomplete lease");
+
+  // Final fold in lease order (invariant #3): ledger-loaded and freshly
+  // computed lease partials are bitwise interchangeable here.
+  McSstaResult result;
+  result.worst_delay_sketch = QuantileSketch(options.sketch_capacity);
+  result.threads_used = num_threads;
+  result.endpoint.resize(num_endpoints);
+  for (const Lease& lease : coordinator.leases()) {
+    result.worst_delay.merge(lease.partial.worst_delay);
+    result.worst_delay_sketch.merge(lease.partial.worst_delay_sketch);
+    for (std::size_t e = 0; e < num_endpoints; ++e)
+      result.endpoint[e].merge(lease.partial.endpoint[e]);
+    result.sampling_seconds += lease.partial.sampling_seconds;
+    result.sta_seconds += lease.partial.sta_seconds;
+  }
+  result.total_seconds = total.seconds();
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace sckl::ssta

@@ -1,0 +1,116 @@
+// Checkpointed, resumable Monte Carlo SSTA (the crash-safe runner).
+//
+// run_monte_carlo_ssta (mc_ssta.h) already makes every sample a pure
+// function of its index, so nothing about a Monte Carlo run is inherently
+// lost when the process dies — except the work already done. This runner
+// adds exactly that durability: blocks are grouped into fixed *leases*, a
+// worker that finishes a lease appends the lease's merged BlockPartial to a
+// durable append-only *run ledger* (store/record_log.h, fsync'd per
+// record), and a resumed run loads completed leases from the ledger and
+// recomputes only the rest.
+//
+// Resume invariant (ctest-gated by mc_resume_kill_loop): for a fixed
+// (workload, num_samples, block_size, lease_blocks, seed, sketch_capacity),
+// a run killed at ANY instant and then resumed — any number of times, at
+// any thread count — produces bit-identical statistics (mean, M2, min/max,
+// every endpoint accumulator, and the full quantile-sketch state) to an
+// uninterrupted run. Three properties compose into the guarantee:
+//
+//   1. Per-lease partials are pure: lease L's partial is the fold, in block
+//      order, of its blocks' partials, and each block partial is a pure
+//      function of (workload, options, block index). Recomputing a lost
+//      lease reproduces the exact bits the dead worker would have written.
+//   2. The ledger is crash-safe: records are CRC-framed and fsync'd; a
+//      crash mid-append tears at most the tail record, which open()
+//      truncates away. Committed leases are never lost or corrupted.
+//   3. The final fold nesting is fixed: the result folds lease partials in
+//      lease order (NOT block order across leases — Welford merges are not
+//      bit-associative, so the nesting itself is part of the contract).
+//      Ledger-loaded and freshly computed lease partials are bitwise
+//      interchangeable, so any mix folds to the same result.
+//
+// Lease state machine (in-memory, rebuilt from the ledger at open):
+//
+//   Available ──claim──▶ Claimed(expiry) ──publish+complete──▶ Complete
+//        ▲                    │
+//        └────── expired ─────┘   (deadline passed, or the
+//                                  mc_lease_expire fault site fires)
+//
+// A reclaimed lease is recomputed deterministically; if the original
+// claimer completes anyway (it was slow, not dead), the first completion
+// wins and the duplicate is discarded — both computed the same bits. On
+// replay, duplicate ledger records for one lease (possible across crashed
+// generations) dedup by first_block, keeping the first.
+//
+// Single-writer discipline: the runner holds an exclusive flock on
+// <ledger_dir>/<run_id>.lock for the whole run, so two processes can never
+// append to one ledger concurrently — and because flock dies with its
+// holder, a kill -9'd run leaves the ledger immediately resumable.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "ssta/mc_ssta.h"
+
+namespace sckl::ssta {
+
+/// Options of the checkpointed runner, on top of McSstaOptions.
+struct McRunOptions {
+  /// Identifies the run's ledger (file names derive from it). Restricted to
+  /// [A-Za-z0-9._-] so it can never escape ledger_dir.
+  std::string run_id;
+
+  /// Directory holding <run_id>.ledger and <run_id>.lock; created if
+  /// missing. The experiment pipeline uses <store_root>/mc_runs.
+  std::filesystem::path ledger_dir;
+
+  /// Blocks per lease — the unit of checkpointing. One ledger append (and
+  /// one fsync) per lease, so this trades durability granularity against
+  /// I/O. Part of the resume contract: must match across resumes.
+  std::size_t lease_blocks = 4;
+
+  /// A claimed lease not completed within this budget is treated as
+  /// abandoned and reclaimed for recomputation.
+  double lease_timeout_seconds = 300.0;
+
+  /// False: the ledger must not already contain lease records (guards
+  /// against silently continuing a run the caller thought was fresh).
+  /// True: completed leases are loaded and skipped.
+  bool resume = false;
+
+  /// Content hash binding the ledger to its workload (circuit, kernel,
+  /// KLE artifact...). A resume against a ledger whose recorded key
+  /// differs throws kPrecondition — resuming someone else's samples would
+  /// silently corrupt the statistics.
+  std::uint64_t workload_key = 0;
+};
+
+/// What the checkpointed runner did, for reporting and tests.
+struct McRunStats {
+  std::size_t leases_total = 0;
+  std::size_t leases_resumed = 0;   // loaded complete from the ledger
+  std::size_t leases_claimed = 0;   // computed (or recomputed) this run
+  std::size_t leases_expired = 0;   // reclaimed from an expired claim
+  std::size_t leases_recomputed = 0;  // completions of reclaimed leases
+  std::size_t ledger_appends = 0;
+  bool recovered_torn_tail = false;  // open() truncated a torn record
+};
+
+/// Runs Monte Carlo SSTA with durable lease checkpointing. Same sampler
+/// preconditions as run_monte_carlo_ssta; additionally requires a valid
+/// run_id/ledger_dir and rejects options.keep_samples (per-sample retention
+/// is incompatible with skipping resumed leases). Throws:
+///   kPrecondition — run_id invalid, ledger belongs to another workload or
+///                   different sampling options, or a fresh (resume=false)
+///                   run found an existing ledger with lease records;
+///   kOverloaded   — another live process holds the run's lock;
+///   kDeadlineExceeded — options.cancelled fired (completed leases stay
+///                   durable; resume later picks up from them).
+McSstaResult run_checkpointed_monte_carlo_ssta(
+    const timing::StaEngine& engine, const ParameterSamplers& samplers,
+    const McSstaOptions& options, const McRunOptions& run,
+    McRunStats* stats = nullptr);
+
+}  // namespace sckl::ssta

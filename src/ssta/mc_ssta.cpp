@@ -10,19 +10,90 @@
 #include "obs/trace.h"
 
 namespace sckl::ssta {
-namespace {
 
-/// Statistics of one sample block, filled by whichever worker claimed it.
-/// Kept per block (not per worker) so the final merge runs in block order —
-/// the floating-point accumulation is then independent of the thread count.
-struct BlockPartial {
-  RunningStats worst_delay;
-  std::vector<RunningStats> endpoint;
-  double sampling_seconds = 0.0;
-  double sta_seconds = 0.0;
-};
+namespace detail {
 
-}  // namespace
+void BlockPartial::merge(const BlockPartial& other) {
+  worst_delay.merge(other.worst_delay);
+  worst_delay_sketch.merge(other.worst_delay_sketch);
+  if (endpoint.size() < other.endpoint.size())
+    endpoint.resize(other.endpoint.size());
+  for (std::size_t e = 0; e < other.endpoint.size(); ++e)
+    endpoint[e].merge(other.endpoint[e]);
+  sampling_seconds += other.sampling_seconds;
+  sta_seconds += other.sta_seconds;
+}
+
+void BlockPartial::encode(std::vector<std::uint8_t>& out) const {
+  worst_delay.encode(out);
+  worst_delay_sketch.encode(out);
+  wire::put_u64(out, endpoint.size());
+  for (const RunningStats& stats : endpoint) stats.encode(out);
+  wire::put_f64(out, sampling_seconds);
+  wire::put_f64(out, sta_seconds);
+}
+
+BlockPartial BlockPartial::decode(wire::ByteReader& r) {
+  BlockPartial partial;
+  partial.worst_delay = RunningStats::decode(r);
+  partial.worst_delay_sketch = QuantileSketch::decode(r);
+  const std::uint64_t num_endpoints = r.u64();
+  r.need_count(num_endpoints, 5 * 8, "BlockPartial endpoint stats");
+  partial.endpoint.reserve(static_cast<std::size_t>(num_endpoints));
+  for (std::uint64_t e = 0; e < num_endpoints; ++e)
+    partial.endpoint.push_back(RunningStats::decode(r));
+  partial.sampling_seconds = r.f64();
+  partial.sta_seconds = r.f64();
+  return partial;
+}
+
+bool BlockPartial::state_equals(const BlockPartial& other) const {
+  if (!worst_delay.state_equals(other.worst_delay)) return false;
+  if (!worst_delay_sketch.state_equals(other.worst_delay_sketch)) return false;
+  if (endpoint.size() != other.endpoint.size()) return false;
+  for (std::size_t e = 0; e < endpoint.size(); ++e)
+    if (!endpoint[e].state_equals(other.endpoint[e])) return false;
+  return true;
+}
+
+void compute_block_partial(const timing::StaEngine& engine,
+                           const ParameterSamplers& samplers,
+                           const McSstaOptions& options,
+                           std::size_t block_index,
+                           std::size_t num_endpoints, BlockScratch& scratch,
+                           BlockPartial& partial,
+                           std::vector<double>* samples_out) {
+  const std::uint64_t first =
+      static_cast<std::uint64_t>(block_index) * options.block_size;
+  const std::size_t n =
+      std::min<std::size_t>(options.block_size, options.num_samples - first);
+  partial.worst_delay_sketch = QuantileSketch(options.sketch_capacity);
+  partial.endpoint.resize(num_endpoints);
+
+  obs::Stopwatch sampling;
+  const field::SampleRange range{first, n};
+  for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
+    samplers[j]->sample_block(range, StreamKey{options.seed, j},
+                              scratch.blocks[j]);
+  partial.sampling_seconds = sampling.seconds();
+
+  obs::Stopwatch sta;
+  for (std::size_t i = 0; i < n; ++i) {
+    timing::ParameterView view;
+    for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
+      view[j] = scratch.blocks[j].row_ptr(i);
+    const timing::StaResult timing_result = engine.run(view);
+    partial.worst_delay.add(timing_result.worst_delay);
+    partial.worst_delay_sketch.add(timing_result.worst_delay);
+    if (samples_out != nullptr)
+      (*samples_out)[first + i] = timing_result.worst_delay;
+    for (std::size_t e = 0; e < timing_result.endpoint_arrival.size(); ++e)
+      partial.endpoint[e].add(timing_result.endpoint_arrival[e]);
+  }
+  partial.sta_seconds = sta.seconds();
+}
+
+}  // namespace detail
 
 McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
                                   const ParameterSamplers& samplers,
@@ -40,15 +111,15 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
   obs::Span mc_span("ssta.mc");
   obs::counter("sckl.ssta.mc.runs").add(1);
   obs::Stopwatch total;
-  const std::size_t num_blocks =
-      (options.num_samples + options.block_size - 1) / options.block_size;
+  const std::size_t num_blocks = detail::num_blocks_for(options);
   const std::size_t num_threads = std::min(
       ThreadPool::resolve_num_threads(options.num_threads), num_blocks);
 
   McSstaResult result;
+  result.worst_delay_sketch = QuantileSketch(options.sketch_capacity);
   result.threads_used = num_threads;
   const std::size_t num_endpoints = engine.num_endpoints();
-  std::vector<BlockPartial> partials(num_blocks);
+  std::vector<detail::BlockPartial> partials(num_blocks);
   if (options.keep_samples)
     result.worst_delay_samples.assign(options.num_samples, 0.0);
 
@@ -70,7 +141,7 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
   const auto worker = [&](std::size_t /*worker_index*/) {
     obs::Span worker_span("ssta.mc.worker", mc_span_id);
     obs::Stopwatch busy;
-    std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
+    detail::BlockScratch scratch;
     for (;;) {
       // Cancellation is polled once per block claim: the already-claimed
       // block always completes, so a cancelled run still leaves `partials`
@@ -84,33 +155,9 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
       if (obs::trace_enabled()) steal_ns.record(steal.seconds() * 1e9);
       if (b >= num_blocks) break;
       blocks_claimed.add(1);
-      const std::uint64_t first =
-          static_cast<std::uint64_t>(b) * options.block_size;
-      const std::size_t n = std::min<std::size_t>(
-          options.block_size, options.num_samples - first);
-      BlockPartial& partial = partials[b];
-      partial.endpoint.resize(num_endpoints);
-
-      obs::Stopwatch sampling;
-      const field::SampleRange range{first, n};
-      for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
-        samplers[j]->sample_block(range, StreamKey{options.seed, j},
-                                  blocks[j]);
-      partial.sampling_seconds = sampling.seconds();
-
-      obs::Stopwatch sta;
-      for (std::size_t i = 0; i < n; ++i) {
-        timing::ParameterView view;
-        for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
-          view[j] = blocks[j].row_ptr(i);
-        const timing::StaResult timing_result = engine.run(view);
-        partial.worst_delay.add(timing_result.worst_delay);
-        if (options.keep_samples)
-          result.worst_delay_samples[first + i] = timing_result.worst_delay;
-        for (std::size_t e = 0; e < timing_result.endpoint_arrival.size(); ++e)
-          partial.endpoint[e].add(timing_result.endpoint_arrival[e]);
-      }
-      partial.sta_seconds = sta.seconds();
+      detail::compute_block_partial(
+          engine, samplers, options, b, num_endpoints, scratch, partials[b],
+          options.keep_samples ? &result.worst_delay_samples : nullptr);
     }
     if (obs::trace_enabled()) busy_us.record(busy.seconds() * 1e6);
   };
@@ -126,10 +173,12 @@ McSstaResult run_monte_carlo_ssta(const timing::StaEngine& engine,
                 ErrorCode::kDeadlineExceeded);
 
   // Ordered merge: block 0, 1, 2, ... regardless of which worker produced
-  // which block, so mean/sigma are bit-identical for every thread count.
+  // which block, so mean/sigma/sketch are bit-identical for every thread
+  // count.
   result.endpoint.resize(num_endpoints);
-  for (const BlockPartial& partial : partials) {
+  for (const detail::BlockPartial& partial : partials) {
     result.worst_delay.merge(partial.worst_delay);
+    result.worst_delay_sketch.merge(partial.worst_delay_sketch);
     for (std::size_t e = 0; e < num_endpoints; ++e)
       result.endpoint[e].merge(partial.endpoint[e]);
     result.sampling_seconds += partial.sampling_seconds;

@@ -13,9 +13,14 @@
 // with per-worker scratch state, and record per-block partial statistics
 // that are merged in block order after the join. Because every sample is
 // index-addressed (the samplers are stateless) and the merge order is
-// fixed, the result — including every retained worst-delay sample and the
-// accumulated mean/sigma — is bit-identical for any thread count and any
-// block size partition.
+// fixed, the result — including every retained worst-delay sample, the
+// accumulated mean/sigma, and the worst-delay quantile sketch — is
+// bit-identical for any thread count and any block size partition.
+//
+// The per-block computation is factored out (detail::compute_block_partial)
+// and shared with the checkpointed runner in ssta/mc_run.h, which persists
+// completed-lease partials to a durable ledger so a killed run can resume
+// and still reproduce the identical statistics.
 #pragma once
 
 #include <array>
@@ -24,7 +29,9 @@
 #include <vector>
 
 #include "common/statistics.h"
+#include "common/wire.h"
 #include "field/field_sampler.h"
+#include "linalg/matrix.h"
 #include "timing/sta.h"
 
 namespace sckl::ssta {
@@ -35,6 +42,10 @@ struct McSstaOptions {
   std::size_t block_size = 256;  // samples per generated block
   std::uint64_t seed = 12345;
   bool keep_samples = false;  // retain per-sample worst delays (yield curves)
+  /// Per-level buffer size of the worst-delay quantile sketch. Exact while
+  /// num_samples <= sketch_capacity; see common/statistics.h for the rank
+  /// error beyond that. Must match across runs that resume each other.
+  std::size_t sketch_capacity = QuantileSketch::kDefaultCapacity;
   /// Worker threads for the block pipeline: 0 = auto (the SCKL_THREADS
   /// environment variable when set, else hardware concurrency), 1 = serial
   /// on the calling thread, k = exactly k workers. Statistics are
@@ -53,6 +64,7 @@ struct McSstaOptions {
 /// Statistics collected over one run.
 struct McSstaResult {
   RunningStats worst_delay;                // circuit delay across samples
+  QuantileSketch worst_delay_sketch;       // full-distribution summary
   std::vector<RunningStats> endpoint;      // per-endpoint delay statistics
   std::vector<double> worst_delay_samples; // only with keep_samples
   double sampling_seconds = 0.0;           // parameter-sample generation,
@@ -66,6 +78,63 @@ struct McSstaResult {
 /// independent because parameter j draws from StreamKey{seed, j}.
 using ParameterSamplers =
     std::array<const field::FieldSampler*, timing::kNumStatParameters>;
+
+namespace detail {
+
+/// Statistics of one sample block (or one merged lease of blocks). Kept per
+/// block so the final merge runs in block order — the floating-point
+/// accumulation is then independent of the thread count. The checkpointed
+/// runner serializes merged-lease partials into its ledger, which is why
+/// the struct carries wire codecs and bitwise comparison.
+struct BlockPartial {
+  RunningStats worst_delay;
+  QuantileSketch worst_delay_sketch{QuantileSketch::kDefaultCapacity};
+  std::vector<RunningStats> endpoint;
+  double sampling_seconds = 0.0;
+  double sta_seconds = 0.0;
+
+  /// Folds `other` into this partial. The fold is the one merge step used
+  /// everywhere (plain runner, lease accumulation, ledger replay), so a
+  /// fixed fold order ⇒ bit-identical accumulator state.
+  void merge(const BlockPartial& other);
+
+  /// Bit-exact wire codecs (timings travel as IEEE-754 bit patterns too,
+  /// though only the statistics take part in the resume invariant).
+  void encode(std::vector<std::uint8_t>& out) const;
+  static BlockPartial decode(wire::ByteReader& r);
+
+  /// Bitwise comparison of the statistical state (worst_delay, sketch,
+  /// endpoints) — timings are excluded, they are wall-clock measurements.
+  bool state_equals(const BlockPartial& other) const;
+};
+
+/// Per-worker scratch: one sample matrix per statistical parameter, reused
+/// across the blocks a worker claims so allocations happen once.
+struct BlockScratch {
+  std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
+};
+
+/// Computes block `block_index`'s partial statistics: draws the block's
+/// sample range for all four parameters and runs STA per sample. This is a
+/// pure function of (engine, samplers, options, block_index) apart from the
+/// recorded timings, which is what makes recomputing a lost block after a
+/// crash reproduce the original partial bit for bit. `samples_out`, when
+/// non-null, receives per-sample worst delays at their global sample index
+/// (the keep_samples path); it must already be sized to num_samples.
+void compute_block_partial(const timing::StaEngine& engine,
+                           const ParameterSamplers& samplers,
+                           const McSstaOptions& options,
+                           std::size_t block_index,
+                           std::size_t num_endpoints, BlockScratch& scratch,
+                           BlockPartial& partial,
+                           std::vector<double>* samples_out);
+
+/// Number of blocks a run partitions into.
+inline std::size_t num_blocks_for(const McSstaOptions& options) {
+  return (options.num_samples + options.block_size - 1) / options.block_size;
+}
+
+}  // namespace detail
 
 /// Runs Monte Carlo SSTA. All samplers must cover exactly the engine's
 /// physical gate count and be safe for concurrent const use (every sampler

@@ -1,0 +1,181 @@
+#include "store/record_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/error.h"
+#include "common/wire.h"
+
+namespace sckl::store {
+namespace {
+
+constexpr std::uint8_t kRecordMagic[4] = {'S', 'K', 'R', 'L'};
+constexpr std::size_t kRecordHeaderBytes = 16;  // magic + reserved + size
+constexpr std::size_t kRecordTrailerBytes = 4;  // CRC-32 of the payload
+
+std::uint32_t read_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64_le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32_le(p)) |
+         static_cast<std::uint64_t>(read_u32_le(p + 4)) << 32;
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::filesystem::path& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return bytes;  // absent: an empty log
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error)
+    throw Error("RecordLog: read error on '" + path.string() + "'",
+                ErrorCode::kIoTransient);
+  return bytes;
+}
+
+}  // namespace
+
+RecordLog::RecordLog(RecordLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      records_(std::move(other.records_)),
+      recovered_torn_tail_(other.recovered_torn_tail_),
+      crash_site_(other.crash_site_) {
+  other.fd_ = -1;
+}
+
+RecordLog& RecordLog::operator=(RecordLog&& other) noexcept {
+  if (this != &other) {
+    this->~RecordLog();
+    new (this) RecordLog(std::move(other));
+  }
+  return *this;
+}
+
+RecordLog::~RecordLog() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+RecordLog RecordLog::open(const std::filesystem::path& path) {
+  RecordLog log;
+  log.path_ = path;
+
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  // Keep records up to the first structural defect; everything after it is
+  // a torn tail from a crashed append (single-writer protocol) and is cut
+  // off so new appends land at a clean record boundary.
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= kRecordHeaderBytes + kRecordTrailerBytes) {
+    const std::uint8_t* p = bytes.data() + pos;
+    if (std::memcmp(p, kRecordMagic, sizeof(kRecordMagic)) != 0) break;
+    const std::uint64_t size = read_u64_le(p + 8);
+    const std::uint64_t available = bytes.size() - pos - kRecordHeaderBytes;
+    if (size > available || available - size < kRecordTrailerBytes) break;
+    const std::uint8_t* payload = p + kRecordHeaderBytes;
+    const std::uint32_t crc =
+        read_u32_le(payload + static_cast<std::size_t>(size));
+    if (crc != wire::crc32(payload, static_cast<std::size_t>(size))) break;
+    log.records_.emplace_back(payload, payload + static_cast<std::size_t>(size));
+    pos += kRecordHeaderBytes + static_cast<std::size_t>(size) +
+           kRecordTrailerBytes;
+  }
+  if (pos < bytes.size()) {
+    log.recovered_torn_tail_ = true;
+    std::error_code ec;
+    std::filesystem::resize_file(path, pos, ec);
+    if (ec)
+      throw Error("RecordLog: cannot truncate torn tail of '" + path.string() +
+                      "': " + ec.message(),
+                  ErrorCode::kIoTransient);
+  }
+
+#if defined(__unix__) || defined(__APPLE__)
+  std::FILE* f = std::fopen(path.string().c_str(), "ab");
+  if (f == nullptr)
+    throw Error("RecordLog: cannot open '" + path.string() + "' for append",
+                ErrorCode::kIoTransient);
+  log.fd_ = ::dup(::fileno(f));
+  std::fclose(f);
+  if (log.fd_ < 0)
+    throw Error("RecordLog: cannot keep an append descriptor for '" +
+                    path.string() + "'",
+                ErrorCode::kIoTransient);
+#else
+  // Without POSIX descriptors appends degrade to buffered stdio per call.
+  std::FILE* f = std::fopen(path.string().c_str(), "ab");
+  if (f == nullptr)
+    throw Error("RecordLog: cannot open '" + path.string() + "' for append",
+                ErrorCode::kIoTransient);
+  std::fclose(f);
+#endif
+  return log;
+}
+
+void RecordLog::append(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+  record.insert(record.end(), kRecordMagic, kRecordMagic + 4);
+  wire::put_u32(record, 0);  // reserved
+  wire::put_u64(record, payload.size());
+  record.insert(record.end(), payload.begin(), payload.end());
+  wire::put_u32(record, wire::crc32(payload.data(), payload.size()));
+
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ < 0)
+    throw Error("RecordLog: append on a moved-from log",
+                ErrorCode::kPrecondition);
+  if (crash_site_.has_value() && robust::fault_injected(*crash_site_)) {
+    // Torn-append simulation: half the record reaches the file, then the
+    // process dies as if kill -9'd mid-write. open() must truncate this.
+    const std::size_t half = record.size() / 2;
+    std::size_t done = 0;
+    while (done < half) {
+      const ::ssize_t n = ::write(fd_, record.data() + done, half - done);
+      if (n <= 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+    std::_Exit(robust::kCrashExitCode);
+  }
+  std::size_t done = 0;
+  while (done < record.size()) {
+    const ::ssize_t n = ::write(fd_, record.data() + done, record.size() - done);
+    if (n < 0)
+      throw Error("RecordLog: short append to '" + path_.string() + "'",
+                  ErrorCode::kIoTransient);
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0)
+    throw Error("RecordLog: fsync failed on '" + path_.string() + "'",
+                ErrorCode::kIoTransient);
+#else
+  std::FILE* f = std::fopen(path_.string().c_str(), "ab");
+  if (f == nullptr)
+    throw Error("RecordLog: cannot open '" + path_.string() + "' for append",
+                ErrorCode::kIoTransient);
+  const std::size_t written = std::fwrite(record.data(), 1, record.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != record.size() || !flushed || !closed)
+    throw Error("RecordLog: short append to '" + path_.string() + "'",
+                ErrorCode::kIoTransient);
+#endif
+  records_.push_back(payload);
+}
+
+}  // namespace sckl::store

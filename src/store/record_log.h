@@ -1,0 +1,83 @@
+// Crash-safe append-only record log.
+//
+// The durable-publish idiom of the artifact store (tmp + fsync + rename)
+// fits whole-file artifacts; a Monte Carlo run ledger instead *grows*, one
+// completed-lease record at a time, and must survive a kill at any byte.
+// The append protocol here gives the append-only equivalent of the same
+// guarantee:
+//
+//   record := magic "SKRL" | u32 reserved(0) | u64 payload size | payload
+//             | u32 CRC-32(payload)
+//   append := write(record) -> fsync(fd)
+//
+// A single writer appends at a time (callers serialize with a FileLock, the
+// same advisory-flock idiom that guards artifacts), so a crash mid-append
+// can tear at most the *tail* record. open() scans the file, keeps every
+// record up to the first structural defect (short header, wrong magic, CRC
+// mismatch), and truncates the torn tail away — so the next append lands at
+// a clean record boundary and no reader ever sees a torn record. Records
+// already fsync'd are never touched: committed history is immutable.
+//
+// The payloads are opaque bytes; the MC ledger (ssta/mc_run.cpp) encodes
+// its own header/lease records inside them. The crash point
+// `mc_ledger_write` simulates the worst torn-append instant: when armed the
+// process _Exit()s after writing only a prefix of the record.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "robust/fault_injection.h"
+
+namespace sckl::store {
+
+/// Append-only durable log of length-prefixed, CRC-checked records.
+/// Move-only; the destructor closes the file. Not thread-safe — callers
+/// serialize appends (the MC ledger holds a mutex plus the run's flock).
+class RecordLog {
+ public:
+  RecordLog(RecordLog&& other) noexcept;
+  RecordLog& operator=(RecordLog&& other) noexcept;
+  RecordLog(const RecordLog&) = delete;
+  RecordLog& operator=(const RecordLog&) = delete;
+  ~RecordLog();
+
+  /// Opens (creating if needed) the log at `path`: reads every valid
+  /// record, truncates any torn tail a crashed writer left, and positions
+  /// subsequent append()s at the clean end. Throws sckl::Error
+  /// (kIoTransient) when the file cannot be opened or read.
+  static RecordLog open(const std::filesystem::path& path);
+
+  /// The records that were on disk at open() time, in append order.
+  const std::vector<std::vector<std::uint8_t>>& records() const {
+    return records_;
+  }
+
+  /// True when open() found and removed a torn tail record.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
+  /// Durably appends one record: the full framed record is written and
+  /// fsync'd before returning. Throws kIoTransient on any I/O failure.
+  /// When a crash site is configured (set_crash_site) and armed, the
+  /// process _Exit()s after writing only half the record — the torn-tail
+  /// case open() must recover from.
+  void append(const std::vector<std::uint8_t>& payload);
+
+  /// Arms torn-append crash simulation on `site` (consulted per append).
+  void set_crash_site(robust::FaultSite site) { crash_site_ = site; }
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  RecordLog() = default;
+
+  std::filesystem::path path_;
+  int fd_ = -1;
+  std::vector<std::vector<std::uint8_t>> records_;
+  bool recovered_torn_tail_ = false;
+  std::optional<robust::FaultSite> crash_site_;
+};
+
+}  // namespace sckl::store

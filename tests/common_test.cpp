@@ -2,9 +2,11 @@
 // statistics, table formatting, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -276,6 +278,231 @@ TEST(RunningStats, MergeIsAssociativeUpToRounding) {
     EXPECT_NEAR(left_first.mean(), a.mean(), 1e-12);
     EXPECT_NEAR(left_first.variance(), a.variance(), 1e-10);
   }
+}
+
+TEST(RunningStats, MergeOfEmptyPartialsIsStillEmpty) {
+  // A resumed MC run may fold leases whose geometry produced zero samples
+  // locally; empty-into-empty must stay a clean zero state, not NaN.
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_TRUE(std::isinf(a.min()));
+  EXPECT_TRUE(std::isinf(a.max()));
+}
+
+TEST(RunningStats, FoldOfSingleSampleBlocksMatchesDirectStats) {
+  // Degenerate block size 1: every partial carries one observation and zero
+  // M2. The fixed-order fold must still reproduce the direct accumulation's
+  // count/min/max exactly and moments to rounding.
+  Rng rng(41);
+  std::vector<double> data;
+  RunningStats direct;
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(rng.normal(3.0, 2.0));
+    direct.add(data.back());
+  }
+  RunningStats folded;
+  for (double x : data) {
+    RunningStats block;
+    block.add(x);
+    folded.merge(block);
+  }
+  EXPECT_EQ(folded.count(), direct.count());
+  EXPECT_EQ(folded.min(), direct.min());
+  EXPECT_EQ(folded.max(), direct.max());
+  EXPECT_NEAR(folded.mean(), direct.mean(), 1e-12);
+  EXPECT_NEAR(folded.variance(), direct.variance(), 1e-10);
+}
+
+TEST(RunningStats, NanPoisonPropagatesThroughMinMaxAndMerge) {
+  RunningStats poisoned;
+  poisoned.add(1.0);
+  poisoned.add(std::nan(""));
+  EXPECT_TRUE(std::isnan(poisoned.mean()));
+  EXPECT_TRUE(std::isnan(poisoned.min()));
+  EXPECT_TRUE(std::isnan(poisoned.max()));
+
+  // Merge in either direction keeps the poison: corrupt data must never be
+  // laundered into clean-looking extremes by a merge.
+  RunningStats clean;
+  clean.add(2.0);
+  clean.add(5.0);
+  RunningStats into_clean = clean;
+  into_clean.merge(poisoned);
+  EXPECT_TRUE(std::isnan(into_clean.mean()));
+  EXPECT_TRUE(std::isnan(into_clean.min()));
+  EXPECT_TRUE(std::isnan(into_clean.max()));
+  RunningStats into_poisoned = poisoned;
+  into_poisoned.merge(clean);
+  EXPECT_TRUE(std::isnan(into_poisoned.mean()));
+  EXPECT_TRUE(std::isnan(into_poisoned.min()));
+  EXPECT_TRUE(std::isnan(into_poisoned.max()));
+}
+
+TEST(RunningStats, FixedOrderFoldIsBitIdenticalUnderPermutedCompletion) {
+  // The MC resume invariant in one picture: blocks may *finish* in any
+  // order (threads, crashes, resumes), but as long as the fold runs in
+  // block order the accumulator state is bit-identical.
+  Rng rng(43);
+  std::vector<RunningStats> blocks(8);
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    for (int i = 0; i < 37; ++i) blocks[b].add(rng.normal(7.0, 1.5));
+
+  const auto fold_in_order = [&blocks](const std::vector<std::size_t>&) {
+    // Completion order is irrelevant by construction: the fold below reads
+    // blocks[0..n) regardless of which order they were produced in.
+    RunningStats acc;
+    for (const RunningStats& block : blocks) acc.merge(block);
+    return acc;
+  };
+  const RunningStats a = fold_in_order({0, 1, 2, 3, 4, 5, 6, 7});
+  const RunningStats b = fold_in_order({5, 2, 7, 0, 6, 1, 4, 3});
+  EXPECT_TRUE(a.state_equals(b));
+
+  // And a genuinely different fold nesting is NOT bit-identical in general
+  // (Welford merge is not associative at the bit level) — which is exactly
+  // why the checkpointed runner pins the nesting as part of its contract.
+  EXPECT_EQ(a.count(), 8u * 37u);
+}
+
+TEST(RunningStats, EncodeDecodeRoundTripsBitExactly) {
+  Rng rng(44);
+  RunningStats original;
+  for (int i = 0; i < 100; ++i) original.add(rng.normal(-2.0, 9.0));
+  std::vector<std::uint8_t> bytes;
+  original.encode(bytes);
+  wire::ByteReader r(bytes.data(), bytes.size(), ErrorCode::kCorruptArtifact,
+                     "test");
+  const RunningStats copy = RunningStats::decode(r);
+  EXPECT_TRUE(copy.state_equals(original));
+
+  // Empty and NaN-poisoned states round-trip too (NaN payload bits travel
+  // verbatim, so state_equals — a bit comparison — still holds).
+  for (const bool poison : {false, true}) {
+    RunningStats s;
+    if (poison) s.add(std::nan(""));
+    std::vector<std::uint8_t> b2;
+    s.encode(b2);
+    wire::ByteReader r2(b2.data(), b2.size(), ErrorCode::kCorruptArtifact,
+                        "test");
+    EXPECT_TRUE(RunningStats::decode(r2).state_equals(s));
+  }
+}
+
+// --- QuantileSketch --------------------------------------------------------
+
+TEST(QuantileSketch, ExactWhileWithinCapacity) {
+  // Below capacity everything sits in level 0: quantile() must return exact
+  // order statistics under its "smallest value reaching rank q*n" rule.
+  QuantileSketch sketch(64);
+  std::vector<double> values;
+  Rng rng(50);
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(rng.normal());
+    sketch.add(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(sketch.count(), values.size());
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), values.front());
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), values.back());
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), values[rank - 1]) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, TailQuantilesStayAccurateBeyondCapacity) {
+  // 50k uniform samples through a capacity-128 sketch: rank error at p99 /
+  // p99.9 must stay within a couple of percent of rank (for U(0,1) the
+  // value IS the rank fraction, which makes the error directly readable).
+  QuantileSketch sketch(128);
+  Rng rng(51);
+  RunningStats check;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform();
+    sketch.add(u);
+    check.add(u);
+  }
+  EXPECT_EQ(sketch.count(), 50000u);
+  EXPECT_DOUBLE_EQ(sketch.min(), check.min());  // extremes are exact
+  EXPECT_DOUBLE_EQ(sketch.max(), check.max());
+  EXPECT_NEAR(sketch.quantile(0.5), 0.5, 0.03);
+  EXPECT_NEAR(sketch.quantile(0.99), 0.99, 0.03);
+  EXPECT_NEAR(sketch.quantile(0.999), 0.999, 0.03);
+}
+
+TEST(QuantileSketch, IdenticalOperationSequencesAreBitIdentical) {
+  // The deterministic-compaction property the MC resume contract rests on:
+  // same adds in the same order -> identical state, including compaction
+  // counters, far past capacity.
+  QuantileSketch a(32);
+  QuantileSketch b(32);
+  Rng rng_a(52);
+  Rng rng_b(52);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng_a.normal());
+    b.add(rng_b.normal());
+  }
+  EXPECT_TRUE(a.state_equals(b));
+  EXPECT_EQ(a.quantile(0.99), b.quantile(0.99));
+}
+
+TEST(QuantileSketch, MergeIsDeterministicAndWeightPreserving) {
+  // Split one stream into blocks, fold the block sketches in block order:
+  // two independent executions of that plan agree bit for bit, and the
+  // merged count is the sum of the parts.
+  const auto build = [] {
+    QuantileSketch folded(32);
+    Rng rng(53);
+    for (int block = 0; block < 6; ++block) {
+      QuantileSketch part(32);
+      for (int i = 0; i < 777; ++i) part.add(rng.normal(5.0, 2.0));
+      folded.merge(part);
+    }
+    return folded;
+  };
+  const QuantileSketch x = build();
+  const QuantileSketch y = build();
+  EXPECT_TRUE(x.state_equals(y));
+  EXPECT_EQ(x.count(), 6u * 777u);
+
+  QuantileSketch other_capacity(64);
+  other_capacity.add(1.0);
+  QuantileSketch target(32);
+  EXPECT_THROW(target.merge(other_capacity), Error);
+}
+
+TEST(QuantileSketch, RejectsNonFiniteAndBadQueries) {
+  QuantileSketch sketch(16);
+  EXPECT_THROW(sketch.add(std::nan("")), Error);
+  EXPECT_THROW(sketch.add(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(sketch.quantile(0.5), Error);  // empty
+  sketch.add(1.0);
+  EXPECT_THROW(sketch.quantile(-0.1), Error);
+  EXPECT_THROW(sketch.quantile(1.1), Error);
+  EXPECT_THROW(QuantileSketch(4), Error);  // capacity floor is 8
+}
+
+TEST(QuantileSketch, EncodeDecodeRoundTripsBitExactly) {
+  QuantileSketch original(16);
+  Rng rng(54);
+  for (int i = 0; i < 3000; ++i) original.add(rng.normal());
+  std::vector<std::uint8_t> bytes;
+  original.encode(bytes);
+  wire::ByteReader r(bytes.data(), bytes.size(), ErrorCode::kCorruptArtifact,
+                     "test");
+  const QuantileSketch copy = QuantileSketch::decode(r);
+  EXPECT_TRUE(copy.state_equals(original));
+  EXPECT_EQ(copy.quantile(0.999), original.quantile(0.999));
+
+  // Truncated input surfaces the reader's error code, not garbage.
+  wire::ByteReader torn(bytes.data(), bytes.size() / 2,
+                        ErrorCode::kCorruptArtifact, "test");
+  EXPECT_THROW(QuantileSketch::decode(torn), Error);
 }
 
 TEST(Covariance, RecoverKnownLinearRelation) {

@@ -19,6 +19,17 @@
 // advisory lock must reduce that to exactly one eigensolve (one child
 // reports source=solved, all others source=disk).
 //
+// `mc` mode is the resume kill-loop of the checkpointed Monte Carlo runner
+// (ssta/mc_run.h): for each MC crash site (mc_worker_crash at block
+// boundaries, mc_ledger_write mid ledger append) and each thread count in
+// {1, 2, 8}, children run the checkpointed pipeline with the crash site's
+// skip marching forward one hit per fork — killed at the first block, then
+// the second, then mid-append of each lease record — resuming the same
+// ledger every time until a child survives to completion. The parent then
+// resumes once more and asserts the resume invariant: the final statistics
+// (mean/M2/min/max, every endpoint accumulator, the full quantile-sketch
+// state) are BIT-identical to an uninterrupted reference run.
+//
 // Exit status: 0 when every iteration upholds the invariants, 1 otherwise.
 // Registered with ctest at a small iteration count; the CI crash-injection
 // job runs >= 50 iterations per site under ASan/UBSan.
@@ -28,10 +39,16 @@
 #include <string>
 #include <vector>
 
+#include "circuit/bench_parser.h"
+#include "circuit/synthetic.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "field/cholesky_sampler.h"
+#include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
+#include "placer/recursive_placer.h"
 #include "robust/fault_injection.h"
+#include "ssta/mc_run.h"
 #include "store/artifact_store.h"
 #include "store/file_lock.h"
 #include "store/kle_io.h"
@@ -228,6 +245,142 @@ int drive_kill_loop(const fs::path& root, int iterations) {
   return failures == 0 ? 0 : 1;
 }
 
+// --- mc resume kill-loop ---------------------------------------------------
+
+/// The c17 MC workload used by every mc-mode run: small enough that a full
+/// uninterrupted run takes milliseconds, partitioned so a run spans several
+/// leases (120 samples / block 8 = 15 blocks, 3 blocks per lease = 5
+/// leases, 6 ledger appends).
+struct McWorkload {
+  McWorkload()
+      : netlist(circuit::parse_bench_string(circuit::c17_bench_text(), "c17")),
+        placement(placer::place(netlist)),
+        library(timing::CellLibrary::default_90nm()),
+        engine(netlist, placement, library),
+        kernel(kernels::paper_gaussian_c()),
+        locations(placement.physical_locations(netlist)),
+        sampler(kernel, locations) {}
+
+  ssta::McSstaOptions options(std::size_t threads) const {
+    ssta::McSstaOptions options;
+    options.num_samples = 120;
+    options.block_size = 8;
+    options.seed = 99;
+    options.sketch_capacity = 32;
+    options.num_threads = threads;
+    return options;
+  }
+
+  ssta::McRunOptions run_options(const fs::path& dir, bool resume) const {
+    ssta::McRunOptions run;
+    run.run_id = "kill-loop";
+    run.ledger_dir = dir;
+    run.lease_blocks = 3;
+    run.resume = resume;
+    run.workload_key = 0xc17;
+    return run;
+  }
+
+  ssta::ParameterSamplers samplers() const {
+    return {&sampler, &sampler, &sampler, &sampler};
+  }
+
+  circuit::Netlist netlist;
+  placer::Placement placement;
+  timing::CellLibrary library;
+  timing::StaEngine engine;
+  kernels::GaussianKernel kernel;
+  std::vector<geometry::Point2> locations;
+  field::CholeskyFieldSampler sampler;
+};
+
+/// Bitwise comparison of every statistic in the resume invariant.
+bool results_bit_identical(const ssta::McSstaResult& a,
+                           const ssta::McSstaResult& b) {
+  if (!a.worst_delay.state_equals(b.worst_delay)) return false;
+  if (!a.worst_delay_sketch.state_equals(b.worst_delay_sketch)) return false;
+  if (a.endpoint.size() != b.endpoint.size()) return false;
+  for (std::size_t e = 0; e < a.endpoint.size(); ++e)
+    if (!a.endpoint[e].state_equals(b.endpoint[e])) return false;
+  return true;
+}
+
+int drive_mc_kill_loop(const fs::path& root, int min_kills) {
+  const McWorkload workload;
+
+  // The uninterrupted reference every crashed-and-resumed run must match
+  // bit for bit. Thread count 1 here; the invariant says it cannot matter.
+  fs::remove_all(root);
+  const ssta::McSstaResult reference = ssta::run_checkpointed_monte_carlo_ssta(
+      workload.engine, workload.samplers(), workload.options(1),
+      workload.run_options(root / "reference", /*resume=*/false));
+
+  const std::vector<robust::FaultSite> sites = {
+      robust::FaultSite::kMcWorkerCrash,
+      robust::FaultSite::kMcLedgerWrite,
+  };
+  for (const robust::FaultSite site : sites) {
+    const std::string site_name = robust::to_string(site);
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      const std::string context =
+          site_name + " at " + std::to_string(threads) + " threads";
+      const fs::path dir =
+          root / (site_name + "_t" + std::to_string(threads));
+
+      // March the crash forward one armed hit per fork: each child resumes
+      // the ledger its predecessor died on, makes a little more progress,
+      // and is killed slightly later — until one survives to completion.
+      int kills = 0;
+      bool survived = false;
+      for (std::uint64_t skip = 0; skip < 256; ++skip) {
+        const bool resume = skip > 0;
+        const int status = run_child([&] {
+          robust::FaultInjector::instance().arm(site, 1, skip);
+          ssta::run_checkpointed_monte_carlo_ssta(
+              workload.engine, workload.samplers(),
+              workload.options(threads),
+              workload.run_options(dir, resume));
+          return 0;  // the armed hit was past the end of this run's work
+        });
+        if (status == 0) {
+          survived = true;
+          break;
+        }
+        check(status == robust::kCrashExitCode,
+              context + ": child exited " + std::to_string(status) +
+                  ", expected crash code " +
+                  std::to_string(robust::kCrashExitCode));
+        if (status != robust::kCrashExitCode) return 1;  // don't loop on a bug
+        ++kills;
+      }
+      check(survived, context + ": no child survived within the skip budget");
+      check(kills >= min_kills,
+            context + ": only " + std::to_string(kills) +
+                " kill(s) occurred, expected >= " + std::to_string(min_kills));
+
+      // Parent resumes the completed ledger: every lease must load from
+      // disk and fold to the reference bits.
+      ssta::McRunStats stats;
+      const ssta::McSstaResult resumed =
+          ssta::run_checkpointed_monte_carlo_ssta(
+              workload.engine, workload.samplers(), workload.options(threads),
+              workload.run_options(dir, /*resume=*/true), &stats);
+      check(stats.leases_claimed == 0,
+            context + ": resume of a completed run recomputed " +
+                std::to_string(stats.leases_claimed) + " lease(s)");
+      check(stats.leases_resumed == stats.leases_total,
+            context + ": resumed " + std::to_string(stats.leases_resumed) +
+                " of " + std::to_string(stats.leases_total) + " leases");
+      check(results_bit_identical(resumed, reference),
+            context + ": resumed statistics differ from the uninterrupted "
+                      "reference (resume invariant broken)");
+      std::printf("site %-16s threads %zu: %3d kills, resume bit-identical\n",
+                  site_name.c_str(), threads, kills);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int drive_stampede(const fs::path& root, int num_procs) {
   fs::remove_all(root);
   fs::create_directories(root);
@@ -294,8 +447,8 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: kill_loop_harness <drive|stampede> [--root=DIR] "
-                 "[--iters=N] [--procs=N]\n");
+                 "usage: kill_loop_harness <drive|stampede|mc> [--root=DIR] "
+                 "[--iters=N] [--procs=N] [--min-kills=N]\n");
     return 2;
   }
 #if !SCKL_HAVE_FORK
@@ -313,6 +466,9 @@ int main(int argc, char** argv) {
                              static_cast<int>(flags.get_int("iters", 5)));
     if (command == "stampede")
       return drive_stampede(root, static_cast<int>(flags.get_int("procs", 6)));
+    if (command == "mc")
+      return drive_mc_kill_loop(
+          root, static_cast<int>(flags.get_int("min-kills", 3)));
   } catch (const Error& e) {
     std::fprintf(stderr, "kill_loop_harness: %s\n", e.what());
     return 1;

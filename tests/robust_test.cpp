@@ -148,6 +148,57 @@ TEST(FaultInjectorTest, DisarmedCrashPointIsANoOp) {
   SUCCEED();
 }
 
+TEST(FaultInjectorTest, SkipSuffixDelaysInjection) {
+  // "site:count@skip": behave normally for `skip` hits, then fail `count`.
+  // The kill-loop harness uses this to march a crash point through a run.
+  robust::ScopedFaultPlan plan("store_read:2@3");
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(robust::fault_injected(robust::FaultSite::kStoreRead))
+        << "skip hit " << i;
+  EXPECT_TRUE(robust::fault_injected(robust::FaultSite::kStoreRead));
+  EXPECT_TRUE(robust::fault_injected(robust::FaultSite::kStoreRead));
+  // Budget exhausted: the injector disarms and this consultation takes the
+  // uncounted fast path (as BudgetIsCountedAndExact documents).
+  EXPECT_FALSE(robust::fault_injected(robust::FaultSite::kStoreRead));
+  const auto stats =
+      robust::FaultInjector::instance().stats(robust::FaultSite::kStoreRead);
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.injected, 2u);
+}
+
+TEST(FaultInjectorTest, SkipViaApiMatchesPlanGrammar) {
+  robust::FaultInjector::instance().disarm();
+  robust::FaultInjector::instance().arm(robust::FaultSite::kMcLeaseExpire, 1,
+                                        2);
+  EXPECT_FALSE(robust::fault_injected(robust::FaultSite::kMcLeaseExpire));
+  EXPECT_FALSE(robust::fault_injected(robust::FaultSite::kMcLeaseExpire));
+  EXPECT_TRUE(robust::fault_injected(robust::FaultSite::kMcLeaseExpire));
+  EXPECT_FALSE(robust::FaultInjector::instance().armed());
+  robust::FaultInjector::instance().disarm();
+}
+
+TEST(FaultInjectorTest, MalformedSkipSuffixesThrow) {
+  robust::FaultInjector::instance().disarm();
+  EXPECT_THROW(robust::FaultInjector::instance().arm("store_read:1@"), Error);
+  EXPECT_THROW(robust::FaultInjector::instance().arm("store_read:1@xyz"),
+               Error);
+  EXPECT_THROW(robust::FaultInjector::instance().arm("store_read:@2"), Error);
+  robust::FaultInjector::instance().disarm();
+}
+
+TEST(FaultInjectorTest, McSiteNamesAreStable) {
+  // The CI kill-loop and SCKL_FAULTS plans name these in the wild; renames
+  // would silently disarm them.
+  EXPECT_STREQ(robust::to_string(robust::FaultSite::kMcLeaseExpire),
+               "mc_lease_expire");
+  EXPECT_STREQ(robust::to_string(robust::FaultSite::kMcLedgerWrite),
+               "mc_ledger_write");
+  EXPECT_STREQ(robust::to_string(robust::FaultSite::kMcWorkerCrash),
+               "mc_worker_crash");
+  EXPECT_EQ(robust::fault_site_from_name("mc_worker_crash"),
+            robust::FaultSite::kMcWorkerCrash);
+}
+
 TEST(FaultInjectorTest, SiteNamesRoundTrip) {
   for (int i = 0; i < robust::kNumFaultSites; ++i) {
     const auto site = static_cast<robust::FaultSite>(i);

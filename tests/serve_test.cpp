@@ -130,6 +130,13 @@ TEST_F(ServeTest, StatsDocumentHasSchemaAndCounters) {
   EXPECT_NE(json.find("\"deduped_solves\""), std::string::npos);
   EXPECT_NE(json.find("\"sampler_cache\""), std::string::npos);
   EXPECT_NE(json.find("sckl.serve.requests"), std::string::npos);
+  // The admission block surfaces every hardening counter an operator needs
+  // to distinguish overload shedding from client bugs.
+  EXPECT_NE(json.find("\"admission\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_row_limit\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_reply_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"connections_reaped\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_overloaded\""), std::string::npos);
 }
 
 TEST_F(ServeTest, SolveKleColdThenWarm) {
@@ -173,6 +180,36 @@ TEST_F(ServeTest, RunSstaReturnsStatistics) {
   EXPECT_EQ(again.sigma, reply.sigma);
   EXPECT_EQ(again.source,
             static_cast<std::uint32_t>(store::FetchSource::kMemory));
+}
+
+TEST_F(ServeTest, RunSstaCheckpointedReportsTailsAndResumes) {
+  start();
+  serve::Client c = client();
+  serve::RunSstaRequest request;
+  request.circuit = "c880";
+  request.num_samples = 64;
+  request.r = 8;
+  request.mesh_area_fraction = 0.01;
+  request.seed = 3;
+  request.num_threads = 1;
+  request.run_id = "serve-ckpt";
+  const serve::RunSstaReply reply = c.run_ssta(request);
+  EXPECT_GT(reply.mean, 0.0);
+  // Tail quantiles come from the worst-delay sketch: ordered and bracketing
+  // the mean from above.
+  EXPECT_GE(reply.p99, reply.mean);
+  EXPECT_GE(reply.p999, reply.p99);
+  EXPECT_EQ(reply.resumed_leases, 0u);
+
+  // Same run id with resume: every lease is served from the ledger and the
+  // statistics do not move a bit.
+  request.resume = true;
+  const serve::RunSstaReply resumed = c.run_ssta(request);
+  EXPECT_GT(resumed.resumed_leases, 0u);
+  EXPECT_EQ(resumed.mean, reply.mean);
+  EXPECT_EQ(resumed.sigma, reply.sigma);
+  EXPECT_EQ(resumed.p99, reply.p99);
+  EXPECT_EQ(resumed.p999, reply.p999);
 }
 
 // --- determinism: remote == local, byte for byte ---------------------------

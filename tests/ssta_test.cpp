@@ -3,7 +3,10 @@
 // (KLE statistics track the Cholesky reference).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include "circuit/bench_parser.h"
 #include "circuit/synthetic.h"
@@ -15,8 +18,11 @@
 #include "kernels/kernel_library.h"
 #include "mesh/structured_mesher.h"
 #include "placer/recursive_placer.h"
+#include "robust/fault_injection.h"
 #include "ssta/experiment.h"
+#include "ssta/mc_run.h"
 #include "ssta/mc_ssta.h"
+#include "store/file_lock.h"
 
 namespace sckl::ssta {
 namespace {
@@ -209,6 +215,238 @@ TEST_F(ParallelDeterminismTest, ThreadCapIsNumBlocks) {
   const McSstaResult r = run_with(8, 256);
   EXPECT_LE(r.threads_used, 2u);
   EXPECT_EQ(r.worst_delay.count(), 300u);
+}
+
+// --- checkpointed (crash-safe, resumable) runner ---------------------------
+
+class CheckpointedMcTest : public McSstaTest {
+ protected:
+  ParameterSamplers samplers() {
+    return {&sampler_, &sampler_, &sampler_, &sampler_};
+  }
+
+  /// 200 samples in 13 blocks of 16, 3 blocks per lease -> 5 leases.
+  static McSstaOptions mc_options(std::size_t threads = 1) {
+    McSstaOptions options;
+    options.num_samples = 200;
+    options.block_size = 16;
+    options.seed = 7;
+    options.sketch_capacity = 64;
+    options.num_threads = threads;
+    return options;
+  }
+
+  static std::filesystem::path scratch_dir(const std::string& name) {
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("sckl_mc_" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static McRunOptions run_options(const std::filesystem::path& dir,
+                                  bool resume = false) {
+    McRunOptions run;
+    run.run_id = "test-run";
+    run.ledger_dir = dir;
+    run.lease_blocks = 3;
+    run.resume = resume;
+    run.workload_key = 0xc17c17;
+    return run;
+  }
+
+  /// The resume invariant: bitwise identity of every statistic.
+  static void expect_state_equal(const McSstaResult& a, const McSstaResult& b) {
+    EXPECT_TRUE(a.worst_delay.state_equals(b.worst_delay));
+    EXPECT_TRUE(a.worst_delay_sketch.state_equals(b.worst_delay_sketch));
+    ASSERT_EQ(a.endpoint.size(), b.endpoint.size());
+    for (std::size_t e = 0; e < a.endpoint.size(); ++e)
+      EXPECT_TRUE(a.endpoint[e].state_equals(b.endpoint[e])) << "endpoint " << e;
+  }
+};
+
+TEST_F(CheckpointedMcTest, MatchesUninterruptedRunAcrossThreadCounts) {
+  const std::filesystem::path ref_dir = scratch_dir("threads_ref");
+  McRunStats ref_stats;
+  const McSstaResult reference = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(ref_dir), &ref_stats);
+  EXPECT_EQ(reference.worst_delay.count(), 200u);
+  EXPECT_EQ(ref_stats.leases_total, 5u);
+  EXPECT_EQ(ref_stats.leases_claimed, 5u);
+  EXPECT_EQ(ref_stats.leases_resumed, 0u);
+  // Header record + one record per lease.
+  EXPECT_EQ(ref_stats.ledger_appends, 6u);
+  EXPECT_EQ(reference.worst_delay_sketch.count(), 200u);
+
+  // Lease claiming is dynamic, but the fold order is fixed: any thread
+  // count produces the identical bits.
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::filesystem::path dir =
+        scratch_dir("threads_" + std::to_string(threads));
+    const McSstaResult parallel = run_checkpointed_monte_carlo_ssta(
+        engine_, samplers(), mc_options(threads), run_options(dir));
+    expect_state_equal(parallel, reference);
+  }
+
+  // Sanity against the plain runner: the lease-level fold nesting differs,
+  // so identity is statistical (tight), not bitwise.
+  const McSstaResult plain =
+      run_monte_carlo_ssta(engine_, samplers(), mc_options(1));
+  EXPECT_NEAR(plain.worst_delay.mean(), reference.worst_delay.mean(),
+              1e-9 * plain.worst_delay.mean());
+  EXPECT_NEAR(plain.worst_delay.stddev(), reference.worst_delay.stddev(),
+              1e-6 * plain.worst_delay.stddev());
+}
+
+TEST_F(CheckpointedMcTest, CancelledRunResumesToIdenticalBits) {
+  const std::filesystem::path ref_dir = scratch_dir("cancel_ref");
+  const McSstaResult reference = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(ref_dir));
+
+  const std::filesystem::path dir = scratch_dir("cancel");
+  McSstaOptions cancelling = mc_options(1);
+  std::atomic<int> polls{0};
+  // Poll 1 (before the first claim) passes; poll 2 cancels: exactly one
+  // lease completes and is durable.
+  cancelling.cancelled = [&polls] { return ++polls >= 2; };
+  try {
+    run_checkpointed_monte_carlo_ssta(engine_, samplers(), cancelling,
+                                      run_options(dir));
+    FAIL() << "cancelled run did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+
+  McRunStats resumed_stats;
+  const McSstaResult resumed = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(dir, /*resume=*/true),
+      &resumed_stats);
+  EXPECT_EQ(resumed_stats.leases_resumed, 1u);
+  EXPECT_EQ(resumed_stats.leases_claimed, 4u);
+  expect_state_equal(resumed, reference);
+}
+
+TEST_F(CheckpointedMcTest, ResumingACompleteRunRecomputesNothing) {
+  const std::filesystem::path dir = scratch_dir("complete");
+  const McSstaResult first = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(dir));
+  McRunStats stats;
+  const McSstaResult again = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(dir, /*resume=*/true),
+      &stats);
+  EXPECT_EQ(stats.leases_resumed, 5u);
+  EXPECT_EQ(stats.leases_claimed, 0u);
+  EXPECT_EQ(stats.ledger_appends, 0u);
+  expect_state_equal(again, first);
+}
+
+TEST_F(CheckpointedMcTest, ExpiredLeaseIsReclaimedAndRecomputedIdentically) {
+  const std::filesystem::path ref_dir = scratch_dir("expire_ref");
+  const McSstaResult reference = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(ref_dir));
+
+  // The fault site makes the first publish find its claim expired; the
+  // worker loop reclaims and recomputes the lease deterministically.
+  const std::filesystem::path dir = scratch_dir("expire");
+  robust::ScopedFaultPlan plan("mc_lease_expire:1");
+  McRunStats stats;
+  const McSstaResult result = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(dir), &stats);
+  EXPECT_EQ(stats.leases_expired, 1u);
+  EXPECT_EQ(stats.leases_recomputed, 1u);
+  EXPECT_EQ(stats.leases_claimed, 6u);  // 5 leases + 1 reclaim
+  expect_state_equal(result, reference);
+}
+
+TEST_F(CheckpointedMcTest, RejectsMismatchedWorkloadOrOptions) {
+  const std::filesystem::path dir = scratch_dir("mismatch");
+  run_checkpointed_monte_carlo_ssta(engine_, samplers(), mc_options(1),
+                                    run_options(dir));
+
+  McRunOptions other_workload = run_options(dir, /*resume=*/true);
+  other_workload.workload_key = 0xbad;
+  try {
+    run_checkpointed_monte_carlo_ssta(engine_, samplers(), mc_options(1),
+                                      other_workload);
+    FAIL() << "foreign workload accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPrecondition);
+  }
+
+  McSstaOptions other_samples = mc_options(1);
+  other_samples.num_samples = 300;
+  EXPECT_THROW(run_checkpointed_monte_carlo_ssta(engine_, samplers(),
+                                                 other_samples,
+                                                 run_options(dir, true)),
+               Error);
+
+  McSstaOptions other_sketch = mc_options(1);
+  other_sketch.sketch_capacity = 128;
+  EXPECT_THROW(run_checkpointed_monte_carlo_ssta(engine_, samplers(),
+                                                 other_sketch,
+                                                 run_options(dir, true)),
+               Error);
+}
+
+TEST_F(CheckpointedMcTest, FreshRunRefusesALedgerWithCompletedLeases) {
+  const std::filesystem::path dir = scratch_dir("fresh_guard");
+  run_checkpointed_monte_carlo_ssta(engine_, samplers(), mc_options(1),
+                                    run_options(dir));
+  try {
+    run_checkpointed_monte_carlo_ssta(engine_, samplers(), mc_options(1),
+                                      run_options(dir, /*resume=*/false));
+    FAIL() << "fresh run silently continued an existing ledger";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kPrecondition);
+    EXPECT_NE(std::string(e.what()).find("resume"), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointedMcTest, ValidatesRunIdAndRejectsKeepSamples) {
+  const std::filesystem::path dir = scratch_dir("validate");
+  for (const std::string bad : {"", "..", "a/b", "x y", "../escape"}) {
+    McRunOptions run = run_options(dir);
+    run.run_id = bad;
+    EXPECT_THROW(run_checkpointed_monte_carlo_ssta(engine_, samplers(),
+                                                   mc_options(1), run),
+                 Error)
+        << "run_id '" << bad << "' accepted";
+  }
+  McSstaOptions keep = mc_options(1);
+  keep.keep_samples = true;
+  EXPECT_THROW(run_checkpointed_monte_carlo_ssta(engine_, samplers(), keep,
+                                                 run_options(dir)),
+               Error);
+}
+
+TEST_F(CheckpointedMcTest, ConcurrentRunnerIsRejectedWhileLockIsHeld) {
+  const std::filesystem::path dir = scratch_dir("locked");
+  std::filesystem::create_directories(dir);
+  const store::FileLock held = store::FileLock::acquire(
+      dir / "test-run.lock", store::FileLock::Mode::kExclusive);
+  try {
+    run_checkpointed_monte_carlo_ssta(engine_, samplers(), mc_options(1),
+                                      run_options(dir));
+    FAIL() << "second writer admitted while the lock was held";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+}
+
+TEST_F(CheckpointedMcTest, SketchReportsTailQuantiles) {
+  const std::filesystem::path dir = scratch_dir("tails");
+  const McSstaResult r = run_checkpointed_monte_carlo_ssta(
+      engine_, samplers(), mc_options(1), run_options(dir));
+  const QuantileSketch& sketch = r.worst_delay_sketch;
+  EXPECT_EQ(sketch.count(), 200u);
+  EXPECT_DOUBLE_EQ(sketch.min(), r.worst_delay.min());
+  EXPECT_DOUBLE_EQ(sketch.max(), r.worst_delay.max());
+  const double p50 = sketch.quantile(0.5);
+  const double p99 = sketch.quantile(0.99);
+  const double p999 = sketch.quantile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, sketch.max());
+  EXPECT_GE(p99, r.worst_delay.mean());  // the tail sits above the mean
 }
 
 }  // namespace

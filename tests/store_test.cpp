@@ -17,6 +17,7 @@
 #include "store/file_lock.h"
 #include "store/key_hash.h"
 #include "store/kle_io.h"
+#include "store/record_log.h"
 #include "store/recovery.h"
 
 namespace {
@@ -687,6 +688,105 @@ TEST(ArtifactStoreTest, ThreadStampedeRunsExactlyOneSolve) {
   const store::StoreHealth health = store.health();
   EXPECT_GE(health.deduped_solves, 1u);
   EXPECT_LE(health.deduped_solves, static_cast<std::size_t>(kThreads - 1));
+}
+
+// --- RecordLog (crash-safe append-only log) --------------------------------
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(RecordLogTest, AppendsPersistAcrossReopenInOrder) {
+  const fs::path path = scratch_dir("record_log_rt") / "run.ledger";
+  {
+    store::RecordLog log = store::RecordLog::open(path);
+    EXPECT_TRUE(log.records().empty());
+    EXPECT_FALSE(log.recovered_torn_tail());
+    log.append(bytes_of("first"));
+    log.append(bytes_of(""));  // empty payloads are legal records
+    log.append(bytes_of("third record, a bit longer"));
+  }
+  store::RecordLog reopened = store::RecordLog::open(path);
+  EXPECT_FALSE(reopened.recovered_torn_tail());
+  ASSERT_EQ(reopened.records().size(), 3u);
+  EXPECT_EQ(reopened.records()[0], bytes_of("first"));
+  EXPECT_EQ(reopened.records()[1], bytes_of(""));
+  EXPECT_EQ(reopened.records()[2], bytes_of("third record, a bit longer"));
+}
+
+TEST(RecordLogTest, TornTailIsTruncatedAndLogStaysAppendable) {
+  const fs::path path = scratch_dir("record_log_torn") / "run.ledger";
+  std::uintmax_t committed_size = 0;
+  {
+    store::RecordLog log = store::RecordLog::open(path);
+    log.append(bytes_of("alpha"));
+    log.append(bytes_of("beta"));
+    committed_size = fs::file_size(path);
+    log.append(bytes_of("gamma-will-be-torn"));
+  }
+  // Simulate a crash mid-append of the last record: keep its header and a
+  // few payload bytes, drop the rest (and the CRC).
+  fs::resize_file(path, committed_size + 16 + 3);
+
+  {
+    store::RecordLog log = store::RecordLog::open(path);
+    EXPECT_TRUE(log.recovered_torn_tail());
+    ASSERT_EQ(log.records().size(), 2u);
+    EXPECT_EQ(log.records()[1], bytes_of("beta"));
+    // The torn bytes are gone from disk; the next append lands cleanly.
+    EXPECT_EQ(fs::file_size(path), committed_size);
+    log.append(bytes_of("gamma-retried"));
+  }
+  store::RecordLog reopened = store::RecordLog::open(path);
+  EXPECT_FALSE(reopened.recovered_torn_tail());
+  ASSERT_EQ(reopened.records().size(), 3u);
+  EXPECT_EQ(reopened.records()[2], bytes_of("gamma-retried"));
+}
+
+TEST(RecordLogTest, CorruptTailPayloadFailsCrcAndIsDropped) {
+  const fs::path path = scratch_dir("record_log_crc") / "run.ledger";
+  {
+    store::RecordLog log = store::RecordLog::open(path);
+    log.append(bytes_of("keep-me"));
+    log.append(bytes_of("corrupt-me"));
+  }
+  {
+    // Flip one payload byte of the tail record in place.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-6, std::ios::end);  // inside "corrupt-me", before the CRC
+    f.put('X');
+  }
+  store::RecordLog log = store::RecordLog::open(path);
+  EXPECT_TRUE(log.recovered_torn_tail());
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0], bytes_of("keep-me"));
+}
+
+TEST(RecordLogTest, GarbageHeaderAtTailIsRecovered) {
+  const fs::path path = scratch_dir("record_log_magic") / "run.ledger";
+  {
+    store::RecordLog log = store::RecordLog::open(path);
+    log.append(bytes_of("solid"));
+  }
+  {
+    std::ofstream f(path, std::ios::app | std::ios::binary);
+    f << "NOTAMAGICHEADER";  // a torn header shorter than the frame
+  }
+  store::RecordLog log = store::RecordLog::open(path);
+  EXPECT_TRUE(log.recovered_torn_tail());
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0], bytes_of("solid"));
+}
+
+TEST(RecordLogTest, MoveTransfersTheAppendHandle) {
+  const fs::path path = scratch_dir("record_log_move") / "run.ledger";
+  store::RecordLog first = store::RecordLog::open(path);
+  first.append(bytes_of("one"));
+  store::RecordLog second = std::move(first);
+  second.append(bytes_of("two"));
+  store::RecordLog reopened = store::RecordLog::open(path);
+  ASSERT_EQ(reopened.records().size(), 2u);
+  EXPECT_EQ(reopened.records()[1], bytes_of("two"));
 }
 
 }  // namespace
