@@ -16,6 +16,17 @@
 // count, and the server's sampler-cache hit rate; --json appends one
 // JSON-lines record of the same plus machine context (hardware threads,
 // SCKL_THREADS) to the given path.
+//
+//   bench_serve --dist [--samples=512] [--smoke] [--json=BENCH_mc_dist.json]
+//
+// Distributed Monte Carlo scaling sweep: one in-process coordinator daemon
+// runs the same checkpointed SSTA workload with 0 (plain local run), 1, 2,
+// and 4 in-process workers; every configuration must produce bit-identical
+// statistics (the index-addressed sampling invariant), and the JSON-lines
+// records report wall time plus how many leases the remote workers
+// computed. On a single-core container this measures coordination
+// overhead, not speedup — the interesting numbers are the remote-lease
+// share and the invariant holding.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -32,6 +43,7 @@
 #include "kernels/kernel_fit.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/worker.h"
 
 namespace {
 
@@ -76,10 +88,146 @@ double percentile(std::vector<double>& sorted_us, double p) {
   return sorted_us[lo] * (1.0 - frac) + sorted_us[hi] * frac;
 }
 
+/// --dist: the distributed Monte Carlo scaling sweep (see the file header).
+int run_dist_bench(const CliFlags& flags) {
+  const bool smoke = flags.get_bool("smoke", false);
+  const std::size_t samples =
+      static_cast<std::size_t>(flags.get_int("samples", smoke ? 128 : 512));
+  const std::string json_path = flags.get_string("json", "");
+  const std::vector<std::size_t> worker_counts =
+      smoke ? std::vector<std::size_t>{0, 2}
+            : std::vector<std::size_t>{0, 1, 2, 4};
+
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "sckl_bench_dist";
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+  serve::ServerOptions options;
+  options.unix_path = (scratch / "bench.sock").string();
+  options.store_root = (scratch / "store").string();
+  // The coordinator RunSsta parks on one handler thread for its whole
+  // duration; claims/publishes/heartbeats from every worker need their own.
+  options.num_threads = 8;
+  options.default_deadline_ms = 600'000;
+  serve::Server server(options);
+  server.start();
+
+  const auto request_for = [&](const std::string& run_id, bool distributed) {
+    serve::RunSstaRequest request;
+    request.circuit = "c880";
+    request.num_samples = static_cast<std::uint64_t>(samples);
+    request.r = 8;
+    request.num_eigenpairs = 16;
+    request.mesh_area_fraction = 0.01;
+    request.seed = 3;
+    request.num_threads = 1;
+    request.run_id = run_id;
+    request.distributed = distributed;
+    request.mc_block_size = 8;
+    request.mc_lease_blocks = 2;
+    return request;
+  };
+  const std::size_t leases_total = ((samples + 7) / 8 + 1) / 2;
+
+  int exit_code = 0;
+  try {
+    serve::RunSstaReply baseline;
+    std::FILE* json = nullptr;
+    if (!json_path.empty()) {
+      json = std::fopen(json_path.c_str(), "a");
+      if (json == nullptr) {
+        std::fprintf(stderr, "bench_serve: cannot open %s\n",
+                     json_path.c_str());
+        server.stop();
+        return 1;
+      }
+    }
+    const std::string machine =
+        machine_context_json_fields(read_machine_context());
+
+    for (const std::size_t workers : worker_counts) {
+      const std::string run_id =
+          "bench-dist-w" + std::to_string(workers);
+      std::vector<serve::WorkerReport> reports(workers);
+      std::vector<std::thread> threads;
+      for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w] {
+          serve::WorkerOptions wopts;
+          wopts.unix_path = options.unix_path;
+          wopts.run_id = run_id;
+          wopts.worker_id = 100 + w;
+          wopts.poll_ms = 25;
+          wopts.max_runtime_seconds = 600.0;
+          try {
+            reports[w] = serve::run_worker(wopts);
+          } catch (const Error&) {
+            // A worker that dies mid-bench just shifts its leases to the
+            // coordinator's local fallback; the run still completes.
+          }
+        });
+      }
+
+      serve::Client client = serve::Client::connect_unix(options.unix_path);
+      const Clock::time_point begin = Clock::now();
+      const serve::RunSstaReply reply =
+          client.run_ssta(request_for(run_id, workers > 0));
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - begin).count();
+      for (std::thread& t : threads) t.join();
+
+      std::size_t remote_leases = 0;
+      std::size_t remote_blocks = 0;
+      for (const serve::WorkerReport& report : reports) {
+        remote_leases += report.leases_computed;
+        remote_blocks += report.blocks_computed;
+      }
+
+      if (workers == 0) {
+        baseline = reply;
+      } else if (reply.mean != baseline.mean ||
+                 reply.sigma != baseline.sigma ||
+                 reply.p99 != baseline.p99) {
+        // The whole point of index-addressed sampling: worker count must
+        // never move a bit.
+        std::fprintf(stderr,
+                     "bench_serve: statistics moved with %zu workers "
+                     "(mean %.17g vs %.17g)\n",
+                     workers, reply.mean, baseline.mean);
+        exit_code = 1;
+      }
+
+      std::printf("bench_dist: workers=%zu samples=%zu wall=%.3fs "
+                  "remote_leases=%zu/%zu mean=%.6f\n",
+                  workers, samples, wall, remote_leases, leases_total,
+                  reply.mean);
+      if (json != nullptr)
+        std::fprintf(
+            json,
+            "{\"bench\": \"mc_dist_scaling\", \"workers\": %zu, "
+            "\"samples\": %zu, \"leases_total\": %zu, "
+            "\"remote_leases\": %zu, \"remote_blocks\": %zu, "
+            "\"wall_seconds\": %.4f, \"mean\": %.17g, \"sigma\": %.17g, "
+            "\"bit_identical\": %s, %s}\n",
+            workers, samples, leases_total, remote_leases, remote_blocks,
+            wall, reply.mean, reply.sigma,
+            workers == 0 || exit_code == 0 ? "true" : "false",
+            machine.c_str());
+    }
+    if (json != nullptr) std::fclose(json);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    exit_code = 1;
+  }
+  server.stop();
+  std::filesystem::remove_all(scratch);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  if (flags.get_bool("dist", false)) return run_dist_bench(flags);
   const bool smoke = flags.get_bool("smoke", false);
   const std::size_t clients =
       static_cast<std::size_t>(flags.get_int("clients", smoke ? 4 : 8));

@@ -4,6 +4,7 @@
 //                       [--threads=0] [--max-queue=64] [--deadline-ms=30000]
 //                       [--max-sample-rows=1048576] [--batch-limit=8]
 //                       [--batch-window-ms=0] [--drain-ms=2000]
+//                       [--lease-ttl=300000] [--heartbeat-ms=1000]
 //       Runs the daemon until SIGTERM/SIGINT or a shutdown request, then
 //       drains gracefully and exits 0.
 //   sckl_serve ping     --socket=PATH | --port=P
@@ -14,6 +15,12 @@
 //                       [--c=VALUE] [--pairs=50] [--area-fraction=0.001]
 //                       [--mesh-seed=8]
 //       Asks the server to solve (or re-serve) one KLE; prints provenance.
+//   sckl_serve work     --socket=PATH | --port=P --run-id=NAME
+//                       [--worker-id=N] [--max-leases=1] [--poll-ms=200]
+//                       [--rpc-timeout-ms=5000] [--max-runtime=0]
+//       Runs a distributed Monte Carlo worker against a coordinator that
+//       started (or will start) a RunSsta with distributed=1 under the
+//       same run id; prints a one-line report when the run completes.
 //   sckl_serve shutdown --socket=PATH | --port=P
 //       Asks the server to shut down gracefully.
 //
@@ -29,6 +36,7 @@
 #include "obs/export.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
+#include "serve/worker.h"
 
 namespace {
 
@@ -74,6 +82,10 @@ int cmd_serve(const CliFlags& flags) {
   options.batch_window_ms =
       static_cast<int>(flags.get_int("batch-window-ms", 0));
   options.drain_ms = static_cast<int>(flags.get_int("drain-ms", 2000));
+  options.lease_ttl_ms = static_cast<std::uint64_t>(flags.get_int(
+      "lease-ttl", static_cast<long>(options.lease_ttl_ms)));
+  options.heartbeat_interval_ms = static_cast<std::uint64_t>(flags.get_int(
+      "heartbeat-ms", static_cast<long>(options.heartbeat_interval_ms)));
   return serve::run_daemon(options);
 }
 
@@ -106,6 +118,31 @@ int cmd_solve(const CliFlags& flags) {
   return 0;
 }
 
+int cmd_work(const CliFlags& flags) {
+  serve::WorkerOptions options;
+  if (flags.has("port"))
+    options.tcp_port = static_cast<std::uint16_t>(flags.get_int("port", 0));
+  else
+    options.unix_path = flags.get_string("socket", "/tmp/sckl_serve.sock");
+  options.run_id = flags.get_string("run-id", "");
+  options.worker_id =
+      static_cast<std::uint64_t>(flags.get_int("worker-id", 0));
+  options.max_leases_per_claim =
+      static_cast<std::size_t>(flags.get_int("max-leases", 1));
+  options.poll_ms = static_cast<int>(flags.get_int("poll-ms", 200));
+  options.rpc_timeout_ms =
+      static_cast<int>(flags.get_int("rpc-timeout-ms", 5000));
+  options.max_runtime_seconds = flags.get_double("max-runtime", 0.0);
+  const serve::WorkerReport report = serve::run_worker(options);
+  std::printf("worker %llu: leases=%zu blocks=%zu rejected=%zu "
+              "heartbeats=%zu retries=%zu complete=%d\n",
+              static_cast<unsigned long long>(report.worker_id),
+              report.leases_computed, report.blocks_computed,
+              report.publishes_rejected, report.heartbeats,
+              report.rpc_retries, report.run_complete ? 1 : 0);
+  return report.run_complete ? 0 : 3;
+}
+
 int cmd_shutdown(const CliFlags& flags) {
   serve::Client client = connect(flags);
   client.shutdown_server();
@@ -122,7 +159,7 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session(fset.trace, fset.trace_json);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: sckl_serve <serve|ping|stats|solve|shutdown> "
+                 "usage: sckl_serve <serve|ping|stats|solve|work|shutdown> "
                  "[--socket=PATH | --port=P] [options]\n");
     return 2;
   }
@@ -132,6 +169,7 @@ int main(int argc, char** argv) {
     if (command == "ping") return cmd_ping(flags);
     if (command == "stats") return cmd_stats(flags);
     if (command == "solve") return cmd_solve(flags);
+    if (command == "work") return cmd_work(flags);
     if (command == "shutdown") return cmd_shutdown(flags);
     std::fprintf(stderr, "sckl_serve: unknown command '%s'\n",
                  command.c_str());

@@ -77,6 +77,8 @@ void ExperimentFlagSet::apply(const CliFlags& flags) {
   fsck = flags.get_bool("fsck", fsck);
   run_id = flags.get_string("run-id", run_id);
   resume = flags.get_bool("resume", resume);
+  lease_ttl_ms = static_cast<std::uint64_t>(get_size(flags, "lease-ttl",
+      static_cast<std::size_t>(lease_ttl_ms)));
   trace = flags.get_bool("trace", trace);
   trace_json = flags.get_string("trace-json", trace_json);
 }

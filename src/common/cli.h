@@ -48,7 +48,7 @@ class CliFlags {
 ///
 ///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
 ///   --store=DIR     --validate   --strict  --fsck
-///   --run-id=NAME   --resume
+///   --run-id=NAME   --resume     --lease-ttl=MS
 ///   --trace         --trace-json=PATH
 ///
 /// Registered in one place so a new option (e.g. --threads) lands in every
@@ -73,6 +73,10 @@ struct ExperimentFlagSet {
   /// completed leases instead of rejecting it.
   std::string run_id;
   bool resume = false;
+  /// Lease time-to-live in milliseconds for checkpointed runs
+  /// (--lease-ttl): a claimed lease not completed or heartbeat-extended
+  /// within this budget is reclaimed and recomputed. Must be > 0.
+  std::uint64_t lease_ttl_ms = 300'000;
   /// Observability (obs::TraceSession reads both; a non-empty trace_json
   /// implies tracing, as does the SCKL_TRACE environment variable).
   bool trace = false;

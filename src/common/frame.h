@@ -30,9 +30,12 @@ namespace sckl::wire {
 inline constexpr std::uint32_t kFrameMagic = 0x464B4353u;
 
 /// Version of the serve wire protocol (header + payload schemas).
+/// v3: distributed Monte Carlo — ClaimLeases / PublishPartial / Heartbeat /
+/// RunStatus message types, and RunSsta gained distributed / mc_block_size /
+/// mc_lease_blocks in the request.
 /// v2: RunSsta gained run_id/resume in the request and the tail quantiles
 /// (p99, p99.9) + resumed_leases in the reply.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Fixed size of the encoded header (magic through payload size).
 inline constexpr std::size_t kFrameHeaderBytes = 32;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -19,6 +20,37 @@ namespace {
 [[noreturn]] void raise_errno(const std::string& what) {
   throw Error("socket: " + what + ": " + std::strerror(errno),
               ErrorCode::kIoTransient);
+}
+
+// Every socket fd in the process is close-on-exec. The chaos harness (and
+// any embedder) forks workers; an inherited listener would keep the
+// endpoint alive after the daemon dies, and an inherited connection would
+// hold peers open. Prefer the atomic flags; fall back to fcntl where
+// SOCK_CLOEXEC/accept4 are unavailable.
+[[maybe_unused]] void set_cloexec(int fd) {
+  if (fd < 0) return;
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+int socket_cloexec(int domain) {
+#ifdef SOCK_CLOEXEC
+  return ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+#else
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  set_cloexec(fd);
+  return fd;
+#endif
+}
+
+int accept_cloexec(int listen_fd) {
+#if defined(SOCK_CLOEXEC) && defined(__linux__)
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  set_cloexec(fd);
+  return fd;
+#endif
 }
 
 }  // namespace
@@ -54,14 +86,14 @@ Fd listen_unix(const std::string& path) {
                 ErrorCode::kPrecondition);
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
-  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  Fd fd(socket_cloexec(AF_UNIX));
   if (!fd.valid()) raise_errno("socket(AF_UNIX)");
   // Only a *stale* socket file may be unlinked. If a peer accepts a probe
   // connection the path belongs to a live daemon — silently unlinking it
   // would steal the endpoint: existing clients keep talking to the orphaned
   // listener while new ones reach the usurper.
   {
-    Fd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    Fd probe(socket_cloexec(AF_UNIX));
     if (probe.valid() &&
         ::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0)
@@ -78,7 +110,7 @@ Fd listen_unix(const std::string& path) {
 }
 
 Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  Fd fd(socket_cloexec(AF_INET));
   if (!fd.valid()) raise_errno("socket(AF_INET)");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -107,7 +139,7 @@ Fd connect_unix(const std::string& path) {
                 ErrorCode::kPrecondition);
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
-  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  Fd fd(socket_cloexec(AF_UNIX));
   if (!fd.valid()) raise_errno("socket(AF_UNIX)");
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0)
@@ -116,7 +148,7 @@ Fd connect_unix(const std::string& path) {
 }
 
 Fd connect_tcp(std::uint16_t port) {
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  Fd fd(socket_cloexec(AF_INET));
   if (!fd.valid()) raise_errno("socket(AF_INET)");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -137,7 +169,7 @@ Fd accept_with_timeout(int listen_fd, int timeout_ms) {
       raise_errno("poll(listen)");
     }
     if (ready == 0) return Fd();  // timeout
-    const int client = ::accept(listen_fd, nullptr, nullptr);
+    const int client = accept_cloexec(listen_fd);
     if (client < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       raise_errno("accept");

@@ -24,6 +24,9 @@ constexpr std::array<const char*, kNumFaultSites> kSiteNames = {
     "mc_lease_expire",
     "mc_ledger_write",
     "mc_worker_crash",
+    "mc_rpc_transient",
+    "mc_worker_stall",
+    "mc_coordinator_crash",
 };
 
 std::uint64_t parse_count(std::string_view text, const char* what) {

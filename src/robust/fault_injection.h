@@ -54,8 +54,13 @@ enum class FaultSite : int {
   kMcLeaseExpire,          // mc: a claimed block lease reports as expired
   kMcLedgerWrite,          // crash: mid ledger append (torn tail record)
   kMcWorkerCrash,          // crash: MC worker dies at a block boundary
+  kMcRpcTransient,         // dist mc: a worker RPC fails transiently
+  kMcWorkerStall,          // dist mc: worker wedges past its lease TTL
+                           //   without heartbeating (lease gets reclaimed)
+  kMcCoordinatorCrash,     // crash: coordinator dies right after a durable
+                           //   lease commit, before anyone learns of it
 };
-inline constexpr int kNumFaultSites = 14;
+inline constexpr int kNumFaultSites = 17;
 
 /// Exit status of a process killed by an armed crash point; the kill-loop
 /// harness asserts it to distinguish an intended crash from a real failure.

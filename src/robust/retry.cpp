@@ -1,6 +1,7 @@
 #include "robust/retry.h"
 
 #include <chrono>
+#include <random>
 #include <thread>
 
 namespace sckl::robust::detail {
@@ -8,6 +9,16 @@ namespace sckl::robust::detail {
 void sleep_seconds(double seconds) {
   if (seconds <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+double jittered_seconds(double seconds, double jitter) {
+  if (jitter <= 0.0 || seconds <= 0.0) return seconds;
+  if (jitter > 1.0) jitter = 1.0;
+  // Pacing only — never touches sampled statistics, so a nondeterministic
+  // seed is fine here (and is the point: de-synchronize the fleet).
+  thread_local std::minstd_rand rng(std::random_device{}());
+  std::uniform_real_distribution<double> scale(1.0 - jitter, 1.0 + jitter);
+  return seconds * scale(rng);
 }
 
 }  // namespace sckl::robust::detail

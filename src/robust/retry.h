@@ -5,8 +5,13 @@
 // checksum mismatch is not. Retryability is decided by the caller-supplied
 // predicate over the thrown sckl::Error (typically `code() == kIoTransient`);
 // everything else propagates immediately. Backoff grows geometrically and is
-// deliberately tiny by default — this is smoothing over hiccups, not a
-// distributed-systems reconnect loop.
+// deliberately tiny by default — smoothing over hiccups.
+//
+// The distributed MC worker (serve/worker.h) stretches the same primitive
+// into a reconnect loop: many attempts, a max_backoff_seconds cap so the
+// geometric growth plateaus instead of overflowing, and jitter so a fleet
+// of workers cut off by one coordinator restart doesn't reconnect in
+// lockstep (the classic thundering-herd failure mode).
 #pragma once
 
 #include <utility>
@@ -20,6 +25,12 @@ struct RetryPolicy {
   int max_attempts = 3;                    // total tries, including the first
   double initial_backoff_seconds = 5e-4;   // sleep before the first retry
   double backoff_growth = 2.0;             // multiplier per further retry
+  /// Cap on a single backoff sleep; 0 = uncapped. Long reconnect loops
+  /// need this or the geometric growth quickly reaches hours.
+  double max_backoff_seconds = 0.0;
+  /// Jitter fraction in [0, 1]: each sleep is scaled by a uniform draw
+  /// from [1 - jitter, 1 + jitter]. 0 = deterministic backoff.
+  double jitter = 0.0;
 };
 
 /// Attempts actually retried (i.e. failures absorbed) by one retry_bounded
@@ -30,6 +41,9 @@ struct RetryStats {
 
 namespace detail {
 void sleep_seconds(double seconds);
+/// `seconds`, scaled by a uniform draw from [1 - jitter, 1 + jitter]
+/// (thread-local PRNG; jitter <= 0 returns `seconds` unchanged).
+double jittered_seconds(double seconds, double jitter);
 }  // namespace detail
 
 /// Calls `fn` up to policy.max_attempts times. A thrown sckl::Error is
@@ -47,8 +61,11 @@ auto retry_bounded(const RetryPolicy& policy, Fn&& fn,
     } catch (const Error& e) {
       if (attempt >= policy.max_attempts || !should_retry(e)) throw;
       if (stats != nullptr) ++stats->retried;
-      detail::sleep_seconds(backoff);
+      detail::sleep_seconds(detail::jittered_seconds(backoff, policy.jitter));
       backoff *= policy.backoff_growth;
+      if (policy.max_backoff_seconds > 0.0 &&
+          backoff > policy.max_backoff_seconds)
+        backoff = policy.max_backoff_seconds;
     }
   }
 }

@@ -34,6 +34,11 @@ std::vector<std::uint8_t> Client::roundtrip(
 
   wire::write_frame(fd_.get(), header, payload);
 
+  if (rpc_timeout_ms_ > 0 && !net::wait_readable(fd_.get(), rpc_timeout_ms_))
+    throw Error("serve client: no reply within " +
+                    std::to_string(rpc_timeout_ms_) +
+                    "ms (peer silent or connection half-open)",
+                ErrorCode::kDeadlineExceeded);
   wire::FrameHeader reply_header;
   std::vector<std::uint8_t> reply;
   if (!wire::read_frame(fd_.get(), max_payload_bytes_, reply_header, reply))
@@ -98,6 +103,47 @@ StatsReply Client::stats() {
   wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
                      "stats reply");
   return decode_stats_reply(r);
+}
+
+ClaimLeasesReply Client::claim_leases(const ClaimLeasesRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kClaimLeases, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "claim_leases reply");
+  return decode_claim_leases_reply(r);
+}
+
+PublishPartialReply Client::publish_partial(
+    const PublishPartialRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kPublishPartial, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "publish_partial reply");
+  return decode_publish_partial_reply(r);
+}
+
+HeartbeatReply Client::heartbeat(const HeartbeatRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kHeartbeat, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "heartbeat reply");
+  return decode_heartbeat_reply(r);
+}
+
+RunStatusReply Client::run_status(const RunStatusRequest& request) {
+  std::vector<std::uint8_t> payload;
+  encode(payload, request);
+  const std::vector<std::uint8_t> reply =
+      roundtrip(MessageType::kRunStatus, payload);
+  wire::ByteReader r(reply.data(), reply.size(), ErrorCode::kProtocol,
+                     "run_status reply");
+  return decode_run_status_reply(r);
 }
 
 void Client::shutdown_server() {

@@ -37,6 +37,14 @@ class Client {
   /// Largest reply payload this client will accept.
   void set_max_payload_bytes(std::size_t bytes) { max_payload_bytes_ = bytes; }
 
+  /// Bound on how long a call waits for the reply's first byte (0 = wait
+  /// forever). A silent peer — half-open connection, stalled daemon —
+  /// surfaces as kDeadlineExceeded instead of a hang, which is what lets a
+  /// distributed worker's retry loop make progress across coordinator
+  /// failures. Distinct from set_deadline_ms, which is the *server-side*
+  /// execution budget carried in the frame header.
+  void set_rpc_timeout_ms(int timeout_ms) { rpc_timeout_ms_ = timeout_ms; }
+
   HelloReply hello();
   SolveKleReply solve_kle(const SolveKleRequest& request);
   SampleBlockReply sample_block(const SampleBlockRequest& request);
@@ -46,6 +54,11 @@ class Client {
   linalg::Matrix sample_matrix(const SampleBlockRequest& request);
   RunSstaReply run_ssta(const RunSstaRequest& request);
   StatsReply stats();
+  /// Distributed Monte Carlo worker RPCs (protocol v3; see DESIGN.md §12).
+  ClaimLeasesReply claim_leases(const ClaimLeasesRequest& request);
+  PublishPartialReply publish_partial(const PublishPartialRequest& request);
+  HeartbeatReply heartbeat(const HeartbeatRequest& request);
+  RunStatusReply run_status(const RunStatusRequest& request);
   /// Asks the server to shut down gracefully (acknowledged before draining).
   void shutdown_server();
 
@@ -69,6 +82,7 @@ class Client {
   std::uint64_t next_request_id_ = 1;
   std::uint32_t deadline_ms_ = 0;
   std::size_t max_payload_bytes_ = std::size_t{256} << 20;
+  int rpc_timeout_ms_ = 0;
 };
 
 }  // namespace sckl::serve

@@ -24,13 +24,17 @@ const char* to_string(MessageType type) {
     case MessageType::kRunSsta: return "run_ssta";
     case MessageType::kStats: return "stats";
     case MessageType::kShutdown: return "shutdown";
+    case MessageType::kClaimLeases: return "claim_leases";
+    case MessageType::kPublishPartial: return "publish_partial";
+    case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kRunStatus: return "run_status";
   }
   return "unknown";
 }
 
 bool known_message_type(std::uint32_t type) {
   return type >= static_cast<std::uint32_t>(MessageType::kHello) &&
-         type <= static_cast<std::uint32_t>(MessageType::kShutdown);
+         type <= static_cast<std::uint32_t>(MessageType::kRunStatus);
 }
 
 // --- requests --------------------------------------------------------------
@@ -90,6 +94,9 @@ void encode(std::vector<std::uint8_t>& out, const RunSstaRequest& request) {
   put_u64(out, request.num_threads);
   put_string(out, request.run_id);
   put_u8(out, request.resume ? 1 : 0);
+  put_u8(out, request.distributed ? 1 : 0);
+  put_u64(out, request.mc_block_size);
+  put_u64(out, request.mc_lease_blocks);
 }
 
 RunSstaRequest decode_run_ssta_request(wire::ByteReader& r) {
@@ -104,6 +111,72 @@ RunSstaRequest decode_run_ssta_request(wire::ByteReader& r) {
   request.num_threads = r.u64();
   request.run_id = r.string();
   request.resume = r.u8() != 0;
+  request.distributed = r.u8() != 0;
+  request.mc_block_size = r.u64();
+  request.mc_lease_blocks = r.u64();
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out, const ClaimLeasesRequest& request) {
+  put_string(out, request.run_id);
+  put_u64(out, request.worker_id);
+  put_u64(out, request.config_hash);
+  put_u64(out, request.max_leases);
+}
+
+ClaimLeasesRequest decode_claim_leases_request(wire::ByteReader& r) {
+  ClaimLeasesRequest request;
+  request.run_id = r.string();
+  request.worker_id = r.u64();
+  request.config_hash = r.u64();
+  request.max_leases = r.u64();
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out,
+            const PublishPartialRequest& request) {
+  put_string(out, request.run_id);
+  put_u64(out, request.worker_id);
+  put_u64(out, request.config_hash);
+  put_u64(out, request.lease.index);
+  put_u64(out, request.lease.first_block);
+  put_u64(out, request.lease.num_blocks);
+  put_blob(out, request.partial);
+}
+
+PublishPartialRequest decode_publish_partial_request(wire::ByteReader& r) {
+  PublishPartialRequest request;
+  request.run_id = r.string();
+  request.worker_id = r.u64();
+  request.config_hash = r.u64();
+  request.lease.index = r.u64();
+  request.lease.first_block = r.u64();
+  request.lease.num_blocks = r.u64();
+  request.partial = r.blob();
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out, const HeartbeatRequest& request) {
+  put_string(out, request.run_id);
+  put_u64(out, request.worker_id);
+  put_u64(out, request.config_hash);
+}
+
+HeartbeatRequest decode_heartbeat_request(wire::ByteReader& r) {
+  HeartbeatRequest request;
+  request.run_id = r.string();
+  request.worker_id = r.u64();
+  request.config_hash = r.u64();
+  return request;
+}
+
+void encode(std::vector<std::uint8_t>& out, const RunStatusRequest& request) {
+  put_string(out, request.run_id);
+}
+
+RunStatusRequest decode_run_status_request(wire::ByteReader& r) {
+  RunStatusRequest request;
+  request.run_id = r.string();
   return request;
 }
 
@@ -174,6 +247,57 @@ std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply) {
 std::vector<std::uint8_t> encode_reply(const StatsReply& reply) {
   std::vector<std::uint8_t> out = make_ok_reply();
   put_string(out, reply.json);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const ClaimLeasesReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u8(out, static_cast<std::uint8_t>(reply.run_state));
+  if (reply.run_state != RunState::kRunning) return out;
+  put_u64(out, reply.config_hash);
+  put_string(out, reply.circuit);
+  put_u64(out, reply.seed);
+  put_u64(out, reply.r);
+  put_u64(out, reply.num_eigenpairs);
+  put_f64(out, reply.mesh_area_fraction);
+  put_f64(out, reply.kernel_c);
+  put_u64(out, reply.num_samples);
+  put_u64(out, reply.block_size);
+  put_u64(out, reply.lease_blocks);
+  put_u64(out, reply.mc_seed);
+  put_u64(out, reply.sketch_capacity);
+  put_u64(out, reply.num_endpoints);
+  put_u64(out, reply.lease_ttl_ms);
+  put_u64(out, reply.heartbeat_interval_ms);
+  put_u64(out, reply.leases.size());
+  for (const WireLease& lease : reply.leases) {
+    put_u64(out, lease.index);
+    put_u64(out, lease.first_block);
+    put_u64(out, lease.num_blocks);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const PublishPartialReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u8(out, reply.accepted ? 1 : 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const HeartbeatReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u8(out, static_cast<std::uint8_t>(reply.run_state));
+  put_u64(out, reply.leases_extended);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reply(const RunStatusReply& reply) {
+  std::vector<std::uint8_t> out = make_ok_reply();
+  put_u8(out, static_cast<std::uint8_t>(reply.run_state));
+  put_u64(out, reply.config_hash);
+  put_u64(out, reply.leases_total);
+  put_u64(out, reply.leases_complete);
+  put_u64(out, reply.leases_claimed);
   return out;
 }
 
@@ -249,6 +373,75 @@ StatsReply decode_stats_reply(wire::ByteReader& r) {
   check_reply_status(r);
   StatsReply reply;
   reply.json = r.string();
+  return reply;
+}
+
+namespace {
+
+RunState decode_run_state(wire::ByteReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(RunState::kComplete))
+    throw Error("serve: invalid run state " + std::to_string(raw),
+                ErrorCode::kProtocol);
+  return static_cast<RunState>(raw);
+}
+
+}  // namespace
+
+ClaimLeasesReply decode_claim_leases_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  ClaimLeasesReply reply;
+  reply.run_state = decode_run_state(r);
+  if (reply.run_state != RunState::kRunning) return reply;
+  reply.config_hash = r.u64();
+  reply.circuit = r.string();
+  reply.seed = r.u64();
+  reply.r = r.u64();
+  reply.num_eigenpairs = r.u64();
+  reply.mesh_area_fraction = r.f64();
+  reply.kernel_c = r.f64();
+  reply.num_samples = r.u64();
+  reply.block_size = r.u64();
+  reply.lease_blocks = r.u64();
+  reply.mc_seed = r.u64();
+  reply.sketch_capacity = r.u64();
+  reply.num_endpoints = r.u64();
+  reply.lease_ttl_ms = r.u64();
+  reply.heartbeat_interval_ms = r.u64();
+  const std::uint64_t count = r.u64();
+  r.need_count(count, 24, "granted leases");
+  reply.leases.resize(static_cast<std::size_t>(count));
+  for (WireLease& lease : reply.leases) {
+    lease.index = r.u64();
+    lease.first_block = r.u64();
+    lease.num_blocks = r.u64();
+  }
+  return reply;
+}
+
+PublishPartialReply decode_publish_partial_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  PublishPartialReply reply;
+  reply.accepted = r.u8() != 0;
+  return reply;
+}
+
+HeartbeatReply decode_heartbeat_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  HeartbeatReply reply;
+  reply.run_state = decode_run_state(r);
+  reply.leases_extended = r.u64();
+  return reply;
+}
+
+RunStatusReply decode_run_status_reply(wire::ByteReader& r) {
+  check_reply_status(r);
+  RunStatusReply reply;
+  reply.run_state = decode_run_state(r);
+  reply.config_hash = r.u64();
+  reply.leases_total = r.u64();
+  reply.leases_complete = r.u64();
+  reply.leases_claimed = r.u64();
   return reply;
 }
 

@@ -1,4 +1,4 @@
-// Message schemas of the sckl_serve wire protocol (version 2).
+// Message schemas of the sckl_serve wire protocol (version 3).
 //
 // Transport: every message is one frame (common/frame.h — "SCKF" magic,
 // version, type, deadline, request id, payload, CRC). This header defines
@@ -30,6 +30,34 @@
 //                    u64 resumed_leases
 //   kStats        -> (empty)            <- string JSON (sckl-serve-stats-v1)
 //   kShutdown     -> (empty)            <- (empty); server then drains
+//
+// Distributed Monte Carlo (v3): a coordinator-side RunSsta with
+// distributed=1 registers the run's live lease table; remote workers then
+// drive it with the four messages below (see DESIGN.md §12 for the flow).
+//   kClaimLeases  -> string run_id, u64 worker_id, u64 config_hash
+//                    (0 = unknown yet), u64 max_leases
+//                 <- u8 run_state (0 unknown / 1 running / 2 complete);
+//                    when running: u64 config_hash, workload spec (string
+//                    circuit, u64 seed, u64 r, u64 eigenpairs, f64
+//                    mesh_area_fraction, f64 kernel_c), sampling geometry
+//                    (u64 num_samples/block_size/lease_blocks/mc_seed/
+//                    sketch_capacity/num_endpoints), u64 lease_ttl_ms, u64
+//                    heartbeat_interval_ms, then u64 count leases of
+//                    (u64 index, u64 first_block, u64 num_blocks)
+//   kPublishPartial -> string run_id, u64 worker_id, u64 config_hash,
+//                    u64 lease index/first_block/num_blocks, blob partial
+//                    (ssta BlockPartial codec)
+//                 <- u8 accepted (0 = lease expired / re-issued / run not
+//                    currently live here: discard the partial, claim again)
+//   kHeartbeat    -> string run_id, u64 worker_id, u64 config_hash
+//                 <- u8 run_state, u64 leases_extended
+//   kRunStatus    -> string run_id
+//                 <- u8 run_state, u64 config_hash, u64 leases_total,
+//                    u64 leases_complete, u64 leases_claimed
+//
+// A worker whose config_hash differs from the coordinator's gets a
+// kPrecondition error reply — it is computing a different workload and its
+// partials must never reach the ledger.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +82,18 @@ enum class MessageType : std::uint32_t {
   kRunSsta = 4,
   kStats = 5,
   kShutdown = 6,
+  kClaimLeases = 7,
+  kPublishPartial = 8,
+  kHeartbeat = 9,
+  kRunStatus = 10,
+};
+
+/// Distributed-run lifecycle states carried in ClaimLeases / Heartbeat /
+/// RunStatus replies.
+enum class RunState : std::uint8_t {
+  kUnknown = 0,   // no live coordinator registered under that run_id
+  kRunning = 1,
+  kComplete = 2,  // the coordinator finished the run on this daemon
 };
 
 /// Stable lowercase name ("hello", "solve_kle", ...); "unknown" otherwise.
@@ -91,6 +131,93 @@ struct RunSstaRequest {
   /// to have a store). resume continues an interrupted run's ledger.
   std::string run_id;
   bool resume = false;
+  /// Run as a distributed coordinator: register the lease table for remote
+  /// ClaimLeases/PublishPartial workers and degrade to local compute only
+  /// when they go quiet. Requires a non-empty run_id.
+  bool distributed = false;
+  /// Checkpointing geometry overrides (0 = the McSstaOptions/McRunOptions
+  /// defaults). Part of the ledger header, so they must match on resume.
+  std::uint64_t mc_block_size = 0;
+  std::uint64_t mc_lease_blocks = 0;
+};
+
+/// ClaimLeases: a worker asks the coordinator daemon for up to max_leases
+/// available leases of run_id. config_hash 0 means "not known yet" (the
+/// first claim, before the worker has built its pipeline) — the reply's
+/// spec + config_hash let it build one; any later mismatch is kPrecondition.
+struct ClaimLeasesRequest {
+  std::string run_id;
+  std::uint64_t worker_id = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t max_leases = 1;
+};
+
+/// One lease granted to a remote worker.
+struct WireLease {
+  std::uint64_t index = 0;
+  std::uint64_t first_block = 0;
+  std::uint64_t num_blocks = 0;
+};
+
+struct ClaimLeasesReply {
+  RunState run_state = RunState::kUnknown;
+  // Everything below is only present (and only encoded) when kRunning.
+  std::uint64_t config_hash = 0;
+  // Workload spec — enough for a worker to rebuild the pipeline.
+  std::string circuit;
+  std::uint64_t seed = 0;              // ExperimentConfig seed (not MC seed)
+  std::uint64_t r = 0;
+  std::uint64_t num_eigenpairs = 0;    // resolved m, never 0
+  double mesh_area_fraction = 0.0;
+  double kernel_c = 0.0;               // coordinator's config value verbatim
+                                       // (0 = the paper's fit); part of the
+                                       // workload hash, so never re-derived
+  // Sampling geometry, verbatim from the run's LedgerHeader. Workers use
+  // these values directly — re-deriving any of them risks bit divergence.
+  std::uint64_t num_samples = 0;
+  std::uint64_t block_size = 0;
+  std::uint64_t lease_blocks = 0;
+  std::uint64_t mc_seed = 0;
+  std::uint64_t sketch_capacity = 0;
+  std::uint64_t num_endpoints = 0;
+  std::uint64_t lease_ttl_ms = 0;
+  std::uint64_t heartbeat_interval_ms = 0;
+  std::vector<WireLease> leases;       // may be empty: nothing claimable now
+};
+
+struct PublishPartialRequest {
+  std::string run_id;
+  std::uint64_t worker_id = 0;
+  std::uint64_t config_hash = 0;
+  WireLease lease;
+  std::vector<std::uint8_t> partial;   // ssta::detail::BlockPartial codec
+};
+
+struct PublishPartialReply {
+  bool accepted = false;  // false: lease expired/re-issued — claim again
+};
+
+struct HeartbeatRequest {
+  std::string run_id;
+  std::uint64_t worker_id = 0;
+  std::uint64_t config_hash = 0;
+};
+
+struct HeartbeatReply {
+  RunState run_state = RunState::kUnknown;
+  std::uint64_t leases_extended = 0;
+};
+
+struct RunStatusRequest {
+  std::string run_id;
+};
+
+struct RunStatusReply {
+  RunState run_state = RunState::kUnknown;
+  std::uint64_t config_hash = 0;
+  std::uint64_t leases_total = 0;
+  std::uint64_t leases_complete = 0;
+  std::uint64_t leases_claimed = 0;
 };
 
 // --- replies ---------------------------------------------------------------
@@ -144,10 +271,19 @@ struct StatsReply {
 void encode(std::vector<std::uint8_t>& out, const SolveKleRequest& request);
 void encode(std::vector<std::uint8_t>& out, const SampleBlockRequest& request);
 void encode(std::vector<std::uint8_t>& out, const RunSstaRequest& request);
+void encode(std::vector<std::uint8_t>& out, const ClaimLeasesRequest& request);
+void encode(std::vector<std::uint8_t>& out,
+            const PublishPartialRequest& request);
+void encode(std::vector<std::uint8_t>& out, const HeartbeatRequest& request);
+void encode(std::vector<std::uint8_t>& out, const RunStatusRequest& request);
 
 SolveKleRequest decode_solve_kle_request(wire::ByteReader& r);
 SampleBlockRequest decode_sample_block_request(wire::ByteReader& r);
 RunSstaRequest decode_run_ssta_request(wire::ByteReader& r);
+ClaimLeasesRequest decode_claim_leases_request(wire::ByteReader& r);
+PublishPartialRequest decode_publish_partial_request(wire::ByteReader& r);
+HeartbeatRequest decode_heartbeat_request(wire::ByteReader& r);
+RunStatusRequest decode_run_status_request(wire::ByteReader& r);
 
 // --- reply codecs ----------------------------------------------------------
 // Success payloads carry the leading status word; build with make_ok_reply /
@@ -165,6 +301,10 @@ std::vector<std::uint8_t> encode_reply(const SolveKleReply& reply);
 std::vector<std::uint8_t> encode_reply(const SampleBlockReply& reply);
 std::vector<std::uint8_t> encode_reply(const RunSstaReply& reply);
 std::vector<std::uint8_t> encode_reply(const StatsReply& reply);
+std::vector<std::uint8_t> encode_reply(const ClaimLeasesReply& reply);
+std::vector<std::uint8_t> encode_reply(const PublishPartialReply& reply);
+std::vector<std::uint8_t> encode_reply(const HeartbeatReply& reply);
+std::vector<std::uint8_t> encode_reply(const RunStatusReply& reply);
 
 /// Reads the status word; on a nonzero status reads the message and throws
 /// sckl::Error carrying the server's original ErrorCode.
@@ -175,5 +315,9 @@ SolveKleReply decode_solve_kle_reply(wire::ByteReader& r);
 SampleBlockReply decode_sample_block_reply(wire::ByteReader& r);
 RunSstaReply decode_run_ssta_reply(wire::ByteReader& r);
 StatsReply decode_stats_reply(wire::ByteReader& r);
+ClaimLeasesReply decode_claim_leases_reply(wire::ByteReader& r);
+PublishPartialReply decode_publish_partial_reply(wire::ByteReader& r);
+HeartbeatReply decode_heartbeat_reply(wire::ByteReader& r);
+RunStatusReply decode_run_status_reply(wire::ByteReader& r);
 
 }  // namespace sckl::serve

@@ -49,6 +49,15 @@ Server::Server(const ServerOptions& options)
   require(options_.batch_limit >= 1, "Server: batch_limit must be >= 1");
   require(options_.sample_chunk_rows >= 1,
           "Server: sample_chunk_rows must be >= 1");
+  require(options_.lease_ttl_ms > 0, "Server: lease_ttl_ms must be > 0");
+  // A worker heartbeating on schedule must get several extension chances
+  // before its leases can expire, or routine scheduling jitter would
+  // trigger reclaims and throw away good work.
+  require(options_.heartbeat_interval_ms > 0 &&
+              options_.heartbeat_interval_ms * 3 < options_.lease_ttl_ms,
+          "Server: heartbeat_interval_ms must be positive and less than "
+          "lease_ttl_ms / 3 (a worker needs several heartbeat opportunities "
+          "per lease lifetime)");
   store::StoreOptions store_options;
   store_options.cache_bytes = options_.store_cache_bytes;
   store_ = std::make_unique<store::KleArtifactStore>(options_.store_root,
@@ -327,6 +336,18 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
         case MessageType::kRunSsta:
           request.ssta = decode_run_ssta_request(r);
           break;
+        case MessageType::kClaimLeases:
+          request.claim = decode_claim_leases_request(r);
+          break;
+        case MessageType::kPublishPartial:
+          request.publish = decode_publish_partial_request(r);
+          break;
+        case MessageType::kHeartbeat:
+          request.heartbeat = decode_heartbeat_request(r);
+          break;
+        case MessageType::kRunStatus:
+          request.status = decode_run_status_request(r);
+          break;
       }
       if (r.remaining() != 0)
         throw Error("serve request: trailing bytes after payload",
@@ -478,6 +499,22 @@ void Server::execute(Request& request) {
         send_payload(request, make_ok_reply(), /*is_error=*/false);
         request_stop();
         break;
+      case MessageType::kClaimLeases:
+        send_payload(request, encode_reply(do_claim_leases(*request.claim)),
+                     /*is_error=*/false);
+        break;
+      case MessageType::kPublishPartial:
+        send_payload(request, encode_reply(do_publish_partial(*request.publish)),
+                     /*is_error=*/false);
+        break;
+      case MessageType::kHeartbeat:
+        send_payload(request, encode_reply(do_heartbeat(*request.heartbeat)),
+                     /*is_error=*/false);
+        break;
+      case MessageType::kRunStatus:
+        send_payload(request, encode_reply(do_run_status(*request.status)),
+                     /*is_error=*/false);
+        break;
       case MessageType::kSampleBlock:
         break;  // handled by execute_sample_batch
     }
@@ -607,6 +644,13 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
   config.seed = request.seed;
   config.num_threads = static_cast<std::size_t>(request.num_threads);
   config.store_root = options_.store_root;
+  config.lease_ttl_ms = options_.lease_ttl_ms;
+  config.mc_block_size = static_cast<std::size_t>(request.mc_block_size);
+  config.mc_lease_blocks = static_cast<std::size_t>(request.mc_lease_blocks);
+  if (request.distributed && request.run_id.empty())
+    throw Error("run_ssta: distributed=1 requires a run_id (the lease table "
+                "is registered and resumed under it)",
+                ErrorCode::kPrecondition);
 
   // One pipeline (netlist, placement, STA engine) per distinct construction
   // config, shared across requests; run_kle calls are serialized per entry.
@@ -617,6 +661,8 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
   h.update_double(config.kernel_c);
   h.update_u64(config.seed);
   h.update_u64(config.num_threads);
+  h.update_u64(config.mc_block_size);
+  h.update_u64(config.mc_lease_blocks);
   const std::uint64_t key = h.digest();
 
   std::shared_ptr<PipelineEntry> entry;
@@ -648,6 +694,48 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
     if (robust::fault_injected(robust::FaultSite::kServeDeadline)) return true;
     return deadline.has_value() && Clock::now() > *deadline;
   };
+  if (request.distributed) {
+    // Register the run's live lease table for remote workers. The hook
+    // fires twice from inside the checkpointed runner: once with the live
+    // coordinator after ledger replay, once with nullptr before it is
+    // destroyed (also on the exception path). Unregistration keeps the
+    // entry, flipped to the terminal state, so late workers observe
+    // kComplete rather than kUnknown.
+    run.share_coordinator = [this, run_id = request.run_id, config, m](
+                                ssta::LeaseCoordinator* coordinator,
+                                const ssta::LedgerHeader* header) {
+      if (coordinator != nullptr && header != nullptr) {
+        auto dist = std::make_shared<DistRun>();
+        dist->coordinator = coordinator;
+        dist->header = *header;
+        dist->config_hash = header->workload_key;
+        dist->circuit = config.circuit;
+        dist->seed = config.seed;
+        dist->r = config.r;
+        dist->num_eigenpairs = m;
+        dist->mesh_area_fraction = config.mesh_area_fraction;
+        dist->kernel_c = config.kernel_c;
+        std::lock_guard<std::mutex> lock(dist_mu_);
+        dist_runs_[run_id] = dist;  // a resumed run replaces its old entry
+        obs::counter("sckl.ssta.mc.remote.runs_registered").add(1);
+      } else {
+        std::shared_ptr<DistRun> dist;
+        {
+          std::lock_guard<std::mutex> lock(dist_mu_);
+          const auto it = dist_runs_.find(run_id);
+          if (it != dist_runs_.end()) dist = it->second;
+        }
+        if (dist) {
+          // Locking the entry's own mutex here is the lifetime fence: any
+          // handler still using the coordinator holds it, so this blocks
+          // until the pointer is safe to retire.
+          std::lock_guard<std::mutex> lock(dist->mu);
+          dist->coordinator = nullptr;
+          dist->complete = true;
+        }
+      }
+    };
+  }
   const ssta::KleRunOutcome outcome = entry->pipeline->run_kle(run);
 
   RunSstaReply reply;
@@ -665,6 +753,144 @@ RunSstaReply Server::do_run_ssta(const RunSstaRequest& request,
   reply.source = static_cast<std::uint32_t>(outcome.source);
   reply.mesh_triangles = outcome.mesh_triangles;
   reply.threads_used = outcome.ssta.threads_used;
+  return reply;
+}
+
+std::shared_ptr<Server::DistRun> Server::find_dist_run(
+    const std::string& run_id) {
+  std::lock_guard<std::mutex> lock(dist_mu_);
+  const auto it = dist_runs_.find(run_id);
+  return it == dist_runs_.end() ? nullptr : it->second;
+}
+
+void Server::check_config_hash(const DistRun& run, std::uint64_t claimed) {
+  if (claimed != 0 && claimed != run.config_hash)
+    throw Error("distributed mc: worker config_hash " +
+                    std::to_string(claimed) + " does not match this run's " +
+                    std::to_string(run.config_hash) +
+                    " — the worker is computing a different workload and "
+                    "its partials must never reach the ledger",
+                ErrorCode::kPrecondition);
+}
+
+ClaimLeasesReply Server::do_claim_leases(const ClaimLeasesRequest& request) {
+  ClaimLeasesReply reply;
+  if (request.worker_id == 0)
+    throw Error("claim_leases: worker_id must be nonzero (0 is the "
+                "coordinator's own claim marker)",
+                ErrorCode::kPrecondition);
+  const std::shared_ptr<DistRun> run = find_dist_run(request.run_id);
+  if (!run) return reply;  // kUnknown
+  std::lock_guard<std::mutex> lock(run->mu);
+  check_config_hash(*run, request.config_hash);
+  if (run->coordinator == nullptr) {
+    reply.run_state = RunState::kComplete;
+    return reply;
+  }
+  reply.run_state = RunState::kRunning;
+  reply.config_hash = run->config_hash;
+  reply.circuit = run->circuit;
+  reply.seed = run->seed;
+  reply.r = run->r;
+  reply.num_eigenpairs = run->num_eigenpairs;
+  reply.mesh_area_fraction = run->mesh_area_fraction;
+  reply.kernel_c = run->kernel_c;
+  reply.num_samples = run->header.num_samples;
+  reply.block_size = run->header.block_size;
+  reply.lease_blocks = run->header.lease_blocks;
+  reply.mc_seed = run->header.seed;
+  reply.sketch_capacity = run->header.sketch_capacity;
+  reply.num_endpoints = run->header.num_endpoints;
+  reply.lease_ttl_ms = options_.lease_ttl_ms;
+  reply.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+  const std::size_t max_leases =
+      std::max<std::size_t>(1, static_cast<std::size_t>(request.max_leases));
+  for (const ssta::ClaimedLease& lease :
+       run->coordinator->claim_remote(request.worker_id, max_leases)) {
+    WireLease wire_lease;
+    wire_lease.index = lease.index;
+    wire_lease.first_block = lease.first_block;
+    wire_lease.num_blocks = lease.num_blocks;
+    reply.leases.push_back(wire_lease);
+  }
+  return reply;
+}
+
+PublishPartialReply Server::do_publish_partial(
+    const PublishPartialRequest& request) {
+  PublishPartialReply reply;
+  const std::shared_ptr<DistRun> run = find_dist_run(request.run_id);
+  if (!run) {
+    // Not an error: a restarted coordinator daemon hasn't re-registered the
+    // run yet. "Not accepted" makes the worker discard the partial and
+    // claim again, which polls until the resumed run reappears.
+    reply.accepted = false;
+    return reply;
+  }
+  std::lock_guard<std::mutex> lock(run->mu);
+  check_config_hash(*run, request.config_hash);
+  if (run->coordinator == nullptr) {
+    // Run already finished: the partial is redundant by construction (every
+    // lease is Complete), so "not accepted" just tells the worker to claim
+    // again and observe the terminal state.
+    reply.accepted = false;
+    return reply;
+  }
+  wire::ByteReader r(request.partial.data(), request.partial.size(),
+                     ErrorCode::kProtocol, "publish_partial body");
+  const ssta::detail::BlockPartial partial =
+      ssta::detail::BlockPartial::decode(r);
+  if (r.remaining() != 0)
+    throw Error("publish_partial: trailing bytes after the encoded partial",
+                ErrorCode::kProtocol);
+  reply.accepted = run->coordinator->publish_remote(
+      request.worker_id, static_cast<std::size_t>(request.lease.index),
+      static_cast<std::size_t>(request.lease.first_block),
+      static_cast<std::size_t>(request.lease.num_blocks), partial);
+  return reply;
+}
+
+HeartbeatReply Server::do_heartbeat(const HeartbeatRequest& request) {
+  HeartbeatReply reply;
+  const std::shared_ptr<DistRun> run = find_dist_run(request.run_id);
+  if (!run) return reply;  // kUnknown
+  std::lock_guard<std::mutex> lock(run->mu);
+  check_config_hash(*run, request.config_hash);
+  if (run->coordinator == nullptr) {
+    reply.run_state = RunState::kComplete;
+    return reply;
+  }
+  reply.run_state = RunState::kRunning;
+  reply.leases_extended = run->coordinator->heartbeat(request.worker_id);
+  return reply;
+}
+
+RunStatusReply Server::do_run_status(const RunStatusRequest& request) {
+  RunStatusReply reply;
+  const std::shared_ptr<DistRun> run = find_dist_run(request.run_id);
+  if (!run) return reply;  // kUnknown
+  std::lock_guard<std::mutex> lock(run->mu);
+  reply.config_hash = run->config_hash;
+  const std::uint64_t blocks =
+      run->header.block_size == 0
+          ? 0
+          : (run->header.num_samples + run->header.block_size - 1) /
+                run->header.block_size;
+  const std::uint64_t total =
+      run->header.lease_blocks == 0
+          ? 0
+          : (blocks + run->header.lease_blocks - 1) / run->header.lease_blocks;
+  reply.leases_total = total;
+  if (run->coordinator == nullptr) {
+    reply.run_state = RunState::kComplete;
+    reply.leases_complete = total;
+    return reply;
+  }
+  reply.run_state = RunState::kRunning;
+  const ssta::LeaseProgress progress = run->coordinator->progress();
+  reply.leases_total = progress.total;
+  reply.leases_complete = progress.complete;
+  reply.leases_claimed = progress.claimed;
   return reply;
 }
 

@@ -68,6 +68,7 @@
 #include "field/kle_sampler.h"
 #include "serve/protocol.h"
 #include "ssta/experiment.h"
+#include "ssta/lease_ledger.h"
 #include "store/artifact_store.h"
 
 namespace sckl::serve {
@@ -121,6 +122,14 @@ struct ServerOptions {
   int drain_ms = 2000;
   /// Identification string returned by Hello.
   std::string server_name = "sckl_serve/1";
+
+  /// Distributed Monte Carlo (v3): lease time-to-live handed to remote
+  /// workers, and the heartbeat cadence the ClaimLeases reply advertises.
+  /// The constructor enforces heartbeat_interval_ms * 3 < lease_ttl_ms so a
+  /// healthy worker always gets at least two extension opportunities before
+  /// its leases can be reclaimed.
+  std::uint64_t lease_ttl_ms = 300'000;
+  std::uint64_t heartbeat_interval_ms = 1'000;
 };
 
 /// One running server instance. start() spawns the listener/worker threads
@@ -194,6 +203,10 @@ class Server {
     std::optional<SolveKleRequest> solve;
     std::optional<SampleBlockRequest> sample;
     std::optional<RunSstaRequest> ssta;
+    std::optional<ClaimLeasesRequest> claim;
+    std::optional<PublishPartialRequest> publish;
+    std::optional<HeartbeatRequest> heartbeat;
+    std::optional<RunStatusRequest> status;
     std::uint64_t batch_key = 0;  // SampleBlock: sampler identity hash
   };
 
@@ -201,6 +214,29 @@ class Server {
   struct PipelineEntry {
     std::mutex mu;
     std::unique_ptr<ssta::ExperimentPipeline> pipeline;
+  };
+
+  /// One distributed run's registry entry. The LeaseCoordinator lives on
+  /// the coordinating RunSsta worker's stack (inside run_kle); this entry
+  /// borrows it for the run's duration. `coordinator` is only touched under
+  /// `mu`, and the share hook nulls it (still under `mu`) before the
+  /// coordinator is destroyed — a claim/publish/heartbeat handler holding
+  /// the shared_ptr either sees a live pointer and finishes before the
+  /// unregister can proceed, or sees nullptr and answers from the terminal
+  /// state. The spec fields are copies, valid for the entry's lifetime.
+  struct DistRun {
+    std::mutex mu;
+    ssta::LeaseCoordinator* coordinator = nullptr;
+    ssta::LedgerHeader header;      // sampling geometry, verbatim
+    std::uint64_t config_hash = 0;  // == header.workload_key
+    // Workload spec a worker needs to rebuild the pipeline.
+    std::string circuit;
+    std::uint64_t seed = 0;           // ExperimentConfig seed
+    std::uint64_t r = 0;
+    std::uint64_t num_eigenpairs = 0;  // resolved m
+    double mesh_area_fraction = 0.0;
+    double kernel_c = 0.0;
+    bool complete = false;  // coordinator finished and unregistered
   };
 
   void accept_loop(int listen_fd);
@@ -219,6 +255,17 @@ class Server {
   SolveKleReply do_solve(const SolveKleRequest& request);
   RunSstaReply do_run_ssta(const RunSstaRequest& request,
                            const Request& envelope);
+  ClaimLeasesReply do_claim_leases(const ClaimLeasesRequest& request);
+  PublishPartialReply do_publish_partial(const PublishPartialRequest& request);
+  HeartbeatReply do_heartbeat(const HeartbeatRequest& request);
+  RunStatusReply do_run_status(const RunStatusRequest& request);
+
+  /// Looks up a registered distributed run (nullptr when unknown). The
+  /// caller must lock the entry's own mutex before touching `coordinator`.
+  std::shared_ptr<DistRun> find_dist_run(const std::string& run_id);
+  /// Validates the worker's config_hash against the run's (0 = not known
+  /// yet, always accepted); throws kPrecondition on mismatch.
+  static void check_config_hash(const DistRun& run, std::uint64_t claimed);
   std::shared_ptr<const field::KleFieldSampler> sampler_for(
       const SampleBlockRequest& request);
 
@@ -255,6 +302,12 @@ class Server {
 
   std::mutex pipeline_mu_;
   std::map<std::uint64_t, std::shared_ptr<PipelineEntry>> pipelines_;
+
+  // Distributed-run registry: run_id -> live entry. Entries persist after
+  // the coordinator finishes (complete=true, coordinator=nullptr) so late
+  // workers get a terminal kComplete instead of kUnknown.
+  std::mutex dist_mu_;
+  std::map<std::string, std::shared_ptr<DistRun>> dist_runs_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

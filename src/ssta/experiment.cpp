@@ -34,6 +34,7 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   set.strict = config.strict;
   set.run_id = config.run_id;
   set.resume = config.resume;
+  set.lease_ttl_ms = config.lease_ttl_ms;
   set.apply(flags);
   config.circuit = set.circuit;
   config.num_samples = set.num_samples;
@@ -45,6 +46,7 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   config.strict = set.strict;
   config.run_id = set.run_id;
   config.resume = set.resume;
+  config.lease_ttl_ms = set.lease_ttl_ms;
 }
 
 robust::HealthReport fold_kle_health(const KleRunInfo& info) {
@@ -87,6 +89,8 @@ McSstaOptions ExperimentPipeline::mc_options() const {
   // numbers) tightens the e_mu / e_sigma comparison.
   options.seed = config_.seed + 1000;
   options.num_threads = config_.num_threads;
+  options.lease_ttl_ms = config_.lease_ttl_ms;
+  if (config_.mc_block_size > 0) options.block_size = config_.mc_block_size;
   return options;
 }
 
@@ -191,6 +195,9 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
   run.resume = request.resume;
   run.ledger_dir = request.store->root() / "mc_runs";
   run.workload_key = h.digest();
+  if (config_.mc_lease_blocks > 0) run.lease_blocks = config_.mc_lease_blocks;
+  run.share_coordinator = request.share_coordinator;
+  run.local_fallback_seconds = request.local_fallback_seconds;
   outcome.checkpointed = true;
   outcome.ssta = run_checkpointed_monte_carlo_ssta(*engine_, samplers, options,
                                                    run, &outcome.mc_run);

@@ -61,6 +61,17 @@ struct ExperimentConfig {
   /// Continue a ledger that already holds completed leases (a killed or
   /// cancelled earlier run) instead of rejecting it.
   bool resume = false;
+
+  /// Lease time-to-live for checkpointed runs (--lease-ttl). A claimed
+  /// lease not completed or heartbeat-extended within this budget is
+  /// reclaimed and recomputed deterministically.
+  std::uint64_t lease_ttl_ms = 300'000;
+  /// Checkpointing geometry: samples per block and blocks per lease for
+  /// the checkpointed runner (0 = keep the McSstaOptions/McRunOptions
+  /// defaults, 256 and 4). Both are part of the ledger header, so they
+  /// must match across resumes.
+  std::size_t mc_block_size = 0;
+  std::size_t mc_lease_blocks = 0;
 };
 
 /// Maps the shared command-line flag vocabulary (sckl::ExperimentFlagSet,
@@ -145,6 +156,13 @@ struct KleRunRequest {
   /// <store root>/mc_runs). See ExperimentConfig::run_id.
   std::string run_id;
   bool resume = false;
+  /// Forwarded to McRunOptions::share_coordinator (checkpointed runs
+  /// only): turns the run into a distributed coordinator whose lease
+  /// table is served to remote workers. See ssta/mc_run.h.
+  std::function<void(LeaseCoordinator*, const LedgerHeader*)>
+      share_coordinator;
+  /// Forwarded to McRunOptions::local_fallback_seconds.
+  double local_fallback_seconds = 0.5;
 };
 
 /// Statistics + provenance + telemetry of one Algorithm 2 run.

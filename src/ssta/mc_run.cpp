@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -17,162 +16,48 @@
 namespace sckl::ssta {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-constexpr std::uint8_t kHeaderTag = 1;
-constexpr std::uint8_t kLeaseTag = 2;
-
-bool valid_run_id(const std::string& id) {
-  if (id.empty() || id.size() > 128) return false;
-  for (char c : id) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
-    if (!ok) return false;
+/// Computes one lease's partial: the fold, in block order, of its blocks'
+/// partials (resume invariant #1). Shared by local worker threads and the
+/// distributed coordinator's local-fallback path.
+detail::BlockPartial compute_lease_partial(const timing::StaEngine& engine,
+                                           const ParameterSamplers& samplers,
+                                           const McSstaOptions& options,
+                                           const Lease& lease,
+                                           std::size_t num_endpoints,
+                                           detail::BlockScratch& scratch) {
+  detail::BlockPartial lease_partial;
+  lease_partial.worst_delay_sketch = QuantileSketch(options.sketch_capacity);
+  detail::BlockPartial block_partial;
+  for (std::size_t b = 0; b < lease.num_blocks; ++b) {
+    robust::crash_point(robust::FaultSite::kMcWorkerCrash);
+    block_partial = detail::BlockPartial{};
+    detail::compute_block_partial(engine, samplers, options,
+                                  lease.first_block + b, num_endpoints,
+                                  scratch, block_partial, nullptr);
+    lease_partial.merge(block_partial);
   }
-  return id != "." && id != "..";
+  return lease_partial;
 }
 
-/// The sampling-geometry fields a ledger is bound to. Everything here must
-/// match between the run that wrote a ledger and the run resuming it —
-/// sample indices, block boundaries, and the fold nesting all derive from
-/// these values.
-struct LedgerHeader {
-  std::uint64_t workload_key = 0;
-  std::uint64_t num_samples = 0;
-  std::uint64_t block_size = 0;
-  std::uint64_t lease_blocks = 0;
-  std::uint64_t seed = 0;
-  std::uint64_t sketch_capacity = 0;
-  std::uint64_t num_endpoints = 0;
-
-  void encode(std::vector<std::uint8_t>& out) const {
-    wire::put_u8(out, kHeaderTag);
-    wire::put_u64(out, workload_key);
-    wire::put_u64(out, num_samples);
-    wire::put_u64(out, block_size);
-    wire::put_u64(out, lease_blocks);
-    wire::put_u64(out, seed);
-    wire::put_u64(out, sketch_capacity);
-    wire::put_u64(out, num_endpoints);
-  }
-
-  static LedgerHeader decode(wire::ByteReader& r) {  // tag already consumed
-    LedgerHeader h;
-    h.workload_key = r.u64();
-    h.num_samples = r.u64();
-    h.block_size = r.u64();
-    h.lease_blocks = r.u64();
-    h.seed = r.u64();
-    h.sketch_capacity = r.u64();
-    h.num_endpoints = r.u64();
-    return h;
-  }
-
-  bool operator==(const LedgerHeader& other) const {
-    return workload_key == other.workload_key &&
-           num_samples == other.num_samples &&
-           block_size == other.block_size &&
-           lease_blocks == other.lease_blocks && seed == other.seed &&
-           sketch_capacity == other.sketch_capacity &&
-           num_endpoints == other.num_endpoints;
-  }
-};
-
-enum class LeaseState { kAvailable, kClaimed, kComplete };
-
-struct Lease {
-  std::size_t first_block = 0;
-  std::size_t num_blocks = 0;
-  LeaseState state = LeaseState::kAvailable;
-  Clock::time_point expiry{};
-  bool was_reclaimed = false;        // a prior claim on it expired
-  detail::BlockPartial partial;      // valid once kComplete
-};
-
-/// Tracks lease states and owns the ledger appends. One mutex covers the
-/// lease table, the ledger, and the stats — publishing a lease is a single
-/// critical section, so the ledger order always matches completion order.
-class LeaseCoordinator {
+/// Calls share_coordinator(nullptr, nullptr) exactly once, including on the
+/// exception paths — the serve registry must drop its pointer before the
+/// coordinator object on our stack is destroyed.
+class ShareGuard {
  public:
-  LeaseCoordinator(std::vector<Lease> leases, store::RecordLog log,
-                   double timeout_seconds, McRunStats& stats)
-      : leases_(std::move(leases)),
-        log_(std::move(log)),
-        timeout_(std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(timeout_seconds))),
-        stats_(stats) {}
-
-  /// Claims the next available lease (reclaiming any time-expired claim on
-  /// the way); returns its index or npos when nothing remains claimable.
-  std::size_t claim() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const Clock::time_point now = Clock::now();
-    for (std::size_t l = 0; l < leases_.size(); ++l) {
-      Lease& lease = leases_[l];
-      if (lease.state == LeaseState::kClaimed && now >= lease.expiry)
-        expire_locked(lease);
-      if (lease.state == LeaseState::kAvailable) {
-        lease.state = LeaseState::kClaimed;
-        lease.expiry = now + timeout_;
-        ++stats_.leases_claimed;
-        obs::counter("sckl.ssta.mc.leases_claimed").add(1);
-        return l;
-      }
+  explicit ShareGuard(
+      const std::function<void(LeaseCoordinator*, const LedgerHeader*)>& hook)
+      : hook_(hook) {}
+  ~ShareGuard() { release(); }
+  void release() {
+    if (!released_) {
+      released_ = true;
+      hook_(nullptr, nullptr);
     }
-    return npos;
   }
-
-  /// Publishes a finished lease: appends its record durably, then marks it
-  /// complete. Returns false when the claim had expired (deadline passed,
-  /// or the mc_lease_expire fault fired) — the lease goes back to
-  /// Available and the completion is discarded, exactly what happens to a
-  /// worker whose lease a coordinator already gave away. A lease someone
-  /// else already completed is silently discarded too (same bits).
-  bool publish(std::size_t index, const detail::BlockPartial& partial,
-               std::uint64_t parent_span_id) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    Lease& lease = leases_[index];
-    if (lease.state == LeaseState::kComplete) return true;
-    if (robust::fault_injected(robust::FaultSite::kMcLeaseExpire) ||
-        Clock::now() >= lease.expiry) {
-      expire_locked(lease);
-      return false;
-    }
-    obs::Span append_span("ssta.mc.ledger_append", parent_span_id);
-    std::vector<std::uint8_t> payload;
-    wire::put_u8(payload, kLeaseTag);
-    wire::put_u64(payload, lease.first_block);
-    wire::put_u64(payload, lease.num_blocks);
-    partial.encode(payload);
-    log_.append(payload);  // durable (or _Exit under mc_ledger_write)
-    ++stats_.ledger_appends;
-    obs::counter("sckl.ssta.mc.ledger_appends").add(1);
-    lease.partial = partial;
-    lease.state = LeaseState::kComplete;
-    if (lease.was_reclaimed) {
-      ++stats_.leases_recomputed;
-      obs::counter("sckl.ssta.mc.leases_recomputed").add(1);
-    }
-    return true;
-  }
-
-  const std::vector<Lease>& leases() const { return leases_; }
-
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:
-  void expire_locked(Lease& lease) {
-    lease.state = LeaseState::kAvailable;
-    lease.was_reclaimed = true;
-    ++stats_.leases_expired;
-    obs::counter("sckl.ssta.mc.leases_expired").add(1);
-  }
-
-  std::mutex mutex_;
-  std::vector<Lease> leases_;
-  store::RecordLog log_;
-  Clock::duration timeout_;
-  McRunStats& stats_;
+  const std::function<void(LeaseCoordinator*, const LedgerHeader*)>& hook_;
+  bool released_ = false;
 };
 
 }  // namespace
@@ -183,6 +68,7 @@ McSstaResult run_checkpointed_monte_carlo_ssta(
     McRunStats* stats_out) {
   require(options.num_samples > 0, "checkpointed mc: no samples");
   require(options.block_size > 0, "checkpointed mc: empty block");
+  require(options.lease_ttl_ms > 0, "checkpointed mc: lease_ttl_ms must be > 0");
   require(!options.keep_samples,
           "checkpointed mc: keep_samples is not supported (resumed leases "
           "do not retain per-sample delays)");
@@ -247,7 +133,7 @@ McSstaResult run_checkpointed_monte_carlo_ssta(
     // record that fails to decode is a writer bug, not a torn write.
     wire::ByteReader first(records[0].data(), records[0].size(),
                            ErrorCode::kCorruptArtifact, "mc run ledger");
-    if (first.u8() != kHeaderTag)
+    if (first.u8() != kLedgerHeaderTag)
       throw Error("checkpointed mc: ledger does not start with a header",
                   ErrorCode::kCorruptArtifact);
     const LedgerHeader on_disk = LedgerHeader::decode(first);
@@ -261,7 +147,7 @@ McSstaResult run_checkpointed_monte_carlo_ssta(
     for (std::size_t i = 1; i < records.size(); ++i) {
       wire::ByteReader r(records[i].data(), records[i].size(),
                          ErrorCode::kCorruptArtifact, "mc run ledger");
-      if (r.u8() != kLeaseTag)
+      if (r.u8() != kLedgerLeaseTag)
         throw Error("checkpointed mc: unexpected ledger record tag",
                     ErrorCode::kCorruptArtifact);
       const std::uint64_t first_block = r.u64();
@@ -293,44 +179,65 @@ McSstaResult run_checkpointed_monte_carlo_ssta(
   }
 
   const std::size_t remaining = num_leases - stats.leases_resumed;
-  const std::size_t num_threads = std::max<std::size_t>(
+  std::size_t num_threads = std::max<std::size_t>(
       1, std::min(ThreadPool::resolve_num_threads(options.num_threads),
                   std::max<std::size_t>(remaining, 1)));
 
-  LeaseCoordinator coordinator(std::move(leases), std::move(log),
-                               run.lease_timeout_seconds, stats);
+  const double ttl_seconds =
+      static_cast<double>(options.lease_ttl_ms) / 1000.0;
+  LeaseCoordinator coordinator(std::move(leases), std::move(log), ttl_seconds,
+                               num_endpoints, stats);
 
   const std::uint64_t mc_span_id = obs::Span::current_id();
   std::atomic<bool> was_cancelled{false};
-  const auto worker = [&](std::size_t /*worker_index*/) {
-    obs::Span worker_span("ssta.mc.worker", mc_span_id);
+
+  if (run.share_coordinator && remaining > 0) {
+    // Distributed coordinator: remote workers do the computing; this
+    // thread only waits, reclaims, and falls back to local compute when
+    // the workers go quiet (graceful degradation — the run always ends).
+    num_threads = 1;
+    obs::Span dist_span("ssta.mc.dist_coordinator", mc_span_id);
+    run.share_coordinator(&coordinator, &header);
+    ShareGuard unshare(run.share_coordinator);
     detail::BlockScratch scratch;
-    for (;;) {
+    std::uint64_t seen = coordinator.activity_count();
+    while (!coordinator.all_complete()) {
       if (options.cancelled && options.cancelled()) {
         was_cancelled.store(true, std::memory_order_relaxed);
         break;
       }
+      if (coordinator.wait_for_remote_activity(seen,
+                                               run.local_fallback_seconds))
+        continue;
       const std::size_t l = coordinator.claim();
-      if (l == LeaseCoordinator::npos) break;
-      const Lease& lease = coordinator.leases()[l];
-      // Lease partial = fold of its blocks in block order (invariant #1).
-      detail::BlockPartial lease_partial;
-      lease_partial.worst_delay_sketch =
-          QuantileSketch(options.sketch_capacity);
-      detail::BlockPartial block_partial;
-      for (std::size_t b = 0; b < lease.num_blocks; ++b) {
-        robust::crash_point(robust::FaultSite::kMcWorkerCrash);
-        block_partial = detail::BlockPartial{};
-        detail::compute_block_partial(engine, samplers, options,
-                                      lease.first_block + b, num_endpoints,
-                                      scratch, block_partial, nullptr);
-        lease_partial.merge(block_partial);
-      }
+      if (l == LeaseCoordinator::npos) continue;  // all claimed and live
+      const detail::BlockPartial lease_partial =
+          compute_lease_partial(engine, samplers, options,
+                                coordinator.leases()[l], num_endpoints,
+                                scratch);
       coordinator.publish(l, lease_partial, mc_span_id);
+      obs::counter("sckl.ssta.mc.remote.local_fallback").add(1);
     }
-  };
-
-  if (remaining > 0) {
+    // Stop accepting remote traffic before the final fold reads the table.
+    unshare.release();
+  } else if (remaining > 0) {
+    const auto worker = [&](std::size_t /*worker_index*/) {
+      obs::Span worker_span("ssta.mc.worker", mc_span_id);
+      detail::BlockScratch scratch;
+      for (;;) {
+        if (options.cancelled && options.cancelled()) {
+          was_cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const std::size_t l = coordinator.claim();
+        if (l == LeaseCoordinator::npos) break;
+        const detail::BlockPartial lease_partial =
+            compute_lease_partial(engine, samplers, options,
+                                  coordinator.leases()[l], num_endpoints,
+                                  scratch);
+        coordinator.publish(l, lease_partial, mc_span_id);
+      }
+    };
     if (num_threads == 1) {
       worker(0);
     } else {
@@ -346,8 +253,9 @@ McSstaResult run_checkpointed_monte_carlo_ssta(
     ensure(lease.state == LeaseState::kComplete,
            "checkpointed mc: worker pool exited with an incomplete lease");
 
-  // Final fold in lease order (invariant #3): ledger-loaded and freshly
-  // computed lease partials are bitwise interchangeable here.
+  // Final fold in lease order (invariant #3): ledger-loaded, locally
+  // computed, and remotely published lease partials are bitwise
+  // interchangeable here.
   McSstaResult result;
   result.worst_delay_sketch = QuantileSketch(options.sketch_capacity);
   result.threads_used = num_threads;

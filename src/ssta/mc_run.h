@@ -7,7 +7,9 @@
 // worker that finishes a lease appends the lease's merged BlockPartial to a
 // durable append-only *run ledger* (store/record_log.h, fsync'd per
 // record), and a resumed run loads completed leases from the ledger and
-// recomputes only the rest.
+// recomputes only the rest. The lease table, state machine, and ledger
+// appends live in lease_ledger.h (LeaseCoordinator) so the serve daemon
+// can hand the same leases to remote workers.
 //
 // Resume invariant (ctest-gated by mc_resume_kill_loop): for a fixed
 // (workload, num_samples, block_size, lease_blocks, seed, sketch_capacity),
@@ -29,34 +31,32 @@
 //      Ledger-loaded and freshly computed lease partials are bitwise
 //      interchangeable, so any mix folds to the same result.
 //
-// Lease state machine (in-memory, rebuilt from the ledger at open):
-//
-//   Available ──claim──▶ Claimed(expiry) ──publish+complete──▶ Complete
-//        ▲                    │
-//        └────── expired ─────┘   (deadline passed, or the
-//                                  mc_lease_expire fault site fires)
-//
-// A reclaimed lease is recomputed deterministically; if the original
-// claimer completes anyway (it was slow, not dead), the first completion
-// wins and the duplicate is discarded — both computed the same bits. On
-// replay, duplicate ledger records for one lease (possible across crashed
-// generations) dedup by first_block, keeping the first.
+// The same three properties make the DISTRIBUTED extension safe: a remote
+// worker that claims a lease over the serve protocol computes the same
+// pure partial, and whichever claimer publishes first commits the same
+// bits (mc_dist_kill_loop gates this across worker kills, coordinator
+// kills, and heartbeat loss). See DESIGN.md §12.
 //
 // Single-writer discipline: the runner holds an exclusive flock on
 // <ledger_dir>/<run_id>.lock for the whole run, so two processes can never
 // append to one ledger concurrently — and because flock dies with its
-// holder, a kill -9'd run leaves the ledger immediately resumable.
+// holder, a kill -9'd run leaves the ledger immediately resumable. Remote
+// workers never touch the ledger: their partials travel over RPC and only
+// the coordinator appends.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <string>
 
+#include "ssta/lease_ledger.h"
 #include "ssta/mc_ssta.h"
 
 namespace sckl::ssta {
 
-/// Options of the checkpointed runner, on top of McSstaOptions.
+/// Options of the checkpointed runner, on top of McSstaOptions (which
+/// carries the lease TTL, McSstaOptions::lease_ttl_ms).
 struct McRunOptions {
   /// Identifies the run's ledger (file names derive from it). Restricted to
   /// [A-Za-z0-9._-] so it can never escape ledger_dir.
@@ -71,10 +71,6 @@ struct McRunOptions {
   /// I/O. Part of the resume contract: must match across resumes.
   std::size_t lease_blocks = 4;
 
-  /// A claimed lease not completed within this budget is treated as
-  /// abandoned and reclaimed for recomputation.
-  double lease_timeout_seconds = 300.0;
-
   /// False: the ledger must not already contain lease records (guards
   /// against silently continuing a run the caller thought was fresh).
   /// True: completed leases are loaded and skipped.
@@ -85,17 +81,24 @@ struct McRunOptions {
   /// differs throws kPrecondition — resuming someone else's samples would
   /// silently corrupt the statistics.
   std::uint64_t workload_key = 0;
-};
 
-/// What the checkpointed runner did, for reporting and tests.
-struct McRunStats {
-  std::size_t leases_total = 0;
-  std::size_t leases_resumed = 0;   // loaded complete from the ledger
-  std::size_t leases_claimed = 0;   // computed (or recomputed) this run
-  std::size_t leases_expired = 0;   // reclaimed from an expired claim
-  std::size_t leases_recomputed = 0;  // completions of reclaimed leases
-  std::size_t ledger_appends = 0;
-  bool recovered_torn_tail = false;  // open() truncated a torn record
+  /// Distributed-run hook. When set, the runner becomes a COORDINATOR:
+  /// after replaying the ledger it calls the hook with its live
+  /// LeaseCoordinator and LedgerHeader (so the serve daemon can register
+  /// them for ClaimLeases / PublishPartial / Heartbeat / RunStatus), and
+  /// calls it again with (nullptr, nullptr) — before the coordinator is
+  /// destroyed — once no further remote publishes may be accepted. Between
+  /// the two calls the runner waits for remote progress and degrades
+  /// gracefully: whenever no remote activity arrives for
+  /// local_fallback_seconds it claims a lease itself and computes it
+  /// locally, so a run finishes even if every worker vanishes.
+  std::function<void(LeaseCoordinator*, const LedgerHeader*)>
+      share_coordinator;
+
+  /// How long the distributed coordinator waits without any remote
+  /// activity (claim / publish / heartbeat) before computing a lease
+  /// locally. Only used when share_coordinator is set.
+  double local_fallback_seconds = 0.5;
 };
 
 /// Runs Monte Carlo SSTA with durable lease checkpointing. Same sampler

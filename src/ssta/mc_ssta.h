@@ -51,6 +51,12 @@ struct McSstaOptions {
   /// on the calling thread, k = exactly k workers. Statistics are
   /// bit-identical for every value.
   std::size_t num_threads = 0;
+  /// Lease time-to-live for the checkpointed runner (mc_run.h): a claimed
+  /// lease not completed (or, for remote workers, not heartbeat-extended)
+  /// within this budget is treated as abandoned and reclaimed for
+  /// deterministic recomputation. Ignored by the plain runner. Must be
+  /// positive; heartbeat intervals are validated against it (< TTL/3).
+  std::uint64_t lease_ttl_ms = 300'000;
   /// Cooperative cancellation, polled between block claims (a block is the
   /// unit of preemption — at most one block of work runs after this first
   /// returns true). When the run is cancelled the harness finishes joining

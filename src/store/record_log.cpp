@@ -5,6 +5,7 @@
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -106,15 +107,13 @@ RecordLog RecordLog::open(const std::filesystem::path& path) {
   }
 
 #if defined(__unix__) || defined(__APPLE__)
-  std::FILE* f = std::fopen(path.string().c_str(), "ab");
-  if (f == nullptr)
-    throw Error("RecordLog: cannot open '" + path.string() + "' for append",
-                ErrorCode::kIoTransient);
-  log.fd_ = ::dup(::fileno(f));
-  std::fclose(f);
+  // O_CLOEXEC matters here: a forked-then-exec'd child inheriting the
+  // append descriptor would also inherit any flock taken on it, silently
+  // defeating the single-writer guarantee the lock exists to provide.
+  log.fd_ = ::open(path.string().c_str(),
+                   O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   if (log.fd_ < 0)
-    throw Error("RecordLog: cannot keep an append descriptor for '" +
-                    path.string() + "'",
+    throw Error("RecordLog: cannot open '" + path.string() + "' for append",
                 ErrorCode::kIoTransient);
 #else
   // Without POSIX descriptors appends degrade to buffered stdio per call.

@@ -18,6 +18,7 @@
 #endif
 
 #include "common/error.h"
+#include "common/socket.h"
 #include "field/kle_sampler.h"
 #include "kernels/kernel_fit.h"
 #include "obs/metrics.h"
@@ -25,6 +26,7 @@
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "serve/server.h"
+#include "serve/worker.h"
 #include "store/artifact_store.h"
 #include "store/kle_io.h"
 
@@ -210,6 +212,199 @@ TEST_F(ServeTest, RunSstaCheckpointedReportsTailsAndResumes) {
   EXPECT_EQ(resumed.sigma, reply.sigma);
   EXPECT_EQ(resumed.p99, reply.p99);
   EXPECT_EQ(resumed.p999, reply.p999);
+}
+
+// --- distributed runs (protocol v3) ----------------------------------------
+
+serve::RunSstaRequest dist_ssta_request(const std::string& run_id) {
+  serve::RunSstaRequest request;
+  request.circuit = "c880";
+  request.num_samples = 64;
+  request.r = 8;
+  request.mesh_area_fraction = 0.01;
+  request.seed = 3;
+  request.num_threads = 1;
+  request.run_id = run_id;
+  request.distributed = true;
+  request.mc_block_size = 8;
+  request.mc_lease_blocks = 2;  // 8 blocks -> 4 leases
+  return request;
+}
+
+TEST_F(ServeTest, DistributedRunMatchesNonDistributedBitForBit) {
+  serve::ServerOptions options;
+  options.lease_ttl_ms = 10'000;
+  options.heartbeat_interval_ms = 500;
+  // The long-running coordinator RunSsta occupies one handler thread for
+  // its whole duration; the worker's claim/publish RPCs need their own.
+  options.num_threads = 4;
+  start(options);
+
+  // Reference: the same workload as an ordinary (coordinator-only)
+  // checkpointed run under a different run id.
+  serve::Client c = client();
+  c.set_deadline_ms(120'000);
+  serve::RunSstaRequest local = dist_ssta_request("dist-ref");
+  local.distributed = false;
+  const serve::RunSstaReply expected = c.run_ssta(local);
+
+  // Distributed coordinator plus one in-process worker thread. The worker
+  // polls until the run registers, claims leases over the wire, fetches the
+  // KLE through kSolveKle, and publishes partials the coordinator folds.
+  serve::WorkerOptions wopts;
+  wopts.unix_path = options_.unix_path;
+  wopts.run_id = "dist-run";
+  wopts.worker_id = 42;
+  wopts.poll_ms = 25;
+  wopts.max_runtime_seconds = 120.0;
+  serve::WorkerReport report;
+  std::thread worker([&] { report = serve::run_worker(wopts); });
+
+  const serve::RunSstaReply reply = c.run_ssta(dist_ssta_request("dist-run"));
+  worker.join();
+
+  // Index-addressed sampling: remote partials are the bits the coordinator
+  // would have computed, so the statistics cannot move at all.
+  EXPECT_TRUE(report.run_complete);
+  EXPECT_GE(report.leases_computed, 1u)
+      << "rejected=" << report.publishes_rejected
+      << " blocks=" << report.blocks_computed
+      << " heartbeats=" << report.heartbeats
+      << " retries=" << report.rpc_retries;
+  EXPECT_EQ(reply.mean, expected.mean);
+  EXPECT_EQ(reply.sigma, expected.sigma);
+  EXPECT_EQ(reply.p99, expected.p99);
+  EXPECT_EQ(reply.p999, expected.p999);
+
+  // Resuming the distributed run serves every lease from the ledger: no
+  // workers needed, identical bits.
+  serve::RunSstaRequest resume = dist_ssta_request("dist-run");
+  resume.resume = true;
+  const serve::RunSstaReply resumed = c.run_ssta(resume);
+  EXPECT_EQ(resumed.resumed_leases, 4u);
+  EXPECT_EQ(resumed.mean, expected.mean);
+  EXPECT_EQ(resumed.sigma, expected.sigma);
+}
+
+TEST_F(ServeTest, ClaimLeasesRejectsWorkerIdZero) {
+  start();
+  serve::Client c = client();
+  serve::ClaimLeasesRequest claim;
+  claim.run_id = "whatever";
+  claim.worker_id = 0;  // the coordinator's own claim marker
+  EXPECT_EQ(code_of([&] { c.claim_leases(claim); }),
+            ErrorCode::kPrecondition);
+}
+
+TEST_F(ServeTest, DistributedRpcsOnUnknownRunAreTypedNotFatal) {
+  start();
+  serve::Client c = client();
+  // A worker that outlives a coordinator restart speaks about a run the
+  // daemon has not (re-)registered yet: every RPC must answer with typed
+  // "unknown / not accepted" states it can poll on, never an error.
+  serve::ClaimLeasesRequest claim;
+  claim.run_id = "no-such-run";
+  claim.worker_id = 7;
+  EXPECT_EQ(c.claim_leases(claim).run_state, serve::RunState::kUnknown);
+  serve::HeartbeatRequest hb;
+  hb.run_id = "no-such-run";
+  hb.worker_id = 7;
+  EXPECT_EQ(c.heartbeat(hb).run_state, serve::RunState::kUnknown);
+  serve::RunStatusRequest st;
+  st.run_id = "no-such-run";
+  EXPECT_EQ(c.run_status(st).run_state, serve::RunState::kUnknown);
+  serve::PublishPartialRequest pub;
+  pub.run_id = "no-such-run";
+  pub.worker_id = 7;
+  EXPECT_FALSE(c.publish_partial(pub).accepted);
+}
+
+TEST_F(ServeTest, ClaimLeasesConfigHashMismatchIsPrecondition) {
+  start();
+  serve::Client c = client();
+  c.set_deadline_ms(120'000);
+  // Complete a distributed run with no workers: the coordinator's local
+  // fallback computes everything and the registry keeps a terminal entry.
+  c.run_ssta(dist_ssta_request("dist-hash"));
+  serve::RunStatusRequest st;
+  st.run_id = "dist-hash";
+  const serve::RunStatusReply status = c.run_status(st);
+  ASSERT_EQ(status.run_state, serve::RunState::kComplete);
+  ASSERT_NE(status.config_hash, 0u);
+
+  // A worker carrying a different hash is computing a different workload:
+  // its claim must be refused before any lease changes hands.
+  serve::ClaimLeasesRequest claim;
+  claim.run_id = "dist-hash";
+  claim.worker_id = 9;
+  claim.config_hash = status.config_hash + 1;
+  EXPECT_EQ(code_of([&] { c.claim_leases(claim); }),
+            ErrorCode::kPrecondition);
+  // The run's own hash (and 0 = "not known yet") are accepted.
+  claim.config_hash = status.config_hash;
+  EXPECT_EQ(c.claim_leases(claim).run_state, serve::RunState::kComplete);
+  claim.config_hash = 0;
+  EXPECT_EQ(c.claim_leases(claim).run_state, serve::RunState::kComplete);
+}
+
+TEST_F(ServeTest, ServerValidatesLeaseTtlAgainstHeartbeatInterval) {
+  // A worker needs several heartbeat opportunities inside one TTL window;
+  // 3 * interval must be strictly under the TTL.
+  serve::ServerOptions tight;
+  tight.lease_ttl_ms = 900;
+  tight.heartbeat_interval_ms = 300;
+  EXPECT_EQ(code_of([&] { start(tight); }), ErrorCode::kPrecondition);
+  serve::ServerOptions zero;
+  zero.lease_ttl_ms = 0;
+  EXPECT_EQ(code_of([&] { start(zero); }), ErrorCode::kPrecondition);
+}
+
+// --- client reconnect semantics --------------------------------------------
+
+TEST_F(ServeTest, StaleConnectionAfterRestartFailsTypedAndFreshOneWorks) {
+  start();
+  serve::Client stale = client();
+  EXPECT_EQ(stale.hello().protocol_version, wire::kProtocolVersion);
+
+  // Restart the daemon on the same socket path (the stopped listener is
+  // stale, so the new one may take the path over).
+  server_->stop();
+  server_ = std::make_unique<serve::Server>(options_);
+  server_->start();
+
+  // The old connection is dead: the next RPC surfaces a typed transport
+  // error — the cue a distributed worker's retry loop uses to reconnect —
+  // and a fresh connection against the same path works immediately.
+  stale.set_rpc_timeout_ms(2'000);
+  EXPECT_EQ(code_of([&] { stale.hello(); }), ErrorCode::kIoTransient);
+  serve::Client fresh = client();
+  EXPECT_EQ(fresh.hello().server, options_.server_name);
+}
+
+TEST_F(ServeTest, SilentPeerSurfacesAsDeadlineExceededNotAHang) {
+  scratch_ = fresh_scratch();
+  // A listener that never accepts: connects succeed (backlog), requests
+  // vanish. Half-open daemons look exactly like this to a client.
+  const std::string silent_path = (scratch_ / "silent.sock").string();
+  net::Fd listener = net::listen_unix(silent_path);
+  serve::Client c = serve::Client::connect_unix(silent_path);
+  c.set_rpc_timeout_ms(200);
+  EXPECT_EQ(code_of([&] { c.hello(); }), ErrorCode::kDeadlineExceeded);
+}
+
+TEST_F(ServeTest, RpcAfterServerStopIsTypedNotAHang) {
+  start();
+  serve::Client c = client();
+  c.set_rpc_timeout_ms(2'000);
+  c.shutdown_server();
+  server_->stop();
+  serve::HeartbeatRequest hb;
+  hb.run_id = "gone";
+  hb.worker_id = 3;
+  const ErrorCode code = code_of([&] { c.heartbeat(hb); });
+  EXPECT_TRUE(code == ErrorCode::kIoTransient ||
+              code == ErrorCode::kDeadlineExceeded)
+      << "got code " << static_cast<int>(code);
 }
 
 // --- determinism: remote == local, byte for byte ---------------------------

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "circuit/bench_parser.h"
 #include "circuit/synthetic.h"
@@ -20,9 +22,11 @@
 #include "placer/recursive_placer.h"
 #include "robust/fault_injection.h"
 #include "ssta/experiment.h"
+#include "ssta/lease_ledger.h"
 #include "ssta/mc_run.h"
 #include "ssta/mc_ssta.h"
 #include "store/file_lock.h"
+#include "store/record_log.h"
 
 namespace sckl::ssta {
 namespace {
@@ -447,6 +451,116 @@ TEST_F(CheckpointedMcTest, SketchReportsTailQuantiles) {
   EXPECT_LE(p99, p999);
   EXPECT_LE(p999, sketch.max());
   EXPECT_GE(p99, r.worst_delay.mean());  // the tail sits above the mean
+}
+
+// --- the remote half of the lease state machine ----------------------------
+
+class LeaseCoordinatorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kEndpoints = 2;
+
+  /// 3 leases of 2 blocks over a fresh ledger file.
+  LeaseCoordinator make_coordinator(const std::string& name,
+                                    double ttl_seconds) {
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("sckl_lease_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::vector<Lease> leases(3);
+    for (std::size_t l = 0; l < 3; ++l) {
+      leases[l].first_block = 2 * l;
+      leases[l].num_blocks = 2;
+    }
+    return LeaseCoordinator(std::move(leases),
+                            store::RecordLog::open(dir / "ledger.log"),
+                            ttl_seconds, kEndpoints, stats_);
+  }
+
+  static detail::BlockPartial make_partial(std::size_t endpoints = kEndpoints) {
+    detail::BlockPartial p;
+    p.worst_delay.add(1.0);
+    p.worst_delay_sketch.add(1.0);
+    p.endpoint.resize(endpoints);
+    for (RunningStats& e : p.endpoint) e.add(0.5);
+    return p;
+  }
+
+  McRunStats stats_;
+};
+
+TEST_F(LeaseCoordinatorTest, RemoteClaimHeartbeatPublishRoundTrip) {
+  LeaseCoordinator coord = make_coordinator("roundtrip", /*ttl=*/30.0);
+  EXPECT_THROW(coord.claim_remote(/*worker=*/0, 1), Error);
+
+  const std::vector<ClaimedLease> claimed = coord.claim_remote(7, 2);
+  ASSERT_EQ(claimed.size(), 2u);
+  EXPECT_EQ(claimed[0].index, 0u);
+  EXPECT_EQ(claimed[0].first_block, 0u);
+  EXPECT_EQ(claimed[0].num_blocks, 2u);
+  EXPECT_EQ(claimed[1].index, 1u);
+  EXPECT_EQ(stats_.leases_remote_claimed, 2u);
+  EXPECT_EQ(coord.progress().claimed, 2u);
+
+  // Heartbeats only extend the claimer's own leases.
+  EXPECT_EQ(coord.heartbeat(7), 2u);
+  EXPECT_EQ(coord.heartbeat(99), 0u);
+
+  // Wire-supplied geometry is validated against the lease table before the
+  // partial can touch the ledger.
+  const detail::BlockPartial partial = make_partial();
+  EXPECT_THROW(coord.publish_remote(7, /*index=*/5, 0, 2, partial), Error);
+  EXPECT_THROW(coord.publish_remote(7, /*index=*/0, 1, 2, partial), Error);
+  EXPECT_THROW(
+      coord.publish_remote(7, 0, 0, 2, make_partial(kEndpoints + 1)), Error);
+
+  EXPECT_TRUE(coord.publish_remote(7, 0, 0, 2, partial));
+  EXPECT_EQ(stats_.leases_remote_published, 1u);
+  // A duplicate publish of a complete lease carries identical bits by
+  // construction: silently deduped, not an error, not a second commit.
+  EXPECT_TRUE(coord.publish_remote(42, 0, 0, 2, partial));
+  EXPECT_EQ(stats_.leases_remote_published, 1u);
+  EXPECT_EQ(stats_.ledger_appends, 1u);
+  // Publishing a lease nobody holds is refused: claim again.
+  EXPECT_FALSE(coord.publish_remote(7, 2, 4, 2, partial));
+  EXPECT_EQ(coord.progress().complete, 1u);
+  EXPECT_FALSE(coord.all_complete());
+}
+
+TEST_F(LeaseCoordinatorTest, ExpiredRemoteClaimIsReclaimedAndRecommitted) {
+  LeaseCoordinator coord = make_coordinator("expiry", /*ttl=*/0.05);
+  ASSERT_EQ(coord.claim_remote(7, 1).size(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  // The claim timed out without a heartbeat: the late publish is refused
+  // and the lease goes back to Available.
+  EXPECT_FALSE(coord.publish_remote(7, 0, 0, 2, make_partial()));
+  EXPECT_GE(stats_.leases_expired, 1u);
+  EXPECT_EQ(coord.progress().claimed, 0u);
+  // An expired heartbeat does not revive the claim either.
+  EXPECT_EQ(coord.heartbeat(7), 0u);
+
+  // A re-claimer commits the identical bits; the recompute is counted.
+  const std::vector<ClaimedLease> again = coord.claim_remote(8, 1);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].index, 0u);
+  EXPECT_TRUE(coord.publish_remote(8, 0, 0, 2, make_partial()));
+  EXPECT_EQ(stats_.leases_recomputed, 1u);
+  EXPECT_EQ(coord.progress().complete, 1u);
+}
+
+TEST_F(LeaseCoordinatorTest, RemoteActivityWakesTheCoordinatorWait) {
+  LeaseCoordinator coord = make_coordinator("activity", /*ttl=*/30.0);
+  std::uint64_t last_seen = coord.activity_count();
+  // Silence: the wait times out, the cue for the local fallback to compute.
+  EXPECT_FALSE(coord.wait_for_remote_activity(last_seen, 0.01));
+  // A remote claim bumps the activity counter and wakes the waiter.
+  std::thread claimer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    coord.claim_remote(7, 1);
+  });
+  EXPECT_TRUE(coord.wait_for_remote_activity(last_seen, 5.0));
+  claimer.join();
+  EXPECT_EQ(last_seen, coord.activity_count());
 }
 
 }  // namespace
