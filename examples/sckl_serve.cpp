@@ -2,7 +2,8 @@
 //
 //   sckl_serve serve    --socket=PATH [--tcp] [--port=0] --root=DIR
 //                       [--threads=0] [--max-queue=64] [--deadline-ms=30000]
-//                       [--max-sample-rows=1048576] [--batch-limit=8]
+//                       [--max-sample-rows=1048576] [--block-samples=2048]
+//                       [--batch-limit=8]
 //                       [--batch-window-ms=0] [--drain-ms=2000]
 //                       [--lease-ttl=300000] [--heartbeat-ms=1000]
 //       Runs the daemon until SIGTERM/SIGINT or a shutdown request, then
@@ -77,6 +78,19 @@ int cmd_serve(const CliFlags& flags) {
       "deadline-ms", static_cast<long>(options.default_deadline_ms)));
   options.max_sample_rows = static_cast<std::size_t>(flags.get_int(
       "max-sample-rows", static_cast<long>(options.max_sample_rows)));
+  if (flags.has("block-samples")) {
+    // Shared --block-samples spelling (common/cli ExperimentFlagSet): the
+    // per-chunk row count of streamed sample replies. An explicit value is
+    // validated against the server's cap; the Server ctor silently clamps
+    // only the built-in default.
+    options.sample_chunk_rows = static_cast<std::size_t>(
+        flags.get_int("block-samples",
+                      static_cast<long>(options.sample_chunk_rows)));
+    require(options.sample_chunk_rows >= 1,
+            "serve: --block-samples must be at least 1");
+    require(options.sample_chunk_rows <= options.max_sample_rows,
+            "serve: --block-samples exceeds --max-sample-rows");
+  }
   options.batch_limit =
       static_cast<std::size_t>(flags.get_int("batch-limit", 8));
   options.batch_window_ms =

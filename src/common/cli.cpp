@@ -71,6 +71,10 @@ void ExperimentFlagSet::apply(const CliFlags& flags) {
   seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<long>(seed)));
   num_threads = get_size(flags, "threads", num_threads);
+  block_samples = get_size(flags, "block-samples", block_samples);
+  require(block_samples <= kMaxBlockSamples,
+          "ExperimentFlagSet: --block-samples exceeds the maximum of " +
+              std::to_string(kMaxBlockSamples));
   store_root = flags.get_string("store", store_root);
   validate = flags.get_bool("validate", validate);
   strict = flags.get_bool("strict", strict);

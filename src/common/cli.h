@@ -47,7 +47,7 @@ class CliFlags {
 /// kle_store_tool, bench_table1_ssta, bench_fig6_convergence):
 ///
 ///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
-///   --store=DIR     --validate   --strict  --fsck
+///   --block-samples=N  --store=DIR  --validate  --strict  --fsck
 ///   --run-id=NAME   --resume     --lease-ttl=MS
 ///   --trace         --trace-json=PATH
 ///
@@ -63,6 +63,13 @@ struct ExperimentFlagSet {
   std::uint64_t seed = 1;
   /// 0 = auto (SCKL_THREADS env, else hardware concurrency), 1 = serial.
   std::size_t num_threads = 0;
+  /// Monte Carlo block size (--block-samples): samples generated per
+  /// staged latent-fill + GEMM in the MC pipeline, and the serve daemon's
+  /// per-chunk row count. 0 = each consumer's default. Index-addressed
+  /// sampling makes the choice a pure performance knob — results are
+  /// bit-identical for any value. apply() rejects values above
+  /// kMaxBlockSamples (the serve layer's max_sample_rows ceiling).
+  std::size_t block_samples = 0;
   std::string store_root;  // empty = no artifact store
   bool validate = false;
   bool strict = false;  // implies validate at the consumer
@@ -81,6 +88,11 @@ struct ExperimentFlagSet {
   /// implies tracing, as does the SCKL_TRACE environment variable).
   bool trace = false;
   std::string trace_json;  // empty = no JSON export
+
+  /// Largest accepted --block-samples value. Matches the serve layer's
+  /// default max_sample_rows cap so one request/block can never outgrow
+  /// what a server is willing to materialize.
+  static constexpr std::size_t kMaxBlockSamples = std::size_t{1} << 20;
 
   /// Overrides fields from the flags present in `flags`.
   void apply(const CliFlags& flags);

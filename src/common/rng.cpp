@@ -184,4 +184,17 @@ double CounterRng::normal(std::uint64_t index, std::uint64_t lane) const {
   return standard_normal_quantile(uniform(index, lane));
 }
 
+void CounterRng::normal_row(std::uint64_t index, std::uint64_t first_lane,
+                            std::size_t count, double* out) const {
+  // absorb(absorb(digest, index), lane) with the index round hoisted: the
+  // same composition as bits(), so each out[c] is bit-identical to the
+  // scalar normal(index, first_lane + c).
+  const std::uint64_t row_digest = absorb(digest_, index);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::uint64_t word = absorb(row_digest, first_lane + c);
+    const double u = (static_cast<double>(word >> 11) + 0.5) * 0x1.0p-53;
+    out[c] = standard_normal_quantile(u);
+  }
+}
+
 }  // namespace sckl

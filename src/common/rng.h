@@ -123,6 +123,13 @@ class CounterRng {
   /// one draw per (index, lane), no rejection, no carried state.
   double normal(std::uint64_t index, std::uint64_t lane) const;
 
+  /// Batched row of normal draws: out[c] = normal(index, first_lane + c)
+  /// for c in [0, count), bit-identical to the scalar calls. The per-index
+  /// digest round is hoisted out of the lane loop, which is what makes
+  /// block-at-a-time latent generation cheaper than `count` scalar calls.
+  void normal_row(std::uint64_t index, std::uint64_t first_lane,
+                  std::size_t count, double* out) const;
+
  private:
   std::uint64_t digest_;
 };

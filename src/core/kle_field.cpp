@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "linalg/blas.h"
+#include "linalg/gemm.h"
 
 namespace sckl::core {
 
@@ -25,6 +25,7 @@ KleField::KleField(const KleResult& kle, std::size_t r,
     std::copy(d_lambda_.row_ptr(tri), d_lambda_.row_ptr(tri) + r_,
               gate_rows_.row_ptr(i));
   }
+  gate_rows_t_ = gate_rows_.transposed();
 }
 
 std::size_t KleField::triangle_of_location(std::size_t i) const {
@@ -36,14 +37,16 @@ std::size_t KleField::triangle_of_location(std::size_t i) const {
 void KleField::reconstruct(const linalg::Vector& xi,
                            linalg::Vector& values) const {
   require(xi.size() == r_, "KleField::reconstruct: xi has wrong dimension");
-  values = linalg::gemv(gate_rows_, xi);
+  // G^T-transposed product over the GEMM-ready layout: bit-identical to the
+  // corresponding row of reconstruct_block (same k-ascending fma chains).
+  values = linalg::gemv_transposed_fast(gate_rows_t_, xi);
 }
 
 linalg::Matrix KleField::reconstruct_block(
     const linalg::Matrix& xi_block) const {
   require(xi_block.cols() == r_,
           "KleField::reconstruct_block: xi has wrong dimension");
-  return linalg::gemm_bt(xi_block, gate_rows_);
+  return linalg::gemm_fast(xi_block, gate_rows_t_);
 }
 
 }  // namespace sckl::core

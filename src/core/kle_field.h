@@ -54,6 +54,7 @@ class KleField {
   std::size_t r_;
   linalg::Matrix d_lambda_;   // n x r
   linalg::Matrix gate_rows_;  // num_locations x r (gathered rows of d_lambda_)
+  linalg::Matrix gate_rows_t_;  // r x num_locations, the GEMM-ready layout
   std::vector<std::size_t> triangle_index_;
   std::size_t out_of_mesh_count_ = 0;
 };

@@ -1,8 +1,9 @@
 #include "field/cholesky_sampler.h"
 
+#include <utility>
+
 #include "common/error.h"
-#include "linalg/blas.h"
-#include "obs/metrics.h"
+#include "linalg/cholesky.h"
 #include "obs/trace.h"
 
 namespace sckl::field {
@@ -10,33 +11,24 @@ namespace sckl::field {
 CholeskyFieldSampler::CholeskyFieldSampler(
     const kernels::CovarianceKernel& kernel,
     const std::vector<geometry::Point2>& locations)
-    : n_(locations.size()), factor_{}, jitter_(0.0) {
-  require(n_ > 0, "CholeskyFieldSampler: no locations");
+    : jitter_(0.0) {
+  const std::size_t n = locations.size();
+  require(n > 0, "CholeskyFieldSampler: no locations");
   obs::Span span("field.cholesky_setup");
-  linalg::Matrix gram(n_, n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i; j < n_; ++j) {
+  linalg::Matrix gram(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
       const double value = kernel(locations[i], locations[j]);
       gram(i, j) = value;
       gram(j, i) = value;
     }
   }
   auto result = linalg::cholesky_with_jitter(std::move(gram));
-  factor_ = std::move(result.factor);
   jitter_ = result.jitter;
-}
-
-void CholeskyFieldSampler::sample_block(const SampleRange& range,
-                                        const StreamKey& key,
-                                        linalg::Matrix& out) const {
-  obs::Span span("field.sample_block.cholesky");
-  static obs::Counter& samples = obs::counter("sckl.field.samples.cholesky");
-  samples.add(range.count);
-  linalg::Matrix z;
-  fill_latent_normals(range, key, n_, z);
-  // P = Z L^T: row p of P is L applied to the standard-normal row, giving
-  // covariance L L^T = K.
-  out = linalg::gemm_bt(z, factor_.lower);
+  // P = Z U for U = L^T gives covariance U^T U = L L^T = K; storing U
+  // directly makes reconstruction a plain row-major GEMM.
+  set_operator(result.factor.lower.transposed(), "field.reconstruct.cholesky",
+               "sckl.field.samples.cholesky");
 }
 
 }  // namespace sckl::field

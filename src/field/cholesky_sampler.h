@@ -4,11 +4,13 @@
 //   U_j  <- CholeskyUpperFactor(K_j)
 //   P_j  <- RandNormal(N, N_g) * U_j
 //
-// We store the lower factor L = U^T and compute P = Z L^T via gemm_bt. The
-// Gram matrix of a smooth kernel at thousands of locations is numerically
-// semi-definite, so the factorization uses the standard jitter escape.
-// This sampler is the *reference generator*: exact covariance at the gate
-// locations, O(N_g^3/3) setup and O(N N_g^2) per block.
+// We factor K = L L^T and store the upper factor U = L^T as the
+// LinearFieldSampler operator, so P = Z U is one row-major GEMM per block
+// (covariance U^T U = K). The Gram matrix of a smooth kernel at thousands
+// of locations is numerically semi-definite, so the factorization uses the
+// standard jitter escape. This sampler is the *reference generator*: exact
+// covariance at the gate locations, O(N_g^3/3) setup and O(N N_g^2) per
+// block.
 #pragma once
 
 #include <vector>
@@ -16,28 +18,20 @@
 #include "field/field_sampler.h"
 #include "geometry/point2.h"
 #include "kernels/covariance_kernel.h"
-#include "linalg/cholesky.h"
 
 namespace sckl::field {
 
 /// Exact (Cholesky-based) correlated sampler at fixed locations.
-class CholeskyFieldSampler final : public FieldSampler {
+class CholeskyFieldSampler final : public LinearFieldSampler {
  public:
   /// Builds the covariance matrix of `kernel` at `locations` and factors it.
   CholeskyFieldSampler(const kernels::CovarianceKernel& kernel,
                        const std::vector<geometry::Point2>& locations);
 
-  std::size_t num_locations() const override { return n_; }
-  std::size_t latent_dimension() const override { return n_; }
-  void sample_block(const SampleRange& range, const StreamKey& key,
-                    linalg::Matrix& out) const override;
-
   /// Jitter that was required to make the Gram matrix factorizable.
   double jitter() const { return jitter_; }
 
  private:
-  std::size_t n_;
-  linalg::CholeskyFactor factor_;
   double jitter_;
 };
 

@@ -12,8 +12,10 @@ linalg::Matrix empirical_covariance(const FieldSampler& sampler,
                                     const StreamKey& key) {
   require(num_samples >= 2, "empirical_covariance: need at least two samples");
   const std::size_t g = sampler.num_locations();
+  linalg::Matrix latents;
   linalg::Matrix block;
-  sampler.sample_block(SampleRange{0, num_samples}, key, block);
+  sampler.latent_block(SampleRange{0, num_samples}, key, latents);
+  sampler.reconstruct(latents, block);
 
   linalg::Vector mean(g, 0.0);
   for (std::size_t s = 0; s < num_samples; ++s) {

@@ -1,6 +1,9 @@
 #include "field/field_sampler.h"
 
 #include "common/error.h"
+#include "linalg/gemm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sckl::field {
 
@@ -9,12 +12,40 @@ void fill_latent_normals(const SampleRange& range, const StreamKey& key,
   require(range.count > 0, "fill_latent_normals: empty sample range");
   require(dimension > 0, "fill_latent_normals: zero latent dimension");
   const CounterRng rng(key);
-  xi = linalg::Matrix(range.count, dimension);
-  for (std::size_t i = 0; i < range.count; ++i) {
-    double* row = xi.row_ptr(i);
-    const std::uint64_t index = range.first + i;
-    for (std::size_t c = 0; c < dimension; ++c) row[c] = rng.normal(index, c);
-  }
+  xi.reshape(range.count, dimension);
+  for (std::size_t i = 0; i < range.count; ++i)
+    rng.normal_row(range.first + i, 0, dimension, xi.row_ptr(i));
+}
+
+void FieldSampler::latent_block(const SampleRange& range, const StreamKey& key,
+                                linalg::Matrix& xi) const {
+  fill_latent_normals(range, key, latent_dimension(), xi);
+}
+
+void FieldSampler::sample_block(const SampleRange& range, const StreamKey& key,
+                                linalg::Matrix& out) const {
+  thread_local linalg::Matrix latents;
+  latent_block(range, key, latents);
+  reconstruct(latents, out);
+}
+
+void LinearFieldSampler::set_operator(linalg::Matrix op_transposed,
+                                      const char* span_name,
+                                      const char* counter_name) {
+  require(!op_transposed.empty(),
+          "LinearFieldSampler: empty reconstruction operator");
+  op_t_ = std::move(op_transposed);
+  span_name_ = span_name;
+  samples_ = counter_name == nullptr ? nullptr : &obs::counter(counter_name);
+}
+
+void LinearFieldSampler::reconstruct(const linalg::Matrix& xi,
+                                     linalg::Matrix& out) const {
+  require(xi.cols() == op_t_.rows(),
+          "LinearFieldSampler::reconstruct: latent dimension mismatch");
+  obs::Span span(span_name_);
+  if (samples_ != nullptr) samples_->add(xi.rows());
+  linalg::gemm_into(xi, op_t_, out);
 }
 
 }  // namespace sckl::field

@@ -1,33 +1,19 @@
 #include "field/kle_sampler.h"
 
 #include "common/error.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace sckl::field {
 
 KleFieldSampler::KleFieldSampler(const core::KleResult& kle, std::size_t r,
                                  const std::vector<geometry::Point2>& locations)
-    : r_(r), field_(kle, r, locations) {}
+    : field_(kle, r, locations) {
+  set_operator(field_.location_operator().transposed(),
+               "field.reconstruct.kle", "sckl.field.samples.kle");
+}
 
 KleFieldSampler::KleFieldSampler(const store::StoredKleResult& stored,
                                  std::size_t r,
                                  const std::vector<geometry::Point2>& locations)
     : KleFieldSampler(stored.kle(), r, locations) {}
-
-std::size_t KleFieldSampler::num_locations() const {
-  return field_.num_locations();
-}
-
-void KleFieldSampler::sample_block(const SampleRange& range,
-                                   const StreamKey& key,
-                                   linalg::Matrix& out) const {
-  obs::Span span("field.sample_block.kle");
-  static obs::Counter& samples = obs::counter("sckl.field.samples.kle");
-  samples.add(range.count);
-  linalg::Matrix xi;
-  fill_latent_normals(range, key, r_, xi);
-  out = field_.reconstruct_block(xi);
-}
 
 }  // namespace sckl::field

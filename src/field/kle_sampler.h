@@ -16,8 +16,10 @@
 
 namespace sckl::field {
 
-/// Reduced-dimension sampler backed by a truncated KLE.
-class KleFieldSampler final : public FieldSampler {
+/// Reduced-dimension sampler backed by a truncated KLE. Reconstruction is
+/// the LinearFieldSampler GEMM against D_lambda^T gathered at the gate
+/// locations (r x N_g).
+class KleFieldSampler final : public LinearFieldSampler {
  public:
   /// Freezes `kle` at truncation r for the given locations. The KleResult
   /// may be destroyed afterwards; all needed state is copied.
@@ -28,11 +30,6 @@ class KleFieldSampler final : public FieldSampler {
   KleFieldSampler(const store::StoredKleResult& stored, std::size_t r,
                   const std::vector<geometry::Point2>& locations);
 
-  std::size_t num_locations() const override;
-  std::size_t latent_dimension() const override { return r_; }
-  void sample_block(const SampleRange& range, const StreamKey& key,
-                    linalg::Matrix& out) const override;
-
   const core::KleField& field() const { return field_; }
 
   /// Locations that were outside every mesh triangle and got resolved to
@@ -40,7 +37,6 @@ class KleFieldSampler final : public FieldSampler {
   std::size_t out_of_mesh_count() const { return field_.out_of_mesh_count(); }
 
  private:
-  std::size_t r_;
   core::KleField field_;
 };
 

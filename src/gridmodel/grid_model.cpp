@@ -78,23 +78,18 @@ linalg::Matrix GridCorrelationModel::reduction_operator(std::size_t r) const {
 
 GridPcaSampler::GridPcaSampler(const GridCorrelationModel& model,
                                std::size_t r,
-                               const std::vector<geometry::Point2>& locations)
-    : r_(r) {
+                               const std::vector<geometry::Point2>& locations) {
   require(!locations.empty(), "GridPcaSampler: no locations");
   const linalg::Matrix d = model.reduction_operator(r);
-  rows_ = linalg::Matrix(locations.size(), r_);
+  // Gather each location's cell row, directly transposed: op(c, i) is PCA
+  // component c at location i.
+  linalg::Matrix op(r, locations.size());
   for (std::size_t i = 0; i < locations.size(); ++i) {
     const std::size_t cell = model.cell_of(locations[i]);
-    std::copy(d.row_ptr(cell), d.row_ptr(cell) + r_, rows_.row_ptr(i));
+    for (std::size_t c = 0; c < r; ++c) op(c, i) = d(cell, c);
   }
-}
-
-void GridPcaSampler::sample_block(const field::SampleRange& range,
-                                  const StreamKey& key,
-                                  linalg::Matrix& out) const {
-  linalg::Matrix xi;
-  field::fill_latent_normals(range, key, r_, xi);
-  out = linalg::gemm_bt(xi, rows_);
+  set_operator(std::move(op), "field.reconstruct.grid",
+               "sckl.field.samples.grid");
 }
 
 }  // namespace sckl::gridmodel

@@ -66,20 +66,12 @@ class GridCorrelationModel {
 
 /// FieldSampler over the grid+PCA model: each location maps to its cell and
 /// samples are reconstructed from r principal components (the grid-model
-/// analogue of Algorithm 2).
-class GridPcaSampler final : public field::FieldSampler {
+/// analogue of Algorithm 2). The gathered per-location PCA rows, stored
+/// transposed (r x num_locations), are the LinearFieldSampler operator.
+class GridPcaSampler final : public field::LinearFieldSampler {
  public:
   GridPcaSampler(const GridCorrelationModel& model, std::size_t r,
                  const std::vector<geometry::Point2>& locations);
-
-  std::size_t num_locations() const override { return rows_.rows(); }
-  std::size_t latent_dimension() const override { return r_; }
-  void sample_block(const field::SampleRange& range, const StreamKey& key,
-                    linalg::Matrix& out) const override;
-
- private:
-  std::size_t r_;
-  linalg::Matrix rows_;  // num_locations x r (gathered cell rows)
 };
 
 }  // namespace sckl::gridmodel

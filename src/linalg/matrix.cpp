@@ -27,6 +27,12 @@ void Matrix::fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  if (data_.size() < rows * cols) data_.resize(rows * cols);
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -67,7 +73,7 @@ double Matrix::max_abs_diff(const Matrix& other) const {
   require(rows_ == other.rows_ && cols_ == other.cols_,
           "Matrix::max_abs_diff: shape mismatch");
   double worst = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i)
+  for (std::size_t i = 0; i < rows_ * cols_; ++i)
     worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
   return worst;
 }

@@ -54,6 +54,13 @@ class Matrix {
   /// Sets every element to `value`.
   void fill(double value);
 
+  /// Re-shapes this matrix to rows x cols, reusing the existing allocation
+  /// when it is large enough. Element contents are unspecified afterwards;
+  /// callers are expected to overwrite every element. This is the scratch
+  /// primitive behind the block samplers, which reuse one latent matrix
+  /// across blocks instead of reallocating per block.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// Returns the transpose.
   Matrix transposed() const;
 

@@ -49,6 +49,11 @@ Server::Server(const ServerOptions& options)
   require(options_.batch_limit >= 1, "Server: batch_limit must be >= 1");
   require(options_.sample_chunk_rows >= 1,
           "Server: sample_chunk_rows must be >= 1");
+  // A chunk larger than the per-request row cap can never fill; clamp so
+  // the two limits stay coherent however they were configured. The serve
+  // CLI additionally rejects an explicit --block-samples above the cap.
+  options_.sample_chunk_rows =
+      std::min(options_.sample_chunk_rows, options_.max_sample_rows);
   require(options_.lease_ttl_ms > 0, "Server: lease_ttl_ms must be > 0");
   // A worker heartbeating on schedule must get several extension chances
   // before its leases can expire, or routine scheduling jitter would
@@ -553,6 +558,7 @@ void Server::execute_sample_batch(std::vector<Request>& batch) {
       reply.cols = sampler->num_locations();
       reply.values.reserve(static_cast<std::size_t>(reply.rows) *
                            static_cast<std::size_t>(reply.cols));
+      linalg::Matrix latents;
       linalg::Matrix chunk;
       std::size_t done = 0;
       while (done < body.range.count) {
@@ -565,8 +571,11 @@ void Server::execute_sample_batch(std::vector<Request>& batch) {
                                        body.range.count - done);
         // Chunking cannot change the bits: every sample row is a pure
         // function of its global index (stateless index-addressed draws).
+        // The chunk is produced through the staged interface — one latent
+        // fill, one GEMM — with both matrices reused across chunks.
         const field::SampleRange range{body.range.first + done, n};
-        sampler->sample_block(range, body.stream, chunk);
+        sampler->latent_block(range, body.stream, latents);
+        sampler->reconstruct(latents, chunk);
         reply.values.insert(reply.values.end(), chunk.data(),
                             chunk.data() + n * sampler->num_locations());
         done += n;

@@ -29,6 +29,7 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   set.r = config.r;
   set.seed = config.seed;
   set.num_threads = config.num_threads;
+  set.block_samples = config.mc_block_size;
   set.store_root = config.store_root;
   set.validate = config.validate_kle;
   set.strict = config.strict;
@@ -41,6 +42,7 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   config.r = set.r;
   config.seed = set.seed;
   config.num_threads = set.num_threads;
+  config.mc_block_size = set.block_samples;
   config.store_root = set.store_root;
   config.validate_kle = set.validate;
   config.strict = set.strict;

@@ -72,9 +72,14 @@ void compute_block_partial(const timing::StaEngine& engine,
 
   obs::Stopwatch sampling;
   const field::SampleRange range{first, n};
-  for (std::size_t j = 0; j < timing::kNumStatParameters; ++j)
-    samplers[j]->sample_block(range, StreamKey{options.seed, j},
-                              scratch.blocks[j]);
+  for (std::size_t j = 0; j < timing::kNumStatParameters; ++j) {
+    // Staged sampling: one latent fill plus one GEMM per parameter, with
+    // the latent scratch shared across parameters (each parameter's draws
+    // come from its own StreamKey, so reuse is just allocation reuse).
+    samplers[j]->latent_block(range, StreamKey{options.seed, j},
+                              scratch.latents);
+    samplers[j]->reconstruct(scratch.latents, scratch.blocks[j]);
+  }
   partial.sampling_seconds = sampling.seconds();
 
   obs::Stopwatch sta;

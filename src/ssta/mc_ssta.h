@@ -114,10 +114,12 @@ struct BlockPartial {
   bool state_equals(const BlockPartial& other) const;
 };
 
-/// Per-worker scratch: one sample matrix per statistical parameter, reused
-/// across the blocks a worker claims so allocations happen once.
+/// Per-worker scratch: one sample matrix per statistical parameter plus the
+/// shared latent matrix for the staged sampler interface, reused across the
+/// blocks a worker claims so allocations happen once.
 struct BlockScratch {
   std::array<linalg::Matrix, timing::kNumStatParameters> blocks;
+  linalg::Matrix latents;
 };
 
 /// Computes block `block_index`'s partial statistics: draws the block's

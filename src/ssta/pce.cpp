@@ -10,6 +10,7 @@
 #include "field/lhs.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
+#include "linalg/gemm.h"
 
 namespace sckl::ssta {
 namespace {
@@ -147,7 +148,10 @@ PceAnalysis fit_worst_delay_pce(const timing::StaEngine& engine,
     for (std::size_t i = 0; i < n; ++i)
       std::copy(xi.row_ptr(i) + offset, xi.row_ptr(i) + offset + r,
                 xi_j.row_ptr(i));
-    gate_values[j] = linalg::gemm_bt(xi_j, *operators[j]);
+    // One transpose per parameter puts the operator in the GEMM-ready
+    // latent x locations layout; the product then runs on the blocked
+    // SIMD kernels.
+    gate_values[j] = linalg::gemm_fast(xi_j, operators[j]->transposed());
     offset += r;
   }
 

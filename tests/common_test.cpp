@@ -182,6 +182,25 @@ TEST(CounterRng, NormalMomentsMatchStandardNormal) {
   EXPECT_NEAR(sum_cubed / static_cast<double>(n), 0.0, 0.03);
 }
 
+TEST(CounterRng, NormalRowIsBitIdenticalToScalarNormal) {
+  // The batched hot path (field::fill_latent_normals rides normal_row) is
+  // only allowed to hoist the per-index digest round — the bits of every
+  // draw must match the scalar normal() calls exactly, including with a
+  // nonzero lane offset and across row lengths that cross any internal
+  // unrolling boundary.
+  const CounterRng rng(StreamKey{314, 7});
+  for (const std::size_t count : {1u, 7u, 8u, 25u, 64u, 193u}) {
+    for (const std::uint64_t first_lane : {0u, 3u}) {
+      std::vector<double> row(count);
+      rng.normal_row(5, first_lane, count, row.data());
+      for (std::size_t c = 0; c < count; ++c)
+        ASSERT_EQ(row[c], rng.normal(5, first_lane + c))
+            << "count=" << count << " first_lane=" << first_lane
+            << " c=" << c;
+    }
+  }
+}
+
 TEST(StandardNormalQuantile, RoundTripsAndRejectsEndpoints) {
   // Acklam's approximation is accurate to ~1.2e-9 relative; the erfc-based
   // CDF closes the loop.
@@ -607,6 +626,35 @@ TEST(ExperimentFlagSet, RejectsNegativeCounts) {
   const char* argv[] = {"prog", "--threads=-2"};
   CliFlags flags(2, argv);
   EXPECT_THROW(parse_experiment_flags(flags), Error);
+}
+
+TEST(ExperimentFlagSet, BlockSamplesParsesAndValidates) {
+  {
+    const char* argv[] = {"prog", "--block-samples=512"};
+    CliFlags flags(2, argv);
+    const ExperimentFlagSet set = parse_experiment_flags(flags);
+    EXPECT_EQ(set.block_samples, 512u);
+  }
+  {
+    // Absent flag keeps the 0 = subsystem-default sentinel.
+    const char* argv[] = {"prog"};
+    CliFlags flags(1, argv);
+    EXPECT_EQ(parse_experiment_flags(flags).block_samples, 0u);
+  }
+  {
+    const char* argv[] = {"prog", "--block-samples=-1"};
+    CliFlags flags(2, argv);
+    EXPECT_THROW(parse_experiment_flags(flags), Error);
+  }
+  {
+    // One past the serve-layer ceiling the flag is validated against.
+    const std::string flag =
+        "--block-samples=" +
+        std::to_string(ExperimentFlagSet::kMaxBlockSamples + 1);
+    const char* argv[] = {"prog", flag.c_str()};
+    CliFlags flags(2, argv);
+    EXPECT_THROW(parse_experiment_flags(flags), Error);
+  }
 }
 
 TEST(ThreadPool, ExplicitRequestIsVerbatim) {

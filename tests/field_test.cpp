@@ -15,6 +15,7 @@
 #include "field/kle_sampler.h"
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
+#include "linalg/gemm.h"
 #include "mesh/structured_mesher.h"
 
 namespace sckl::field {
@@ -170,6 +171,85 @@ TEST_F(KleSamplerTest, NearbyLocationsAreStronglyCorrelated) {
   }
   EXPECT_GT(close_pair.correlation(), 0.9);
   EXPECT_LT(std::abs(far_pair.correlation()), 0.2);
+}
+
+TEST_F(KleSamplerTest, StagedStagesComposeToSampleBlock) {
+  // The staged API contract: sample_block is exactly latent_block followed
+  // by reconstruct — bit-for-bit, so callers that manage their own latent
+  // scratch (mc_ssta, serve) stay on the composed path's stream.
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  const SampleRange range{5, 16};
+  const StreamKey key{27, 2};
+  linalg::Matrix composed;
+  sampler.sample_block(range, key, composed);
+
+  linalg::Matrix xi;
+  sampler.latent_block(range, key, xi);
+  EXPECT_EQ(xi.rows(), 16u);
+  EXPECT_EQ(xi.cols(), sampler.latent_dimension());
+  linalg::Matrix staged;
+  sampler.reconstruct(xi, staged);
+  ASSERT_EQ(staged.rows(), composed.rows());
+  ASSERT_EQ(staged.cols(), composed.cols());
+  EXPECT_EQ(staged.max_abs_diff(composed), 0.0);
+
+  // Latents are the raw counter-RNG draws: row i of xi is the normal row
+  // at index range.first + i, independent of the sampler's operator.
+  const CounterRng rng(key);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t c = 0; c < sampler.latent_dimension(); ++c)
+      ASSERT_EQ(xi(i, c), rng.normal(range.first + i, c));
+}
+
+TEST_F(KleSamplerTest, ReconstructRejectsLatentDimensionMismatch) {
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  linalg::Matrix xi(4, 7);  // wrong: latent_dimension is 10
+  xi.fill(0.0);
+  linalg::Matrix out;
+  EXPECT_THROW(sampler.reconstruct(xi, out), Error);
+}
+
+TEST_F(KleSamplerTest, SampleBitsInvariantAcrossDispatchTargets) {
+  // The determinism contract of linalg/gemm: forcing the scalar kernels
+  // (CI runs whole suites under SCKL_SIMD=scalar) must reproduce the SIMD
+  // sample stream exactly.
+  const core::KleResult kle = solve(20);
+  const KleFieldSampler sampler(kle, 10, test_locations());
+  const SampleRange range{0, 33};
+  const StreamKey key{28, 0};
+  linalg::Matrix reference;
+  {
+    linalg::set_simd_target(linalg::SimdTarget::kScalar);
+    sampler.sample_block(range, key, reference);
+    linalg::reset_simd_target();
+  }
+  for (const linalg::SimdTarget target :
+       {linalg::SimdTarget::kScalar, linalg::SimdTarget::kAvx2,
+        linalg::SimdTarget::kAvx512}) {
+    if (!linalg::simd_target_supported(target)) continue;
+    linalg::set_simd_target(target);
+    linalg::Matrix block;
+    sampler.sample_block(range, key, block);
+    linalg::reset_simd_target();
+    EXPECT_EQ(block.max_abs_diff(reference), 0.0)
+        << linalg::simd_target_name(target);
+  }
+}
+
+TEST(CholeskySampler, StagedStagesComposeToSampleBlock) {
+  const kernels::GaussianKernel kernel(kernels::paper_gaussian_c());
+  const CholeskyFieldSampler sampler(kernel, test_locations());
+  const SampleRange range{3, 12};
+  const StreamKey key{29, 1};
+  linalg::Matrix composed;
+  sampler.sample_block(range, key, composed);
+  linalg::Matrix xi;
+  sampler.latent_block(range, key, xi);
+  linalg::Matrix staged;
+  sampler.reconstruct(xi, staged);
+  EXPECT_EQ(staged.max_abs_diff(composed), 0.0);
 }
 
 TEST(CovarianceEstimate, RejectsTooFewSamples) {

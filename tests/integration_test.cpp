@@ -3,7 +3,9 @@
 // checking the relationships the paper's experiments rely on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "circuit/synthetic.h"
 #include "common/rng.h"
@@ -131,15 +133,23 @@ TEST(Integration, SpeedAdvantageGrowsWithGateCount) {
     const field::CholeskyFieldSampler dense(kernel, locations);
     const field::KleFieldSampler reduced(kle, 25, locations);
 
-    const field::SampleRange range{0, 200};
+    const field::SampleRange range{0, 400};
     const StreamKey key{7, 0};
     linalg::Matrix block;
-    obs::Stopwatch t_dense;
-    for (int rep = 0; rep < 3; ++rep) dense.sample_block(range, key, block);
-    const double dense_time = t_dense.seconds();
-    obs::Stopwatch t_reduced;
-    for (int rep = 0; rep < 3; ++rep) reduced.sample_block(range, key, block);
-    const double reduced_time = t_reduced.seconds();
+    // Min-of-reps, not sum: the batched GEMM path made both samplers fast
+    // enough that a single preemption on a busy runner would otherwise
+    // swamp the measurement; the minimum approximates the uncontended cost.
+    const auto min_time = [&](const field::FieldSampler& sampler) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 5; ++rep) {
+        obs::Stopwatch timer;
+        sampler.sample_block(range, key, block);
+        best = std::min(best, timer.seconds());
+      }
+      return best;
+    };
+    const double dense_time = min_time(dense);
+    const double reduced_time = min_time(reduced);
     const double ratio = dense_time / std::max(reduced_time, 1e-9);
     EXPECT_GT(ratio, previous_ratio);
     previous_ratio = ratio;

@@ -18,6 +18,7 @@
 #include "field/kle_sampler.h"
 #include "kernels/kernel_fit.h"
 #include "kernels/kernel_library.h"
+#include "linalg/gemm.h"
 #include "mesh/structured_mesher.h"
 #include "placer/recursive_placer.h"
 #include "robust/fault_injection.h"
@@ -211,6 +212,36 @@ TEST_F(ParallelDeterminismTest, RetainedSamplesAreBlockSizeInvariant) {
     ASSERT_EQ(small_blocks.worst_delay_samples[i],
               large_blocks.worst_delay_samples[i])
         << "sample " << i;
+}
+
+TEST_F(ParallelDeterminismTest, DispatchTargetDoesNotChangeAnyBit) {
+  // End-to-end determinism across SIMD kernel sets: the whole MC pipeline
+  // (batched latents -> GEMM reconstruct -> STA) forced down to the scalar
+  // kernels must retain sample bits identical to every SIMD target, and
+  // that invariance must hold under threading at the same time.
+  linalg::set_simd_target(linalg::SimdTarget::kScalar);
+  const McSstaResult scalar = run_with(1, 32);
+  linalg::reset_simd_target();
+  for (const linalg::SimdTarget target :
+       {linalg::SimdTarget::kAvx2, linalg::SimdTarget::kAvx512}) {
+    if (!linalg::simd_target_supported(target)) continue;
+    linalg::set_simd_target(target);
+    const McSstaResult serial = run_with(1, 32);
+    const McSstaResult threaded = run_with(8, 32);
+    linalg::reset_simd_target();
+    ASSERT_EQ(serial.worst_delay_samples.size(),
+              scalar.worst_delay_samples.size());
+    for (std::size_t i = 0; i < scalar.worst_delay_samples.size(); ++i) {
+      ASSERT_EQ(serial.worst_delay_samples[i],
+                scalar.worst_delay_samples[i])
+          << linalg::simd_target_name(target) << " sample " << i;
+      ASSERT_EQ(threaded.worst_delay_samples[i],
+                scalar.worst_delay_samples[i])
+          << linalg::simd_target_name(target) << " threaded sample " << i;
+    }
+    EXPECT_EQ(serial.worst_delay.mean(), scalar.worst_delay.mean());
+    EXPECT_EQ(serial.worst_delay.stddev(), scalar.worst_delay.stddev());
+  }
 }
 
 TEST_F(ParallelDeterminismTest, ThreadCapIsNumBlocks) {
