@@ -87,6 +87,8 @@ int run(const sckl::CliFlags& flags) {
   request.validate = validate;
   request.run_id = config.run_id;
   request.resume = config.resume;
+  request.matrix_free = config.matrix_free;
+  request.aca_tolerance = config.aca_tolerance;
   std::unique_ptr<store::KleArtifactStore> store;
   std::unique_ptr<mesh::TriMesh> owned_mesh;
   if (!config.store_root.empty()) {

@@ -49,6 +49,7 @@ class CliFlags {
 ///   --circuit=NAME  --samples=N  --r=N  --seed=N  --threads=K
 ///   --block-samples=N  --store=DIR  --validate  --strict  --fsck
 ///   --run-id=NAME   --resume     --lease-ttl=MS
+///   --matrix-free   --aca-tol=EPS
 ///   --trace         --trace-json=PATH
 ///
 /// Registered in one place so a new option (e.g. --threads) lands in every
@@ -84,6 +85,15 @@ struct ExperimentFlagSet {
   /// (--lease-ttl): a claimed lease not completed or heartbeat-extended
   /// within this budget is reclaimed and recomputed. Must be > 0.
   std::uint64_t lease_ttl_ms = 300'000;
+  /// Matrix-free KLE solve (--matrix-free): Lanczos runs on the
+  /// hierarchical ACA-compressed Galerkin operator instead of assembling
+  /// the dense n x n matrix — the scaling path past ~10^4 triangles
+  /// (DESIGN.md §14). Eigenvalue-accurate to aca_tol, not bit-stable.
+  /// Applies to the fresh-solve path; store fetches are unaffected.
+  bool matrix_free = false;
+  /// Relative ACA block tolerance for --matrix-free (--aca-tol). 0 = the
+  /// solver default (core::MatfreeOptions::aca_tolerance). Must be >= 0.
+  double aca_tol = 0.0;
   /// Observability (obs::TraceSession reads both; a non-empty trace_json
   /// implies tracing, as does the SCKL_TRACE environment variable).
   bool trace = false;

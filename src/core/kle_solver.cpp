@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "common/error.h"
 #include "linalg/blas.h"
@@ -93,19 +95,16 @@ double KleResult::captured_variance_fraction(std::size_t r,
   return sum / total;
 }
 
-KleResult solve_kle(const mesh::TriMesh& mesh,
-                    const kernels::CovarianceKernel& kernel,
-                    const KleOptions& options, KleSolveInfo* info) {
-  const std::size_t n = mesh.num_triangles();
-  const std::size_t m = std::min(options.num_eigenpairs, n);
-  require(m > 0, "solve_kle: need at least one eigenpair");
-  obs::Span span("core.solve_kle");
-  obs::counter("sckl.core.kle_solves").add(1);
+namespace {
 
-  const linalg::Matrix b =
-      assemble_galerkin_matrix(mesh, kernel, options.quadrature);
-  // Reject NaN/Inf before it can poison the whole spectrum: one bad kernel
-  // evaluation would otherwise surface as mysteriously wrong eigenpairs.
+// Assembles the dense Galerkin matrix and rejects NaN/Inf before it can
+// poison the whole spectrum: one bad kernel evaluation would otherwise
+// surface as mysteriously wrong eigenpairs.
+linalg::Matrix assemble_checked(const mesh::TriMesh& mesh,
+                                const kernels::CovarianceKernel& kernel,
+                                QuadratureRule quadrature) {
+  const std::size_t n = mesh.num_triangles();
+  const linalg::Matrix b = assemble_galerkin_matrix(mesh, kernel, quadrature);
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = b.row_ptr(i);
     for (std::size_t j = 0; j < n; ++j)
@@ -116,27 +115,150 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
                         "' produced NaN/Inf",
                     ErrorCode::kNonFinite);
   }
+  return b;
+}
 
-  KleBackend backend = options.backend;
-  if (backend == KleBackend::kAuto)
-    backend = (m * 3 < n) ? KleBackend::kLanczos : KleBackend::kDense;
+linalg::SymmetricEigenResult dense_eigensolve(const linalg::Matrix& b) {
+  obs::Span dense_span("linalg.dense_eigen");
+  obs::counter("sckl.linalg.dense_eigen.solves").add(1);
+  return linalg::symmetric_eigen(b);
+}
+
+linalg::LanczosOptions lanczos_options_for(const KleOptions& options,
+                                           std::size_t n, std::size_t m) {
+  linalg::LanczosOptions lanczos;
+  lanczos.num_eigenpairs = m;
+  lanczos.seed = options.lanczos_seed;
+  // Clustered trailing eigenvalues of smooth kernels converge slowly;
+  // give the subspace generous room by default. The matrix-free override
+  // exists because at million-triangle n the Krylov basis (8n bytes per
+  // vector) dominates memory, not because fewer iterations are desirable.
+  const std::size_t cap = options.operator_mode == OperatorMode::kMatrixFree
+                              ? options.matfree.lanczos_max_subspace
+                              : 0;
+  lanczos.max_subspace =
+      cap == 0 ? std::min(n, 2 * m + 160) : std::max(std::min(cap, n), m);
+  lanczos.tolerance = 1e-9;
+  return lanczos;
+}
+
+// The kMatrixFree eigensolve: hierarchical ACA operator, then the exact
+// on-the-fly matvec, then (small n only) the assembled dense solve.
+linalg::SymmetricEigenResult solve_matrix_free(
+    const mesh::TriMesh& mesh, const kernels::CovarianceKernel& kernel,
+    const KleOptions& options, std::size_t n, std::size_t m,
+    KleSolveInfo* info) {
+  require(options.quadrature == QuadratureRule::kCentroid1,
+          "solve_kle: the matrix-free path evaluates centroid-rule entries "
+          "on the fly and supports no other quadrature");
+  obs::counter("sckl.core.kle_matfree_solves").add(1);
+  const linalg::LanczosOptions lanczos = lanczos_options_for(options, n, m);
+  if (info != nullptr) info->used = KleBackend::kLanczos;
+
+  // Stage 1: hierarchical compression. kOverloaded (memory budget) and
+  // kNoConvergence degrade to the exact matvec; anything else is a real
+  // error and propagates.
+  {
+    linalg::LanczosInfo lanczos_info;
+    try {
+      if (info != nullptr) info->hmat_attempted = true;
+      const std::unique_ptr<linalg::HMatrix> hmat =
+          build_hmat_operator(mesh, kernel, options.matfree);
+      if (info != nullptr) info->hmat = hmat->stats();
+      linalg::SymmetricEigenResult eigen =
+          linalg::lanczos_largest(*hmat, lanczos, &lanczos_info);
+      if (info != nullptr) {
+        info->lanczos = lanczos_info;
+        info->operator_used = "hmat";
+      }
+      return eigen;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kNoConvergence &&
+          e.code() != ErrorCode::kOverloaded)
+        throw;
+      if (info != nullptr) {
+        info->lanczos = lanczos_info;
+        info->hmat_failed = true;
+        info->hmat_failure_reason = e.what();
+      }
+      obs::counter("sckl.core.kle_matfree_fallbacks").add(1);
+    }
+  }
+
+  // Stage 2: exact matvec — same memory envelope, O(n^2) kernel
+  // evaluations per iteration instead of the compressed apply.
+  {
+    const ExactKernelOperator exact(mesh, kernel,
+                                    options.matfree.num_threads);
+    linalg::LanczosInfo lanczos_info;
+    try {
+      linalg::SymmetricEigenResult eigen =
+          linalg::lanczos_largest(exact, lanczos, &lanczos_info);
+      if (info != nullptr) {
+        info->lanczos = lanczos_info;
+        info->operator_used = "exact";
+      }
+      return eigen;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kNoConvergence) throw;
+      if (info != nullptr) {
+        info->lanczos = lanczos_info;
+        info->fallback = true;
+        info->fallback_reason = e.what();
+      }
+      obs::counter("sckl.core.kle_fallbacks").add(1);
+      // The dense stage allocates 8 n^2 bytes — the exact thing this mode
+      // exists to avoid. Refuse beyond the configured ceiling.
+      if (n > options.matfree.dense_fallback_max_n)
+        throw Error(
+            "solve_kle: matrix-free Lanczos did not converge and n = " +
+                std::to_string(n) + " exceeds dense_fallback_max_n = " +
+                std::to_string(options.matfree.dense_fallback_max_n) +
+                " (refusing the n^2 dense fallback); original failure: " +
+                e.what(),
+            ErrorCode::kNoConvergence);
+    }
+  }
+
+  // Stage 3: assembled dense solve (small n only).
+  if (info != nullptr) {
+    info->used = KleBackend::kDense;
+    info->operator_used = "dense";
+  }
+  return dense_eigensolve(assemble_checked(mesh, kernel, options.quadrature));
+}
+
+}  // namespace
+
+KleResult solve_kle(const mesh::TriMesh& mesh,
+                    const kernels::CovarianceKernel& kernel,
+                    const KleOptions& options, KleSolveInfo* info) {
+  const std::size_t n = mesh.num_triangles();
+  const std::size_t m = std::min(options.num_eigenpairs, n);
+  require(m > 0, "solve_kle: need at least one eigenpair");
+  obs::Span span("core.solve_kle");
+  obs::counter("sckl.core.kle_solves").add(1);
   if (info != nullptr) {
     *info = KleSolveInfo{};
     info->requested = options.backend;
-    info->used = backend;
   }
 
   linalg::SymmetricEigenResult eigen;
-  {
+  if (options.operator_mode == OperatorMode::kMatrixFree) {
+    obs::Span eigensolve_span("core.eigensolve");
+    eigen = solve_matrix_free(mesh, kernel, options, n, m, info);
+  } else {
+    const linalg::Matrix b =
+        assemble_checked(mesh, kernel, options.quadrature);
+
+    KleBackend backend = options.backend;
+    if (backend == KleBackend::kAuto)
+      backend = (m * 3 < n) ? KleBackend::kLanczos : KleBackend::kDense;
+    if (info != nullptr) info->used = backend;
+
     obs::Span eigensolve_span("core.eigensolve");
     if (backend == KleBackend::kLanczos) {
-      linalg::LanczosOptions lanczos;
-      lanczos.num_eigenpairs = m;
-      lanczos.seed = options.lanczos_seed;
-      // Clustered trailing eigenvalues of smooth kernels converge slowly;
-      // give the subspace generous room.
-      lanczos.max_subspace = std::min(n, 2 * m + 160);
-      lanczos.tolerance = 1e-9;
+      const linalg::LanczosOptions lanczos = lanczos_options_for(options, n, m);
       linalg::LanczosInfo lanczos_info;
       try {
         eigen = linalg::lanczos_largest(b, lanczos, &lanczos_info);
@@ -152,14 +274,10 @@ KleResult solve_kle(const mesh::TriMesh& mesh,
           info->fallback_reason = e.what();
         }
         obs::counter("sckl.core.kle_fallbacks").add(1);
-        obs::Span dense_span("linalg.dense_eigen");
-        obs::counter("sckl.linalg.dense_eigen.solves").add(1);
-        eigen = linalg::symmetric_eigen(b);
+        eigen = dense_eigensolve(b);
       }
     } else {
-      obs::Span dense_span("linalg.dense_eigen");
-      obs::counter("sckl.linalg.dense_eigen.solves").add(1);
-      eigen = linalg::symmetric_eigen(b);
+      eigen = dense_eigensolve(b);
     }
   }
 

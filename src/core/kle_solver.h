@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/galerkin.h"
+#include "core/matfree_operator.h"
 #include "geometry/spatial_grid.h"
 #include "linalg/lanczos.h"
 
@@ -30,12 +31,29 @@ enum class KleBackend {
   kLanczos, // iterative, top-m only
 };
 
+/// How the Galerkin operator is realized for the eigensolve.
+enum class OperatorMode {
+  /// Assemble the dense n x n matrix (the default; exact, bit-stable, and
+  /// fine up to ~10^4 triangles where 8 n^2 bytes stops fitting).
+  kAssembled,
+  /// Never materialize the matrix: Lanczos runs on the hierarchical
+  /// ACA-compressed operator, falling back to the exact on-the-fly matvec
+  /// and finally (only when n <= matfree.dense_fallback_max_n) to the
+  /// assembled path. Eigenvalue-accurate to the ACA tolerance but not
+  /// bit-stable across configurations — see DESIGN.md §14. The centroid
+  /// quadrature rule is implied; `backend` is ignored (Lanczos is the only
+  /// matrix-free eigensolver).
+  kMatrixFree,
+};
+
 /// Options for solve_kle().
 struct KleOptions {
   std::size_t num_eigenpairs = 200;  // m: how many pairs to compute
   QuadratureRule quadrature = QuadratureRule::kCentroid1;
   KleBackend backend = KleBackend::kAuto;
   std::uint64_t lanczos_seed = 42;
+  OperatorMode operator_mode = OperatorMode::kAssembled;
+  MatfreeOptions matfree;  // tuning of the kMatrixFree path
 };
 
 /// Telemetry of one solve_kle() call: which backend actually produced the
@@ -50,6 +68,13 @@ struct KleSolveInfo {
   linalg::LanczosInfo lanczos;        // iteration telemetry (when attempted)
   std::size_t clamped_eigenvalues = 0;  // trailing negatives clamped to 0
   double clamped_magnitude = 0.0;       // total magnitude removed by clamping
+
+  // Matrix-free telemetry (operator_mode == kMatrixFree only).
+  std::string operator_used;        // "hmat", "exact", or "dense"
+  bool hmat_attempted = false;      // a hierarchical build was tried
+  bool hmat_failed = false;         // it failed; chain moved to exact matvec
+  std::string hmat_failure_reason;  // what() of that failure
+  linalg::HmatStats hmat;           // compression stats of a completed build
 };
 
 /// Result of the numerical KLE of one kernel on one mesh.
@@ -139,6 +164,12 @@ class KleResult {
 /// spectrum. When the Lanczos backend fails to converge (kNoConvergence),
 /// the solve is retried with the dense backend and the fallback is recorded
 /// in `info` — callers lose speed, not the answer.
+///
+/// With operator_mode == kMatrixFree the fallback chain is: hierarchical
+/// ACA operator -> exact on-the-fly matvec -> assembled dense solve, where
+/// the final dense stage only engages when n <= matfree.dense_fallback_max_n
+/// (above that the solve throws rather than allocate n^2 doubles). Each hop
+/// is recorded in `info` (hmat_failed / fallback / operator_used).
 KleResult solve_kle(const mesh::TriMesh& mesh,
                     const kernels::CovarianceKernel& kernel,
                     const KleOptions& options = {},

@@ -1,0 +1,19 @@
+#include "linalg/kernel_operator.h"
+
+#include "common/error.h"
+#include "linalg/gemm.h"
+
+namespace sckl::linalg {
+
+DenseKernelOperator::DenseKernelOperator(const Matrix& a) : a_(a) {
+  require(a.rows() == a.cols(),
+          "DenseKernelOperator: matrix must be square");
+  require(a.rows() > 0, "DenseKernelOperator: matrix must be non-empty");
+}
+
+void DenseKernelOperator::apply(const Vector& x, Vector& y) const {
+  require(x.size() == a_.rows(), "DenseKernelOperator: dimension mismatch");
+  y = gemv_fast(a_, x);
+}
+
+}  // namespace sckl::linalg

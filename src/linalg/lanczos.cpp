@@ -7,7 +7,6 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "linalg/blas.h"
-#include "linalg/gemm.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/fault_injection.h"
@@ -42,9 +41,10 @@ Vector random_unit_vector(std::size_t n, Rng& rng,
 
 }  // namespace
 
-SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
+SymmetricEigenResult lanczos_largest(const KernelOperator& op,
                                      const LanczosOptions& options,
                                      LanczosInfo* info) {
+  const std::size_t n = op.dim();
   require(n > 0, "lanczos: dimension must be positive");
   const std::size_t k = std::min(options.num_eigenpairs, n);
   require(k > 0, "lanczos: need at least one eigenpair");
@@ -76,7 +76,7 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
   double last_beta = 0.0;  // residual scale of the latest Ritz extraction
   while (basis.size() <= max_m) {
     const Vector& v = basis.back();
-    apply(v, w);
+    op.apply(v, w);
     const double a = dot(v, w);
     alpha.push_back(a);
     axpy(-a, v, w);
@@ -194,16 +194,38 @@ SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
   return result;
 }
 
+namespace {
+
+// Closure adapter so legacy callers keep the MatVec signature while the
+// iteration itself only ever sees KernelOperator.
+class FunctionOperator final : public KernelOperator {
+ public:
+  FunctionOperator(const MatVec& apply, std::size_t n)
+      : apply_(apply), n_(n) {}
+  std::size_t dim() const override { return n_; }
+  void apply(const Vector& x, Vector& y) const override { apply_(x, y); }
+  const char* name() const override { return "closure"; }
+
+ private:
+  const MatVec& apply_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
+                                     const LanczosOptions& options,
+                                     LanczosInfo* info) {
+  return lanczos_largest(FunctionOperator(apply, n), options, info);
+}
+
 SymmetricEigenResult lanczos_largest(const Matrix& a,
                                      const LanczosOptions& options,
                                      LanczosInfo* info) {
   require(a.rows() == a.cols(), "lanczos: matrix must be square");
-  // The dense matvec rides the dispatched SIMD dot kernels (gemv_fast),
-  // which is where cold KLE solves spend their time.
-  const auto apply = [&a](const Vector& x, Vector& y) {
-    y = gemv_fast(a, x);
-  };
-  return lanczos_largest(apply, a.rows(), options, info);
+  // The dense matvec is DenseKernelOperator — the dispatched SIMD gemv
+  // kernels, where cold KLE solves spend their time.
+  return lanczos_largest(DenseKernelOperator(a), options, info);
 }
 
 }  // namespace sckl::linalg

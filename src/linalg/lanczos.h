@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "linalg/kernel_operator.h"
 #include "linalg/symmetric_eigen.h"
 
 namespace sckl::linalg {
@@ -54,15 +55,24 @@ struct LanczosInfo {
   std::size_t rejected_pairs = 0;  // pairs over best_effort_tolerance
 };
 
-/// Computes the largest eigenpairs of the symmetric operator `apply` of
-/// dimension n. Eigenvalues descend; column j of `vectors` holds the Ritz
-/// vector for values[j]. Throws sckl::Error (code kNoConvergence) when the
-/// subspace limit is reached and the best-effort residual check fails.
+/// Computes the largest eigenpairs of the symmetric operator `op`.
+/// Eigenvalues descend; column j of `vectors` holds the Ritz vector for
+/// values[j]. Throws sckl::Error (code kNoConvergence) when the subspace
+/// limit is reached and the best-effort residual check fails. This is the
+/// one Lanczos implementation — the overloads below only adapt their input
+/// into a KernelOperator, so dense matrices, on-the-fly kernel matvecs, and
+/// hierarchical compressions all run the identical iteration.
+SymmetricEigenResult lanczos_largest(const KernelOperator& op,
+                                     const LanczosOptions& options = {},
+                                     LanczosInfo* info = nullptr);
+
+/// Convenience overload for a matvec closure of dimension n.
 SymmetricEigenResult lanczos_largest(const MatVec& apply, std::size_t n,
                                      const LanczosOptions& options = {},
                                      LanczosInfo* info = nullptr);
 
-/// Convenience overload for a dense symmetric matrix.
+/// Convenience overload for a dense symmetric matrix (runs through
+/// DenseKernelOperator, i.e. the dispatched SIMD gemv kernels).
 SymmetricEigenResult lanczos_largest(const Matrix& a,
                                      const LanczosOptions& options = {},
                                      LanczosInfo* info = nullptr);

@@ -212,7 +212,17 @@ void register_standard_metrics() {
   // Solver layer.
   counter("sckl.core.kle_solves");
   counter("sckl.core.kle_fallbacks");
+  counter("sckl.core.kle_matfree_solves");
+  counter("sckl.core.kle_matfree_fallbacks");
   counter("sckl.core.clamped_eigenvalues");
+  counter("sckl.core.matfree.exact_matvecs");
+  counter("sckl.linalg.hmat.builds");
+  counter("sckl.linalg.hmat.matvecs");
+  counter("sckl.linalg.hmat.lowrank_blocks");
+  counter("sckl.linalg.hmat.dense_blocks");
+  counter("sckl.linalg.hmat.compressed_bytes");
+  counter("sckl.linalg.hmat.rank_cap_hits");
+  counter("sckl.linalg.hmat.aca_restarts");
   counter("sckl.linalg.lanczos.solves");
   counter("sckl.linalg.lanczos.iterations");
   counter("sckl.linalg.lanczos.matvecs");

@@ -36,6 +36,8 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   set.run_id = config.run_id;
   set.resume = config.resume;
   set.lease_ttl_ms = config.lease_ttl_ms;
+  set.matrix_free = config.matrix_free;
+  set.aca_tol = config.aca_tolerance;
   set.apply(flags);
   config.circuit = set.circuit;
   config.num_samples = set.num_samples;
@@ -49,6 +51,8 @@ void add_experiment_flags(const CliFlags& flags, ExperimentConfig& config) {
   config.run_id = set.run_id;
   config.resume = set.resume;
   config.lease_ttl_ms = set.lease_ttl_ms;
+  config.matrix_free = set.matrix_free;
+  config.aca_tolerance = set.aca_tol;
 }
 
 robust::HealthReport fold_kle_health(const KleRunInfo& info) {
@@ -152,6 +156,12 @@ KleRunOutcome ExperimentPipeline::run_kle(const KleRunRequest& request) {
     core::KleOptions kle_options;
     kle_options.num_eigenpairs = std::min<std::size_t>(
         request.num_eigenpairs, request.mesh->num_triangles());
+    if (request.matrix_free) {
+      kle_options.operator_mode = core::OperatorMode::kMatrixFree;
+      if (request.aca_tolerance > 0.0)
+        kle_options.matfree.aca_tolerance = request.aca_tolerance;
+      kle_options.matfree.num_threads = config_.num_threads;
+    }
     const core::KleResult kle = core::solve_kle(
         *request.mesh, *kernel_, kle_options, &outcome.info.solve);
     sampler = std::make_unique<field::KleFieldSampler>(kle, request.r,
@@ -227,6 +237,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                ? config.num_eigenpairs
                                : std::max<std::size_t>(2 * config.r, 50);
   request.validate = config.validate_kle || config.strict;
+  request.matrix_free = config.matrix_free;
+  request.aca_tolerance = config.aca_tolerance;
   request.run_id = config.run_id;
   request.resume = config.resume;
 

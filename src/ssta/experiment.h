@@ -72,6 +72,15 @@ struct ExperimentConfig {
   /// must match across resumes.
   std::size_t mc_block_size = 0;
   std::size_t mc_lease_blocks = 0;
+
+  /// Solve the KLE matrix-free (--matrix-free): Lanczos on the hierarchical
+  /// ACA-compressed operator rather than the assembled dense matrix. Only
+  /// affects the fresh-solve path (store fetches reuse whatever the artifact
+  /// was solved with). See core::OperatorMode::kMatrixFree.
+  bool matrix_free = false;
+  /// Relative ACA block tolerance when matrix_free is set (--aca-tol);
+  /// 0 = the core::MatfreeOptions default.
+  double aca_tolerance = 0.0;
 };
 
 /// Maps the shared command-line flag vocabulary (sckl::ExperimentFlagSet,
@@ -145,6 +154,9 @@ struct KleRunRequest {
   std::size_t num_eigenpairs = 50; // computed pairs m (clamped to the mesh)
   const mesh::TriMesh* mesh = nullptr;       // fresh-solve path
   store::KleArtifactStore* store = nullptr;  // store-fetch path
+  /// Fresh-solve path only: solve matrix-free (see ExperimentConfig).
+  bool matrix_free = false;
+  double aca_tolerance = 0.0;  // 0 = core::MatfreeOptions default
   /// Additionally run core::check_kle_health into the outcome's info.
   bool validate = false;
   /// Forwarded to McSstaOptions::cancelled: polled between Monte Carlo

@@ -3,7 +3,10 @@
 #   1. every relative markdown link in the top-level docs resolves to a file
 #      or directory in the repository;
 #   2. every src/*/ module directory appears in DESIGN.md's module inventory
-#      (section 2) — adding a library without documenting it fails CI.
+#      (section 2) — adding a library without documenting it fails CI;
+#   3. the matrix-free layer stays documented: DESIGN.md must keep the §14
+#      section header and name each of its load-bearing pieces, and the
+#      README must document the --matrix-free flag.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -40,6 +43,25 @@ for dir in src/*/; do
     status=1
   fi
 done
+
+# --- 3. matrix-free documentation gate ----------------------------------
+# The source tree references DESIGN.md §14 by number and name; keep the
+# section and its inventory tokens from silently disappearing or drifting.
+require_in() {
+  # require_in FILE PATTERN DESCRIPTION
+  if ! grep -q -e "$2" "$1"; then
+    echo "check_docs: $1 is missing $3 ('$2')" >&2
+    status=1
+  fi
+}
+require_in DESIGN.md "^## 14\. Matrix-free KLE" "the §14 matrix-free section header"
+for token in "src/linalg/hmat" "src/core/matfree_operator" \
+             "KernelOperator" "ExactKernelOperator" "aca_tolerance" \
+             "admissibility" "dense_fallback_max_n" "bench_matfree"; do
+  require_in DESIGN.md "$token" "a §14 matrix-free inventory token"
+done
+require_in README.md "\-\-matrix-free" "the matrix-free flag documentation"
+require_in README.md "\-\-aca-tol" "the ACA tolerance flag documentation"
 
 if [ "$status" -eq 0 ]; then
   echo "check_docs: all links resolve and every src/ module is documented"
